@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation for the memory hierarchy (Sec. 4.1.3): the 32-way software
+ * cache (LRU and LFU) vs CUDA-UVM-style paging, across HBM budgets, on
+ * the same Zipf access trace. Reports hit/fault rates, PCIe traffic and
+ * effective lookup time — the mechanism behind the paper's "~15%
+ * end-to-end improvement from the software cache over UVM".
+ */
+#include <cstdio>
+
+#include "cache/cached_embedding_store.h"
+#include "cache/uvm_store.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::cache;
+
+struct Result {
+    double hit_rate = 0.0;
+    uint64_t pcie_bytes = 0;
+    double effective_seconds = 0.0;
+};
+
+Result
+RunSoftwareCache(ReplacementPolicy policy, uint64_t num_sets,
+                 const std::vector<int64_t>& trace, int64_t rows,
+                 int64_t dim)
+{
+    ops::EmbeddingTable backing(rows, dim);
+    MemoryTier hbm(Tier::kHbm, 1e12, 850e9);
+    MemoryTier pcie(Tier::kDdr, 1e12, 13e9);
+    CachedEmbeddingStore store(std::move(backing), {num_sets, 32, policy},
+                               &hbm, &pcie);
+    std::vector<float> buf(static_cast<size_t>(dim));
+    for (int64_t r : trace) {
+        store.ReadRow(r, buf.data());
+    }
+    return {store.stats().HitRate(), pcie.total_bytes(),
+            hbm.TrafficSeconds() + pcie.TrafficSeconds()};
+}
+
+Result
+RunUvm(size_t budget_bytes, const std::vector<int64_t>& trace, int64_t rows,
+       int64_t dim)
+{
+    ops::EmbeddingTable backing(rows, dim);
+    MemoryTier hbm(Tier::kHbm, 1e12, 850e9);
+    MemoryTier pcie(Tier::kDdr, 1e12, 13e9);
+    UvmPagedStore store(std::move(backing), 64 * 1024, budget_bytes, &hbm,
+                        &pcie);
+    std::vector<float> buf(static_cast<size_t>(dim));
+    for (int64_t r : trace) {
+        store.ReadRow(r, buf.data());
+    }
+    return {1.0 - store.stats().FaultRate(), pcie.total_bytes(),
+            hbm.TrafficSeconds() + pcie.TrafficSeconds()};
+}
+
+}  // namespace
+
+int
+main()
+{
+    const int64_t rows = 500000, dim = 32;  // 128 B rows, 64 MB table
+    Rng rng(29);
+    ZipfSampler sampler(static_cast<uint64_t>(rows), 1.05);
+    std::vector<int64_t> trace(300000);
+    for (auto& r : trace) {
+        r = static_cast<int64_t>(sampler.Sample(rng));
+    }
+
+    std::printf("== Ablation: software cache (LRU/LFU) vs UVM paging ==\n");
+    std::printf("table %s, Zipf(1.05) trace of %zu lookups; same HBM "
+                "budget per row\n\n",
+                FormatBytes(static_cast<double>(rows) * dim * 4).c_str(),
+                trace.size());
+
+    TablePrinter table({"HBM budget", "policy", "hit rate", "PCIe traffic",
+                        "effective time"});
+    for (uint64_t sets : {64u, 256u, 1024u}) {
+        const size_t budget = sets * 32 * dim * 4;  // same bytes for UVM
+        const Result lru =
+            RunSoftwareCache(ReplacementPolicy::kLru, sets, trace, rows,
+                             dim);
+        const Result lfu =
+            RunSoftwareCache(ReplacementPolicy::kLfu, sets, trace, rows,
+                             dim);
+        const Result uvm = RunUvm(budget, trace, rows, dim);
+        auto add = [&](const char* name, const Result& r) {
+            table.Row()
+                .Cell(FormatBytes(static_cast<double>(budget)))
+                .Cell(name)
+                .CellF(r.hit_rate * 100.0, "%.1f%%")
+                .Cell(FormatBytes(static_cast<double>(r.pcie_bytes)))
+                .Cell(FormatSeconds(r.effective_seconds));
+        };
+        add("cache LRU", lru);
+        add("cache LFU", lfu);
+        add("UVM 64K pages", uvm);
+    }
+    table.Print();
+    std::printf("\nRow-granular caching keeps the Zipf head resident; UVM "
+                "drags mostly-cold pages over PCIe (Sec. 4.1.3's case for "
+                "the custom cache, worth ~15%% end to end).\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces the Sec. 5.3.3 model-capacity study: fitting the 12T
+ * parameter model F1 onto the 16-node cluster. Walks the paper's
+ * footprint math (96 TB naive -> 24 TB with row-wise AdaGrad + FP16),
+ * checks the fit against the HBM+DDR+SSD hierarchy, and runs the actual
+ * sharding planner (with the DDR extension behind the software cache) to
+ * show the row-wise sharded layout of the massive tables.
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/capacity_model.h"
+#include "sim/iteration_model.h"
+#include "sim/plan_bridge.h"
+
+int
+main()
+{
+    using namespace neo;
+    using namespace neo::sim;
+
+    const WorkloadModel f1 = WorkloadModel::F1();
+    const ClusterSpec cluster = ClusterSpec::Prototype(16);
+
+    std::printf("== Sec 5.3.3: model F1 (12T params) capacity study ==\n\n");
+    std::printf("cluster: %d GPUs, HBM %s, DDR %s, SSD %s\n\n",
+                cluster.NumGpus(), FormatBytes(cluster.TotalHbm()).c_str(),
+                FormatBytes(cluster.TotalDdr()).c_str(),
+                FormatBytes(cluster.TotalSsd()).c_str());
+
+    TablePrinter table({"Configuration", "Footprint", "fits HBM",
+                        "fits HBM+DDR"});
+    struct Case {
+        const char* name;
+        Precision precision;
+        bool rowwise;
+    };
+    const Case cases[] = {
+        {"FP32 + elementwise AdaGrad (naive)", Precision::kFp32, false},
+        {"FP32 + row-wise AdaGrad", Precision::kFp32, true},
+        {"FP16 + elementwise AdaGrad", Precision::kFp16, false},
+        {"FP16 + row-wise AdaGrad (paper)", Precision::kFp16, true},
+    };
+    for (const Case& c : cases) {
+        const CapacityEstimate est = EstimateCapacity(
+            f1, cluster, c.precision, c.rowwise, f1.dim_avg);
+        const double footprint =
+            c.precision == Precision::kFp32 && !c.rowwise
+                ? est.naive_bytes
+                : est.optimized_bytes;
+        table.Row()
+            .Cell(c.name)
+            .Cell(FormatBytes(footprint))
+            .Cell(est.fits_hbm ? "yes" : "no")
+            .Cell(footprint <= cluster.TotalHbm() + cluster.TotalDdr()
+                      ? "yes"
+                      : "no");
+    }
+    table.Print();
+    std::printf("\npaper: 96 TB naive -> 24 TB, \"just fitting under the "
+                "4TB HBM + 24TB DRAM hierarchy\"\n\n");
+
+    // ---- planner layout for the massive tables ------------------------
+    PlanStudyOptions options;
+    options.emb_precision = Precision::kFp16;
+    options.extra_capacity_per_gpu =
+        cluster.node.ddr_capacity / cluster.node.gpus_per_node;
+    const PlanStudyResult plan = PlanForWorkload(f1, cluster, options);
+    std::printf("planner: feasible=%s, shards=%zu, all row-wise=%s, "
+                "worst per-GPU RW dim sum=%.0f\n",
+                plan.feasible ? "yes" : "no", plan.plan.shards.size(),
+                plan.scheme_counts.size() == 1 &&
+                        plan.scheme_counts.count(
+                            sharding::Scheme::kRowWise)
+                    ? "yes"
+                    : "no",
+                plan.max_rw_dim_sum);
+
+    // ---- end-to-end throughput with the hierarchy ---------------------
+    TrainingSetup setup;
+    setup.cluster = cluster;
+    setup.num_gpus = 128;
+    setup.per_gpu_batch = 512;
+    setup.emb_precision = Precision::kFp16;
+    setup.fwd_comm = Precision::kFp16;
+    setup.bwd_comm = Precision::kBf16;
+    setup.imbalance = plan.feasible ? plan.imbalance : 2.0;
+    setup.rw_dim_sum = plan.max_rw_dim_sum;
+    setup.hbm_hit_rate = 0.6;  // HBM acts as a cache over DDR (UVM mode)
+    const IterationBreakdown bd = IterationModel(f1, setup).Estimate();
+    std::printf("modeled training throughput: %s QPS (paper: up to "
+                "970K)\n",
+                FormatCount(bd.qps).c_str());
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces Fig. 13: the training-throughput optimization waterfall for
+ * model A2 on 128 GPUs. Steps, cumulative:
+ *
+ *   1. baseline: FP32 tables, table-wise-only sharding with greedy
+ *      placement, FP32 comms, 64K global batch (paper: <400K QPS);
+ *   2. + optimized sharding (TW+CW+DP, LDM placement): +~20%;
+ *   3. + FP16 embedding tables (sharder headroom -> better balance);
+ *   4. + quantized comms (FP16 fwd / BF16 bwd AllToAll);
+ *   5. + 256K global batch: total +87% over baseline.
+ *
+ * The sharding/balance effects come from real planner runs, not factors.
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/iteration_model.h"
+#include "sim/plan_bridge.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::sim;
+
+struct Step {
+    const char* name;
+    bool optimized_sharding;
+    Precision emb;
+    Precision fwd_comm;
+    Precision bwd_comm;
+    int64_t per_gpu_batch;
+};
+
+double
+QpsFor(const Step& step)
+{
+    const WorkloadModel workload = WorkloadModel::A2();
+    TrainingSetup setup;
+    setup.cluster = ClusterSpec::Prototype(16);
+    setup.num_gpus = 128;
+    setup.per_gpu_batch = step.per_gpu_batch;
+    setup.emb_precision = step.emb;
+    setup.fwd_comm = step.fwd_comm;
+    setup.bwd_comm = step.bwd_comm;
+
+    PlanStudyOptions plan_options;
+    plan_options.num_gpus = 128;
+    plan_options.global_batch = setup.GlobalBatch();
+    plan_options.emb_precision = step.emb;
+    plan_options.optimized_sharding = step.optimized_sharding;
+    const PlanStudyResult plan = PlanForWorkload(
+        workload, setup.cluster, plan_options);
+    // An infeasible FP32 fit mirrors the paper's "very little room to
+    // explore placement": model it as running with severe imbalance.
+    setup.imbalance = plan.feasible ? plan.imbalance : 1.8;
+    setup.rw_dim_sum = plan.max_rw_dim_sum;
+    return IterationModel(workload, setup).Estimate().qps;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("== Fig 13: A2 @128 GPUs throughput optimization waterfall "
+                "==\n");
+    std::printf("paper: baseline <400K; +sharding +20%%; +FP16 emb +20%%; "
+                "+quant comms; 256K batch; total +87%%\n\n");
+
+    const Step steps[] = {
+        {"baseline (FP32, TW+greedy, 64K)", false, Precision::kFp32,
+         Precision::kFp32, Precision::kFp32, 512},
+        {"+ optimized sharding (TW+CW+DP, LDM)", true, Precision::kFp32,
+         Precision::kFp32, Precision::kFp32, 512},
+        {"+ FP16 embeddings", true, Precision::kFp16, Precision::kFp32,
+         Precision::kFp32, 512},
+        {"+ quantized comms (FP16/BF16)", true, Precision::kFp16,
+         Precision::kFp16, Precision::kBf16, 512},
+        {"+ 256K global batch", true, Precision::kFp16, Precision::kFp16,
+         Precision::kBf16, 2048},
+    };
+
+    TablePrinter table({"Step", "QPS", "vs prev", "vs baseline"});
+    double baseline = 0.0, prev = 0.0;
+    for (const Step& step : steps) {
+        const double qps = QpsFor(step);
+        if (baseline == 0.0) {
+            baseline = qps;
+            prev = qps;
+        }
+        table.Row()
+            .Cell(step.name)
+            .Cell(FormatCount(qps))
+            .CellF((qps / prev - 1.0) * 100.0, "%+.0f%%")
+            .CellF((qps / baseline - 1.0) * 100.0, "%+.0f%%");
+        prev = qps;
+    }
+    table.Print();
+    return 0;
+}

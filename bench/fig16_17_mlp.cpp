@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Figs. 16-17 (Appendix A): the MLP benchmark — 20 square
+ * layers with ReLU, forward + backward + SGD — across batch sizes
+ * 128..4096 and layer widths 1K/2K/4K, for V100 (FP32, FP16) and A100
+ * (FP32, TF32, FP16, BF16). Values are achieved TF/s from the roofline
+ * model; shapes to match: throughput grows with batch and width, FP16
+ * far above FP32, A100 above V100.
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "sim/gemm_model.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::sim;
+
+void
+PrintFigure(const char* title, const GpuSpec& gpu,
+            std::initializer_list<Precision> precisions)
+{
+    const MlpModel model(gpu);
+    std::printf("%s\n\n", title);
+    for (Precision p : precisions) {
+        std::printf("-- precision %s --\n", PrecisionName(p));
+        TablePrinter table({"batch", "20x 1Kx1K TF/s", "20x 2Kx2K TF/s",
+                            "20x 4Kx4K TF/s"});
+        for (int64_t batch : {128, 256, 512, 1024, 2048, 4096}) {
+            auto& row = table.Row().Cell(batch);
+            for (int64_t width : {1024, 2048, 4096}) {
+                const MlpEstimate est =
+                    model.Estimate({batch, width, 20, p});
+                row.CellF(est.achieved_tflops, "%.1f");
+            }
+        }
+        table.Print();
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    PrintFigure("== Fig 16: MLP benchmark, V100 ==", GpuSpec::V100(),
+                {Precision::kFp32, Precision::kFp16});
+    PrintFigure("== Fig 16/17: MLP benchmark, A100 ==", GpuSpec::A100(),
+                {Precision::kFp32, Precision::kTf32, Precision::kFp16,
+                 Precision::kBf16});
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Fig. 20 (Appendix A): achieved AllToAll and AllReduce bus
+ * bandwidth at 128 GPUs across power-of-two message sizes, from the
+ * calibrated collective models (AllToAll saturating at ~7 GB/s, bound by
+ * the 10.5 GB/s achievable scale-out link; AllReduce at ~60 GB/s thanks
+ * to NVLink). Also measures this repo's actual threaded collectives to
+ * show the same latency-to-bandwidth-bound transition shape.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "comm/threaded_process_group.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/comm_model.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::sim;
+
+void
+PrintModelTable()
+{
+    const CommModel model(ClusterSpec::Prototype(16));
+    std::printf("== Fig 20: collective bus bandwidth at 128 GPUs (model) "
+                "==\n\n");
+    TablePrinter table({"message", "AllToAll GB/s", "AllReduce GB/s"});
+    for (double bytes = 64e3; bytes <= 1024e6; bytes *= 4) {
+        table.Row()
+            .Cell(FormatBytes(bytes))
+            .CellF(model.AllToAll(bytes, 128).bus_bandwidth / 1e9, "%.2f")
+            .CellF(model.AllReduce(bytes, 128).bus_bandwidth / 1e9, "%.2f");
+    }
+    table.Print();
+    std::printf("\npaper @256MB: AllToAll ~7 GB/s, AllReduce ~60 GB/s\n\n");
+}
+
+void
+MeasureThreadedCollectives()
+{
+    std::printf("== Measured: this repo's threaded collectives (8 ranks, "
+                "shared memory) ==\n\n");
+    TablePrinter table({"floats/rank", "AllToAll GB/s", "AllReduce GB/s"});
+    const int world = 8;
+    for (size_t count : {1024u, 16384u, 262144u, 1048576u}) {
+        double a2a_bw = 0.0, ar_bw = 0.0;
+        comm::ThreadedWorld::Run(world, [&](int rank,
+                                            comm::ProcessGroup& pg) {
+            Rng rng(rank + 1);
+            std::vector<float> buf(count);
+            for (auto& x : buf) {
+                x = rng.NextFloat();
+            }
+            // AllReduce timing.
+            pg.AllReduceSum(buf.data(), count);  // warm up
+            pg.Barrier();
+            auto start = std::chrono::steady_clock::now();
+            const int reps = 3;
+            for (int r = 0; r < reps; r++) {
+                pg.AllReduceSum(buf.data(), count);
+            }
+            auto end = std::chrono::steady_clock::now();
+            if (rank == 0) {
+                const double seconds =
+                    std::chrono::duration<double>(end - start).count() /
+                    reps;
+                ar_bw = count * sizeof(float) * 2.0 * (world - 1) / world /
+                        seconds / 1e9;
+            }
+
+            // AllToAll timing: count floats split across peers.
+            std::vector<std::vector<float>> send(
+                world, std::vector<float>(count / world, 1.0f));
+            std::vector<std::vector<float>> recv;
+            pg.AllToAllFloats(send, recv);  // warm up
+            pg.Barrier();
+            start = std::chrono::steady_clock::now();
+            for (int r = 0; r < reps; r++) {
+                pg.AllToAllFloats(send, recv);
+            }
+            end = std::chrono::steady_clock::now();
+            if (rank == 0) {
+                const double seconds =
+                    std::chrono::duration<double>(end - start).count() /
+                    reps;
+                a2a_bw = count * sizeof(float) * (world - 1) / world /
+                         seconds / 1e9;
+            }
+        });
+        table.Row()
+            .Cell(count)
+            .CellF(a2a_bw, "%.3f")
+            .CellF(ar_bw, "%.3f");
+    }
+    table.Print();
+    std::printf("\n(shape check: both rise with message size as latency "
+                "amortizes, like Fig. 20)\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    PrintModelTable();
+    MeasureThreadedCollectives();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Micro-benchmarks for the threaded collective backend: AllReduce,
+ * AllToAll and their quantized variants across world sizes and payloads.
+ */
+#include <benchmark/benchmark.h>
+
+#include "comm/quantized.h"
+#include "comm/threaded_process_group.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::comm;
+
+void
+BM_AllReduce(benchmark::State& state)
+{
+    const int world = static_cast<int>(state.range(0));
+    const size_t count = static_cast<size_t>(state.range(1));
+    for (auto _ : state) {
+        ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+            std::vector<float> buf(count,
+                                   static_cast<float>(rank) + 1.0f);
+            pg.AllReduceSum(buf.data(), count);
+            benchmark::DoNotOptimize(buf.data());
+        });
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            world * count * sizeof(float));
+}
+BENCHMARK(BM_AllReduce)
+    ->Args({2, 65536})
+    ->Args({4, 65536})
+    ->Args({8, 65536})
+    ->Args({4, 1048576});
+
+void
+BM_AllToAllFloats(benchmark::State& state)
+{
+    const int world = static_cast<int>(state.range(0));
+    const size_t per_peer = static_cast<size_t>(state.range(1));
+    for (auto _ : state) {
+        ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+            std::vector<std::vector<float>> send(
+                world,
+                std::vector<float>(per_peer, static_cast<float>(rank)));
+            std::vector<std::vector<float>> recv;
+            pg.AllToAllFloats(send, recv);
+            benchmark::DoNotOptimize(recv.data());
+        });
+    }
+}
+BENCHMARK(BM_AllToAllFloats)->Args({4, 4096})->Args({8, 4096});
+
+void
+BM_QuantizedAllToAll(benchmark::State& state)
+{
+    const Precision precision =
+        static_cast<Precision>(state.range(0));
+    const int world = 4;
+    const size_t per_peer = 16384;
+    for (auto _ : state) {
+        ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+            std::vector<std::vector<float>> send(
+                world, std::vector<float>(per_peer,
+                                          0.5f + static_cast<float>(rank)));
+            std::vector<std::vector<float>> recv;
+            QuantizedAllToAll(pg, send, recv, precision);
+            benchmark::DoNotOptimize(recv.data());
+        });
+    }
+    state.SetLabel(PrecisionName(precision));
+}
+BENCHMARK(BM_QuantizedAllToAll)
+    ->Arg(static_cast<int>(Precision::kFp32))
+    ->Arg(static_cast<int>(Precision::kFp16))
+    ->Arg(static_cast<int>(Precision::kBf16));
+
+}  // namespace
+
+BENCHMARK_MAIN();

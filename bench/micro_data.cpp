@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Micro-benchmarks for the data-ingestion layer: synthetic batch
+ * generation, the combined-format layout kernels (slice, concat/permute,
+ * bucketize) and the end-to-end prefetching loader.
+ */
+#include <benchmark/benchmark.h>
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/jagged.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::data;
+
+DatasetConfig
+MakeConfig(size_t num_features)
+{
+    DatasetConfig config;
+    config.num_dense = 16;
+    config.seed = 11;
+    for (size_t f = 0; f < num_features; f++) {
+        config.features.push_back({100000, 10.0, 1.05});
+    }
+    return config;
+}
+
+void
+BM_GenerateBatch(benchmark::State& state)
+{
+    SyntheticCtrDataset dataset(MakeConfig(
+        static_cast<size_t>(state.range(0))));
+    for (auto _ : state) {
+        Batch batch = dataset.NextBatch(512);
+        benchmark::DoNotOptimize(batch.labels.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_GenerateBatch)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_SliceBatch(benchmark::State& state)
+{
+    SyntheticCtrDataset dataset(MakeConfig(32));
+    const Batch batch = dataset.NextBatch(1024);
+    for (auto _ : state) {
+        KeyedJagged slice = batch.sparse.SliceBatch(256, 512);
+        benchmark::DoNotOptimize(slice.indices.data());
+    }
+}
+BENCHMARK(BM_SliceBatch);
+
+void
+BM_ConcatBatches(benchmark::State& state)
+{
+    SyntheticCtrDataset dataset(MakeConfig(32));
+    const Batch batch = dataset.NextBatch(1024);
+    std::vector<KeyedJagged> pieces;
+    for (int w = 0; w < 8; w++) {
+        pieces.push_back(batch.sparse.SliceBatch(w * 128, (w + 1) * 128));
+    }
+    for (auto _ : state) {
+        KeyedJagged merged = ConcatBatches(pieces);
+        benchmark::DoNotOptimize(merged.indices.data());
+    }
+}
+BENCHMARK(BM_ConcatBatches);
+
+void
+BM_BucketizeRows(benchmark::State& state)
+{
+    SyntheticCtrDataset dataset(MakeConfig(1));
+    const Batch batch = dataset.NextBatch(2048);
+    const KeyedJagged one = batch.sparse.SliceTable(0);
+    std::vector<int64_t> splits;
+    const int buckets = static_cast<int>(state.range(0));
+    for (int k = 0; k <= buckets; k++) {
+        splits.push_back(100000 * k / buckets);
+    }
+    for (auto _ : state) {
+        Bucketized result = BucketizeRows(one, splits);
+        benchmark::DoNotOptimize(result.buckets.data());
+    }
+}
+BENCHMARK(BM_BucketizeRows)->Arg(8)->Arg(128);
+
+void
+BM_PrefetchingLoader(benchmark::State& state)
+{
+    DataLoader loader(MakeConfig(32), 512);
+    for (auto _ : state) {
+        Batch batch = loader.NextBatch();
+        benchmark::DoNotOptimize(batch.labels.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_PrefetchingLoader);
+
+}  // namespace
+
+BENCHMARK_MAIN();

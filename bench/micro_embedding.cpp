@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Micro-benchmarks for the embedding operators: fused multi-table pooled
+ * lookup, the exact (sort-merge) vs naive sparse-update paths, and the
+ * per-optimizer update cost.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ops/embedding_bag.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::ops;
+
+struct Workload {
+    std::vector<std::vector<uint32_t>> lengths;
+    std::vector<std::vector<int64_t>> indices;
+    std::vector<TableInput> inputs;
+    std::vector<Matrix> grads;
+    size_t batch;
+};
+
+Workload
+MakeWorkload(size_t num_tables, int64_t rows, int64_t dim, size_t batch,
+             uint32_t pooling, double zipf_s)
+{
+    Workload w;
+    w.batch = batch;
+    Rng rng(17);
+    ZipfSampler sampler(static_cast<uint64_t>(rows), zipf_s);
+    w.lengths.resize(num_tables);
+    w.indices.resize(num_tables);
+    for (size_t t = 0; t < num_tables; t++) {
+        w.lengths[t].assign(batch, pooling);
+        w.indices[t].resize(batch * pooling);
+        for (auto& idx : w.indices[t]) {
+            idx = static_cast<int64_t>(sampler.Sample(rng));
+        }
+        w.inputs.push_back({w.lengths[t], w.indices[t]});
+        Matrix g(batch, static_cast<size_t>(dim));
+        g.InitUniform(rng, -0.01f, 0.01f);
+        w.grads.push_back(std::move(g));
+    }
+    return w;
+}
+
+void
+BM_FusedLookupForward(benchmark::State& state)
+{
+    const size_t num_tables = static_cast<size_t>(state.range(0));
+    const size_t batch = static_cast<size_t>(state.range(1));
+    const int64_t rows = 100000, dim = 64;
+    std::vector<TableSpec> specs(num_tables, {rows, dim, Precision::kFp32});
+    EmbeddingBagCollection ebc(specs, {}, 7);
+    Workload w = MakeWorkload(num_tables, rows, dim, batch, 16, 1.05);
+    std::vector<Matrix> out;
+    for (auto _ : state) {
+        ebc.Forward(w.inputs, batch, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * num_tables * batch * 16 *
+        dim * 4);
+}
+BENCHMARK(BM_FusedLookupForward)
+    ->Args({4, 256})
+    ->Args({16, 256})
+    ->Args({64, 256})
+    ->Args({16, 1024});
+
+void
+BM_ExactSparseUpdate(benchmark::State& state)
+{
+    const SparseOptimizerKind kind =
+        static_cast<SparseOptimizerKind>(state.range(0));
+    const int64_t rows = 100000, dim = 64;
+    const size_t batch = 512;
+    std::vector<TableSpec> specs(1, {rows, dim, Precision::kFp32});
+    SparseOptimizerConfig config;
+    config.kind = kind;
+    EmbeddingBagCollection ebc(specs, config, 7);
+    Workload w = MakeWorkload(1, rows, dim, batch, 16, 1.05);
+    for (auto _ : state) {
+        ebc.BackwardAndUpdate(w.inputs, batch, w.grads);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            batch * 16);
+    state.SetLabel(SparseOptimizerKindName(kind));
+}
+BENCHMARK(BM_ExactSparseUpdate)
+    ->Arg(static_cast<int>(SparseOptimizerKind::kSgd))
+    ->Arg(static_cast<int>(SparseOptimizerKind::kAdaGrad))
+    ->Arg(static_cast<int>(SparseOptimizerKind::kRowWiseAdaGrad))
+    ->Arg(static_cast<int>(SparseOptimizerKind::kAdam));
+
+void
+BM_NaiveSparseUpdate(benchmark::State& state)
+{
+    const int64_t rows = 100000, dim = 64;
+    const size_t batch = 512;
+    std::vector<TableSpec> specs(1, {rows, dim, Precision::kFp32});
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kRowWiseAdaGrad;
+    EmbeddingBagCollection ebc(specs, config, 7);
+    Workload w = MakeWorkload(1, rows, dim, batch, 16, 1.05);
+    for (auto _ : state) {
+        ebc.BackwardAndUpdateNaive(w.inputs, batch, w.grads);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            batch * 16);
+}
+BENCHMARK(BM_NaiveSparseUpdate);
+
+void
+BM_Fp16LookupForward(benchmark::State& state)
+{
+    const size_t num_tables = 16;
+    const size_t batch = 256;
+    const int64_t rows = 100000, dim = 64;
+    std::vector<TableSpec> specs(num_tables, {rows, dim, Precision::kFp16});
+    EmbeddingBagCollection ebc(specs, {}, 7);
+    Workload w = MakeWorkload(num_tables, rows, dim, batch, 16, 1.05);
+    std::vector<Matrix> out;
+    for (auto _ : state) {
+        ebc.Forward(w.inputs, batch, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Fp16LookupForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Micro-benchmarks for the CPU GEMM and MLP kernels backing the
+ * functional training stack.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ops/mlp.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace neo;
+
+void
+BM_Gemm(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(5);
+    Matrix a(n, n), b(n, n), c(n, n);
+    a.InitUniform(rng, -1.0f, 1.0f);
+    b.InitUniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        MatMul(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * n * n * n * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_GemmTransposed(benchmark::State& state)
+{
+    const size_t n = 256;
+    Rng rng(5);
+    Matrix a(n, n), b(n, n), c(n, n);
+    a.InitUniform(rng, -1.0f, 1.0f);
+    b.InitUniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Gemm(Trans::kYes, Trans::kNo, 1.0f, a, b, 0.0f, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_GemmTransposed);
+
+void
+BM_MlpForwardBackward(benchmark::State& state)
+{
+    const size_t batch = static_cast<size_t>(state.range(0));
+    Rng rng(7);
+    ops::Mlp mlp({{64, 128, 128, 64, 1}, false}, rng);
+    Matrix x(batch, 64);
+    x.InitUniform(rng, -1.0f, 1.0f);
+    Matrix out, grad_in;
+    Matrix grad_out(batch, 1);
+    grad_out.Fill(0.01f);
+    for (auto _ : state) {
+        mlp.Forward(x, out);
+        mlp.ZeroGrads();
+        mlp.Backward(grad_out, grad_in);
+        benchmark::DoNotOptimize(grad_in.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            batch);
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Micro-benchmarks for the sharding planner: greedy vs Karmarkar-Karp
+ * placement cost and achieved balance, plus full planning latency on
+ * Table-3-scale workloads (1000 tables, 128 workers) — planning must be
+ * cheap relative to training.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "sharding/partition.h"
+#include "sharding/planner.h"
+#include "sim/workloads.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::sharding;
+
+std::vector<double>
+RandomCosts(size_t n)
+{
+    Rng rng(7);
+    std::vector<double> costs(n);
+    for (auto& c : costs) {
+        c = std::exp(rng.NextGaussian());
+    }
+    return costs;
+}
+
+void
+BM_GreedyPartition(benchmark::State& state)
+{
+    const auto costs = RandomCosts(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto assignment = GreedyPartition(costs, 128);
+        benchmark::DoNotOptimize(assignment.data());
+    }
+}
+BENCHMARK(BM_GreedyPartition)->Arg(1000)->Arg(10000);
+
+void
+BM_LdmPartition(benchmark::State& state)
+{
+    const auto costs = RandomCosts(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto assignment = LdmPartition(costs, 128);
+        benchmark::DoNotOptimize(assignment.data());
+    }
+    const auto greedy = GreedyPartition(costs, 128);
+    const auto ldm = LdmPartition(costs, 128);
+    state.counters["greedy_max"] = MaxBinSum(costs, greedy, 128);
+    state.counters["ldm_max"] = MaxBinSum(costs, ldm, 128);
+}
+BENCHMARK(BM_LdmPartition)->Arg(1000)->Arg(10000);
+
+void
+BM_FullPlanA2(benchmark::State& state)
+{
+    const auto tables = sim::WorkloadModel::A2().SynthesizeTables();
+    PlannerOptions options;
+    options.topo.num_workers = 128;
+    options.topo.workers_per_node = 8;
+    options.global_batch = 65536;
+    options.hbm_bytes_per_worker = 26e9;
+    ShardingPlanner planner(options);
+    std::vector<TableConfig> fp16 = tables;
+    for (auto& t : fp16) {
+        t.precision = Precision::kFp16;
+    }
+    for (auto _ : state) {
+        auto plan = planner.Plan(fp16);
+        benchmark::DoNotOptimize(plan.shards.data());
+    }
+}
+BENCHMARK(BM_FullPlanA2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Micro-benchmarks for TT-Rec compressed embeddings: row reconstruction
+ * and core-gradient update cost versus TT rank, with the compression
+ * ratio reported alongside — the accuracy/compute/memory trade-off of
+ * Sec. 4.1.4 [59].
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ops/embedding_table.h"
+#include "ops/tt_embedding.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::ops;
+
+void
+BM_TtReadRow(benchmark::State& state)
+{
+    const int64_t rank = state.range(0);
+    const int64_t rows = 1000000, dim = 64;
+    TtEmbeddingTable table(rows, dim, TtShape::Auto(rows, dim, rank), 7);
+    Rng rng(3);
+    std::vector<float> out(static_cast<size_t>(dim));
+    for (auto _ : state) {
+        table.ReadRow(static_cast<int64_t>(rng.NextBounded(rows)),
+                      out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["compression"] = table.CompressionRatio();
+}
+BENCHMARK(BM_TtReadRow)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_TtRowGradient(benchmark::State& state)
+{
+    const int64_t rank = state.range(0);
+    const int64_t rows = 1000000, dim = 64;
+    TtEmbeddingTable table(rows, dim, TtShape::Auto(rows, dim, rank), 7);
+    Rng rng(5);
+    std::vector<float> grad(static_cast<size_t>(dim));
+    for (auto& g : grad) {
+        g = rng.NextUniform(-0.01f, 0.01f);
+    }
+    for (auto _ : state) {
+        table.ApplyRowGradient(
+            static_cast<int64_t>(rng.NextBounded(rows)), grad.data(),
+            0.01f);
+    }
+}
+BENCHMARK(BM_TtRowGradient)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_PlainReadRowBaseline(benchmark::State& state)
+{
+    const int64_t rows = 1000000, dim = 64;
+    EmbeddingTable table(rows, dim);
+    Rng init(1);
+    table.InitUniform(init);
+    Rng rng(3);
+    std::vector<float> out(static_cast<size_t>(dim));
+    for (auto _ : state) {
+        table.ReadRow(static_cast<int64_t>(rng.NextBounded(rows)),
+                      out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_PlainReadRowBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

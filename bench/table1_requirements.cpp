@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Table 1: the platform demands of a production DLRM trained
+ * to deadline. Derived from the workload models rather than restated: an
+ * A2-class model at ~1M QPS implies the compute / memory / bandwidth
+ * figures the paper lists as platform requirements.
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/hardware.h"
+#include "sim/workloads.h"
+
+int
+main()
+{
+    using namespace neo;
+    using namespace neo::sim;
+
+    const WorkloadModel a2 = WorkloadModel::A2();
+    const ClusterSpec cluster = ClusterSpec::Prototype(16);
+    const double target_qps = 1e6;  // "millions of samples per second"
+
+    // Compute: fwd+bwd ~ 3x forward FLOPs at the target rate.
+    const double compute =
+        3.0 * a2.mflops_per_sample * 1e6 * target_qps;
+    // Memory capacity: the model itself (FP16) + optimizer state.
+    const double capacity = a2.num_params * 2.0 + a2.num_params / a2.dim_avg
+                            * 4.0;
+    // Memory bandwidth: the PLATFORM must provision enough GPUs for the
+    // compute target; their aggregate achievable HBM is the balanced-
+    // workload bandwidth requirement (embeddings are BW-bound, so BW
+    // cannot lag compute).
+    const GpuSpec& gpu = cluster.node.gpu;
+    const double gpus_needed =
+        compute / (gpu.fp32_tflops * 1e12 * gpu.gemm_efficiency);
+    const double mem_bw = gpus_needed * gpu.hbm_achievable;
+    // Injection bandwidth per worker node: the dedicated RoCE fabric
+    // (8 NICs x 100 Gb) sized so the pooled-embedding AllToAll is not the
+    // bottleneck.
+    const double injection =
+        cluster.node.scaleout_peak * cluster.node.gpus_per_node;
+    // Bisection: half the nodes exchanging AllToAll with the other half.
+    const double bisection =
+        injection * (gpus_needed / cluster.node.gpus_per_node) / 2.0;
+
+    std::printf("== Table 1: platform demand derived from an A2-class "
+                "model at %s QPS ==\n\n",
+                FormatCount(target_qps).c_str());
+    TablePrinter table({"Requirement", "Derived", "Paper"});
+    table.Row()
+        .Cell("Total compute")
+        .Cell(FormatCount(compute / 1e15) + " PF/s")
+        .Cell("1+ PF/s");
+    table.Row()
+        .Cell("Total memory capacity")
+        .Cell(FormatBytes(capacity))
+        .Cell("1+ TB");
+    table.Row()
+        .Cell("Total memory BW")
+        .Cell(FormatBandwidth(mem_bw))
+        .Cell("100+ TB/s");
+    table.Row()
+        .Cell("Injection BW per worker")
+        .Cell(FormatBandwidth(injection))
+        .Cell("100+ GB/s");
+    table.Row()
+        .Cell("Bisection BW")
+        .Cell(FormatBandwidth(bisection))
+        .Cell("1+ TB/s");
+    table.Print();
+    return 0;
+}

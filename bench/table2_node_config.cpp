@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table 2: the per-node system configuration of the prototype
+ * (HGX-2 class) cluster, printed from the hardware model so any drift
+ * between the spec constants and the paper is visible.
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/hardware.h"
+
+int
+main()
+{
+    using namespace neo;
+    using namespace neo::sim;
+
+    const NodeSpec node = NodeSpec::Hgx2Prototype();
+    const int g = node.gpus_per_node;
+
+    std::printf("== Table 2: per-node system configuration (prototype) "
+                "==\n\n");
+    TablePrinter table({"Resource", "Model value", "Paper"});
+    table.Row()
+        .Cell("Compute (FP32 / FP16 TFLOPS)")
+        .Cell(std::to_string(static_cast<int>(node.gpu.fp32_tflops * g)) +
+              " / " +
+              std::to_string(static_cast<int>(node.gpu.fp16_tflops * g)))
+        .Cell("120 / 1000");
+    table.Row()
+        .Cell("HBM capacity")
+        .Cell(FormatBytes(node.gpu.hbm_capacity * g))
+        .Cell("256 GB");
+    table.Row()
+        .Cell("HBM bandwidth (peak)")
+        .Cell(FormatBandwidth(node.gpu.hbm_peak * g))
+        .Cell("7.2 TB/s");
+    table.Row()
+        .Cell("DDR")
+        .Cell(FormatBytes(node.ddr_capacity) + ", " +
+              FormatBandwidth(node.ddr_bw))
+        .Cell("1.5 TB, 200 GB/s");
+    table.Row()
+        .Cell("Scale-up BW (uni)")
+        .Cell(FormatBandwidth(node.scaleup_bw * g))
+        .Cell("1.2 TB/s");
+    table.Row()
+        .Cell("Scale-out BW (uni)")
+        .Cell(FormatBandwidth(node.scaleout_peak * g))
+        .Cell("800 Gbps = 100 GB/s");
+    table.Row()
+        .Cell("Host NW")
+        .Cell(FormatBandwidth(node.host_nw))
+        .Cell("2 x 100 Gbps");
+    table.Print();
+
+    std::printf("\nGPU presets:\n");
+    for (const GpuSpec& gpu : {GpuSpec::V100(), GpuSpec::A100()}) {
+        std::printf(
+            "  %s: %.1f TF/s FP32, %.0f TF/s FP16, HBM %s "
+            "(achievable %s), max GEMM eff %.1f%%\n",
+            gpu.name.c_str(), gpu.fp32_tflops, gpu.fp16_tflops,
+            FormatBandwidth(gpu.hbm_peak).c_str(),
+            FormatBandwidth(gpu.hbm_achievable).c_str(),
+            gpu.gemm_efficiency * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table 3: the target production model configurations (A1, A2,
+ * A3, F1), printing both the published aggregates and the statistics of
+ * the concrete table lists our generator synthesizes from them — the
+ * fidelity of that synthesis is what makes the sharding studies
+ * meaningful.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/workloads.h"
+
+int
+main()
+{
+    using namespace neo;
+    using namespace neo::sim;
+
+    std::printf("== Table 3: target model configurations ==\n\n");
+    TablePrinter table({"Model", "Params", "MFLOPS/sample", "Tables",
+                        "Dim [min,max] avg", "Avg pooling", "MLP layers",
+                        "Avg MLP size"});
+    for (const WorkloadModel& m : WorkloadModel::All()) {
+        table.Row()
+            .Cell(m.name)
+            .Cell(FormatCount(m.num_params))
+            .CellF(m.mflops_per_sample, "%.0f")
+            .Cell(m.num_tables)
+            .Cell("[" + std::to_string(m.dim_min) + "," +
+                  std::to_string(m.dim_max) + "] " +
+                  std::to_string(static_cast<int>(m.dim_avg)))
+            .CellF(m.avg_pooling, "%.0f")
+            .Cell(m.num_mlp_layers)
+            .CellF(m.avg_mlp_size, "%.0f");
+    }
+    table.Print();
+
+    std::printf("\n== Synthesized table-list statistics (what the planner "
+                "actually shards) ==\n\n");
+    TablePrinter synth({"Model", "Tables", "Params", "Avg dim",
+                        "Avg pooling", "Largest table", "Smallest table"});
+    for (const WorkloadModel& m : WorkloadModel::All()) {
+        const auto tables = m.SynthesizeTables();
+        double params = 0.0, dims = 0.0, pools = 0.0;
+        double largest = 0.0, smallest = 1e30;
+        for (const auto& t : tables) {
+            const double p = static_cast<double>(t.rows) * t.dim;
+            params += p;
+            dims += static_cast<double>(t.dim);
+            pools += t.pooling;
+            largest = std::max(largest, p);
+            smallest = std::min(smallest, p);
+        }
+        synth.Row()
+            .Cell(m.name)
+            .Cell(tables.size())
+            .Cell(FormatCount(params + m.MlpParams()))
+            .CellF(dims / tables.size(), "%.0f")
+            .CellF(pools / tables.size(), "%.1f")
+            .Cell(FormatCount(largest))
+            .Cell(FormatCount(smallest));
+    }
+    synth.Print();
+    return 0;
+}

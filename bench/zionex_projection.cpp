@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ZionEX projection: the paper benchmarks A100 at the node level
+ * (Appendix A) because the full ZionEX cluster was still being deployed.
+ * This bench projects Table 4 onto a 16-node A100 ZionEX cluster using
+ * the same calibrated models — the forward-looking number the paper's
+ * co-design argues for.
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "sim/capacity_model.h"
+#include "sim/iteration_model.h"
+#include "sim/plan_bridge.h"
+
+namespace {
+
+using namespace neo;
+using namespace neo::sim;
+
+double
+QpsOn(const WorkloadModel& workload, const ClusterSpec& cluster)
+{
+    TrainingSetup setup;
+    setup.cluster = cluster;
+    setup.num_gpus = cluster.NumGpus();
+    setup.per_gpu_batch = 512;
+    setup.emb_precision = Precision::kFp16;
+    setup.fwd_comm = Precision::kFp16;
+    setup.bwd_comm = Precision::kBf16;
+
+    PlanStudyOptions plan_options;
+    plan_options.num_gpus = setup.num_gpus;
+    plan_options.global_batch = setup.GlobalBatch();
+    plan_options.emb_precision = Precision::kFp16;
+    const CapacityEstimate capacity =
+        EstimateCapacity(workload, cluster, Precision::kFp16, true,
+                         workload.dim_avg);
+    if (!capacity.fits_hbm) {
+        plan_options.extra_capacity_per_gpu =
+            cluster.node.ddr_capacity / cluster.node.gpus_per_node;
+        setup.hbm_hit_rate = 0.6;
+    }
+    const PlanStudyResult plan =
+        PlanForWorkload(workload, cluster, plan_options);
+    setup.imbalance = plan.feasible ? plan.imbalance : 2.0;
+    setup.rw_dim_sum = plan.max_rw_dim_sum;
+    return IterationModel(workload, setup).Estimate().qps;
+}
+
+}  // namespace
+
+int
+main()
+{
+    ClusterSpec v100_cluster = ClusterSpec::Prototype(16);
+    ClusterSpec zionex_cluster;
+    zionex_cluster.node = NodeSpec::ZionEx();  // A100s
+    zionex_cluster.num_nodes = 16;
+
+    std::printf("== Projection: prototype (V100) vs ZionEX (A100), 128 "
+                "GPUs ==\n\n");
+    TablePrinter table({"Model", "V100 proto QPS", "ZionEX A100 QPS",
+                        "speedup"});
+    for (const WorkloadModel& workload : WorkloadModel::All()) {
+        const double v100 = QpsOn(workload, v100_cluster);
+        const double a100 = QpsOn(workload, zionex_cluster);
+        table.Row()
+            .Cell(workload.name)
+            .Cell(FormatCount(v100))
+            .Cell(FormatCount(a100))
+            .CellF(a100 / v100, "%.2fx");
+    }
+    table.Print();
+    std::printf("\nA100 helps compute-bound models (A2/A3: bigger FLOPs and "
+                "HBM) more than AllToAll-bound ones (same RoCE fabric).\n");
+    return 0;
+}

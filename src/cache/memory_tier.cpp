@@ -1,0 +1,34 @@
+#include "cache/memory_tier.h"
+
+#include "common/logging.h"
+
+namespace neo::cache {
+
+const char*
+TierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::kHbm: return "HBM";
+      case Tier::kDdr: return "DDR";
+      case Tier::kSsd: return "SSD";
+    }
+    return "unknown";
+}
+
+MemoryTier::MemoryTier(Tier tier, double capacity_bytes,
+                       double bandwidth_bytes_per_sec)
+    : tier_(tier), capacity_bytes_(capacity_bytes),
+      bandwidth_(bandwidth_bytes_per_sec)
+{
+    NEO_REQUIRE(capacity_bytes_ > 0 && bandwidth_ > 0,
+                "tier needs positive capacity and bandwidth");
+}
+
+void
+MemoryTier::ResetStats()
+{
+    read_bytes_ = 0;
+    write_bytes_ = 0;
+}
+
+}  // namespace neo::cache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory-tier accounting for the HBM + DDR + SSD hierarchy (Sec. 4.1.3).
+ * Tiers carry capacity/bandwidth specs and count traffic; the cache and
+ * UVM stores charge their accesses here so benches can convert traffic
+ * into effective access time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neo::cache {
+
+/** Identifier for each level of the hierarchy. */
+enum class Tier {
+    kHbm,
+    kDdr,
+    kSsd,
+};
+
+/** Tier name string. */
+const char* TierName(Tier tier);
+
+/** Static spec + running traffic counters for one tier. */
+class MemoryTier
+{
+  public:
+    /**
+     * @param tier Which level this is.
+     * @param capacity_bytes Usable capacity.
+     * @param bandwidth_bytes_per_sec Achievable bandwidth (e.g. 850 GB/s
+     *   HBM on V100; PCIe-limited ~16 GB/s for DDR-over-PCIe access from
+     *   the GPU; ~2 GB/s midrange SSD).
+     */
+    MemoryTier(Tier tier, double capacity_bytes,
+               double bandwidth_bytes_per_sec);
+
+    Tier tier() const { return tier_; }
+    double capacity_bytes() const { return capacity_bytes_; }
+    double bandwidth() const { return bandwidth_; }
+
+    /** Charge a read of `bytes`. */
+    void RecordRead(uint64_t bytes) { read_bytes_ += bytes; }
+
+    /** Charge a write of `bytes`. */
+    void RecordWrite(uint64_t bytes) { write_bytes_ += bytes; }
+
+    uint64_t read_bytes() const { return read_bytes_; }
+    uint64_t write_bytes() const { return write_bytes_; }
+    uint64_t total_bytes() const { return read_bytes_ + write_bytes_; }
+
+    /** Seconds this tier spent moving the recorded traffic. */
+    double
+    TrafficSeconds() const
+    {
+        return static_cast<double>(total_bytes()) / bandwidth_;
+    }
+
+    /** Reset traffic counters (capacity/bandwidth unchanged). */
+    void ResetStats();
+
+  private:
+    Tier tier_;
+    double capacity_bytes_;
+    double bandwidth_;
+    uint64_t read_bytes_ = 0;
+    uint64_t write_bytes_ = 0;
+};
+
+}  // namespace neo::cache

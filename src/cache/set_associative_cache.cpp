@@ -1,0 +1,143 @@
+#include "cache/set_associative_cache.h"
+
+#include "common/logging.h"
+
+namespace neo::cache {
+
+SetAssociativeCache::SetAssociativeCache(const CacheConfig& config)
+    : config_(config)
+{
+    NEO_REQUIRE(config_.num_sets >= 1, "need at least one set");
+    NEO_REQUIRE(config_.ways >= 1, "need at least one way");
+    lines_.resize(config_.num_sets * config_.ways);
+}
+
+uint64_t
+SetAssociativeCache::SetOf(int64_t row) const
+{
+    // Multiplicative hash spreads sequential row ids across sets.
+    const uint64_t h =
+        static_cast<uint64_t>(row) * 0x9E3779B97F4A7C15ull;
+    return (h >> 17) % config_.num_sets;
+}
+
+SetAssociativeCache::Line*
+SetAssociativeCache::FindLine(int64_t row)
+{
+    const uint64_t base = SetOf(row) * config_.ways;
+    for (uint32_t w = 0; w < config_.ways; w++) {
+        Line& line = lines_[base + w];
+        if (line.valid && line.row == row) {
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const SetAssociativeCache::Line*
+SetAssociativeCache::FindLine(int64_t row) const
+{
+    return const_cast<SetAssociativeCache*>(this)->FindLine(row);
+}
+
+std::optional<uint64_t>
+SetAssociativeCache::Probe(int64_t row) const
+{
+    const Line* line = FindLine(row);
+    if (line == nullptr) {
+        return std::nullopt;
+    }
+    return static_cast<uint64_t>(line - lines_.data());
+}
+
+std::optional<uint64_t>
+SetAssociativeCache::Access(int64_t row)
+{
+    tick_++;
+    Line* line = FindLine(row);
+    if (line == nullptr) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    stats_.hits++;
+    switch (config_.policy) {
+      case ReplacementPolicy::kLru:
+        line->meta = tick_;
+        break;
+      case ReplacementPolicy::kLfu:
+        line->meta++;
+        break;
+    }
+    return static_cast<uint64_t>(line - lines_.data());
+}
+
+SetAssociativeCache::InsertResult
+SetAssociativeCache::Insert(int64_t row)
+{
+    NEO_CHECK(FindLine(row) == nullptr, "Insert of resident row ", row);
+    const uint64_t base = SetOf(row) * config_.ways;
+
+    // Prefer an invalid way; otherwise evict the policy's victim.
+    Line* victim = nullptr;
+    for (uint32_t w = 0; w < config_.ways; w++) {
+        Line& line = lines_[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.meta < victim->meta) {
+            victim = &line;  // smallest timestamp (LRU) or count (LFU)
+        }
+    }
+
+    InsertResult result;
+    result.slot = static_cast<uint64_t>(victim - lines_.data());
+    if (victim->valid) {
+        stats_.evictions++;
+        result.evicted_row = victim->row;
+        result.evicted_dirty = victim->dirty;
+        if (victim->dirty) {
+            stats_.dirty_writebacks++;
+        }
+    }
+    victim->row = row;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->meta = config_.policy == ReplacementPolicy::kLru ? tick_ : 1;
+    return result;
+}
+
+void
+SetAssociativeCache::MarkDirty(int64_t row)
+{
+    Line* line = FindLine(row);
+    NEO_CHECK(line != nullptr, "MarkDirty of non-resident row ", row);
+    line->dirty = true;
+}
+
+bool
+SetAssociativeCache::IsDirty(int64_t row) const
+{
+    const Line* line = FindLine(row);
+    NEO_CHECK(line != nullptr, "IsDirty of non-resident row ", row);
+    return line->dirty;
+}
+
+std::vector<std::pair<int64_t, uint64_t>>
+SetAssociativeCache::FlushDirty()
+{
+    std::vector<std::pair<int64_t, uint64_t>> dirty;
+    for (size_t i = 0; i < lines_.size(); i++) {
+        Line& line = lines_[i];
+        if (line.valid && line.dirty) {
+            dirty.emplace_back(line.row, static_cast<uint64_t>(i));
+        }
+        line.valid = false;
+        line.dirty = false;
+        line.row = -1;
+        line.meta = 0;
+    }
+    return dirty;
+}
+
+}  // namespace neo::cache

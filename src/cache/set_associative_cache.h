@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 32-way set-associative software cache (Sec. 4.1.3, [57]).
+ *
+ * The paper replaces CUDA unified memory with a custom software cache whose
+ * associativity matches the GPU warp width (32), using LRU or LFU
+ * replacement at embedding-row granularity. This class implements the
+ * directory (tags + replacement state); data movement is handled by the
+ * CachedEmbeddingStore that owns it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace neo::cache {
+
+/** Replacement policy. */
+enum class ReplacementPolicy {
+    kLru,
+    kLfu,
+};
+
+/** Cache geometry and policy. */
+struct CacheConfig {
+    /** Number of sets; total row slots = num_sets * ways. */
+    uint64_t num_sets = 1024;
+    /** Associativity; 32 matches the warp size per the paper. */
+    uint32_t ways = 32;
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+};
+
+/** Hit/miss counters. */
+struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_writebacks = 0;
+
+    double
+    HitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/**
+ * Directory of a set-associative cache keyed by row id. Returns slot
+ * numbers in [0, num_sets*ways) that the owner maps to data storage.
+ */
+class SetAssociativeCache
+{
+  public:
+    explicit SetAssociativeCache(const CacheConfig& config);
+
+    /** Total row slots. */
+    uint64_t NumSlots() const { return config_.num_sets * config_.ways; }
+
+    /**
+     * Probe for a row without modifying replacement state.
+     * @return Slot if present.
+     */
+    std::optional<uint64_t> Probe(int64_t row) const;
+
+    /**
+     * Access a row: on hit, update replacement state and return its slot.
+     * On miss, return nullopt (call Insert to fill).
+     */
+    std::optional<uint64_t> Access(int64_t row);
+
+    /** Result of inserting a row after a miss. */
+    struct InsertResult {
+        uint64_t slot;
+        /** Row that was evicted to make room, if any. */
+        std::optional<int64_t> evicted_row;
+        /** Whether the evicted row was dirty (needs writeback). */
+        bool evicted_dirty = false;
+    };
+
+    /**
+     * Insert a row (must not be present). Chooses a victim way by the
+     * configured policy; prefers invalid ways.
+     */
+    InsertResult Insert(int64_t row);
+
+    /** Mark a resident row dirty (written in cache, stale in backing). */
+    void MarkDirty(int64_t row);
+
+    /** Whether a resident row is dirty. */
+    bool IsDirty(int64_t row) const;
+
+    /**
+     * Evict every resident row, returning (row, slot) of all dirty lines
+     * so the owner can write them back (used at checkpoint flush).
+     */
+    std::vector<std::pair<int64_t, uint64_t>> FlushDirty();
+
+    const CacheStats& stats() const { return stats_; }
+    const CacheConfig& config() const { return config_; }
+
+  private:
+    struct Line {
+        int64_t row = -1;
+        bool valid = false;
+        bool dirty = false;
+        /** LRU timestamp or LFU frequency count. */
+        uint64_t meta = 0;
+    };
+
+    uint64_t SetOf(int64_t row) const;
+    Line* FindLine(int64_t row);
+    const Line* FindLine(int64_t row) const;
+
+    CacheConfig config_;
+    std::vector<Line> lines_;  // num_sets * ways, set-major
+    uint64_t tick_ = 0;
+    CacheStats stats_;
+};
+
+}  // namespace neo::cache

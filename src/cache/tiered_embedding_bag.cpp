@@ -1,0 +1,126 @@
+#include "cache/tiered_embedding_bag.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::cache {
+
+TieredEmbeddingBag::TieredEmbeddingBag(
+    ops::RowStore* store, const ops::SparseOptimizerConfig& optimizer)
+    : store_(store), config_(optimizer)
+{
+    NEO_REQUIRE(store_ != nullptr, "null row store");
+    NEO_REQUIRE(config_.kind == ops::SparseOptimizerKind::kSgd ||
+                    config_.kind ==
+                        ops::SparseOptimizerKind::kRowWiseAdaGrad,
+                "TieredEmbeddingBag supports SGD and row-wise AdaGrad");
+    if (config_.kind == ops::SparseOptimizerKind::kRowWiseAdaGrad) {
+        rowwise_state_.assign(static_cast<size_t>(store_->rows()), 0.0f);
+    }
+    row_buf_.resize(static_cast<size_t>(store_->dim()));
+    merged_.resize(static_cast<size_t>(store_->dim()));
+}
+
+void
+TieredEmbeddingBag::Forward(const ops::TableInput& input, size_t batch,
+                            Matrix& out)
+{
+    NEO_REQUIRE(input.lengths.size() == batch, "lengths size mismatch");
+    const size_t dim = static_cast<size_t>(store_->dim());
+    if (out.rows() != batch || out.cols() != dim) {
+        out = Matrix(batch, dim);
+    } else {
+        out.Zero();
+    }
+    size_t offset = 0;
+    for (size_t b = 0; b < batch; b++) {
+        float* row = out.Row(b);
+        for (uint32_t i = 0; i < input.lengths[b]; i++) {
+            store_->AccumulateRow(input.indices[offset + i], 1.0f, row);
+        }
+        offset += input.lengths[b];
+    }
+    NEO_CHECK(offset == input.indices.size(), "indices/lengths mismatch");
+}
+
+void
+TieredEmbeddingBag::BackwardAndUpdate(const ops::TableInput& input,
+                                      size_t batch, const Matrix& grad)
+{
+    NEO_REQUIRE(input.lengths.size() == batch, "lengths size mismatch");
+    NEO_REQUIRE(grad.rows() == batch, "grad batch mismatch");
+    const size_t dim = static_cast<size_t>(store_->dim());
+    NEO_REQUIRE(grad.cols() == dim, "grad dim mismatch");
+
+    // Collect per-occurrence refs (same flow as the in-memory path).
+    std::vector<ops::SparseGradRef> refs;
+    refs.reserve(input.indices.size());
+    size_t offset = 0;
+    for (size_t b = 0; b < batch; b++) {
+        const float* g = grad.Row(b);
+        for (uint32_t i = 0; i < input.lengths[b]; i++) {
+            refs.push_back({input.indices[offset + i], g});
+        }
+        offset += input.lengths[b];
+    }
+
+    // Sort + canonicalize duplicates exactly like SparseOptimizer does,
+    // then apply one read-modify-write per unique row through the store.
+    std::vector<uint32_t> order(refs.size());
+    for (uint32_t i = 0; i < refs.size(); i++) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return refs[a].row < refs[b].row;
+                     });
+
+    size_t i = 0;
+    while (i < order.size()) {
+        const int64_t row = refs[order[i]].row;
+        size_t j = i;
+        while (j < order.size() && refs[order[j]].row == row) {
+            j++;
+        }
+        if (j - i > 1) {
+            std::sort(order.begin() + i, order.begin() + j,
+                      [&](uint32_t a, uint32_t b) {
+                          return std::lexicographical_compare(
+                              refs[a].grad, refs[a].grad + dim,
+                              refs[b].grad, refs[b].grad + dim);
+                      });
+        }
+        std::fill(merged_.begin(), merged_.end(), 0.0f);
+        for (size_t k = i; k < j; k++) {
+            const float* g = refs[order[k]].grad;
+            for (size_t c = 0; c < dim; c++) {
+                merged_[c] += g[c];
+            }
+        }
+
+        store_->ReadRow(row, row_buf_.data());
+        const float lr = config_.learning_rate;
+        if (config_.kind == ops::SparseOptimizerKind::kSgd) {
+            for (size_t c = 0; c < dim; c++) {
+                row_buf_[c] -= lr * merged_[c];
+            }
+        } else {
+            float sq_sum = 0.0f;
+            for (size_t c = 0; c < dim; c++) {
+                sq_sum += merged_[c] * merged_[c];
+            }
+            float& m = rowwise_state_[static_cast<size_t>(row)];
+            m += sq_sum / static_cast<float>(dim);
+            const float scale = lr / (std::sqrt(m) + config_.eps);
+            for (size_t c = 0; c < dim; c++) {
+                row_buf_[c] -= scale * merged_[c];
+            }
+        }
+        store_->WriteRow(row, row_buf_.data());
+        i = j;
+    }
+}
+
+}  // namespace neo::cache

@@ -1,0 +1,67 @@
+#include "comm/process_group.h"
+
+#include <cstring>
+
+namespace neo::comm {
+
+const char*
+CollectiveOpName(CollectiveOp op)
+{
+    switch (op) {
+      case CollectiveOp::kAllReduce: return "allreduce";
+      case CollectiveOp::kAllGather: return "allgather";
+      case CollectiveOp::kReduceScatter: return "reducescatter";
+      case CollectiveOp::kAllToAll: return "alltoall";
+      case CollectiveOp::kBroadcast: return "broadcast";
+      case CollectiveOp::kBarrier: return "barrier";
+    }
+    return "unknown";
+}
+
+namespace {
+
+template <typename T>
+void
+TypedAllToAll(ProcessGroup& pg, const std::vector<std::vector<T>>& send,
+              std::vector<std::vector<T>>& recv)
+{
+    std::vector<std::vector<uint8_t>> send_bytes(send.size());
+    for (size_t r = 0; r < send.size(); r++) {
+        send_bytes[r].resize(send[r].size() * sizeof(T));
+        std::memcpy(send_bytes[r].data(), send[r].data(),
+                    send_bytes[r].size());
+    }
+    std::vector<std::vector<uint8_t>> recv_bytes;
+    pg.AllToAllBytes(send_bytes, recv_bytes);
+    recv.resize(recv_bytes.size());
+    for (size_t r = 0; r < recv_bytes.size(); r++) {
+        recv[r].resize(recv_bytes[r].size() / sizeof(T));
+        std::memcpy(recv[r].data(), recv_bytes[r].data(),
+                    recv_bytes[r].size());
+    }
+}
+
+}  // namespace
+
+void
+ProcessGroup::AllToAllFloats(const std::vector<std::vector<float>>& send,
+                             std::vector<std::vector<float>>& recv)
+{
+    TypedAllToAll(*this, send, recv);
+}
+
+void
+ProcessGroup::AllToAllIndices(const std::vector<std::vector<int64_t>>& send,
+                              std::vector<std::vector<int64_t>>& recv)
+{
+    TypedAllToAll(*this, send, recv);
+}
+
+void
+ProcessGroup::AllToAllLengths(const std::vector<std::vector<uint32_t>>& send,
+                              std::vector<std::vector<uint32_t>>& recv)
+{
+    TypedAllToAll(*this, send, recv);
+}
+
+}  // namespace neo::comm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Collective-communication abstraction, mirroring PyTorch's ProcessGroup
+ * interface that the paper's stack targets (Sec. 4.5). DLRM training uses:
+ *
+ *  - AllReduce for data-parallel MLP gradient synchronization,
+ *  - AllToAll / AllToAllv for model-parallel pooled embeddings and for
+ *    redistributing embedding-table input indices,
+ *  - ReduceScatter for row-wise sharded tables,
+ *  - AllGather / Broadcast for bookkeeping.
+ *
+ * All reductions are performed in a fixed rank order so results are bitwise
+ * deterministic (required by the paper's reproducibility story, Sec. 4.1.2).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neo::comm {
+
+/** Collective operation kinds, used for traffic accounting. */
+enum class CollectiveOp {
+    kAllReduce,
+    kAllGather,
+    kReduceScatter,
+    kAllToAll,
+    kBroadcast,
+    kBarrier,
+};
+
+/** Human-readable name for a collective op. */
+const char* CollectiveOpName(CollectiveOp op);
+
+/**
+ * One recorded collective call: the payload size of the operation as seen
+ * by this rank. Traces feed the PARAM-bench-style replay mode (Appendix
+ * A): re-estimating a workload's communication time on a modeled cluster
+ * from the exact sizes and sequence a real run produced.
+ */
+struct TraceEvent {
+    CollectiveOp op;
+    /** Payload bytes (op-specific: buffer size or total send bytes). */
+    uint64_t bytes;
+};
+
+/** Per-rank traffic counters (bytes sent off-rank, call counts). */
+struct CommStats {
+    uint64_t allreduce_bytes = 0;
+    uint64_t allgather_bytes = 0;
+    uint64_t reducescatter_bytes = 0;
+    uint64_t alltoall_bytes = 0;
+    uint64_t broadcast_bytes = 0;
+    uint64_t calls = 0;
+
+    uint64_t
+    TotalBytes() const
+    {
+        return allreduce_bytes + allgather_bytes + reducescatter_bytes +
+               alltoall_bytes + broadcast_bytes;
+    }
+};
+
+/**
+ * One rank's handle to a communicator. Collective calls must be made by
+ * every rank in the group (BSP style); mismatched participation deadlocks,
+ * as with NCCL.
+ */
+class ProcessGroup
+{
+  public:
+    virtual ~ProcessGroup() = default;
+
+    /** This rank's index in [0, Size()). */
+    virtual int Rank() const = 0;
+
+    /** Number of ranks in the group. */
+    virtual int Size() const = 0;
+
+    /** Block until every rank has entered the barrier. */
+    virtual void Barrier() = 0;
+
+    /**
+     * In-place sum-AllReduce over floats. After the call every rank holds
+     * the rank-ordered sum (bitwise identical on all ranks).
+     */
+    virtual void AllReduceSum(float* data, size_t count) = 0;
+
+    /** In-place broadcast from `root`. */
+    virtual void Broadcast(float* data, size_t count, int root) = 0;
+
+    /**
+     * AllGather: every rank contributes `count` floats; `out` receives
+     * Size()*count floats in rank order.
+     */
+    virtual void AllGather(const float* in, size_t count, float* out) = 0;
+
+    /**
+     * ReduceScatter (sum): `in` holds Size()*count floats partitioned into
+     * per-rank chunks; `out` receives the rank-ordered sum of this rank's
+     * chunk across all ranks.
+     */
+    virtual void ReduceScatterSum(const float* in, size_t count,
+                                  float* out) = 0;
+
+    /**
+     * Variable AllToAll over raw bytes.
+     *
+     * @param send_buffers Size() buffers; send_buffers[r] goes to rank r.
+     * @param recv_buffers Filled with Size() buffers; recv_buffers[r] is
+     *   the data rank r sent to this rank.
+     */
+    virtual void AllToAllBytes(
+        const std::vector<std::vector<uint8_t>>& send_buffers,
+        std::vector<std::vector<uint8_t>>& recv_buffers) = 0;
+
+    /** Traffic accounted against this rank so far. */
+    virtual CommStats Stats() const = 0;
+
+    /**
+     * Attach a trace sink: every subsequent collective appends one
+     * TraceEvent. Pass nullptr to detach. The sink must outlive the
+     * recording window; default implementation ignores tracing.
+     */
+    virtual void SetTrace(std::vector<TraceEvent>* /*trace*/) {}
+
+    // -- Typed convenience wrappers over AllToAllBytes -------------------
+
+    /** AllToAllv of float payloads. */
+    void AllToAllFloats(const std::vector<std::vector<float>>& send,
+                        std::vector<std::vector<float>>& recv);
+
+    /** AllToAllv of 64-bit index payloads. */
+    void AllToAllIndices(const std::vector<std::vector<int64_t>>& send,
+                         std::vector<std::vector<int64_t>>& recv);
+
+    /** AllToAllv of 32-bit length payloads. */
+    void AllToAllLengths(const std::vector<std::vector<uint32_t>>& send,
+                         std::vector<std::vector<uint32_t>>& recv);
+};
+
+}  // namespace neo::comm

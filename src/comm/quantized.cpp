@@ -1,0 +1,97 @@
+#include "comm/quantized.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace neo::comm {
+
+std::vector<uint16_t>
+QuantizeVector(const std::vector<float>& in, Precision precision)
+{
+    std::vector<uint16_t> out(in.size());
+    switch (precision) {
+      case Precision::kFp16:
+        for (size_t i = 0; i < in.size(); i++) {
+            out[i] = detail::FloatToHalfBits(in[i]);
+        }
+        break;
+      case Precision::kBf16:
+        for (size_t i = 0; i < in.size(); i++) {
+            out[i] = detail::FloatToBFloat16Bits(in[i]);
+        }
+        break;
+      default:
+        NEO_FATAL("QuantizeVector supports fp16/bf16 only");
+    }
+    return out;
+}
+
+std::vector<float>
+DequantizeVector(const std::vector<uint16_t>& in, Precision precision)
+{
+    std::vector<float> out(in.size());
+    switch (precision) {
+      case Precision::kFp16:
+        for (size_t i = 0; i < in.size(); i++) {
+            out[i] = detail::HalfBitsToFloat(in[i]);
+        }
+        break;
+      case Precision::kBf16:
+        for (size_t i = 0; i < in.size(); i++) {
+            out[i] = detail::BFloat16BitsToFloat(in[i]);
+        }
+        break;
+      default:
+        NEO_FATAL("DequantizeVector supports fp16/bf16 only");
+    }
+    return out;
+}
+
+void
+QuantizedAllToAll(ProcessGroup& pg,
+                  const std::vector<std::vector<float>>& send,
+                  std::vector<std::vector<float>>& recv, Precision precision)
+{
+    if (precision == Precision::kFp32 || precision == Precision::kTf32) {
+        pg.AllToAllFloats(send, recv);
+        return;
+    }
+
+    std::vector<std::vector<uint8_t>> send_bytes(send.size());
+    for (size_t r = 0; r < send.size(); r++) {
+        const std::vector<uint16_t> q = QuantizeVector(send[r], precision);
+        send_bytes[r].resize(q.size() * sizeof(uint16_t));
+        std::memcpy(send_bytes[r].data(), q.data(), send_bytes[r].size());
+    }
+
+    std::vector<std::vector<uint8_t>> recv_bytes;
+    pg.AllToAllBytes(send_bytes, recv_bytes);
+
+    recv.resize(recv_bytes.size());
+    for (size_t r = 0; r < recv_bytes.size(); r++) {
+        std::vector<uint16_t> q(recv_bytes[r].size() / sizeof(uint16_t));
+        std::memcpy(q.data(), recv_bytes[r].data(), recv_bytes[r].size());
+        recv[r] = DequantizeVector(q, precision);
+    }
+}
+
+void
+QuantizedAllReduce(ProcessGroup& pg, float* data, size_t count,
+                   Precision precision)
+{
+    if (precision == Precision::kFp32 || precision == Precision::kTf32) {
+        pg.AllReduceSum(data, count);
+        return;
+    }
+    // Quantize the local contribution so the wire carries 16-bit data, then
+    // reduce in FP32. Functionally this is dequantize(quantize(x)) followed
+    // by an exact rank-ordered sum.
+    std::vector<float> local(data, data + count);
+    const std::vector<float> rounded =
+        DequantizeVector(QuantizeVector(local, precision), precision);
+    std::memcpy(data, rounded.data(), count * sizeof(float));
+    pg.AllReduceSum(data, count);
+}
+
+}  // namespace neo::comm

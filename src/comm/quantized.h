@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quantized collective communication (Yang et al. [58]; Sec. 5.3.2).
+ *
+ * The paper halves AllToAll volume by sending pooled embeddings as FP16 in
+ * the forward pass and gradients as BF16 in the backward pass (BF16's wider
+ * exponent tolerates gradient dynamic range). These helpers quantize a
+ * float payload, run the byte AllToAll, and dequantize on receipt.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "common/float_types.h"
+
+namespace neo::comm {
+
+/** Quantize a float vector into 16-bit words of the given precision. */
+std::vector<uint16_t> QuantizeVector(const std::vector<float>& in,
+                                     Precision precision);
+
+/** Dequantize 16-bit words back to floats. */
+std::vector<float> DequantizeVector(const std::vector<uint16_t>& in,
+                                    Precision precision);
+
+/**
+ * AllToAllv of float payloads with on-the-wire quantization.
+ *
+ * @param pg Process group to communicate over.
+ * @param send Per-destination float payloads.
+ * @param recv Per-source dequantized float payloads.
+ * @param precision kFp16 or kBf16 for quantized transport; kFp32 falls back
+ *   to the plain float AllToAll.
+ */
+void QuantizedAllToAll(ProcessGroup& pg,
+                       const std::vector<std::vector<float>>& send,
+                       std::vector<std::vector<float>>& recv,
+                       Precision precision);
+
+/**
+ * AllReduce with quantized transport. The reduction itself happens in
+ * FP32 after dequantization (matching how quantized collectives are
+ * implemented over NCCL send/recv), so only the wire format loses
+ * precision.
+ */
+void QuantizedAllReduce(ProcessGroup& pg, float* data, size_t count,
+                        Precision precision);
+
+}  // namespace neo::comm

@@ -1,0 +1,233 @@
+#include "comm/threaded_process_group.h"
+
+#include <cstring>
+#include <exception>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace neo::comm {
+
+ThreadedWorld::ThreadedWorld(int size) : size_(size)
+{
+    NEO_REQUIRE(size >= 1, "world size must be >= 1");
+    ptr_board_.assign(size_, nullptr);
+    size_board_.assign(size_, 0);
+    a2a_board_.assign(size_, {});
+    groups_.reserve(size_);
+    for (int r = 0; r < size_; r++) {
+        groups_.push_back(std::make_unique<ThreadedProcessGroup>(this, r));
+    }
+}
+
+ThreadedWorld::~ThreadedWorld() = default;
+
+ProcessGroup&
+ThreadedWorld::GetGroup(int rank)
+{
+    NEO_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
+    return *groups_[rank];
+}
+
+void
+ThreadedWorld::Barrier()
+{
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const uint64_t generation = barrier_generation_;
+    if (++barrier_waiting_ == size_) {
+        barrier_waiting_ = 0;
+        barrier_generation_++;
+        barrier_cv_.notify_all();
+        return;
+    }
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_generation_ != generation; });
+}
+
+void
+ThreadedWorld::Run(int size, const std::function<void(int, ProcessGroup&)>& fn)
+{
+    ThreadedWorld world(size);
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(size);
+    threads.reserve(size);
+    for (int r = 0; r < size; r++) {
+        threads.emplace_back([&, r] {
+            try {
+                fn(r, world.GetGroup(r));
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (auto& e : errors) {
+        if (e) {
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+ThreadedProcessGroup::Barrier()
+{
+    stats_.calls++;
+    world_->Barrier();
+}
+
+void
+ThreadedProcessGroup::AllReduceSum(float* data, size_t count)
+{
+    ThreadedWorld& w = *world_;
+    stats_.calls++;
+    stats_.allreduce_bytes += count * sizeof(float);
+    Record(CollectiveOp::kAllReduce, count * sizeof(float));
+    if (w.size() == 1 || count == 0) {
+        // A zero-length reduce still synchronizes (collectives are
+        // barriers), but moves no data.
+        w.Barrier();
+        return;
+    }
+
+    w.ptr_board_[rank_] = data;
+    w.size_board_[rank_] = count;
+    w.Barrier();  // pointers published
+
+    if (rank_ == 0) {
+        for (int r = 1; r < w.size(); r++) {
+            NEO_CHECK(w.size_board_[r] == count,
+                      "AllReduce count mismatch across ranks");
+        }
+        w.reduce_scratch_.resize(count);
+    }
+    w.Barrier();  // scratch sized
+
+    // Reduce-scatter phase: this rank owns chunk `rank_` and accumulates it
+    // in rank order for determinism.
+    const size_t n = static_cast<size_t>(w.size());
+    const size_t begin = count * static_cast<size_t>(rank_) / n;
+    const size_t end = count * static_cast<size_t>(rank_ + 1) / n;
+    for (size_t i = begin; i < end; i++) {
+        float sum = 0.0f;
+        for (int r = 0; r < w.size(); r++) {
+            sum += static_cast<const float*>(w.ptr_board_[r])[i];
+        }
+        w.reduce_scratch_[i] = sum;
+    }
+    w.Barrier();  // scratch complete
+
+    // All-gather phase: everyone copies the full reduced vector.
+    std::memcpy(data, w.reduce_scratch_.data(), count * sizeof(float));
+    w.Barrier();  // boards free for reuse
+}
+
+void
+ThreadedProcessGroup::Broadcast(float* data, size_t count, int root)
+{
+    ThreadedWorld& w = *world_;
+    NEO_REQUIRE(root >= 0 && root < w.size(), "broadcast root out of range");
+    stats_.calls++;
+    if (rank_ == root) {
+        stats_.broadcast_bytes += count * sizeof(float);
+    }
+    Record(CollectiveOp::kBroadcast, count * sizeof(float));
+    if (w.size() == 1) {
+        return;
+    }
+
+    w.ptr_board_[rank_] = data;
+    w.size_board_[rank_] = count;
+    w.Barrier();
+
+    if (rank_ != root) {
+        NEO_CHECK(w.size_board_[root] == count,
+                  "Broadcast count mismatch");
+        std::memcpy(data, w.ptr_board_[root], count * sizeof(float));
+    }
+    w.Barrier();
+}
+
+void
+ThreadedProcessGroup::AllGather(const float* in, size_t count, float* out)
+{
+    ThreadedWorld& w = *world_;
+    stats_.calls++;
+    stats_.allgather_bytes += count * sizeof(float);
+    Record(CollectiveOp::kAllGather, count * sizeof(float));
+
+    w.ptr_board_[rank_] = in;
+    w.size_board_[rank_] = count;
+    w.Barrier();
+
+    for (int r = 0; r < w.size(); r++) {
+        NEO_CHECK(w.size_board_[r] == count, "AllGather count mismatch");
+        std::memcpy(out + static_cast<size_t>(r) * count, w.ptr_board_[r],
+                    count * sizeof(float));
+    }
+    w.Barrier();
+}
+
+void
+ThreadedProcessGroup::ReduceScatterSum(const float* in, size_t count,
+                                       float* out)
+{
+    ThreadedWorld& w = *world_;
+    stats_.calls++;
+    stats_.reducescatter_bytes += count * sizeof(float) *
+                                  static_cast<size_t>(w.size());
+    Record(CollectiveOp::kReduceScatter,
+           count * sizeof(float) * static_cast<size_t>(w.size()));
+
+    w.ptr_board_[rank_] = in;
+    w.size_board_[rank_] = count;
+    w.Barrier();
+
+    const size_t offset = static_cast<size_t>(rank_) * count;
+    for (size_t i = 0; i < count; i++) {
+        float sum = 0.0f;
+        for (int r = 0; r < w.size(); r++) {
+            NEO_CHECK(w.size_board_[r] == count,
+                      "ReduceScatter count mismatch");
+            sum += static_cast<const float*>(w.ptr_board_[r])[offset + i];
+        }
+        out[i] = sum;
+    }
+    w.Barrier();
+}
+
+void
+ThreadedProcessGroup::AllToAllBytes(
+    const std::vector<std::vector<uint8_t>>& send_buffers,
+    std::vector<std::vector<uint8_t>>& recv_buffers)
+{
+    ThreadedWorld& w = *world_;
+    NEO_REQUIRE(send_buffers.size() == static_cast<size_t>(w.size()),
+                "AllToAll needs one send buffer per rank");
+    stats_.calls++;
+    uint64_t total_send = 0;
+    for (int r = 0; r < w.size(); r++) {
+        total_send += send_buffers[r].size();
+        if (r != rank_) {
+            stats_.alltoall_bytes += send_buffers[r].size();
+        }
+    }
+    Record(CollectiveOp::kAllToAll, total_send);
+
+    auto& my_slots = w.a2a_board_[rank_];
+    my_slots.resize(w.size());
+    for (int r = 0; r < w.size(); r++) {
+        my_slots[r] = {send_buffers[r].data(), send_buffers[r].size()};
+    }
+    w.Barrier();
+
+    recv_buffers.assign(w.size(), {});
+    for (int src = 0; src < w.size(); src++) {
+        const auto& [ptr, len] = w.a2a_board_[src][rank_];
+        recv_buffers[src].assign(ptr, ptr + len);
+    }
+    w.Barrier();
+}
+
+}  // namespace neo::comm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared-memory, thread-backed implementation of ProcessGroup.
+ *
+ * Each simulated GPU worker is a thread; collectives synchronize through a
+ * central sense-reversing barrier and exchange data via pointers published
+ * on a shared board. Reductions always accumulate in rank order 0..N-1, so
+ * every rank computes bitwise-identical results regardless of thread
+ * scheduling — the determinism contract the paper's exact optimizers rely
+ * on.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "comm/process_group.h"
+
+namespace neo::comm {
+
+class ThreadedProcessGroup;
+
+/**
+ * Shared state for one communicator group. Create one World per simulated
+ * cluster, then hand each worker thread its ProcessGroup via GetGroup().
+ */
+class ThreadedWorld
+{
+  public:
+    /** Create a world with `size` ranks. */
+    explicit ThreadedWorld(int size);
+    ~ThreadedWorld();
+
+    ThreadedWorld(const ThreadedWorld&) = delete;
+    ThreadedWorld& operator=(const ThreadedWorld&) = delete;
+
+    int size() const { return size_; }
+
+    /** Per-rank handle; valid for the lifetime of the world. */
+    ProcessGroup& GetGroup(int rank);
+
+    /**
+     * Convenience: spawn `size` threads running fn(rank, pg) and join them.
+     * Exceptions from workers are rethrown (first one wins).
+     */
+    static void Run(int size,
+                    const std::function<void(int, ProcessGroup&)>& fn);
+
+  private:
+    friend class ThreadedProcessGroup;
+
+    /** Central sense-reversing barrier across all ranks. */
+    void Barrier();
+
+    int size_;
+
+    std::mutex barrier_mutex_;
+    std::condition_variable barrier_cv_;
+    int barrier_waiting_ = 0;
+    uint64_t barrier_generation_ = 0;
+
+    /** Pointer board: one slot per rank, repurposed per collective. */
+    std::vector<const void*> ptr_board_;
+    std::vector<size_t> size_board_;
+    /** Scratch buffer for reduce results (resized on demand by rank 0). */
+    std::vector<float> reduce_scratch_;
+    /** AllToAll board: [src][dst] -> payload view. */
+    std::vector<std::vector<std::pair<const uint8_t*, size_t>>> a2a_board_;
+
+    std::vector<std::unique_ptr<ThreadedProcessGroup>> groups_;
+};
+
+/** Rank-local handle implementing the ProcessGroup interface. */
+class ThreadedProcessGroup : public ProcessGroup
+{
+  public:
+    ThreadedProcessGroup(ThreadedWorld* world, int rank)
+        : world_(world), rank_(rank) {}
+
+    int Rank() const override { return rank_; }
+    int Size() const override { return world_->size(); }
+
+    void Barrier() override;
+    void AllReduceSum(float* data, size_t count) override;
+    void Broadcast(float* data, size_t count, int root) override;
+    void AllGather(const float* in, size_t count, float* out) override;
+    void ReduceScatterSum(const float* in, size_t count,
+                          float* out) override;
+    void AllToAllBytes(
+        const std::vector<std::vector<uint8_t>>& send_buffers,
+        std::vector<std::vector<uint8_t>>& recv_buffers) override;
+
+    CommStats Stats() const override { return stats_; }
+
+    void SetTrace(std::vector<TraceEvent>* trace) override
+    {
+        trace_ = trace;
+    }
+
+  private:
+    /** Append one trace event if a sink is attached. */
+    void
+    Record(CollectiveOp op, uint64_t bytes)
+    {
+        if (trace_ != nullptr) {
+            trace_->push_back({op, bytes});
+        }
+    }
+
+    ThreadedWorld* world_;
+    int rank_;
+    CommStats stats_;
+    std::vector<TraceEvent>* trace_ = nullptr;
+};
+
+}  // namespace neo::comm

@@ -1,0 +1,106 @@
+#include "common/float_types.h"
+
+namespace neo {
+
+namespace detail {
+
+uint16_t
+FloatToHalfBits(float f)
+{
+    const uint32_t x = FloatToBits(f);
+    const uint32_t sign = (x >> 16) & 0x8000u;
+    const int32_t exp = static_cast<int32_t>((x >> 23) & 0xFF) - 127 + 15;
+    uint32_t mant = x & 0x7FFFFFu;
+
+    if (((x >> 23) & 0xFF) == 0xFF) {
+        // Inf / NaN: preserve NaN-ness with a non-zero mantissa.
+        return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0));
+    }
+    if (exp >= 0x1F) {
+        // Overflow to infinity.
+        return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+    if (exp <= 0) {
+        // Subnormal or underflow to zero.
+        if (exp < -10) {
+            return static_cast<uint16_t>(sign);
+        }
+        // Add the implicit leading one, then shift right with rounding.
+        mant |= 0x800000u;
+        const int shift = 14 - exp;
+        const uint32_t rounded =
+            (mant >> shift) +
+            (((mant >> (shift - 1)) & 1u) &
+             (((mant & ((1u << (shift - 1)) - 1u)) != 0 ||
+               ((mant >> shift) & 1u)) ? 1u : 0u));
+        return static_cast<uint16_t>(sign | rounded);
+    }
+
+    // Normal case: round mantissa from 23 to 10 bits, nearest-even.
+    uint32_t half = sign | (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+    const uint32_t round_bit = (mant >> 12) & 1u;
+    const uint32_t sticky = (mant & 0xFFFu) != 0;
+    if (round_bit && (sticky || (half & 1u))) {
+        half += 1;  // may carry into the exponent, which is correct behaviour
+    }
+    return static_cast<uint16_t>(half);
+}
+
+float
+HalfBitsToFloat(uint16_t h)
+{
+    const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+    const uint32_t exp = (h >> 10) & 0x1Fu;
+    const uint32_t mant = h & 0x3FFu;
+
+    if (exp == 0) {
+        if (mant == 0) {
+            return BitsToFloat(sign);  // signed zero
+        }
+        // Subnormal: normalize.
+        int e = -1;
+        uint32_t m = mant;
+        do {
+            e++;
+            m <<= 1;
+        } while ((m & 0x400u) == 0);
+        const uint32_t fexp = 127 - 15 - e;
+        const uint32_t fmant = (m & 0x3FFu) << 13;
+        return BitsToFloat(sign | (fexp << 23) | fmant);
+    }
+    if (exp == 0x1F) {
+        // Inf / NaN.
+        return BitsToFloat(sign | 0x7F800000u | (mant << 13));
+    }
+    return BitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+uint16_t
+FloatToBFloat16Bits(float f)
+{
+    uint32_t x = FloatToBits(f);
+    if ((x & 0x7F800000u) == 0x7F800000u && (x & 0x7FFFFFu) != 0) {
+        // NaN: keep it a NaN after truncation.
+        return static_cast<uint16_t>((x >> 16) | 0x40u);
+    }
+    // Round-to-nearest-even on the low 16 bits.
+    const uint32_t round = 0x7FFFu + ((x >> 16) & 1u);
+    x += round;
+    return static_cast<uint16_t>(x >> 16);
+}
+
+}  // namespace detail
+
+const char*
+PrecisionName(Precision p)
+{
+    switch (p) {
+      case Precision::kFp32: return "fp32";
+      case Precision::kFp16: return "fp16";
+      case Precision::kBf16: return "bf16";
+      case Precision::kTf32: return "tf32";
+    }
+    return "unknown";
+}
+
+}  // namespace neo

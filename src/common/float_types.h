@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reduced-precision scalar types: IEEE binary16 (Half) and bfloat16 (BFloat16).
+ *
+ * The paper stores embedding tables in FP16 to halve memory (Sec. 5.3.2) and
+ * quantizes AllToAll payloads to FP16 (forward) / BF16 (backward) [58].
+ * These types provide round-to-nearest-even conversions from/to float and are
+ * storage-only (arithmetic happens in float).
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace neo {
+
+namespace detail {
+
+/** Bit-cast float <-> uint32 without violating aliasing rules. */
+inline uint32_t
+FloatToBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+inline float
+BitsToFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+/** Convert a float to IEEE binary16 bits, round-to-nearest-even. */
+uint16_t FloatToHalfBits(float f);
+
+/** Convert IEEE binary16 bits to float. */
+float HalfBitsToFloat(uint16_t h);
+
+/** Convert a float to bfloat16 bits, round-to-nearest-even. */
+uint16_t FloatToBFloat16Bits(float f);
+
+/** Convert bfloat16 bits to float (simple left shift). */
+inline float
+BFloat16BitsToFloat(uint16_t b)
+{
+    return BitsToFloat(static_cast<uint32_t>(b) << 16);
+}
+
+}  // namespace detail
+
+/** Storage-only IEEE binary16 value. */
+class Half
+{
+  public:
+    Half() = default;
+    explicit Half(float f) : bits_(detail::FloatToHalfBits(f)) {}
+
+    /** Reconstruct from raw bits. */
+    static Half
+    FromBits(uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Widen back to float. */
+    float ToFloat() const { return detail::HalfBitsToFloat(bits_); }
+    explicit operator float() const { return ToFloat(); }
+
+    uint16_t bits() const { return bits_; }
+
+    bool operator==(const Half& other) const { return bits_ == other.bits_; }
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+/** Storage-only bfloat16 value. */
+class BFloat16
+{
+  public:
+    BFloat16() = default;
+    explicit BFloat16(float f) : bits_(detail::FloatToBFloat16Bits(f)) {}
+
+    static BFloat16
+    FromBits(uint16_t bits)
+    {
+        BFloat16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    float ToFloat() const { return detail::BFloat16BitsToFloat(bits_); }
+    explicit operator float() const { return ToFloat(); }
+
+    uint16_t bits() const { return bits_; }
+
+    bool operator==(const BFloat16& o) const { return bits_ == o.bits_; }
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 2 bytes");
+static_assert(sizeof(BFloat16) == 2, "BFloat16 must be 2 bytes");
+
+/** Scalar precision tags used across storage and communication layers. */
+enum class Precision {
+    kFp32,
+    kFp16,
+    kBf16,
+    kTf32,  // compute-only precision on A100; storage treated as fp32
+};
+
+/** Bytes used to store one element of the given precision. */
+inline std::size_t
+BytesPerElement(Precision p)
+{
+    switch (p) {
+      case Precision::kFp32:
+      case Precision::kTf32:
+        return 4;
+      case Precision::kFp16:
+      case Precision::kBf16:
+        return 2;
+    }
+    return 4;
+}
+
+/** Human-readable precision name. */
+const char* PrecisionName(Precision p);
+
+}  // namespace neo

@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace neo {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+}  // namespace
+
+LogLevel
+GetLogLevel()
+{
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+LogMessage(LogLevel level, const char* tag, const std::string& msg)
+{
+    if (level < GetLogLevel()) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[neo:%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+PanicImpl(const char* file, int line, const std::string& msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::fprintf(stderr, "[neo:panic] %s:%d: %s\n", file, line,
+                     msg.c_str());
+        std::fflush(stderr);
+    }
+    std::abort();
+}
+
+void
+FatalImpl(const char* file, int line, const std::string& msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::fprintf(stderr, "[neo:fatal] %s:%d: %s\n", file, line,
+                     msg.c_str());
+        std::fflush(stderr);
+    }
+    // Throwing (rather than exit()) keeps fatal paths testable from gtest.
+    throw std::runtime_error(msg);
+}
+
+}  // namespace detail
+
+}  // namespace neo

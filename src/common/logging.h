@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (aborts), fatal() for unrecoverable user/configuration errors (exits),
+ * warn()/inform() for non-fatal diagnostics.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace neo {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kSilent = 4,
+};
+
+/** Global log threshold; messages below it are suppressed. */
+LogLevel GetLogLevel();
+
+/** Set the global log threshold. */
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if `level` passes the threshold. */
+void LogMessage(LogLevel level, const char* tag, const std::string& msg);
+
+/** Variadic stream-style formatting into a single string. */
+template <typename... Args>
+std::string
+Format(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void PanicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void FatalImpl(const char* file, int line, const std::string& msg);
+
+}  // namespace detail
+
+/** Informational message for normal operation. */
+template <typename... Args>
+void
+Inform(Args&&... args)
+{
+    detail::LogMessage(LogLevel::kInfo, "info",
+                       detail::Format(std::forward<Args>(args)...));
+}
+
+/** Debug-level message; off by default. */
+template <typename... Args>
+void
+Debug(Args&&... args)
+{
+    detail::LogMessage(LogLevel::kDebug, "debug",
+                       detail::Format(std::forward<Args>(args)...));
+}
+
+/** Warning: something suspicious but not fatal. */
+template <typename... Args>
+void
+Warn(Args&&... args)
+{
+    detail::LogMessage(LogLevel::kWarn, "warn",
+                       detail::Format(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort on an internal invariant violation (a bug in this library).
+ * Mirrors gem5's panic().
+ */
+#define NEO_PANIC(...)                                                        \
+    ::neo::detail::PanicImpl(__FILE__, __LINE__,                              \
+                             ::neo::detail::Format(__VA_ARGS__))
+
+/**
+ * Exit on an unrecoverable user error (bad configuration, bad arguments).
+ * Mirrors gem5's fatal().
+ */
+#define NEO_FATAL(...)                                                        \
+    ::neo::detail::FatalImpl(__FILE__, __LINE__,                              \
+                             ::neo::detail::Format(__VA_ARGS__))
+
+/** Check a condition that must hold; panic with a message otherwise. */
+#define NEO_CHECK(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            NEO_PANIC("check failed: " #cond " — ",                           \
+                      ::neo::detail::Format(__VA_ARGS__));                    \
+        }                                                                     \
+    } while (0)
+
+/** Validate a user-supplied argument; fatal with a message otherwise. */
+#define NEO_REQUIRE(cond, ...)                                                \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            NEO_FATAL("requirement failed: " #cond " — ",                     \
+                      ::neo::detail::Format(__VA_ARGS__));                    \
+        }                                                                     \
+    } while (0)
+
+}  // namespace neo

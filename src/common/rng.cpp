@@ -1,0 +1,59 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace neo {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s)
+{
+    NEO_REQUIRE(n >= 1, "ZipfSampler needs at least one item");
+    NEO_REQUIRE(s >= 0.0, "Zipf exponent must be non-negative");
+    inv_s_ = 1.0 - s_;
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+}
+
+double
+ZipfSampler::H(double x) const
+{
+    // Integral of x^-s: handles the s == 1 singularity with log.
+    if (std::abs(inv_s_) < 1e-12) {
+        return std::log(x);
+    }
+    return std::pow(x, inv_s_) / inv_s_;
+}
+
+double
+ZipfSampler::HInv(double x) const
+{
+    if (std::abs(inv_s_) < 1e-12) {
+        return std::exp(x);
+    }
+    return std::pow(x * inv_s_, 1.0 / inv_s_);
+}
+
+uint64_t
+ZipfSampler::Sample(Rng& rng) const
+{
+    if (s_ == 0.0 || n_ == 1) {
+        return rng.NextBounded(n_);
+    }
+    // Rejection-inversion (Hormann & Derflinger 1996).
+    while (true) {
+        const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+        const double x = HInv(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1) {
+            k = 1;
+        } else if (k > n_) {
+            k = n_;
+        }
+        const double kd = static_cast<double>(k);
+        if (kd - x <= (s_ > 1.0 ? 1.0 : 0.5) ||
+            u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+            return k - 1;  // convert 1-based rank to 0-based row id
+        }
+    }
+}
+
+}  // namespace neo

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Training reproducibility (Sec. 4.1.2 of the paper) requires every random
+ * decision — weight init, synthetic data, sampling — to be seeded and stable
+ * across runs and platforms. We use SplitMix64 for seeding and Xoshiro256++
+ * for the main stream, both with fixed, platform-independent behaviour
+ * (unlike std::mt19937 + std::uniform_*_distribution, whose outputs are not
+ * specified identically across standard libraries).
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace neo {
+
+/** SplitMix64: tiny, good-quality generator used to derive seeds. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next 64 random bits. */
+    uint64_t
+    Next()
+    {
+        uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/** Xoshiro256++: fast general-purpose PRNG with 256-bit state. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5EEDull)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) {
+            s = sm.Next();
+        }
+    }
+
+    /** Next 64 random bits. */
+    uint64_t
+    Next()
+    {
+        const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = Rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    NextDouble()
+    {
+        return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    NextFloat()
+    {
+        return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    uint64_t
+    NextBounded(uint64_t bound)
+    {
+        if (bound == 0) {
+            return 0;
+        }
+        // 128-bit multiply keeps the distribution unbiased enough for our
+        // purposes while staying branch-light.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(Next()) * bound;
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    NextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    NextUniform(float lo, float hi)
+    {
+        return lo + (hi - lo) * NextFloat();
+    }
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    float
+    NextGaussian()
+    {
+        // Avoid log(0) by nudging u1 away from zero.
+        double u1 = NextDouble();
+        if (u1 < 1e-300) {
+            u1 = 1e-300;
+        }
+        const double u2 = NextDouble();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        return static_cast<float>(r * std::cos(2.0 * M_PI * u2));
+    }
+
+    /** Poisson sample via inversion for small means, normal approx above. */
+    uint32_t
+    NextPoisson(double mean)
+    {
+        if (mean <= 0) {
+            return 0;
+        }
+        if (mean < 30.0) {
+            const double l = std::exp(-mean);
+            double p = 1.0;
+            uint32_t k = 0;
+            do {
+                k++;
+                p *= NextDouble();
+            } while (p > l);
+            return k - 1;
+        }
+        const double g = NextGaussian();
+        const double v = mean + std::sqrt(mean) * g;
+        return v < 0 ? 0 : static_cast<uint32_t>(v + 0.5);
+    }
+
+    /** Split off an independent child stream (for per-worker RNGs). */
+    Rng
+    Split()
+    {
+        return Rng(Next() ^ 0x9E3779B97F4A7C15ull);
+    }
+
+  private:
+    static uint64_t
+    Rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+/**
+ * Zipf-distributed sampler over [0, n) with exponent s.
+ *
+ * Embedding-table accesses in CTR workloads are heavily skewed; the software
+ * cache evaluation (Sec. 4.1.3) depends on that reuse. Uses the
+ * rejection-inversion method of Hormann & Derflinger, which is O(1) per
+ * sample and needs no O(n) table.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items (rows).
+     * @param s Skew exponent; s=0 degenerates to uniform.
+     */
+    ZipfSampler(uint64_t n, double s);
+
+    /** Draw one sample in [0, n). Rank 0 is the most popular item. */
+    uint64_t Sample(Rng& rng) const;
+
+    uint64_t n() const { return n_; }
+    double s() const { return s_; }
+
+  private:
+    double H(double x) const;
+    double HInv(double x) const;
+
+    uint64_t n_;
+    double s_;
+    double h_x1_;
+    double h_n_;
+    double inv_s_;
+};
+
+}  // namespace neo

@@ -1,0 +1,51 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo {
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Percentile(std::vector<double> values, double p)
+{
+    NEO_REQUIRE(!values.empty(), "Percentile of empty sample");
+    NEO_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1) {
+        return values[0];
+    }
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LoadBalance
+ComputeLoadBalance(const std::vector<double>& loads)
+{
+    LoadBalance lb;
+    if (loads.empty()) {
+        return lb;
+    }
+    double sum = 0.0;
+    lb.max = loads[0];
+    lb.min = loads[0];
+    for (double x : loads) {
+        sum += x;
+        lb.max = std::max(lb.max, x);
+        lb.min = std::min(lb.min, x);
+    }
+    lb.mean = sum / static_cast<double>(loads.size());
+    lb.imbalance = lb.mean > 0.0 ? lb.max / lb.mean : 1.0;
+    return lb;
+}
+
+}  // namespace neo

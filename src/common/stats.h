@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small statistics helpers used by benchmarks and the performance model:
+ * running mean/variance, percentiles, and load-balance metrics.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace neo {
+
+/** Welford running mean / variance / min / max accumulator. */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void
+    Add(double x)
+    {
+        count_++;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = count_ == 1 ? x : std::min(min_, x);
+        max_ = count_ == 1 ? x : std::max(max_, x);
+    }
+
+    uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Population variance (0 for fewer than two samples). */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const;
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Linear-interpolated percentile of a sample vector.
+ *
+ * @param values Observations (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double Percentile(std::vector<double> values, double p);
+
+/**
+ * Load-imbalance metrics over per-worker costs; the sharding evaluation
+ * (Sec. 5.3.2) reasons about max/mean load across GPUs.
+ */
+struct LoadBalance {
+    double max = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    /** max / mean; 1.0 is perfectly balanced. */
+    double imbalance = 1.0;
+};
+
+/** Compute balance metrics for a vector of per-worker loads. */
+LoadBalance ComputeLoadBalance(const std::vector<double>& loads);
+
+}  // namespace neo

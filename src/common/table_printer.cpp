@@ -1,0 +1,83 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace neo {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    NEO_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+TablePrinter&
+TablePrinter::Row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TablePrinter&
+TablePrinter::CellF(double value, const char* fmt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    AddCell(buf);
+    return *this;
+}
+
+void
+TablePrinter::AddCell(std::string text)
+{
+    NEO_CHECK(!rows_.empty(), "Cell() before Row()");
+    NEO_CHECK(rows_.back().size() < headers_.size(),
+              "row has more cells than headers");
+    rows_.back().push_back(std::move(text));
+}
+
+std::string
+TablePrinter::ToString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); c++) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        oss << "|";
+        for (size_t c = 0; c < headers_.size(); c++) {
+            const std::string& text = c < cells.size() ? cells[c] : "";
+            oss << " " << text
+                << std::string(widths[c] - text.size(), ' ') << " |";
+        }
+        oss << "\n";
+    };
+
+    emit_row(headers_);
+    oss << "|";
+    for (size_t c = 0; c < headers_.size(); c++) {
+        oss << std::string(widths[c] + 2, '-') << "|";
+    }
+    oss << "\n";
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return oss.str();
+}
+
+void
+TablePrinter::Print() const
+{
+    std::fputs(ToString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+}  // namespace neo

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the per-table / per-figure benchmark
+ * harnesses so their output visually matches the paper's tables.
+ */
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace neo {
+
+/** Column-aligned table builder; streams anything ostream-able into cells. */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent Cell() calls fill it left to right. */
+    TablePrinter& Row();
+
+    /** Append one cell to the current row. */
+    template <typename T>
+    TablePrinter&
+    Cell(const T& value)
+    {
+        std::ostringstream oss;
+        oss << value;
+        AddCell(oss.str());
+        return *this;
+    }
+
+    /** Append a formatted floating-point cell. */
+    TablePrinter& CellF(double value, const char* fmt = "%.3g");
+
+    /** Render the table to a string. */
+    std::string ToString() const;
+
+    /** Print the table to stdout. */
+    void Print() const;
+
+  private:
+    void AddCell(std::string text);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace neo

@@ -1,0 +1,46 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace neo {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    NEO_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; i++) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping and drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+}  // namespace neo

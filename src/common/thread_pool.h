@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-size thread pool used by the data loader (double-buffered batch
+ * preparation, Sec. 3.0.2) and by intra-worker parallel kernels.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace neo {
+
+/** Simple FIFO thread pool with future-returning submission. */
+class ThreadPool
+{
+  public:
+    /** Start `num_threads` workers (>= 1). */
+    explicit ThreadPool(size_t num_threads);
+
+    /** Drains pending work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Submit a task; the returned future resolves with its result. */
+    template <typename F>
+    auto
+    Submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+  private:
+    void WorkerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace neo

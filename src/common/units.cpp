@@ -1,0 +1,64 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace neo {
+
+namespace {
+
+std::string
+FormatScaled(double value, const char* const* suffixes, int num_suffixes,
+             double base)
+{
+    int idx = 0;
+    double v = value;
+    while (std::abs(v) >= base && idx < num_suffixes - 1) {
+        v /= base;
+        idx++;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g %s", v, suffixes[idx]);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+FormatBytes(double bytes)
+{
+    static const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    return FormatScaled(bytes, kSuffixes, 6, 1024.0);
+}
+
+std::string
+FormatBandwidth(double bytes_per_sec)
+{
+    static const char* kSuffixes[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    return FormatScaled(bytes_per_sec, kSuffixes, 5, 1000.0);
+}
+
+std::string
+FormatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.4g s", seconds);
+    } else if (seconds >= 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.4g ms", seconds * 1e3);
+    } else if (seconds >= 1e-6) {
+        std::snprintf(buf, sizeof(buf), "%.4g us", seconds * 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4g ns", seconds * 1e9);
+    }
+    return buf;
+}
+
+std::string
+FormatCount(double count)
+{
+    static const char* kSuffixes[] = {"", "K", "M", "B", "T"};
+    return FormatScaled(count, kSuffixes, 5, 1000.0);
+}
+
+}  // namespace neo

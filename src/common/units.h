@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Unit helpers for bytes, bandwidth and time, plus pretty-printers used by
+ * the benchmark harnesses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neo {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+
+/** Format a byte count as a human-readable string ("1.5 GiB"). */
+std::string FormatBytes(double bytes);
+
+/** Format a bandwidth in bytes/second ("12.5 GB/s"). */
+std::string FormatBandwidth(double bytes_per_sec);
+
+/** Format a duration in seconds ("3.2 ms"). */
+std::string FormatSeconds(double seconds);
+
+/** Format a large count with SI suffixes ("1.05M"). */
+std::string FormatCount(double count);
+
+}  // namespace neo

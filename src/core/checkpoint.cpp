@@ -1,0 +1,90 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace neo::core {
+
+namespace {
+
+constexpr uint32_t kDeltaMagic = 0x44454C54;  // 'DELT'
+
+}  // namespace
+
+DeltaCheckpointer::DeltaCheckpointer(ops::EmbeddingTable* table)
+    : table_(table), reference_(*table)
+{
+    NEO_REQUIRE(table_ != nullptr, "null table");
+}
+
+std::vector<uint8_t>
+DeltaCheckpointer::WriteBaseline()
+{
+    BinaryWriter writer;
+    table_->Save(writer);
+    reference_ = *table_;
+    return writer.buffer();
+}
+
+std::vector<uint8_t>
+DeltaCheckpointer::WriteDelta()
+{
+    const int64_t rows = table_->rows();
+    const int64_t dim = table_->dim();
+    NEO_REQUIRE(reference_.rows() == rows && reference_.dim() == dim,
+                "reference/table shape drift");
+
+    std::vector<int64_t> changed;
+    std::vector<float> payload;
+    std::vector<float> current(static_cast<size_t>(dim));
+    std::vector<float> previous(static_cast<size_t>(dim));
+    for (int64_t r = 0; r < rows; r++) {
+        table_->ReadRow(r, current.data());
+        reference_.ReadRow(r, previous.data());
+        if (std::memcmp(current.data(), previous.data(),
+                        static_cast<size_t>(dim) * sizeof(float)) != 0) {
+            changed.push_back(r);
+            payload.insert(payload.end(), current.begin(), current.end());
+            reference_.WriteRow(r, current.data());
+        }
+    }
+    last_delta_rows_ = changed.size();
+
+    BinaryWriter writer;
+    writer.Write<uint32_t>(kDeltaMagic);
+    writer.Write<int64_t>(rows);
+    writer.Write<int64_t>(dim);
+    writer.WriteVector(changed);
+    writer.WriteVector(payload);
+    return writer.buffer();
+}
+
+ops::EmbeddingTable
+DeltaCheckpointer::Restore(const std::vector<uint8_t>& baseline,
+                           const std::vector<std::vector<uint8_t>>& deltas)
+{
+    BinaryReader base_reader(baseline);
+    ops::EmbeddingTable table = ops::EmbeddingTable::Load(base_reader);
+    for (const auto& delta : deltas) {
+        BinaryReader reader(delta);
+        NEO_REQUIRE(reader.Read<uint32_t>() == kDeltaMagic,
+                    "bad delta magic");
+        const int64_t rows = reader.Read<int64_t>();
+        const int64_t dim = reader.Read<int64_t>();
+        NEO_REQUIRE(rows == table.rows() && dim == table.dim(),
+                    "delta shape mismatch");
+        const auto changed = reader.ReadVector<int64_t>();
+        const auto payload = reader.ReadVector<float>();
+        NEO_REQUIRE(payload.size() ==
+                        changed.size() * static_cast<size_t>(dim),
+                    "delta payload size mismatch");
+        for (size_t i = 0; i < changed.size(); i++) {
+            table.WriteRow(changed[i],
+                           payload.data() + i * static_cast<size_t>(dim));
+        }
+    }
+    return table;
+}
+
+}  // namespace neo::core

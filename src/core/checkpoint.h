@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Checkpointing for very large embedding models (Sec. 4.4; Check-N-Run
+ * [9]). Writing terabytes every few minutes is infeasible, but between
+ * checkpoints only the rows a batch touched actually changed — so after
+ * one full baseline, each incremental checkpoint stores just the modified
+ * rows (differential checkpointing). For Zipf-skewed access, deltas are
+ * orders of magnitude smaller than the table.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "ops/embedding_table.h"
+
+namespace neo::core {
+
+/** Differential checkpointer for one embedding table. */
+class DeltaCheckpointer
+{
+  public:
+    /**
+     * @param table The live table (not owned; must outlive this).
+     */
+    explicit DeltaCheckpointer(ops::EmbeddingTable* table);
+
+    /**
+     * Write a FULL baseline checkpoint and reset the delta reference.
+     * @return Serialized bytes.
+     */
+    std::vector<uint8_t> WriteBaseline();
+
+    /**
+     * Write a delta: only rows that changed since the last Write*() call.
+     * @return Serialized bytes (row ids + row payloads).
+     */
+    std::vector<uint8_t> WriteDelta();
+
+    /** Rows the last WriteDelta() found modified. */
+    uint64_t last_delta_rows() const { return last_delta_rows_; }
+
+    /**
+     * Restore a table from a baseline plus an ordered list of deltas.
+     *
+     * @param baseline Bytes from WriteBaseline().
+     * @param deltas Bytes from successive WriteDelta() calls, in order.
+     */
+    static ops::EmbeddingTable Restore(
+        const std::vector<uint8_t>& baseline,
+        const std::vector<std::vector<uint8_t>>& deltas);
+
+  private:
+    ops::EmbeddingTable* table_;
+    /** Copy of the table as of the last checkpoint (the delta reference). */
+    ops::EmbeddingTable reference_;
+    uint64_t last_delta_rows_ = 0;
+};
+
+}  // namespace neo::core

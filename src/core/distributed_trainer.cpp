@@ -1,0 +1,675 @@
+#include "core/distributed_trainer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+#include "data/jagged.h"
+
+namespace neo::core {
+
+namespace {
+
+/** Canonical shard order shared by every worker. */
+bool
+ShardLess(const sharding::Shard& a, const sharding::Shard& b)
+{
+    if (a.table != b.table) {
+        return a.table < b.table;
+    }
+    if (a.row_begin != b.row_begin) {
+        return a.row_begin < b.row_begin;
+    }
+    return a.col_begin < b.col_begin;
+}
+
+}  // namespace
+
+DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
+                                 const sharding::ShardingPlan& plan,
+                                 comm::ProcessGroup& pg,
+                                 const DistributedOptions& options)
+    : config_(config), plan_(plan), pg_(pg), options_(options),
+      rank_(pg.Rank()), world_(pg.Size()),
+      dense_opt_(config.dense_optimizer)
+{
+    config_.Validate();
+    NEO_REQUIRE(plan_.feasible, "sharding plan is infeasible: ", plan_.note);
+
+    // Replicated MLPs: identical seed => identical replicas on all ranks.
+    Rng mlp_rng(config_.seed);
+    bottom_ = std::make_unique<ops::Mlp>(
+        ops::MlpConfig{config_.BottomLayerSizes(), /*final_relu=*/true},
+        mlp_rng);
+    top_ = std::make_unique<ops::Mlp>(
+        ops::MlpConfig{config_.TopLayerSizes(), /*final_relu=*/false},
+        mlp_rng);
+    interaction_ = std::make_unique<DotInteraction>(config_.tables.size(),
+                                                    config_.EmbeddingDim());
+    bottom_slots_ = bottom_->RegisterParams(dense_opt_);
+    top_slots_ = top_->RegisterParams(dense_opt_);
+
+    BuildShards();
+    BuildRoutes();
+    grad_buffer_.resize(bottom_->GradCount() + top_->GradCount());
+}
+
+void
+DistributedDlrm::BuildShards()
+{
+    dp_slot_of_table_.assign(config_.tables.size(), -1);
+    for (const auto& shard : plan_.shards) {
+        const auto& table_cfg = config_.tables[shard.table];
+        const uint64_t table_seed = ops::EmbeddingBagCollection::TableSeed(
+            config_.seed, static_cast<size_t>(shard.table));
+
+        if (shard.scheme == sharding::Scheme::kDataParallel) {
+            // Every worker replicates DP tables.
+            ops::EmbeddingTable replica(table_cfg.rows, table_cfg.dim,
+                                        table_cfg.precision);
+            replica.InitDeterministic(table_seed, 0, 0, table_cfg.dim);
+            ops::SparseOptimizer opt(config_.sparse_optimizer,
+                                     table_cfg.rows, table_cfg.dim);
+            dp_slot_of_table_[shard.table] =
+                static_cast<int>(dp_tables_.size());
+            dp_tables_.emplace_back(shard.table, std::move(replica),
+                                    std::move(opt));
+            continue;
+        }
+        if (shard.worker != rank_) {
+            continue;
+        }
+        const int64_t shard_rows = shard.NumRows();
+        const int64_t shard_cols = shard.NumCols();
+        ops::EmbeddingTable table(shard_rows, shard_cols,
+                                  table_cfg.precision);
+        table.InitDeterministic(table_seed, shard.row_begin, shard.col_begin,
+                                table_cfg.dim);
+        ops::SparseOptimizer opt(config_.sparse_optimizer, shard_rows,
+                                 shard_cols);
+        shards_.emplace_back(shard, std::move(table), std::move(opt));
+    }
+    std::stable_sort(shards_.begin(), shards_.end(),
+                     [](const LocalShard& a, const LocalShard& b) {
+                         return ShardLess(a.meta, b.meta);
+                     });
+}
+
+void
+DistributedDlrm::BuildRoutes()
+{
+    for (const auto& shard : plan_.shards) {
+        if (shard.scheme != sharding::Scheme::kDataParallel) {
+            NEO_REQUIRE(shard.worker >= 0 && shard.worker < world_,
+                        "plan was built for a different world size");
+            global_shards_.push_back(shard);
+        }
+    }
+    std::stable_sort(global_shards_.begin(), global_shards_.end(),
+                     ShardLess);
+    route_.assign(world_, {});
+    for (size_t gi = 0; gi < global_shards_.size(); gi++) {
+        route_[global_shards_[gi].worker].push_back(gi);
+    }
+    NEO_CHECK(route_[rank_].size() == shards_.size(),
+              "local shard bookkeeping mismatch");
+}
+
+DistributedDlrm::PreparedInput
+DistributedDlrm::PrepareInput(const data::Batch& local_batch)
+{
+    NEO_REQUIRE(local_batch.sparse.num_tables == config_.tables.size(),
+                "batch has ", local_batch.sparse.num_tables,
+                " sparse features but the model has ",
+                config_.tables.size());
+    NEO_REQUIRE(local_batch.dense.rows() == local_batch.size() &&
+                    local_batch.sparse.batch == local_batch.size(),
+                "batch component sizes disagree");
+    NEO_REQUIRE(local_batch.dense.cols() == config_.num_dense,
+                "batch dense width mismatch");
+    PreparedInput prepared;
+    prepared.dense = local_batch.dense;
+    prepared.labels = local_batch.labels;
+    prepared.local_sparse = local_batch.sparse;
+    prepared.local_batch = local_batch.size();
+    const size_t b_local = prepared.local_batch;
+
+    // Bucketize row-sharded tables once (shared by all their shards).
+    // Key: table index -> (row splits, per-bucket jagged pieces).
+    std::map<int, data::Bucketized> bucketized;
+    std::map<int, std::vector<int64_t>> splits_of_table;
+    for (size_t gi = 0; gi < global_shards_.size(); gi++) {
+        const auto& shard = global_shards_[gi];
+        if (shard.scheme != sharding::Scheme::kRowWise &&
+            shard.scheme != sharding::Scheme::kTableRowWise) {
+            continue;
+        }
+        splits_of_table[shard.table].push_back(shard.row_begin);
+    }
+    for (auto& [table, splits] : splits_of_table) {
+        std::sort(splits.begin(), splits.end());
+        splits.push_back(config_.tables[table].rows);
+        const data::KeyedJagged one_table =
+            local_batch.sparse.SliceTable(static_cast<size_t>(table));
+        bucketized[table] = data::BucketizeRows(one_table, splits);
+    }
+    auto bucket_of = [&](const sharding::Shard& shard)
+        -> const data::KeyedJagged& {
+        const auto& splits = splits_of_table.at(shard.table);
+        const auto it = std::lower_bound(splits.begin(), splits.end() - 1,
+                                         shard.row_begin);
+        NEO_CHECK(*it == shard.row_begin, "shard split lookup failed");
+        const size_t k = static_cast<size_t>(it - splits.begin());
+        return bucketized.at(shard.table).buckets[k];
+    };
+
+    // Build per-destination payloads: for every shard the destination
+    // owns, its share of this worker's local batch.
+    std::vector<std::vector<uint32_t>> send_len(world_);
+    std::vector<std::vector<int64_t>> send_idx(world_);
+    for (int dst = 0; dst < world_; dst++) {
+        for (size_t gi : route_[dst]) {
+            const auto& shard = global_shards_[gi];
+            switch (shard.scheme) {
+              case sharding::Scheme::kTableWise:
+              case sharding::Scheme::kColumnWise: {
+                // Column shards receive duplicated input (Sec. 4.2.3).
+                const auto lens = local_batch.sparse.LengthsForTable(
+                    static_cast<size_t>(shard.table));
+                const auto idx = local_batch.sparse.IndicesForTable(
+                    static_cast<size_t>(shard.table));
+                send_len[dst].insert(send_len[dst].end(), lens.begin(),
+                                     lens.end());
+                send_idx[dst].insert(send_idx[dst].end(), idx.begin(),
+                                     idx.end());
+                break;
+              }
+              case sharding::Scheme::kRowWise:
+              case sharding::Scheme::kTableRowWise: {
+                const data::KeyedJagged& bucket = bucket_of(shard);
+                send_len[dst].insert(send_len[dst].end(),
+                                     bucket.lengths.begin(),
+                                     bucket.lengths.end());
+                send_idx[dst].insert(send_idx[dst].end(),
+                                     bucket.indices.begin(),
+                                     bucket.indices.end());
+                break;
+              }
+              case sharding::Scheme::kDataParallel:
+                NEO_PANIC("DP shard in route");
+            }
+        }
+    }
+
+    // Lengths AllToAll followed by indices AllToAll (Sec. 4.4: the indices
+    // payload size depends on the received lengths).
+    std::vector<std::vector<uint32_t>> recv_len;
+    std::vector<std::vector<int64_t>> recv_idx;
+    pg_.AllToAllLengths(send_len, recv_len);
+    pg_.AllToAllIndices(send_idx, recv_idx);
+
+    // Reassemble: arriving data is (source, shard, sample); concatenate to
+    // (shard, source, sample) — the permute step of Sec. 4.4.
+    prepared.shard_inputs.clear();
+    prepared.shard_inputs.reserve(shards_.size());
+    std::vector<size_t> len_cursor(world_, 0);
+    std::vector<size_t> idx_cursor(world_, 0);
+    for (size_t i = 0; i < shards_.size(); i++) {
+        std::vector<data::KeyedJagged> pieces;
+        pieces.reserve(world_);
+        for (int src = 0; src < world_; src++) {
+            data::KeyedJagged piece = data::KeyedJagged::Empty(1, b_local);
+            NEO_CHECK(len_cursor[src] + b_local <= recv_len[src].size(),
+                      "input-dist lengths underflow");
+            size_t total = 0;
+            for (size_t b = 0; b < b_local; b++) {
+                const uint32_t len = recv_len[src][len_cursor[src] + b];
+                piece.lengths[b] = len;
+                total += len;
+            }
+            len_cursor[src] += b_local;
+            NEO_CHECK(idx_cursor[src] + total <= recv_idx[src].size(),
+                      "input-dist indices underflow");
+            piece.indices.assign(
+                recv_idx[src].begin() + idx_cursor[src],
+                recv_idx[src].begin() + idx_cursor[src] + total);
+            idx_cursor[src] += total;
+            piece.RebuildOffsets();
+            pieces.push_back(std::move(piece));
+        }
+        prepared.shard_inputs.push_back(
+            data::ConcatBatches(pieces));
+    }
+    return prepared;
+}
+
+void
+DistributedDlrm::ForwardEmbeddings(const PreparedInput& prepared,
+                                   std::vector<Matrix>& shard_pooled)
+{
+    const size_t b_global = prepared.local_batch * world_;
+    shard_pooled.resize(shards_.size());
+    for (size_t i = 0; i < shards_.size(); i++) {
+        const auto& shard = shards_[i];
+        const size_t d = static_cast<size_t>(shard.meta.NumCols());
+        Matrix& pooled = shard_pooled[i];
+        if (pooled.rows() != b_global || pooled.cols() != d) {
+            pooled = Matrix(b_global, d);
+        } else {
+            pooled.Zero();
+        }
+        const auto& input = prepared.shard_inputs[i];
+        NEO_CHECK(input.batch == b_global, "shard input batch mismatch");
+        const auto lens = input.LengthsForTable(0);
+        const auto idx = input.IndicesForTable(0);
+        size_t offset = 0;
+        for (size_t b = 0; b < b_global; b++) {
+            float* out = pooled.Row(b);
+            for (uint32_t k = 0; k < lens[b]; k++) {
+                shard.table.AccumulateRow(idx[offset + k], 1.0f, out);
+            }
+            offset += lens[b];
+        }
+    }
+}
+
+void
+DistributedDlrm::ExchangePooled(const std::vector<Matrix>& shard_pooled,
+                                size_t local_batch,
+                                std::vector<Matrix>& pooled_out)
+{
+    const size_t d_full = config_.EmbeddingDim();
+
+    // Send each destination its local-batch slice of every local shard.
+    std::vector<std::vector<float>> send(world_);
+    for (int dst = 0; dst < world_; dst++) {
+        for (size_t i = 0; i < shards_.size(); i++) {
+            const Matrix& pooled = shard_pooled[i];
+            const size_t d = pooled.cols();
+            const size_t row0 = static_cast<size_t>(dst) * local_batch;
+            send[dst].insert(send[dst].end(), pooled.Row(row0),
+                             pooled.Row(row0) + local_batch * d);
+        }
+    }
+    std::vector<std::vector<float>> recv;
+    comm::QuantizedAllToAll(pg_, send, recv, options_.forward_alltoall);
+
+    // Assemble per-table pooled outputs for the local batch. Column shards
+    // land in their column range; row shards accumulate partial sums in
+    // canonical (source-major, shard-minor) order for determinism.
+    pooled_out.assign(config_.tables.size(), Matrix());
+    for (size_t t = 0; t < config_.tables.size(); t++) {
+        pooled_out[t] = Matrix(local_batch, d_full);
+    }
+    std::vector<size_t> cursor(world_, 0);
+    for (int src = 0; src < world_; src++) {
+        for (size_t gi : route_[src]) {
+            const auto& shard = global_shards_[gi];
+            const size_t d = static_cast<size_t>(shard.NumCols());
+            const float* payload = recv[src].data() + cursor[src];
+            cursor[src] += local_batch * d;
+            Matrix& out = pooled_out[shard.table];
+            switch (shard.scheme) {
+              case sharding::Scheme::kTableWise:
+                for (size_t b = 0; b < local_batch; b++) {
+                    std::memcpy(out.Row(b), payload + b * d,
+                                d * sizeof(float));
+                }
+                break;
+              case sharding::Scheme::kColumnWise:
+                for (size_t b = 0; b < local_batch; b++) {
+                    std::memcpy(out.Row(b) + shard.col_begin,
+                                payload + b * d, d * sizeof(float));
+                }
+                break;
+              case sharding::Scheme::kRowWise:
+              case sharding::Scheme::kTableRowWise:
+                // Partial pools: functionally the ReduceScatter of Fig. 8.
+                for (size_t b = 0; b < local_batch; b++) {
+                    float* dst_row = out.Row(b);
+                    const float* src_row = payload + b * d;
+                    for (size_t c = 0; c < d; c++) {
+                        dst_row[c] += src_row[c];
+                    }
+                }
+                break;
+              case sharding::Scheme::kDataParallel:
+                NEO_PANIC("DP shard in route");
+            }
+        }
+    }
+}
+
+double
+DistributedDlrm::TrainStepPrepared(PreparedInput& prepared)
+{
+    const size_t b_local = prepared.local_batch;
+    const size_t b_global = b_local * static_cast<size_t>(world_);
+
+    // ---- model-parallel embedding forward + exchange ----
+    std::vector<Matrix> shard_pooled;
+    ForwardEmbeddings(prepared, shard_pooled);
+    std::vector<Matrix> pooled;
+    ExchangePooled(shard_pooled, b_local, pooled);
+
+    // ---- replicated DP tables pool the local batch directly ----
+    for (const auto& dp : dp_tables_) {
+        Matrix& out = pooled[dp.table];
+        const auto input = prepared.local_sparse.InputForTable(
+            static_cast<size_t>(dp.table));
+        size_t offset = 0;
+        for (size_t b = 0; b < b_local; b++) {
+            float* row = out.Row(b);
+            for (uint32_t k = 0; k < input.lengths[b]; k++) {
+                dp.replica.AccumulateRow(input.indices[offset + k], 1.0f,
+                                         row);
+            }
+            offset += input.lengths[b];
+        }
+    }
+
+    // ---- dense forward ----
+    Matrix bottom_out;
+    bottom_->Forward(prepared.dense, bottom_out);
+    Matrix interacted(b_local, interaction_->OutputDim());
+    interaction_->Forward(bottom_out, pooled, interacted);
+    Matrix logits;
+    top_->Forward(interacted, logits);
+
+    // ---- loss (global mean via AllReduce of the local sum) ----
+    float loss_sum = static_cast<float>(
+        BceWithLogitsLoss(logits, prepared.labels) *
+        static_cast<double>(b_local));
+    pg_.AllReduceSum(&loss_sum, 1);
+    const double loss = loss_sum / static_cast<double>(b_global);
+
+    // ---- backward ----
+    Matrix grad_logits(b_local, 1);
+    BceWithLogitsGrad(logits, prepared.labels, grad_logits, b_global);
+
+    top_->ZeroGrads();
+    Matrix grad_interacted;
+    top_->Backward(grad_logits, grad_interacted);
+
+    Matrix grad_bottom_out(b_local, config_.EmbeddingDim());
+    std::vector<Matrix> grad_pooled(config_.tables.size());
+    for (auto& g : grad_pooled) {
+        g = Matrix(b_local, config_.EmbeddingDim());
+    }
+    interaction_->Backward(grad_interacted, grad_bottom_out, grad_pooled);
+
+    bottom_->ZeroGrads();
+    Matrix grad_dense_unused;
+    bottom_->Backward(grad_bottom_out, grad_dense_unused);
+
+    // ---- sparse updates (model-parallel, then replicated DP) ----
+    ExchangeGradsAndUpdate(prepared, grad_pooled);
+    UpdateDpTables(prepared, grad_pooled);
+
+    // ---- data-parallel MLP sync + update ----
+    AllReduceMlpGrads();
+    bottom_->ApplyOptimizer(dense_opt_, bottom_slots_);
+    top_->ApplyOptimizer(dense_opt_, top_slots_);
+    return loss;
+}
+
+double
+DistributedDlrm::TrainStep(const data::Batch& local_batch)
+{
+    PreparedInput prepared = PrepareInput(local_batch);
+    return TrainStepPrepared(prepared);
+}
+
+void
+DistributedDlrm::ExchangeGradsAndUpdate(const PreparedInput& prepared,
+                                        const std::vector<Matrix>& grad_pooled)
+{
+    const size_t b_local = prepared.local_batch;
+    const size_t b_global = b_local * static_cast<size_t>(world_);
+
+    // Route each shard its slice of the pooled gradient: full width for
+    // TW/RW (partials used every column), the column range for CW.
+    std::vector<std::vector<float>> send(world_);
+    for (int dst = 0; dst < world_; dst++) {
+        for (size_t gi : route_[dst]) {
+            const auto& shard = global_shards_[gi];
+            const Matrix& g = grad_pooled[shard.table];
+            if (shard.scheme == sharding::Scheme::kColumnWise) {
+                const size_t d = static_cast<size_t>(shard.NumCols());
+                for (size_t b = 0; b < b_local; b++) {
+                    const float* row = g.Row(b) + shard.col_begin;
+                    send[dst].insert(send[dst].end(), row, row + d);
+                }
+            } else {
+                send[dst].insert(send[dst].end(), g.data(),
+                                 g.data() + g.size());
+            }
+        }
+    }
+    std::vector<std::vector<float>> recv;
+    comm::QuantizedAllToAll(pg_, send, recv, options_.backward_alltoall);
+
+    // Assemble each local shard's global-batch gradient and apply the
+    // fused exact update.
+    std::vector<size_t> cursor(world_, 0);
+    std::vector<Matrix> shard_grads(shards_.size());
+    for (size_t i = 0; i < shards_.size(); i++) {
+        const size_t d = static_cast<size_t>(shards_[i].meta.NumCols());
+        shard_grads[i] = Matrix(b_global, d);
+    }
+    for (int src = 0; src < world_; src++) {
+        // recv[src] holds, in my local shard order, a (b_local x d) block
+        // per shard.
+        for (size_t i = 0; i < shards_.size(); i++) {
+            const size_t d = shard_grads[i].cols();
+            const float* payload = recv[src].data() + cursor[src];
+            cursor[src] += b_local * d;
+            for (size_t b = 0; b < b_local; b++) {
+                std::memcpy(
+                    shard_grads[i].Row(static_cast<size_t>(src) * b_local +
+                                       b),
+                    payload + b * d, d * sizeof(float));
+            }
+        }
+    }
+
+    std::vector<ops::SparseGradRef> refs;
+    for (size_t i = 0; i < shards_.size(); i++) {
+        auto& shard = shards_[i];
+        const auto& input = prepared.shard_inputs[i];
+        const auto lens = input.LengthsForTable(0);
+        const auto idx = input.IndicesForTable(0);
+        refs.clear();
+        refs.reserve(idx.size());
+        size_t offset = 0;
+        for (size_t b = 0; b < b_global; b++) {
+            const float* g = shard_grads[i].Row(b);
+            for (uint32_t k = 0; k < lens[b]; k++) {
+                refs.push_back({idx[offset + k], g});
+            }
+            offset += lens[b];
+        }
+        if (options_.exact_sparse_update) {
+            shard.optimizer.ApplyExact(shard.table, refs);
+        } else {
+            shard.optimizer.ApplyNaive(shard.table, refs);
+        }
+    }
+}
+
+void
+DistributedDlrm::UpdateDpTables(const PreparedInput& prepared,
+                                const std::vector<Matrix>& grad_pooled)
+{
+    if (dp_tables_.empty()) {
+        return;
+    }
+    const size_t b_local = prepared.local_batch;
+
+    // Replicas must apply identical updates, so every worker broadcasts
+    // its local (lengths, indices, gradients) and all replicas apply the
+    // assembled global update — the sparse analogue of the DP AllReduce.
+    std::vector<uint32_t> len_payload;
+    std::vector<int64_t> idx_payload;
+    std::vector<float> grad_payload;
+    for (const auto& dp : dp_tables_) {
+        const auto input = prepared.local_sparse.InputForTable(
+            static_cast<size_t>(dp.table));
+        len_payload.insert(len_payload.end(), input.lengths.begin(),
+                           input.lengths.end());
+        idx_payload.insert(idx_payload.end(), input.indices.begin(),
+                           input.indices.end());
+        const Matrix& g = grad_pooled[dp.table];
+        grad_payload.insert(grad_payload.end(), g.data(),
+                            g.data() + g.size());
+    }
+    std::vector<std::vector<uint32_t>> send_len(world_, len_payload);
+    std::vector<std::vector<int64_t>> send_idx(world_, idx_payload);
+    std::vector<std::vector<float>> send_grad(world_, grad_payload);
+    std::vector<std::vector<uint32_t>> recv_len;
+    std::vector<std::vector<int64_t>> recv_idx;
+    std::vector<std::vector<float>> recv_grad;
+    pg_.AllToAllLengths(send_len, recv_len);
+    pg_.AllToAllIndices(send_idx, recv_idx);
+    pg_.AllToAllFloats(send_grad, recv_grad);
+
+    const size_t d = config_.EmbeddingDim();
+    std::vector<size_t> len_cursor(world_, 0);
+    std::vector<size_t> idx_cursor(world_, 0);
+    std::vector<size_t> grad_cursor(world_, 0);
+    std::vector<ops::SparseGradRef> refs;
+    for (auto& dp : dp_tables_) {
+        refs.clear();
+        for (int src = 0; src < world_; src++) {
+            const uint32_t* lens = recv_len[src].data() + len_cursor[src];
+            const float* grads = recv_grad[src].data() + grad_cursor[src];
+            size_t offset = idx_cursor[src];
+            for (size_t b = 0; b < b_local; b++) {
+                const float* g = grads + b * d;
+                for (uint32_t k = 0; k < lens[b]; k++) {
+                    refs.push_back({recv_idx[src][offset + k], g});
+                }
+                offset += lens[b];
+            }
+            len_cursor[src] += b_local;
+            grad_cursor[src] += b_local * d;
+            idx_cursor[src] = offset;
+        }
+        if (options_.exact_sparse_update) {
+            dp.optimizer.ApplyExact(dp.replica, refs);
+        } else {
+            dp.optimizer.ApplyNaive(dp.replica, refs);
+        }
+    }
+}
+
+void
+DistributedDlrm::SaveLocal(BinaryWriter& writer) const
+{
+    writer.Write<uint32_t>(0x4E454F43u);  // 'NEOC'
+    writer.Write<int32_t>(rank_);
+    writer.Write<uint64_t>(shards_.size());
+    for (const auto& shard : shards_) {
+        writer.Write<int32_t>(shard.meta.table);
+        writer.Write<int64_t>(shard.meta.row_begin);
+        writer.Write<int64_t>(shard.meta.col_begin);
+        shard.table.Save(writer);
+    }
+    writer.Write<uint64_t>(dp_tables_.size());
+    for (const auto& dp : dp_tables_) {
+        writer.Write<int32_t>(dp.table);
+        dp.replica.Save(writer);
+    }
+    bottom_->Save(writer);
+    top_->Save(writer);
+}
+
+void
+DistributedDlrm::LoadLocal(BinaryReader& reader)
+{
+    NEO_REQUIRE(reader.Read<uint32_t>() == 0x4E454F43u,
+                "bad distributed checkpoint magic");
+    NEO_REQUIRE(reader.Read<int32_t>() == rank_,
+                "checkpoint written by a different rank");
+    const uint64_t num_shards = reader.Read<uint64_t>();
+    NEO_REQUIRE(num_shards == shards_.size(),
+                "checkpoint shard count mismatch");
+    for (auto& shard : shards_) {
+        NEO_REQUIRE(reader.Read<int32_t>() == shard.meta.table,
+                    "checkpoint shard table mismatch");
+        NEO_REQUIRE(reader.Read<int64_t>() == shard.meta.row_begin &&
+                        reader.Read<int64_t>() == shard.meta.col_begin,
+                    "checkpoint shard geometry mismatch");
+        ops::EmbeddingTable loaded = ops::EmbeddingTable::Load(reader);
+        NEO_REQUIRE(loaded.rows() == shard.table.rows() &&
+                        loaded.dim() == shard.table.dim(),
+                    "checkpoint shard shape mismatch");
+        shard.table = std::move(loaded);
+    }
+    const uint64_t num_dp = reader.Read<uint64_t>();
+    NEO_REQUIRE(num_dp == dp_tables_.size(),
+                "checkpoint DP table count mismatch");
+    for (auto& dp : dp_tables_) {
+        NEO_REQUIRE(reader.Read<int32_t>() == dp.table,
+                    "checkpoint DP table mismatch");
+        ops::EmbeddingTable loaded = ops::EmbeddingTable::Load(reader);
+        dp.replica = std::move(loaded);
+    }
+    bottom_->Load(reader);
+    top_->Load(reader);
+}
+
+void
+DistributedDlrm::AllReduceMlpGrads()
+{
+    const size_t bottom_count = bottom_->GradCount();
+    bottom_->PackGrads(grad_buffer_.data());
+    top_->PackGrads(grad_buffer_.data() + bottom_count);
+    pg_.AllReduceSum(grad_buffer_.data(), grad_buffer_.size());
+    bottom_->UnpackGrads(grad_buffer_.data());
+    top_->UnpackGrads(grad_buffer_.data() + bottom_count);
+}
+
+void
+DistributedDlrm::Predict(const data::Batch& local_batch, Matrix& logits)
+{
+    PreparedInput prepared = PrepareInput(local_batch);
+    const size_t b_local = prepared.local_batch;
+
+    std::vector<Matrix> shard_pooled;
+    ForwardEmbeddings(prepared, shard_pooled);
+    std::vector<Matrix> pooled;
+    ExchangePooled(shard_pooled, b_local, pooled);
+    for (const auto& dp : dp_tables_) {
+        Matrix& out = pooled[dp.table];
+        const auto input = prepared.local_sparse.InputForTable(
+            static_cast<size_t>(dp.table));
+        size_t offset = 0;
+        for (size_t b = 0; b < b_local; b++) {
+            float* row = out.Row(b);
+            for (uint32_t k = 0; k < input.lengths[b]; k++) {
+                dp.replica.AccumulateRow(input.indices[offset + k], 1.0f,
+                                         row);
+            }
+            offset += input.lengths[b];
+        }
+    }
+
+    Matrix bottom_out;
+    bottom_->Forward(prepared.dense, bottom_out);
+    Matrix interacted(b_local, interaction_->OutputDim());
+    interaction_->Forward(bottom_out, pooled, interacted);
+    top_->Forward(interacted, logits);
+}
+
+void
+DistributedDlrm::Evaluate(const data::Batch& local_batch,
+                          NormalizedEntropy& ne)
+{
+    Matrix logits;
+    Predict(local_batch, logits);
+    ne.AddLogits(logits, local_batch.labels);
+}
+
+}  // namespace neo::core

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Synchronous hybrid-parallel DLRM trainer (Sec. 3 / Fig. 4).
+ *
+ * Each worker (one per simulated GPU) holds:
+ *  - a full replica of the bottom/top MLPs (data parallelism; gradients
+ *    are AllReduced every step),
+ *  - the embedding-table shards a ShardingPlan assigned to it (model
+ *    parallelism; inputs and pooled outputs move via AllToAll, partial
+ *    pools of row-wise shards are reduced, data-parallel tables are
+ *    replicated and synchronized with an exact global sparse update).
+ *
+ * The training step follows the paper's dependency graph (Fig. 9):
+ * input AllToAll -> embedding lookup -> pooled AllToAll (optionally FP16
+ * quantized) -> interaction -> top MLP -> loss -> backward -> gradient
+ * AllToAll (optionally BF16) -> fused exact embedding update, with the MLP
+ * AllReduce at the end of the backward pass.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "comm/process_group.h"
+#include "comm/quantized.h"
+#include "core/dlrm_config.h"
+#include "data/dataset.h"
+#include "ops/mlp.h"
+#include "sharding/planner.h"
+#include "tensor/interaction.h"
+#include "tensor/loss.h"
+
+namespace neo::core {
+
+/** Trainer knobs beyond the model config. */
+struct DistributedOptions {
+    /** Wire precision of the forward pooled-embedding AllToAll. */
+    Precision forward_alltoall = Precision::kFp32;
+    /** Wire precision of the backward gradient AllToAll. */
+    Precision backward_alltoall = Precision::kFp32;
+    /** Use the exact (sorted/merged) sparse update; false = naive path. */
+    bool exact_sparse_update = true;
+};
+
+/** One worker's view of the distributed model. */
+class DistributedDlrm
+{
+  public:
+    /**
+     * Construct this worker's partition. Must be called by every rank of
+     * `pg` with identical config/plan/options.
+     */
+    DistributedDlrm(const DlrmConfig& config,
+                    const sharding::ShardingPlan& plan,
+                    comm::ProcessGroup& pg,
+                    const DistributedOptions& options = {});
+
+    /** Result of the input-distribution phase for one local batch. */
+    struct PreparedInput {
+        /** Local dense features and labels. */
+        Matrix dense;
+        std::vector<float> labels;
+        /** Local sparse slice (kept for DP tables). */
+        data::KeyedJagged local_sparse;
+        /** Global-batch input per local shard (canonical shard order). */
+        std::vector<data::KeyedJagged> shard_inputs;
+        size_t local_batch = 0;
+    };
+
+    /**
+     * Input-distribution phase: redistribute this worker's local slice of
+     * the global batch to shard owners (collective; all ranks must call).
+     * Split out from TrainStep so a driver can overlap it with the
+     * previous step's compute, as in the paper's pipelining (Sec. 4.3).
+     */
+    PreparedInput PrepareInput(const data::Batch& local_batch);
+
+    /** Full training step on a prepared input. Returns global mean loss. */
+    double TrainStepPrepared(PreparedInput& prepared);
+
+    /** Convenience: PrepareInput + TrainStepPrepared. */
+    double TrainStep(const data::Batch& local_batch);
+
+    /** Forward-only logits for this worker's local batch (collective). */
+    void Predict(const data::Batch& local_batch, Matrix& logits);
+
+    /** Accumulate local-batch NE (collective; merge across workers). */
+    void Evaluate(const data::Batch& local_batch, NormalizedEntropy& ne);
+
+    // ---- introspection for tests / verification ----
+
+    /** One locally-owned shard (model-parallel). */
+    struct LocalShard {
+        sharding::Shard meta;
+        ops::EmbeddingTable table;
+        ops::SparseOptimizer optimizer;
+        LocalShard(const sharding::Shard& m, ops::EmbeddingTable t,
+                   ops::SparseOptimizer o)
+            : meta(m), table(std::move(t)), optimizer(std::move(o)) {}
+    };
+
+    /** Replicated data-parallel table. */
+    struct DpTable {
+        int table = -1;
+        ops::EmbeddingTable replica;
+        ops::SparseOptimizer optimizer;
+        DpTable(int idx, ops::EmbeddingTable t, ops::SparseOptimizer o)
+            : table(idx), replica(std::move(t)), optimizer(std::move(o)) {}
+    };
+
+    /**
+     * Serialize this worker's partition (its shards, DP replicas and MLP
+     * replica). Each rank writes its own stream; together the streams
+     * form a sharded checkpoint (Sec. 4.4).
+     */
+    void SaveLocal(BinaryWriter& writer) const;
+
+    /** Restore a partition written by SaveLocal on the same rank of an
+     *  identically-configured trainer. */
+    void LoadLocal(BinaryReader& reader);
+
+    size_t NumLocalShards() const { return shards_.size(); }
+    const LocalShard& local_shard(size_t i) const { return shards_[i]; }
+    size_t NumDpTables() const { return dp_tables_.size(); }
+    const DpTable& dp_table(size_t i) const { return dp_tables_[i]; }
+    ops::Mlp& bottom_mlp() { return *bottom_; }
+    ops::Mlp& top_mlp() { return *top_; }
+    comm::ProcessGroup& process_group() { return pg_; }
+    const DlrmConfig& config() const { return config_; }
+
+  private:
+    // -- construction helpers --
+    void BuildShards();
+    void BuildRoutes();
+
+    // -- step phases --
+    void ForwardEmbeddings(const PreparedInput& prepared,
+                           std::vector<Matrix>& pooled_local);
+    void ExchangePooled(const std::vector<Matrix>& shard_pooled,
+                        size_t local_batch, std::vector<Matrix>& pooled_out);
+    void ExchangeGradsAndUpdate(const PreparedInput& prepared,
+                                const std::vector<Matrix>& grad_pooled);
+    void UpdateDpTables(const PreparedInput& prepared,
+                        const std::vector<Matrix>& grad_pooled);
+    void AllReduceMlpGrads();
+
+    DlrmConfig config_;
+    sharding::ShardingPlan plan_;
+    comm::ProcessGroup& pg_;
+    DistributedOptions options_;
+    int rank_;
+    int world_;
+
+    std::unique_ptr<ops::Mlp> bottom_;
+    std::unique_ptr<ops::Mlp> top_;
+    std::unique_ptr<DotInteraction> interaction_;
+    ops::DenseOptimizer dense_opt_;
+    std::vector<size_t> bottom_slots_;
+    std::vector<size_t> top_slots_;
+
+    /** Non-DP shards owned by this worker, canonical order. */
+    std::vector<LocalShard> shards_;
+    /** Replicated DP tables. */
+    std::vector<DpTable> dp_tables_;
+    /** Table index -> DP slot (or -1). */
+    std::vector<int> dp_slot_of_table_;
+
+    /**
+     * Canonical global shard list (non-DP), identical on every worker:
+     * plan order filtered and sorted by (table, row_begin, col_begin).
+     */
+    std::vector<sharding::Shard> global_shards_;
+    /** global_shards_ indices owned by worker w. */
+    std::vector<std::vector<size_t>> route_;
+
+    /** Scratch: flat MLP gradient buffer for the AllReduce. */
+    std::vector<float> grad_buffer_;
+};
+
+}  // namespace neo::core

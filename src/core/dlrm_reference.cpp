@@ -1,0 +1,135 @@
+#include "core/dlrm_reference.h"
+
+#include "common/logging.h"
+
+namespace neo::core {
+
+DlrmReference::DlrmReference(const DlrmConfig& config)
+    : config_(config), dense_opt_(config.dense_optimizer)
+{
+    config_.Validate();
+    Rng mlp_rng(config_.seed);
+    bottom_ = std::make_unique<ops::Mlp>(
+        ops::MlpConfig{config_.BottomLayerSizes(), /*final_relu=*/true},
+        mlp_rng);
+    top_ = std::make_unique<ops::Mlp>(
+        ops::MlpConfig{config_.TopLayerSizes(), /*final_relu=*/false},
+        mlp_rng);
+    embeddings_ = std::make_unique<ops::EmbeddingBagCollection>(
+        config_.TableSpecs(), config_.sparse_optimizer, config_.seed);
+    interaction_ = std::make_unique<DotInteraction>(config_.tables.size(),
+                                                    config_.EmbeddingDim());
+    bottom_slots_ = bottom_->RegisterParams(dense_opt_);
+    top_slots_ = top_->RegisterParams(dense_opt_);
+}
+
+std::vector<ops::TableInput>
+DlrmReference::TableInputs(const data::Batch& batch) const
+{
+    NEO_REQUIRE(batch.sparse.num_tables == config_.tables.size(),
+                "batch table count mismatch");
+    std::vector<ops::TableInput> inputs;
+    inputs.reserve(config_.tables.size());
+    for (size_t t = 0; t < config_.tables.size(); t++) {
+        inputs.push_back(batch.sparse.InputForTable(t));
+    }
+    return inputs;
+}
+
+void
+DlrmReference::Predict(const data::Batch& batch, Matrix& logits)
+{
+    const size_t b = batch.size();
+    bottom_->Forward(batch.dense, bottom_out_);
+    embeddings_->Forward(TableInputs(batch), b, pooled_);
+    if (interacted_.rows() != b ||
+        interacted_.cols() != interaction_->OutputDim()) {
+        interacted_ = Matrix(b, interaction_->OutputDim());
+    }
+    interaction_->Forward(bottom_out_, pooled_, interacted_);
+    top_->Forward(interacted_, logits);
+}
+
+double
+DlrmReference::TrainStep(const data::Batch& batch)
+{
+    const size_t b = batch.size();
+    const auto inputs = TableInputs(batch);
+
+    // ---- forward ----
+    Predict(batch, logits_);
+    const double loss = BceWithLogitsLoss(logits_, batch.labels);
+
+    // ---- backward ----
+    Matrix grad_logits(b, 1);
+    BceWithLogitsGrad(logits_, batch.labels, grad_logits);
+
+    top_->ZeroGrads();
+    Matrix grad_interacted;
+    top_->Backward(grad_logits, grad_interacted);
+
+    Matrix grad_bottom_out(b, config_.EmbeddingDim());
+    std::vector<Matrix> grad_pooled(config_.tables.size());
+    for (auto& g : grad_pooled) {
+        g = Matrix(b, config_.EmbeddingDim());
+    }
+    interaction_->Backward(grad_interacted, grad_bottom_out, grad_pooled);
+
+    bottom_->ZeroGrads();
+    Matrix grad_dense_unused;
+    bottom_->Backward(grad_bottom_out, grad_dense_unused);
+
+    // ---- update ----
+    embeddings_->BackwardAndUpdate(inputs, b, grad_pooled);
+    bottom_->ApplyOptimizer(dense_opt_, bottom_slots_);
+    top_->ApplyOptimizer(dense_opt_, top_slots_);
+    return loss;
+}
+
+void
+DlrmReference::Evaluate(const data::Batch& batch, NormalizedEntropy& ne)
+{
+    Matrix logits;
+    Predict(batch, logits);
+    ne.AddLogits(logits, batch.labels);
+}
+
+bool
+DlrmReference::Identical(DlrmReference& a, DlrmReference& b)
+{
+    if (!ops::Mlp::Identical(*a.bottom_, *b.bottom_) ||
+        !ops::Mlp::Identical(*a.top_, *b.top_)) {
+        return false;
+    }
+    if (a.embeddings_->NumTables() != b.embeddings_->NumTables()) {
+        return false;
+    }
+    for (size_t t = 0; t < a.embeddings_->NumTables(); t++) {
+        if (!ops::EmbeddingTable::Identical(a.embeddings_->table(t),
+                                            b.embeddings_->table(t))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+DlrmReference::Save(BinaryWriter& writer) const
+{
+    writer.Write<uint32_t>(0x444C524Du);  // 'DLRM'
+    bottom_->Save(writer);
+    top_->Save(writer);
+    embeddings_->Save(writer);
+}
+
+void
+DlrmReference::Load(BinaryReader& reader)
+{
+    const uint32_t magic = reader.Read<uint32_t>();
+    NEO_REQUIRE(magic == 0x444C524Du, "bad DLRM checkpoint magic");
+    bottom_->Load(reader);
+    top_->Load(reader);
+    embeddings_->Load(reader);
+}
+
+}  // namespace neo::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Single-process DLRM reference model: the ground truth the distributed
+ * trainer is validated against, and the model the async parameter-server
+ * baseline trains. Runs the full forward/backward/update path in one
+ * address space with no communication.
+ */
+#pragma once
+
+#include <memory>
+
+#include "core/dlrm_config.h"
+#include "data/dataset.h"
+#include "ops/mlp.h"
+#include "tensor/interaction.h"
+#include "tensor/loss.h"
+
+namespace neo::core {
+
+/** Complete single-process DLRM with fused embedding ops. */
+class DlrmReference
+{
+  public:
+    explicit DlrmReference(const DlrmConfig& config);
+
+    /** Forward only: compute logits for a batch. */
+    void Predict(const data::Batch& batch, Matrix& logits);
+
+    /**
+     * One synchronous training step: forward, loss, backward, exact sparse
+     * update + dense optimizer step.
+     * @return Mean BCE loss of the batch.
+     */
+    double TrainStep(const data::Batch& batch);
+
+    /** Evaluate NE over a batch without updating parameters. */
+    void Evaluate(const data::Batch& batch, NormalizedEntropy& ne);
+
+    const DlrmConfig& config() const { return config_; }
+    ops::EmbeddingBagCollection& embeddings() { return *embeddings_; }
+    ops::Mlp& bottom_mlp() { return *bottom_; }
+    ops::Mlp& top_mlp() { return *top_; }
+
+    /** Bitwise parameter equality (determinism tests). */
+    static bool Identical(DlrmReference& a, DlrmReference& b);
+
+    /** Serialize all parameters. */
+    void Save(BinaryWriter& writer) const;
+
+    /** Restore all parameters. */
+    void Load(BinaryReader& reader);
+
+  private:
+    /** Gather per-table TableInput views from a batch. */
+    std::vector<ops::TableInput> TableInputs(const data::Batch& batch) const;
+
+    DlrmConfig config_;
+    std::unique_ptr<ops::Mlp> bottom_;
+    std::unique_ptr<ops::Mlp> top_;
+    std::unique_ptr<ops::EmbeddingBagCollection> embeddings_;
+    std::unique_ptr<DotInteraction> interaction_;
+    ops::DenseOptimizer dense_opt_;
+    std::vector<size_t> bottom_slots_;
+    std::vector<size_t> top_slots_;
+
+    // Reused forward/backward buffers.
+    Matrix bottom_out_;
+    std::vector<Matrix> pooled_;
+    Matrix interacted_;
+    Matrix logits_;
+};
+
+}  // namespace neo::core

@@ -1,0 +1,35 @@
+#include "core/pipeline.h"
+
+namespace neo::core {
+
+std::optional<double>
+PipelinedTrainer::Push(const data::Batch& local_batch)
+{
+    // Stage 1: distribute the incoming batch's sparse inputs (the
+    // AllToAll that would overlap compute on hardware).
+    DistributedDlrm::PreparedInput next =
+        trainer_.PrepareInput(local_batch);
+
+    // Stage 2: train the previously prepared batch.
+    std::optional<double> loss;
+    if (pending_.has_value()) {
+        loss = trainer_.TrainStepPrepared(*pending_);
+        steps_completed_++;
+    }
+    pending_ = std::move(next);
+    return loss;
+}
+
+std::optional<double>
+PipelinedTrainer::Flush()
+{
+    if (!pending_.has_value()) {
+        return std::nullopt;
+    }
+    const double loss = trainer_.TrainStepPrepared(*pending_);
+    steps_completed_++;
+    pending_.reset();
+    return loss;
+}
+
+}  // namespace neo::core

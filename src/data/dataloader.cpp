@@ -1,0 +1,37 @@
+#include "data/dataloader.h"
+
+namespace neo::data {
+
+DataLoader::DataLoader(const DatasetConfig& config, size_t batch_size)
+    : dataset_(std::make_unique<SyntheticCtrDataset>(config)),
+      batch_size_(batch_size)
+{
+    StartPrefetch();
+}
+
+DataLoader::~DataLoader()
+{
+    if (pending_.valid()) {
+        pending_.wait();  // join the in-flight generation before teardown
+    }
+}
+
+void
+DataLoader::StartPrefetch()
+{
+    // One async generation in flight at a time; the dataset is only touched
+    // by that task, so no locking is needed.
+    pending_ = std::async(std::launch::async, [this] {
+        return dataset_->NextBatch(batch_size_);
+    });
+}
+
+Batch
+DataLoader::NextBatch()
+{
+    Batch batch = pending_.get();
+    StartPrefetch();
+    return batch;
+}
+
+}  // namespace neo::data

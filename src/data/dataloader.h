@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Double-buffered data loader (Sec. 3.0.2 / 4.3): batch i+1 is generated
+ * on a background thread while batch i trains, the CPU-side analogue of
+ * overlapping host-to-device input transfer with compute.
+ */
+#pragma once
+
+#include <future>
+#include <memory>
+
+#include "data/dataset.h"
+
+namespace neo::data {
+
+/** Prefetching wrapper around SyntheticCtrDataset. */
+class DataLoader
+{
+  public:
+    /**
+     * @param config Dataset configuration.
+     * @param batch_size Fixed batch size for every NextBatch() call.
+     */
+    DataLoader(const DatasetConfig& config, size_t batch_size);
+
+    ~DataLoader();
+
+    DataLoader(const DataLoader&) = delete;
+    DataLoader& operator=(const DataLoader&) = delete;
+
+    /**
+     * Return the prefetched batch and kick off generation of the next one.
+     * The stream is identical to calling the dataset directly.
+     */
+    Batch NextBatch();
+
+    size_t batch_size() const { return batch_size_; }
+
+  private:
+    void StartPrefetch();
+
+    std::unique_ptr<SyntheticCtrDataset> dataset_;
+    size_t batch_size_;
+    std::future<Batch> pending_;
+};
+
+}  // namespace neo::data

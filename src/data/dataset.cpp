@@ -1,0 +1,94 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::data {
+
+SyntheticCtrDataset::SyntheticCtrDataset(const DatasetConfig& config)
+    : config_(config), rng_(config.seed)
+{
+    NEO_REQUIRE(!config_.features.empty(), "need at least one sparse feature");
+    samplers_.reserve(config_.features.size());
+    for (const auto& f : config_.features) {
+        NEO_REQUIRE(f.rows > 0, "feature rows must be positive");
+        samplers_.emplace_back(static_cast<uint64_t>(f.rows), f.zipf_s);
+    }
+    // Planted dense weights, deterministic from the TASK seed.
+    Rng wrng(EffectiveTaskSeed() ^ 0xD15EA5Eull);
+    dense_weights_.resize(config_.num_dense);
+    for (auto& w : dense_weights_) {
+        w = wrng.NextGaussian() * config_.signal_scale;
+    }
+}
+
+uint64_t
+SyntheticCtrDataset::EffectiveTaskSeed() const
+{
+    return config_.task_seed != 0 ? config_.task_seed : config_.seed;
+}
+
+float
+SyntheticCtrDataset::PlantedRowWeight(size_t feature, int64_t row) const
+{
+    // Hash-derived Gaussian-ish weight: deterministic, no O(rows) table.
+    SplitMix64 h((EffectiveTaskSeed() << 1) ^ (feature * 0x9E3779B9ull) ^
+                 static_cast<uint64_t>(row));
+    const uint64_t bits = h.Next();
+    // Sum of four uniforms approximates a Gaussian well enough here.
+    float acc = 0.0f;
+    for (int i = 0; i < 4; i++) {
+        acc += static_cast<float>((bits >> (i * 16)) & 0xFFFF) / 65535.0f;
+    }
+    return (acc - 2.0f) * config_.signal_scale;
+}
+
+Batch
+SyntheticCtrDataset::NextBatch(size_t batch_size)
+{
+    NEO_REQUIRE(batch_size > 0, "batch must be non-empty");
+    Batch batch;
+    batch.dense = Matrix(batch_size, config_.num_dense);
+    batch.sparse = KeyedJagged::Empty(config_.features.size(), batch_size);
+    batch.labels.resize(batch_size);
+
+    // Sample sparse indices table-major so the combined format builds
+    // directly; remember per-sample planted contribution.
+    std::vector<float> sparse_signal(batch_size, 0.0f);
+    for (size_t t = 0; t < config_.features.size(); t++) {
+        const auto& f = config_.features[t];
+        for (size_t b = 0; b < batch_size; b++) {
+            const uint32_t len =
+                std::max<uint32_t>(1, rng_.NextPoisson(f.pooling));
+            batch.sparse.lengths[t * batch_size + b] = len;
+            float contrib = 0.0f;
+            for (uint32_t i = 0; i < len; i++) {
+                const int64_t row =
+                    static_cast<int64_t>(samplers_[t].Sample(rng_));
+                batch.sparse.indices.push_back(row);
+                contrib += PlantedRowWeight(t, row);
+            }
+            // Average so pooling size doesn't dominate the logit scale.
+            sparse_signal[b] += contrib / static_cast<float>(len);
+        }
+    }
+    batch.sparse.RebuildOffsets();
+
+    // Dense features and labels.
+    for (size_t b = 0; b < batch_size; b++) {
+        float logit = config_.logit_bias;
+        for (size_t d = 0; d < config_.num_dense; d++) {
+            const float x = rng_.NextGaussian();
+            batch.dense(b, d) = x;
+            logit += dense_weights_[d] * x;
+        }
+        logit += sparse_signal[b];
+        logit += rng_.NextGaussian() * config_.noise_scale;
+        const float p = 1.0f / (1.0f + std::exp(-logit));
+        batch.labels[b] = rng_.NextFloat() < p ? 1.0f : 0.0f;
+    }
+    return batch;
+}
+
+}  // namespace neo::data

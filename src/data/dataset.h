@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic CTR dataset generator.
+ *
+ * The paper trains on petabytes of production click-through data that we
+ * cannot ship; this generator produces a stream with the properties the
+ * system actually exercises: Zipf-skewed categorical index distributions
+ * (drives cache hit rates and row-update collision rates), Poisson pooling
+ * lengths (drives jagged-input handling and load balance), and a planted
+ * logistic ground truth (so normalized entropy measurably improves with
+ * training, as in Fig. 10).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/jagged.h"
+#include "tensor/matrix.h"
+
+namespace neo::data {
+
+/** Shape/distribution of one sparse (categorical) feature. */
+struct SparseFeatureConfig {
+    /** Hash size (number of rows in its embedding table). */
+    int64_t rows = 1000;
+    /** Mean pooling size (Poisson-distributed per sample, min 1). */
+    double pooling = 10.0;
+    /** Zipf skew exponent of index popularity (0 = uniform). */
+    double zipf_s = 1.05;
+};
+
+/** Generator configuration. */
+struct DatasetConfig {
+    size_t num_dense = 16;
+    std::vector<SparseFeatureConfig> features;
+    /** Sampling-stream seed: which samples get drawn, in what order. */
+    uint64_t seed = 42;
+    /**
+     * Ground-truth seed: the planted dense/row weights that define the
+     * TASK. 0 means "same as seed". Parallel readers of one task must
+     * share task_seed while using distinct stream seeds (see ReaderTier).
+     */
+    uint64_t task_seed = 0;
+    /** Scale of planted per-row weights (signal strength). */
+    float signal_scale = 0.6f;
+    /** Additive Gaussian logit noise (label randomness). */
+    float noise_scale = 0.8f;
+    /** Base-rate offset added to the logit (negative => CTR < 50%). */
+    float logit_bias = -1.0f;
+};
+
+/** One mini-batch: dense features, jagged sparse inputs and labels. */
+struct Batch {
+    Matrix dense;        // batch x num_dense
+    KeyedJagged sparse;  // per-feature jagged inputs
+    std::vector<float> labels;
+
+    size_t size() const { return labels.size(); }
+};
+
+/**
+ * Deterministic synthetic CTR stream. Two generators with the same config
+ * produce the same batch sequence, so different worker counts can carve
+ * identical global batches.
+ */
+class SyntheticCtrDataset
+{
+  public:
+    explicit SyntheticCtrDataset(const DatasetConfig& config);
+
+    /** Generate the next `batch_size` samples. */
+    Batch NextBatch(size_t batch_size);
+
+    const DatasetConfig& config() const { return config_; }
+
+    /**
+     * The planted "true" weight for (feature, row): what the embedding of
+     * that row should learn to express. Exposed for tests.
+     */
+    float PlantedRowWeight(size_t feature, int64_t row) const;
+
+  private:
+    /** Resolved ground-truth seed (task_seed or seed). */
+    uint64_t EffectiveTaskSeed() const;
+
+    DatasetConfig config_;
+    Rng rng_;
+    std::vector<ZipfSampler> samplers_;
+    std::vector<float> dense_weights_;
+};
+
+}  // namespace neo::data

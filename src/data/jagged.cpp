@@ -1,0 +1,182 @@
+#include "data/jagged.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace neo::data {
+
+KeyedJagged
+KeyedJagged::Empty(size_t num_tables, size_t batch)
+{
+    KeyedJagged kj;
+    kj.batch = batch;
+    kj.num_tables = num_tables;
+    kj.lengths.assign(num_tables * batch, 0);
+    kj.table_offsets.assign(num_tables + 1, 0);
+    return kj;
+}
+
+void
+KeyedJagged::RebuildOffsets()
+{
+    table_offsets.assign(num_tables + 1, 0);
+    for (size_t t = 0; t < num_tables; t++) {
+        size_t count = 0;
+        for (size_t b = 0; b < batch; b++) {
+            count += lengths[t * batch + b];
+        }
+        table_offsets[t + 1] = table_offsets[t] + count;
+    }
+}
+
+std::span<const uint32_t>
+KeyedJagged::LengthsForTable(size_t t) const
+{
+    NEO_CHECK(t < num_tables, "table index out of range");
+    return {lengths.data() + t * batch, batch};
+}
+
+std::span<const int64_t>
+KeyedJagged::IndicesForTable(size_t t) const
+{
+    NEO_CHECK(t < num_tables, "table index out of range");
+    return {indices.data() + table_offsets[t],
+            table_offsets[t + 1] - table_offsets[t]};
+}
+
+ops::TableInput
+KeyedJagged::InputForTable(size_t t) const
+{
+    return {LengthsForTable(t), IndicesForTable(t)};
+}
+
+void
+KeyedJagged::CheckConsistent() const
+{
+    NEO_CHECK(lengths.size() == num_tables * batch, "lengths size mismatch");
+    NEO_CHECK(table_offsets.size() == num_tables + 1,
+              "table_offsets size mismatch");
+    NEO_CHECK(table_offsets.front() == 0, "offsets must start at 0");
+    for (size_t t = 0; t < num_tables; t++) {
+        size_t count = 0;
+        for (size_t b = 0; b < batch; b++) {
+            count += lengths[t * batch + b];
+        }
+        NEO_CHECK(table_offsets[t + 1] - table_offsets[t] == count,
+                  "offsets inconsistent with lengths for table ", t);
+    }
+    NEO_CHECK(table_offsets.back() == indices.size(),
+              "indices size inconsistent with offsets");
+}
+
+KeyedJagged
+KeyedJagged::SliceBatch(size_t begin, size_t end) const
+{
+    NEO_REQUIRE(begin <= end && end <= batch, "bad batch slice");
+    KeyedJagged out = Empty(num_tables, end - begin);
+    for (size_t t = 0; t < num_tables; t++) {
+        // Find the index offset of `begin` within this table.
+        size_t skip = 0;
+        for (size_t b = 0; b < begin; b++) {
+            skip += lengths[t * batch + b];
+        }
+        size_t take = 0;
+        for (size_t b = begin; b < end; b++) {
+            const uint32_t len = lengths[t * batch + b];
+            out.lengths[t * out.batch + (b - begin)] = len;
+            take += len;
+        }
+        const size_t src = table_offsets[t] + skip;
+        out.indices.insert(out.indices.end(), indices.begin() + src,
+                           indices.begin() + src + take);
+    }
+    out.RebuildOffsets();
+    return out;
+}
+
+KeyedJagged
+KeyedJagged::SliceTable(size_t t) const
+{
+    NEO_REQUIRE(t < num_tables, "table index out of range");
+    KeyedJagged out = Empty(1, batch);
+    std::copy(lengths.begin() + t * batch, lengths.begin() + (t + 1) * batch,
+              out.lengths.begin());
+    const auto idx = IndicesForTable(t);
+    out.indices.assign(idx.begin(), idx.end());
+    out.RebuildOffsets();
+    return out;
+}
+
+KeyedJagged
+ConcatBatches(std::span<const KeyedJagged> pieces)
+{
+    NEO_REQUIRE(!pieces.empty(), "nothing to concatenate");
+    const size_t num_tables = pieces[0].num_tables;
+    size_t total_batch = 0;
+    for (const auto& p : pieces) {
+        NEO_REQUIRE(p.num_tables == num_tables,
+                    "all pieces must have the same table set");
+        total_batch += p.batch;
+    }
+
+    KeyedJagged out = KeyedJagged::Empty(num_tables, total_batch);
+    // The incoming layout is (source, table, sample); we emit
+    // (table, source, sample) so each table's data is contiguous.
+    for (size_t t = 0; t < num_tables; t++) {
+        size_t b_out = 0;
+        for (const auto& p : pieces) {
+            const auto lens = p.LengthsForTable(t);
+            for (size_t b = 0; b < p.batch; b++) {
+                out.lengths[t * total_batch + b_out + b] = lens[b];
+            }
+            const auto idx = p.IndicesForTable(t);
+            out.indices.insert(out.indices.end(), idx.begin(), idx.end());
+            b_out += p.batch;
+        }
+    }
+    out.RebuildOffsets();
+    out.CheckConsistent();
+    return out;
+}
+
+Bucketized
+BucketizeRows(const KeyedJagged& input, std::span<const int64_t> row_splits,
+              bool rebase)
+{
+    NEO_REQUIRE(input.num_tables == 1, "BucketizeRows expects one table");
+    NEO_REQUIRE(row_splits.size() >= 2, "need at least one bucket");
+    const size_t num_buckets = row_splits.size() - 1;
+
+    Bucketized result;
+    result.buckets.reserve(num_buckets);
+    for (size_t k = 0; k < num_buckets; k++) {
+        result.buckets.push_back(KeyedJagged::Empty(1, input.batch));
+    }
+
+    const auto lens = input.LengthsForTable(0);
+    const auto idx = input.IndicesForTable(0);
+    size_t pos = 0;
+    for (size_t b = 0; b < input.batch; b++) {
+        for (uint32_t i = 0; i < lens[b]; i++) {
+            const int64_t row = idx[pos++];
+            // Locate the bucket; splits are sorted so binary search works,
+            // but bucket counts are small and this is clearer.
+            size_t k = 0;
+            while (k + 1 < num_buckets && row >= row_splits[k + 1]) {
+                k++;
+            }
+            NEO_CHECK(row >= row_splits[k] && row < row_splits[k + 1],
+                      "index ", row, " outside all buckets");
+            auto& bucket = result.buckets[k];
+            bucket.lengths[b]++;
+            bucket.indices.push_back(rebase ? row - row_splits[k] : row);
+        }
+    }
+    for (auto& bucket : result.buckets) {
+        bucket.RebuildOffsets();
+    }
+    return result;
+}
+
+}  // namespace neo::data

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The "combined format" sparse-input representation (Sec. 4.4).
+ *
+ * Instead of per-table offset/index tensor pairs (a thousand tiny tensors
+ * for production DLRMs), all tables' inputs are packed into one lengths
+ * array and one indices array: lengths[t*batch + b] is the number of
+ * indices sample b contributes to table t, and the indices of all tables
+ * are concatenated in table order. This consolidates host-to-device copies
+ * and is directly consumable by the fused embedding kernel.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ops/embedding_bag.h"
+
+namespace neo::data {
+
+/** Multi-table jagged sparse input in combined lengths+indices format. */
+struct KeyedJagged {
+    size_t batch = 0;
+    size_t num_tables = 0;
+    /** num_tables * batch lengths, table-major. */
+    std::vector<uint32_t> lengths;
+    /** All tables' indices concatenated in table order. */
+    std::vector<int64_t> indices;
+    /** num_tables + 1 offsets into `indices`. */
+    std::vector<size_t> table_offsets;
+
+    /** Build an empty container for `num_tables` tables of `batch` samples. */
+    static KeyedJagged Empty(size_t num_tables, size_t batch);
+
+    /** Recompute table_offsets from lengths (after filling lengths). */
+    void RebuildOffsets();
+
+    /** Lengths span for one table. */
+    std::span<const uint32_t> LengthsForTable(size_t t) const;
+
+    /** Indices span for one table. */
+    std::span<const int64_t> IndicesForTable(size_t t) const;
+
+    /** View usable by the fused embedding ops. */
+    ops::TableInput InputForTable(size_t t) const;
+
+    /** Total number of indices across tables. */
+    size_t TotalIndices() const { return indices.size(); }
+
+    /** Validate internal consistency (lengths vs offsets vs indices). */
+    void CheckConsistent() const;
+
+    /**
+     * Extract the sub-batch [begin, end) across all tables (used to carve
+     * a worker's local batch out of a global batch).
+     */
+    KeyedJagged SliceBatch(size_t begin, size_t end) const;
+
+    /** Extract a single table's data as a 1-table KeyedJagged. */
+    KeyedJagged SliceTable(size_t t) const;
+};
+
+/**
+ * Concatenate per-source KeyedJagged pieces (same table set, varying batch)
+ * along the batch dimension in source order — the (W,T,B) -> (T,W,B)
+ * permute step after the input AllToAll (Sec. 4.4).
+ */
+KeyedJagged ConcatBatches(std::span<const KeyedJagged> pieces);
+
+/**
+ * Result of bucketizing one table's input by row range for row-wise
+ * sharding: per-bucket lengths/indices with indices rebased to the bucket's
+ * row range.
+ */
+struct Bucketized {
+    /** One KeyedJagged (single table) per bucket. */
+    std::vector<KeyedJagged> buckets;
+};
+
+/**
+ * Bucketize a single-table input by row boundaries.
+ *
+ * @param input Single-table KeyedJagged.
+ * @param row_splits Bucket boundaries: bucket i covers
+ *   [row_splits[i], row_splits[i+1]).
+ * @param rebase Subtract the bucket's row_begin from each index.
+ */
+Bucketized BucketizeRows(const KeyedJagged& input,
+                         std::span<const int64_t> row_splits,
+                         bool rebase = true);
+
+}  // namespace neo::data

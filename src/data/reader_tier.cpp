@@ -1,0 +1,80 @@
+#include "data/reader_tier.h"
+
+#include "common/logging.h"
+
+namespace neo::data {
+
+ReaderTier::ReaderTier(const DatasetConfig& config,
+                       const ReaderTierOptions& options)
+    : config_(config), options_(options)
+{
+    NEO_REQUIRE(options_.num_readers >= 1, "need at least one reader");
+    NEO_REQUIRE(options_.queue_capacity >= 1, "need queue capacity");
+    readers_.reserve(options_.num_readers);
+    for (int r = 0; r < options_.num_readers; r++) {
+        readers_.emplace_back([this, r] { ReaderLoop(r); });
+    }
+}
+
+ReaderTier::~ReaderTier()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    for (auto& reader : readers_) {
+        reader.join();
+    }
+}
+
+void
+ReaderTier::ReaderLoop(int reader_id)
+{
+    // Each reader owns a disjoint SAMPLING stream, but all readers share
+    // the task's planted ground truth.
+    DatasetConfig config = config_;
+    if (config.task_seed == 0) {
+        config.task_seed = config_.seed;
+    }
+    config.seed = config_.seed + 1 + static_cast<uint64_t>(reader_id) * 7919;
+    SyntheticCtrDataset dataset(config);
+
+    while (true) {
+        Batch batch = dataset.NextBatch(options_.batch_size);
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return stopping_ || queue_.size() < options_.queue_capacity;
+        });
+        if (stopping_) {
+            return;
+        }
+        queue_.push_back(std::move(batch));
+        produced_++;
+        lock.unlock();
+        not_empty_.notify_one();
+    }
+}
+
+Batch
+ReaderTier::NextBatch()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty(); });
+    Batch batch = std::move(queue_.front());
+    queue_.pop_front();
+    consumed_++;
+    lock.unlock();
+    not_full_.notify_one();
+    return batch;
+}
+
+uint64_t
+ReaderTier::batches_produced() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return produced_;
+}
+
+}  // namespace neo::data

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Disaggregated reader tier (Fig. 6): the paper feeds ZionEX trainers
+ * from a separate data-ingestion service that streams from the network
+ * store and pre-processes in parallel, so ingestion never bottlenecks
+ * training. This module emulates that tier: N reader threads produce
+ * batches into a bounded queue that the trainer drains.
+ *
+ * Batches from different readers interleave non-deterministically (as
+ * with a real service); each reader owns a disjoint stream (distinct
+ * seed), so no sample is duplicated.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace neo::data {
+
+/** Reader-tier deployment shape. */
+struct ReaderTierOptions {
+    int num_readers = 2;
+    size_t queue_capacity = 8;
+    size_t batch_size = 128;
+};
+
+/** Multi-threaded batch producer with a bounded handoff queue. */
+class ReaderTier
+{
+  public:
+    /**
+     * @param config Dataset template; reader r uses config.seed + r.
+     * @param options Tier shape.
+     */
+    ReaderTier(const DatasetConfig& config,
+               const ReaderTierOptions& options);
+
+    /** Stops readers and drains the queue. */
+    ~ReaderTier();
+
+    ReaderTier(const ReaderTier&) = delete;
+    ReaderTier& operator=(const ReaderTier&) = delete;
+
+    /** Blocking pop of the next ready batch. */
+    Batch NextBatch();
+
+    /** Batches handed to the trainer so far. */
+    uint64_t batches_consumed() const { return consumed_; }
+
+    /** Batches produced by readers so far (>= consumed). */
+    uint64_t batches_produced() const;
+
+  private:
+    void ReaderLoop(int reader_id);
+
+    DatasetConfig config_;
+    ReaderTierOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<Batch> queue_;
+    bool stopping_ = false;
+    uint64_t produced_ = 0;
+    uint64_t consumed_ = 0;
+
+    std::vector<std::thread> readers_;
+};
+
+}  // namespace neo::data

@@ -1,0 +1,135 @@
+#include "ops/dense_optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::ops {
+
+size_t
+DenseOptimizer::Register(size_t rows, size_t cols)
+{
+    Slot slot;
+    const size_t n = rows * cols;
+    switch (config_.kind) {
+      case DenseOptimizerKind::kSgd:
+        if (config_.momentum != 0.0f) {
+            slot.state1.assign(n, 0.0f);
+        }
+        break;
+      case DenseOptimizerKind::kAdaGrad:
+        slot.state1.assign(n, 0.0f);
+        break;
+      case DenseOptimizerKind::kAdam:
+      case DenseOptimizerKind::kLamb:
+        slot.state1.assign(n, 0.0f);
+        slot.state2.assign(n, 0.0f);
+        break;
+    }
+    slots_.push_back(std::move(slot));
+    return slots_.size() - 1;
+}
+
+void
+DenseOptimizer::Step(size_t slot_id, Matrix& param, const Matrix& grad)
+{
+    NEO_REQUIRE(slot_id < slots_.size(), "unknown optimizer slot");
+    NEO_REQUIRE(param.rows() == grad.rows() && param.cols() == grad.cols(),
+                "param/grad shape mismatch");
+    Slot& slot = slots_[slot_id];
+    const size_t n = param.size();
+    float* w = param.data();
+    const float* g = grad.data();
+    const float lr = config_.learning_rate;
+
+    switch (config_.kind) {
+      case DenseOptimizerKind::kSgd: {
+        if (config_.momentum == 0.0f) {
+            for (size_t i = 0; i < n; i++) {
+                w[i] -= lr * g[i];
+            }
+        } else {
+            NEO_CHECK(slot.state1.size() == n, "state size mismatch");
+            const float mu = config_.momentum;
+            float* v = slot.state1.data();
+            for (size_t i = 0; i < n; i++) {
+                v[i] = mu * v[i] + g[i];
+                w[i] -= lr * v[i];
+            }
+        }
+        break;
+      }
+      case DenseOptimizerKind::kAdaGrad: {
+        NEO_CHECK(slot.state1.size() == n, "state size mismatch");
+        float* acc = slot.state1.data();
+        for (size_t i = 0; i < n; i++) {
+            acc[i] += g[i] * g[i];
+            w[i] -= lr * g[i] / (std::sqrt(acc[i]) + config_.eps);
+        }
+        break;
+      }
+      case DenseOptimizerKind::kAdam: {
+        NEO_CHECK(slot.state1.size() == n && slot.state2.size() == n,
+                  "state size mismatch");
+        slot.step++;
+        const float b1 = config_.beta1;
+        const float b2 = config_.beta2;
+        const float bc1 = 1.0f - std::pow(b1, static_cast<float>(slot.step));
+        const float bc2 = 1.0f - std::pow(b2, static_cast<float>(slot.step));
+        float* m = slot.state1.data();
+        float* v = slot.state2.data();
+        for (size_t i = 0; i < n; i++) {
+            m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+            w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config_.eps);
+        }
+        break;
+      }
+      case DenseOptimizerKind::kLamb: {
+        NEO_CHECK(slot.state1.size() == n && slot.state2.size() == n,
+                  "state size mismatch");
+        slot.step++;
+        const float b1 = config_.beta1;
+        const float b2 = config_.beta2;
+        const float bc1 = 1.0f - std::pow(b1, static_cast<float>(slot.step));
+        const float bc2 = 1.0f - std::pow(b2, static_cast<float>(slot.step));
+        float* m = slot.state1.data();
+        float* v = slot.state2.data();
+        // Adam-style per-element update direction...
+        double update_norm_sq = 0.0;
+        double weight_norm_sq = 0.0;
+        std::vector<float> update(n);
+        for (size_t i = 0; i < n; i++) {
+            m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+            update[i] =
+                (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config_.eps);
+            update_norm_sq += static_cast<double>(update[i]) * update[i];
+            weight_norm_sq += static_cast<double>(w[i]) * w[i];
+        }
+        // ...scaled by the per-layer trust ratio ||w|| / ||update||.
+        const double update_norm = std::sqrt(update_norm_sq);
+        const double weight_norm = std::sqrt(weight_norm_sq);
+        const float trust =
+            (update_norm > 0.0 && weight_norm > 0.0)
+                ? static_cast<float>(weight_norm / update_norm)
+                : 1.0f;
+        for (size_t i = 0; i < n; i++) {
+            w[i] -= lr * trust * update[i];
+        }
+        break;
+      }
+    }
+}
+
+size_t
+DenseOptimizer::StateBytes() const
+{
+    size_t total = 0;
+    for (const auto& slot : slots_) {
+        total += (slot.state1.size() + slot.state2.size()) * sizeof(float);
+    }
+    return total;
+}
+
+}  // namespace neo::ops

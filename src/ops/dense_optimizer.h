@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dense-parameter optimizers for the data-parallel MLP weights. Unlike the
+ * sparse path, dense updates touch every element each step, so no
+ * sort/merge is needed; determinism follows from fixed elementwise loops.
+ */
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace neo::ops {
+
+/** Supported dense optimizer algorithms. */
+enum class DenseOptimizerKind {
+    kSgd,
+    kAdaGrad,
+    kAdam,
+    /** Layer-wise adaptive moments (You et al. [60]), for large-batch
+     *  training where per-layer trust ratios stabilize big steps. */
+    kLamb,
+};
+
+/** Hyper-parameters for dense optimizers. */
+struct DenseOptimizerConfig {
+    DenseOptimizerKind kind = DenseOptimizerKind::kSgd;
+    float learning_rate = 0.01f;
+    float momentum = 0.0f;  // SGD only
+    float eps = 1e-8f;
+    float beta1 = 0.9f;   // Adam only
+    float beta2 = 0.999f; // Adam only
+};
+
+/**
+ * Optimizer with per-parameter-slot state. Register every parameter once
+ * (in a fixed order), then call Step() with the same slot each iteration.
+ */
+class DenseOptimizer
+{
+  public:
+    explicit DenseOptimizer(const DenseOptimizerConfig& config)
+        : config_(config) {}
+
+    /** Allocate state for a rows x cols parameter; returns its slot id. */
+    size_t Register(size_t rows, size_t cols);
+
+    /** Apply one update: param -= f(grad, state). */
+    void Step(size_t slot, Matrix& param, const Matrix& grad);
+
+    /** Bytes of optimizer state across all slots. */
+    size_t StateBytes() const;
+
+    const DenseOptimizerConfig& config() const { return config_; }
+
+  private:
+    struct Slot {
+        std::vector<float> state1;  // momentum / adagrad accum / adam m
+        std::vector<float> state2;  // adam v
+        uint64_t step = 0;
+    };
+
+    DenseOptimizerConfig config_;
+    std::vector<Slot> slots_;
+};
+
+}  // namespace neo::ops

@@ -1,0 +1,162 @@
+#include "ops/embedding_bag.h"
+
+#include "common/logging.h"
+
+namespace neo::ops {
+
+uint64_t
+EmbeddingBagCollection::TableSeed(uint64_t base_seed, size_t table)
+{
+    SplitMix64 sm(base_seed + 0xABCD0000ull + table);
+    return sm.Next();
+}
+
+EmbeddingBagCollection::EmbeddingBagCollection(
+    const std::vector<TableSpec>& specs,
+    const SparseOptimizerConfig& optimizer, uint64_t seed)
+{
+    tables_.reserve(specs.size());
+    optimizers_.reserve(specs.size());
+    for (size_t t = 0; t < specs.size(); t++) {
+        const auto& spec = specs[t];
+        tables_.emplace_back(spec.rows, spec.dim, spec.precision);
+        tables_.back().InitDeterministic(TableSeed(seed, t), 0, 0, spec.dim);
+        optimizers_.emplace_back(optimizer, spec.rows, spec.dim);
+    }
+}
+
+void
+EmbeddingBagCollection::Forward(std::span<const TableInput> inputs,
+                                size_t batch,
+                                std::vector<Matrix>& outputs) const
+{
+    NEO_REQUIRE(inputs.size() == tables_.size(),
+                "one input per table required");
+    outputs.resize(tables_.size());
+    // Fused loop over all local tables (the CPU analogue of the single
+    // batched CUDA kernel in Fig. 7).
+    for (size_t t = 0; t < tables_.size(); t++) {
+        const EmbeddingTable& table = tables_[t];
+        const TableInput& in = inputs[t];
+        NEO_REQUIRE(in.lengths.size() == batch, "lengths size mismatch");
+        Matrix& out = outputs[t];
+        if (out.rows() != batch ||
+            out.cols() != static_cast<size_t>(table.dim())) {
+            out = Matrix(batch, static_cast<size_t>(table.dim()));
+        } else {
+            out.Zero();
+        }
+        size_t offset = 0;
+        for (size_t b = 0; b < batch; b++) {
+            float* row = out.Row(b);
+            const uint32_t len = in.lengths[b];
+            NEO_CHECK(offset + len <= in.indices.size(),
+                      "indices shorter than lengths imply");
+            for (uint32_t i = 0; i < len; i++) {
+                table.AccumulateRow(in.indices[offset + i], 1.0f, row);
+            }
+            offset += len;
+        }
+        NEO_CHECK(offset == in.indices.size(),
+                  "indices longer than lengths imply");
+    }
+}
+
+void
+EmbeddingBagCollection::CollectGrads(const TableInput& input, size_t batch,
+                                     const Matrix& grad,
+                                     std::vector<SparseGradRef>& refs) const
+{
+    NEO_REQUIRE(input.lengths.size() == batch, "lengths size mismatch");
+    NEO_REQUIRE(grad.rows() == batch, "grad batch mismatch");
+    refs.clear();
+    refs.reserve(input.indices.size());
+    size_t offset = 0;
+    for (size_t b = 0; b < batch; b++) {
+        const float* g = grad.Row(b);
+        const uint32_t len = input.lengths[b];
+        for (uint32_t i = 0; i < len; i++) {
+            refs.push_back({input.indices[offset + i], g});
+        }
+        offset += len;
+    }
+    NEO_CHECK(offset == input.indices.size(), "indices/lengths mismatch");
+}
+
+void
+EmbeddingBagCollection::BackwardAndUpdate(std::span<const TableInput> inputs,
+                                          size_t batch,
+                                          const std::vector<Matrix>& grads)
+{
+    NEO_REQUIRE(inputs.size() == tables_.size() &&
+                grads.size() == tables_.size(),
+                "one input and grad per table required");
+    std::vector<SparseGradRef> refs;
+    for (size_t t = 0; t < tables_.size(); t++) {
+        CollectGrads(inputs[t], batch, grads[t], refs);
+        optimizers_[t].ApplyExact(tables_[t], refs);
+    }
+}
+
+void
+EmbeddingBagCollection::BackwardAndUpdateNaive(
+    std::span<const TableInput> inputs, size_t batch,
+    const std::vector<Matrix>& grads)
+{
+    NEO_REQUIRE(inputs.size() == tables_.size() &&
+                grads.size() == tables_.size(),
+                "one input and grad per table required");
+    std::vector<SparseGradRef> refs;
+    for (size_t t = 0; t < tables_.size(); t++) {
+        CollectGrads(inputs[t], batch, grads[t], refs);
+        optimizers_[t].ApplyNaive(tables_[t], refs);
+    }
+}
+
+size_t
+EmbeddingBagCollection::ParameterBytes() const
+{
+    size_t total = 0;
+    for (const auto& t : tables_) {
+        total += t.ParameterBytes();
+    }
+    return total;
+}
+
+size_t
+EmbeddingBagCollection::OptimizerStateBytes() const
+{
+    size_t total = 0;
+    for (const auto& o : optimizers_) {
+        total += o.StateBytes();
+    }
+    return total;
+}
+
+void
+EmbeddingBagCollection::Save(BinaryWriter& writer) const
+{
+    writer.Write<uint32_t>(0x45424143u);  // 'EBAC'
+    writer.Write<uint64_t>(tables_.size());
+    for (const auto& t : tables_) {
+        t.Save(writer);
+    }
+}
+
+void
+EmbeddingBagCollection::Load(BinaryReader& reader)
+{
+    const uint32_t magic = reader.Read<uint32_t>();
+    NEO_REQUIRE(magic == 0x45424143u, "bad collection magic");
+    const uint64_t n = reader.Read<uint64_t>();
+    NEO_REQUIRE(n == tables_.size(), "checkpoint table count mismatch");
+    for (size_t t = 0; t < tables_.size(); t++) {
+        EmbeddingTable loaded = EmbeddingTable::Load(reader);
+        NEO_REQUIRE(loaded.rows() == tables_[t].rows() &&
+                    loaded.dim() == tables_[t].dim(),
+                    "checkpoint table shape mismatch");
+        tables_[t] = std::move(loaded);
+    }
+}
+
+}  // namespace neo::ops

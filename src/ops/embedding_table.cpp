@@ -1,0 +1,179 @@
+#include "ops/embedding_table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::ops {
+
+EmbeddingTable::EmbeddingTable(int64_t rows, int64_t dim, Precision precision)
+    : rows_(rows), dim_(dim), precision_(precision)
+{
+    NEO_REQUIRE(rows_ > 0 && dim_ > 0, "embedding table must be non-empty");
+    NEO_REQUIRE(precision_ == Precision::kFp32 ||
+                precision_ == Precision::kFp16,
+                "embedding storage must be fp32 or fp16");
+    const size_t count = static_cast<size_t>(rows_) * dim_;
+    if (precision_ == Precision::kFp32) {
+        data_f32_.assign(count, 0.0f);
+    } else {
+        data_f16_.assign(count, 0);
+    }
+}
+
+size_t
+EmbeddingTable::ParameterBytes() const
+{
+    return static_cast<size_t>(rows_) * dim_ * BytesPerElement(precision_);
+}
+
+void
+EmbeddingTable::InitUniform(Rng& rng)
+{
+    const float bound = 1.0f / std::sqrt(static_cast<float>(dim_));
+    const size_t count = static_cast<size_t>(rows_) * dim_;
+    if (precision_ == Precision::kFp32) {
+        for (size_t i = 0; i < count; i++) {
+            data_f32_[i] = rng.NextUniform(-bound, bound);
+        }
+    } else {
+        for (size_t i = 0; i < count; i++) {
+            data_f16_[i] =
+                detail::FloatToHalfBits(rng.NextUniform(-bound, bound));
+        }
+    }
+}
+
+void
+EmbeddingTable::InitDeterministic(uint64_t table_seed, int64_t row_offset,
+                                  int64_t col_offset, int64_t full_dim)
+{
+    NEO_REQUIRE(full_dim >= col_offset + dim_,
+                "column shard exceeds full dimension");
+    const float bound = 1.0f / std::sqrt(static_cast<float>(full_dim));
+    std::vector<float> full_row(static_cast<size_t>(full_dim));
+    for (int64_t r = 0; r < rows_; r++) {
+        // One independent stream per global row: the same values appear in
+        // the same (row, col) slots no matter how the table is sharded.
+        Rng rng(table_seed ^
+                (0x9E3779B97F4A7C15ull *
+                 static_cast<uint64_t>(row_offset + r + 1)));
+        for (int64_t c = 0; c < full_dim; c++) {
+            full_row[c] = rng.NextUniform(-bound, bound);
+        }
+        WriteRow(r, full_row.data() + col_offset);
+    }
+}
+
+void
+EmbeddingTable::ReadRow(int64_t row, float* out) const
+{
+    NEO_CHECK(row >= 0 && row < rows_, "row index out of range: ", row);
+    const size_t base = static_cast<size_t>(row) * dim_;
+    if (precision_ == Precision::kFp32) {
+        for (int64_t d = 0; d < dim_; d++) {
+            out[d] = data_f32_[base + d];
+        }
+    } else {
+        for (int64_t d = 0; d < dim_; d++) {
+            out[d] = detail::HalfBitsToFloat(data_f16_[base + d]);
+        }
+    }
+}
+
+void
+EmbeddingTable::WriteRow(int64_t row, const float* in)
+{
+    NEO_CHECK(row >= 0 && row < rows_, "row index out of range: ", row);
+    const size_t base = static_cast<size_t>(row) * dim_;
+    if (precision_ == Precision::kFp32) {
+        for (int64_t d = 0; d < dim_; d++) {
+            data_f32_[base + d] = in[d];
+        }
+    } else {
+        for (int64_t d = 0; d < dim_; d++) {
+            data_f16_[base + d] = detail::FloatToHalfBits(in[d]);
+        }
+    }
+}
+
+void
+EmbeddingTable::AccumulateRow(int64_t row, float weight, float* out) const
+{
+    NEO_CHECK(row >= 0 && row < rows_, "row index out of range: ", row);
+    const size_t base = static_cast<size_t>(row) * dim_;
+    if (precision_ == Precision::kFp32) {
+        for (int64_t d = 0; d < dim_; d++) {
+            out[d] += weight * data_f32_[base + d];
+        }
+    } else {
+        for (int64_t d = 0; d < dim_; d++) {
+            out[d] += weight * detail::HalfBitsToFloat(data_f16_[base + d]);
+        }
+    }
+}
+
+bool
+EmbeddingTable::Identical(const EmbeddingTable& a, const EmbeddingTable& b)
+{
+    return a.rows_ == b.rows_ && a.dim_ == b.dim_ &&
+           a.precision_ == b.precision_ && a.data_f32_ == b.data_f32_ &&
+           a.data_f16_ == b.data_f16_;
+}
+
+float
+EmbeddingTable::MaxAbsDiff(const EmbeddingTable& a, const EmbeddingTable& b)
+{
+    NEO_REQUIRE(a.rows_ == b.rows_ && a.dim_ == b.dim_,
+                "MaxAbsDiff shape mismatch");
+    std::vector<float> ra(a.dim_), rb(b.dim_);
+    float max_diff = 0.0f;
+    for (int64_t r = 0; r < a.rows_; r++) {
+        a.ReadRow(r, ra.data());
+        b.ReadRow(r, rb.data());
+        for (int64_t d = 0; d < a.dim_; d++) {
+            max_diff = std::max(max_diff, std::abs(ra[d] - rb[d]));
+        }
+    }
+    return max_diff;
+}
+
+void
+EmbeddingTable::Save(BinaryWriter& writer) const
+{
+    writer.Write<uint32_t>(0x454D4254u);  // 'EMBT'
+    writer.Write<int64_t>(rows_);
+    writer.Write<int64_t>(dim_);
+    writer.Write<uint8_t>(precision_ == Precision::kFp16 ? 1 : 0);
+    if (precision_ == Precision::kFp32) {
+        writer.WriteVector(data_f32_);
+    } else {
+        writer.WriteVector(data_f16_);
+    }
+}
+
+EmbeddingTable
+EmbeddingTable::Load(BinaryReader& reader)
+{
+    const uint32_t magic = reader.Read<uint32_t>();
+    NEO_REQUIRE(magic == 0x454D4254u, "bad embedding table magic");
+    const int64_t rows = reader.Read<int64_t>();
+    const int64_t dim = reader.Read<int64_t>();
+    const uint8_t prec = reader.Read<uint8_t>();
+    EmbeddingTable table(rows, dim,
+                         prec ? Precision::kFp16 : Precision::kFp32);
+    if (prec) {
+        table.data_f16_ = reader.ReadVector<uint16_t>();
+        NEO_REQUIRE(table.data_f16_.size() ==
+                        static_cast<size_t>(rows) * dim,
+                    "checkpoint size mismatch");
+    } else {
+        table.data_f32_ = reader.ReadVector<float>();
+        NEO_REQUIRE(table.data_f32_.size() ==
+                        static_cast<size_t>(rows) * dim,
+                    "checkpoint size mismatch");
+    }
+    return table;
+}
+
+}  // namespace neo::ops

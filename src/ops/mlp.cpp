@@ -1,0 +1,226 @@
+#include "ops/mlp.h"
+
+#include "common/logging.h"
+#include "tensor/activations.h"
+#include "tensor/gemm.h"
+
+namespace neo::ops {
+
+Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config)
+{
+    NEO_REQUIRE(config_.layer_sizes.size() >= 2,
+                "MLP needs at least input and output sizes");
+    const size_t layers = config_.layer_sizes.size() - 1;
+    weights_.reserve(layers);
+    biases_.reserve(layers);
+    for (size_t l = 0; l < layers; l++) {
+        const size_t in = config_.layer_sizes[l];
+        const size_t out = config_.layer_sizes[l + 1];
+        NEO_REQUIRE(in > 0 && out > 0, "layer sizes must be positive");
+        weights_.emplace_back(out, in);
+        weights_.back().InitHeUniform(rng);
+        biases_.emplace_back(1, out);
+        w_grads_.emplace_back(out, in);
+        b_grads_.emplace_back(1, out);
+    }
+    inputs_.resize(layers);
+    acts_.resize(layers);
+}
+
+void
+Mlp::Forward(const Matrix& x, Matrix& out)
+{
+    NEO_REQUIRE(x.cols() == InputDim(), "MLP input dim mismatch");
+    const size_t layers = weights_.size();
+    const Matrix* cur = &x;
+    for (size_t l = 0; l < layers; l++) {
+        inputs_[l] = *cur;  // save for backward
+        Matrix& act = acts_[l];
+        const size_t out_dim = weights_[l].rows();
+        if (act.rows() != cur->rows() || act.cols() != out_dim) {
+            act = Matrix(cur->rows(), out_dim);
+        }
+        // act = cur * W^T
+        Gemm(Trans::kNo, Trans::kYes, 1.0f, *cur, weights_[l], 0.0f, act);
+        BiasForward(biases_[l], act);
+        const bool relu = l + 1 < layers || config_.final_relu;
+        if (relu) {
+            ReluForward(act);
+        }
+        cur = &act;
+    }
+    out = acts_.back();
+}
+
+void
+Mlp::Backward(const Matrix& grad_out, Matrix& grad_in)
+{
+    const size_t layers = weights_.size();
+    NEO_REQUIRE(grad_out.cols() == OutputDim(), "grad_out dim mismatch");
+    Matrix grad = grad_out;
+    for (size_t l = layers; l-- > 0;) {
+        const bool relu = l + 1 < layers || config_.final_relu;
+        if (relu) {
+            ReluBackward(acts_[l], grad);
+        }
+        // dW += grad^T * input ; db += column sums of grad
+        Gemm(Trans::kYes, Trans::kNo, 1.0f, grad, inputs_[l], 1.0f,
+             w_grads_[l]);
+        BiasBackward(grad, b_grads_[l]);
+        // grad_in = grad * W
+        Matrix next(grad.rows(), weights_[l].cols());
+        Gemm(Trans::kNo, Trans::kNo, 1.0f, grad, weights_[l], 0.0f, next);
+        grad = std::move(next);
+    }
+    grad_in = std::move(grad);
+}
+
+void
+Mlp::ZeroGrads()
+{
+    for (auto& g : w_grads_) {
+        g.Zero();
+    }
+    for (auto& g : b_grads_) {
+        g.Zero();
+    }
+}
+
+size_t
+Mlp::NumParams() const
+{
+    size_t total = 0;
+    for (size_t l = 0; l < weights_.size(); l++) {
+        total += weights_[l].size() + biases_[l].size();
+    }
+    return total;
+}
+
+double
+Mlp::FlopsPerSample() const
+{
+    double flops = 0.0;
+    for (const auto& w : weights_) {
+        flops += 2.0 * static_cast<double>(w.rows()) * w.cols();
+    }
+    return flops;
+}
+
+std::vector<size_t>
+Mlp::RegisterParams(DenseOptimizer& opt) const
+{
+    std::vector<size_t> slots;
+    slots.reserve(weights_.size() * 2);
+    for (size_t l = 0; l < weights_.size(); l++) {
+        slots.push_back(opt.Register(weights_[l].rows(), weights_[l].cols()));
+        slots.push_back(opt.Register(1, biases_[l].cols()));
+    }
+    return slots;
+}
+
+void
+Mlp::ApplyOptimizer(DenseOptimizer& opt, const std::vector<size_t>& slots)
+{
+    NEO_REQUIRE(slots.size() == weights_.size() * 2,
+                "slot count mismatch");
+    for (size_t l = 0; l < weights_.size(); l++) {
+        opt.Step(slots[2 * l], weights_[l], w_grads_[l]);
+        opt.Step(slots[2 * l + 1], biases_[l], b_grads_[l]);
+    }
+}
+
+size_t
+Mlp::GradCount() const
+{
+    return NumParams();
+}
+
+void
+Mlp::PackGrads(float* out) const
+{
+    size_t pos = 0;
+    for (size_t l = 0; l < weights_.size(); l++) {
+        std::copy(w_grads_[l].data(), w_grads_[l].data() + w_grads_[l].size(),
+                  out + pos);
+        pos += w_grads_[l].size();
+        std::copy(b_grads_[l].data(), b_grads_[l].data() + b_grads_[l].size(),
+                  out + pos);
+        pos += b_grads_[l].size();
+    }
+}
+
+void
+Mlp::UnpackGrads(const float* in)
+{
+    size_t pos = 0;
+    for (size_t l = 0; l < weights_.size(); l++) {
+        std::copy(in + pos, in + pos + w_grads_[l].size(),
+                  w_grads_[l].data());
+        pos += w_grads_[l].size();
+        std::copy(in + pos, in + pos + b_grads_[l].size(),
+                  b_grads_[l].data());
+        pos += b_grads_[l].size();
+    }
+}
+
+void
+Mlp::ScaleGrads(float s)
+{
+    for (auto& g : w_grads_) {
+        g.Scale(s);
+    }
+    for (auto& g : b_grads_) {
+        g.Scale(s);
+    }
+}
+
+bool
+Mlp::Identical(const Mlp& a, const Mlp& b)
+{
+    if (a.weights_.size() != b.weights_.size()) {
+        return false;
+    }
+    for (size_t l = 0; l < a.weights_.size(); l++) {
+        if (!Matrix::Identical(a.weights_[l], b.weights_[l]) ||
+            !Matrix::Identical(a.biases_[l], b.biases_[l])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Mlp::Save(BinaryWriter& writer) const
+{
+    writer.Write<uint32_t>(0x4D4C5030u);  // 'MLP0'
+    writer.Write<uint64_t>(weights_.size());
+    for (size_t l = 0; l < weights_.size(); l++) {
+        writer.Write<uint64_t>(weights_[l].rows());
+        writer.Write<uint64_t>(weights_[l].cols());
+        writer.WriteVector(weights_[l].vec());
+        writer.WriteVector(biases_[l].vec());
+    }
+}
+
+void
+Mlp::Load(BinaryReader& reader)
+{
+    const uint32_t magic = reader.Read<uint32_t>();
+    NEO_REQUIRE(magic == 0x4D4C5030u, "bad MLP magic");
+    const uint64_t layers = reader.Read<uint64_t>();
+    NEO_REQUIRE(layers == weights_.size(), "checkpoint layer count mismatch");
+    for (size_t l = 0; l < layers; l++) {
+        const uint64_t rows = reader.Read<uint64_t>();
+        const uint64_t cols = reader.Read<uint64_t>();
+        NEO_REQUIRE(rows == weights_[l].rows() && cols == weights_[l].cols(),
+                    "checkpoint layer shape mismatch");
+        weights_[l].vec() = reader.ReadVector<float>();
+        biases_[l].vec() = reader.ReadVector<float>();
+        NEO_REQUIRE(weights_[l].vec().size() == rows * cols,
+                    "checkpoint weight size mismatch");
+        NEO_REQUIRE(biases_[l].vec().size() == rows,
+                    "checkpoint bias size mismatch");
+    }
+}
+
+}  // namespace neo::ops

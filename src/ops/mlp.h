@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multilayer perceptron used for the DLRM bottom and top arches. Each layer
+ * is a Linear (weight [out, in] + bias) followed by ReLU, except the final
+ * layer which is linear (the top MLP emits a single logit for BCE).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "ops/dense_optimizer.h"
+#include "tensor/matrix.h"
+
+namespace neo::ops {
+
+/** Layer widths for an MLP: {in, h1, ..., out}. */
+struct MlpConfig {
+    std::vector<size_t> layer_sizes;
+    /** Apply ReLU after the final layer too (bottom MLP does). */
+    bool final_relu = false;
+};
+
+/** MLP with saved activations for a single in-flight forward/backward. */
+class Mlp
+{
+  public:
+    /** Build with deterministic He-uniform init from `rng`. */
+    Mlp(const MlpConfig& config, Rng& rng);
+
+    size_t NumLayers() const { return weights_.size(); }
+    size_t InputDim() const { return config_.layer_sizes.front(); }
+    size_t OutputDim() const { return config_.layer_sizes.back(); }
+
+    /** Forward pass; saves activations for Backward(). */
+    void Forward(const Matrix& x, Matrix& out);
+
+    /**
+     * Backward pass. Accumulates parameter gradients into internal grad
+     * buffers (call ZeroGrads() between iterations) and writes the
+     * gradient w.r.t. the input into grad_in.
+     */
+    void Backward(const Matrix& grad_out, Matrix& grad_in);
+
+    /** Zero all parameter gradient buffers. */
+    void ZeroGrads();
+
+    /** Total number of scalar parameters. */
+    size_t NumParams() const;
+
+    /** Multiply-accumulate FLOPs per sample (fwd only): 2*sum(in*out). */
+    double FlopsPerSample() const;
+
+    /** Register all parameters with a dense optimizer (fixed order). */
+    std::vector<size_t> RegisterParams(DenseOptimizer& opt) const;
+
+    /** Apply optimizer steps using slots from RegisterParams(). */
+    void ApplyOptimizer(DenseOptimizer& opt, const std::vector<size_t>& slots);
+
+    /** Total gradient element count (for flat DDP-style AllReduce). */
+    size_t GradCount() const;
+
+    /** Copy all gradients into a flat buffer (fixed order). */
+    void PackGrads(float* out) const;
+
+    /** Overwrite gradients from a flat buffer (inverse of PackGrads). */
+    void UnpackGrads(const float* in);
+
+    /** Scale all gradients (e.g. 1/world for data-parallel averaging). */
+    void ScaleGrads(float s);
+
+    /** Bitwise equality of parameters (determinism tests). */
+    static bool Identical(const Mlp& a, const Mlp& b);
+
+    /** Serialize parameters. */
+    void Save(BinaryWriter& writer) const;
+
+    /** Restore parameters written by Save(). */
+    void Load(BinaryReader& reader);
+
+    Matrix& weight(size_t layer) { return weights_[layer]; }
+    Matrix& bias(size_t layer) { return biases_[layer]; }
+    const Matrix& weight_grad(size_t layer) const { return w_grads_[layer]; }
+    const Matrix& bias_grad(size_t layer) const { return b_grads_[layer]; }
+
+  private:
+    MlpConfig config_;
+    std::vector<Matrix> weights_;  // [out, in]
+    std::vector<Matrix> biases_;   // [1, out]
+    std::vector<Matrix> w_grads_;
+    std::vector<Matrix> b_grads_;
+
+    /** inputs_[l] = input to layer l; acts_[l] = post-activation output. */
+    std::vector<Matrix> inputs_;
+    std::vector<Matrix> acts_;
+};
+
+}  // namespace neo::ops

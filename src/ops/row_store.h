@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Abstract row storage for embedding parameters. Training code written
+ * against RowStore runs unchanged over a plain HBM-resident table, the
+ * 32-way software cache fronting DDR, or UVM-style paging — the
+ * hierarchical-memory training mode of Sec. 4.1.3 (used e.g. for online
+ * training on fewer nodes).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "ops/embedding_table.h"
+
+namespace neo::ops {
+
+/** Row-granular parameter storage interface. */
+class RowStore
+{
+  public:
+    virtual ~RowStore() = default;
+
+    virtual int64_t rows() const = 0;
+    virtual int64_t dim() const = 0;
+
+    /** Copy row `row` into out[0..dim). */
+    virtual void ReadRow(int64_t row, float* out) = 0;
+
+    /** Overwrite row `row` from in[0..dim). */
+    virtual void WriteRow(int64_t row, const float* in) = 0;
+
+    /** Accumulate out[d] += weight * row[d]. */
+    virtual void AccumulateRow(int64_t row, float weight, float* out) = 0;
+};
+
+/** RowStore over a plain in-memory EmbeddingTable. */
+class PlainRowStore : public RowStore
+{
+  public:
+    /** Wrap a table (owned). */
+    explicit PlainRowStore(EmbeddingTable table) : table_(std::move(table))
+    {
+    }
+
+    int64_t rows() const override { return table_.rows(); }
+    int64_t dim() const override { return table_.dim(); }
+
+    void
+    ReadRow(int64_t row, float* out) override
+    {
+        table_.ReadRow(row, out);
+    }
+
+    void
+    WriteRow(int64_t row, const float* in) override
+    {
+        table_.WriteRow(row, in);
+    }
+
+    void
+    AccumulateRow(int64_t row, float weight, float* out) override
+    {
+        table_.AccumulateRow(row, weight, out);
+    }
+
+    EmbeddingTable& table() { return table_; }
+
+  private:
+    EmbeddingTable table_;
+};
+
+}  // namespace neo::ops

@@ -1,0 +1,196 @@
+#include "ops/sparse_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::ops {
+
+const char*
+SparseOptimizerKindName(SparseOptimizerKind kind)
+{
+    switch (kind) {
+      case SparseOptimizerKind::kSgd: return "sgd";
+      case SparseOptimizerKind::kAdaGrad: return "adagrad";
+      case SparseOptimizerKind::kRowWiseAdaGrad: return "rowwise_adagrad";
+      case SparseOptimizerKind::kAdam: return "adam";
+    }
+    return "unknown";
+}
+
+SparseOptimizer::SparseOptimizer(const SparseOptimizerConfig& config,
+                                 int64_t rows, int64_t dim)
+    : config_(config), rows_(rows), dim_(dim)
+{
+    NEO_REQUIRE(rows_ > 0 && dim_ > 0, "bad optimizer shape");
+    const size_t n = static_cast<size_t>(rows_) * dim_;
+    switch (config_.kind) {
+      case SparseOptimizerKind::kSgd:
+        break;
+      case SparseOptimizerKind::kAdaGrad:
+        adagrad_state_.assign(n, 0.0f);
+        break;
+      case SparseOptimizerKind::kRowWiseAdaGrad:
+        rowwise_state_.assign(static_cast<size_t>(rows_), 0.0f);
+        break;
+      case SparseOptimizerKind::kAdam:
+        adam_m_.assign(n, 0.0f);
+        adam_v_.assign(n, 0.0f);
+        adam_step_.assign(static_cast<size_t>(rows_), 0);
+        break;
+    }
+    row_buf_.resize(static_cast<size_t>(dim_));
+}
+
+size_t
+SparseOptimizer::StateBytes() const
+{
+    return adagrad_state_.size() * sizeof(float) +
+           rowwise_state_.size() * sizeof(float) +
+           adam_m_.size() * sizeof(float) + adam_v_.size() * sizeof(float) +
+           adam_step_.size() * sizeof(uint32_t);
+}
+
+float
+SparseOptimizer::RowMoment(int64_t row) const
+{
+    NEO_REQUIRE(config_.kind == SparseOptimizerKind::kRowWiseAdaGrad,
+                "RowMoment is row-wise AdaGrad state");
+    NEO_REQUIRE(row >= 0 && row < rows_, "row out of range");
+    return rowwise_state_[static_cast<size_t>(row)];
+}
+
+void
+SparseOptimizer::UpdateRow(EmbeddingTable& table, int64_t row,
+                           const float* g)
+{
+    const float lr = config_.learning_rate;
+    const float eps = config_.eps;
+    const size_t d = static_cast<size_t>(dim_);
+    table.ReadRow(row, row_buf_.data());
+    float* w = row_buf_.data();
+
+    switch (config_.kind) {
+      case SparseOptimizerKind::kSgd: {
+        for (size_t i = 0; i < d; i++) {
+            w[i] -= lr * g[i];
+        }
+        break;
+      }
+      case SparseOptimizerKind::kAdaGrad: {
+        float* state = adagrad_state_.data() + static_cast<size_t>(row) * d;
+        for (size_t i = 0; i < d; i++) {
+            state[i] += g[i] * g[i];
+            w[i] -= lr * g[i] / (std::sqrt(state[i]) + eps);
+        }
+        break;
+      }
+      case SparseOptimizerKind::kRowWiseAdaGrad: {
+        // m' = m + (1/D) * sum_j g_j^2, one scalar per row (Sec. 4.1.4).
+        float sq_sum = 0.0f;
+        for (size_t i = 0; i < d; i++) {
+            sq_sum += g[i] * g[i];
+        }
+        float& m = rowwise_state_[static_cast<size_t>(row)];
+        m += sq_sum / static_cast<float>(d);
+        const float scale = lr / (std::sqrt(m) + eps);
+        for (size_t i = 0; i < d; i++) {
+            w[i] -= scale * g[i];
+        }
+        break;
+      }
+      case SparseOptimizerKind::kAdam: {
+        const float b1 = config_.beta1;
+        const float b2 = config_.beta2;
+        uint32_t& t = adam_step_[static_cast<size_t>(row)];
+        t++;
+        const float bc1 =
+            1.0f - std::pow(b1, static_cast<float>(t));
+        const float bc2 =
+            1.0f - std::pow(b2, static_cast<float>(t));
+        float* m = adam_m_.data() + static_cast<size_t>(row) * d;
+        float* v = adam_v_.data() + static_cast<size_t>(row) * d;
+        for (size_t i = 0; i < d; i++) {
+            m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+            const float m_hat = m[i] / bc1;
+            const float v_hat = v[i] / bc2;
+            w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        }
+        break;
+      }
+    }
+    table.WriteRow(row, row_buf_.data());
+}
+
+void
+SparseOptimizer::ApplyExact(EmbeddingTable& table,
+                            std::span<const SparseGradRef> grads)
+{
+    NEO_REQUIRE(table.rows() == rows_ && table.dim() == dim_,
+                "optimizer/table shape mismatch");
+    if (grads.empty()) {
+        return;
+    }
+
+    // Stable sort of occurrence positions by row id. Stability plus the
+    // commutative merge (sum in sorted-position order) makes the final
+    // result invariant to the original occurrence order.
+    order_.resize(grads.size());
+    for (uint32_t i = 0; i < grads.size(); i++) {
+        order_[i] = i;
+    }
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return grads[a].row < grads[b].row;
+                     });
+
+    const size_t d = static_cast<size_t>(dim_);
+    merged_.assign(d, 0.0f);
+    size_t i = 0;
+    while (i < order_.size()) {
+        const int64_t row = grads[order_[i]].row;
+        NEO_CHECK(row >= 0 && row < rows_, "gradient row out of range");
+        std::fill(merged_.begin(), merged_.end(), 0.0f);
+        size_t j = i;
+        while (j < order_.size() && grads[order_[j]].row == row) {
+            j++;
+        }
+        if (j - i > 1) {
+            // Floating-point sums depend on order, so canonicalize the
+            // duplicate occurrences (lexicographic by gradient values)
+            // before merging; the merged sum is then invariant to any
+            // permutation of the input batch.
+            std::sort(order_.begin() + i, order_.begin() + j,
+                      [&](uint32_t a, uint32_t b) {
+                          return std::lexicographical_compare(
+                              grads[a].grad, grads[a].grad + d,
+                              grads[b].grad, grads[b].grad + d);
+                      });
+        }
+        for (size_t k = i; k < j; k++) {
+            const float* g = grads[order_[k]].grad;
+            for (size_t c = 0; c < d; c++) {
+                merged_[c] += g[c];
+            }
+        }
+        UpdateRow(table, row, merged_.data());
+        i = j;
+    }
+}
+
+void
+SparseOptimizer::ApplyNaive(EmbeddingTable& table,
+                            std::span<const SparseGradRef> grads)
+{
+    NEO_REQUIRE(table.rows() == rows_ && table.dim() == dim_,
+                "optimizer/table shape mismatch");
+    for (const auto& ref : grads) {
+        NEO_CHECK(ref.row >= 0 && ref.row < rows_,
+                  "gradient row out of range");
+        UpdateRow(table, ref.row, ref.grad);
+    }
+}
+
+}  // namespace neo::ops

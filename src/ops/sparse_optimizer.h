@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Exact sparse optimizers for embedding tables (Sec. 4.1.2).
+ *
+ * Large-batch synchronous training updates many embedding rows per step,
+ * with duplicates inside a batch. The "exact" strategy sorts the sparse
+ * update by row id, merges gradients of duplicate rows, and applies a
+ * single optimizer step per unique row — making the update independent of
+ * input order and free of read-modify-write races, which in turn gives
+ * bitwise run-to-run reproducibility even for nonlinear optimizers
+ * (AdaGrad, Adam).
+ *
+ * A "naive" per-occurrence application path is kept as an ablation: for
+ * nonlinear optimizers it is order-dependent, demonstrating why exactness
+ * matters.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ops/embedding_table.h"
+
+namespace neo::ops {
+
+/** Supported sparse optimizer algorithms. */
+enum class SparseOptimizerKind {
+    kSgd,
+    kAdaGrad,
+    /** AdaGrad with one shared moment per row (Sec. 4.1.4), saving ~50%. */
+    kRowWiseAdaGrad,
+    kAdam,
+};
+
+/** Name string for logging / bench output. */
+const char* SparseOptimizerKindName(SparseOptimizerKind kind);
+
+/** Hyper-parameters shared by all sparse optimizers. */
+struct SparseOptimizerConfig {
+    SparseOptimizerKind kind = SparseOptimizerKind::kRowWiseAdaGrad;
+    float learning_rate = 0.01f;
+    float eps = 1e-8f;
+    float beta1 = 0.9f;   // Adam only
+    float beta2 = 0.999f; // Adam only
+};
+
+/**
+ * One sparse-update row: a row id plus a pointer to its D-wide gradient.
+ * Pointers refer into caller-owned gradient storage.
+ */
+struct SparseGradRef {
+    int64_t row;
+    const float* grad;
+};
+
+/** Optimizer state and update logic for a single embedding table. */
+class SparseOptimizer
+{
+  public:
+    /**
+     * @param config Algorithm and hyper-parameters.
+     * @param rows Table hash size (state is allocated accordingly).
+     * @param dim Embedding dimension.
+     */
+    SparseOptimizer(const SparseOptimizerConfig& config, int64_t rows,
+                    int64_t dim);
+
+    /**
+     * Exact fused update: sort + merge duplicate rows, then apply one
+     * optimizer step per unique row. Deterministic and order-invariant.
+     */
+    void ApplyExact(EmbeddingTable& table,
+                    std::span<const SparseGradRef> grads);
+
+    /**
+     * Naive update: apply one optimizer step per occurrence in the given
+     * order. Order-dependent for nonlinear optimizers; kept for ablation.
+     */
+    void ApplyNaive(EmbeddingTable& table,
+                    std::span<const SparseGradRef> grads);
+
+    /** Bytes of optimizer state (the F1 capacity study tracks this). */
+    size_t StateBytes() const;
+
+    const SparseOptimizerConfig& config() const { return config_; }
+
+    /** Row-wise moment accessor (row-wise AdaGrad), for tests. */
+    float RowMoment(int64_t row) const;
+
+  private:
+    /** Apply one merged-gradient step to a single row. */
+    void UpdateRow(EmbeddingTable& table, int64_t row,
+                   const float* merged_grad);
+
+    SparseOptimizerConfig config_;
+    int64_t rows_;
+    int64_t dim_;
+
+    /** AdaGrad: per-element accumulator (rows x dim). */
+    std::vector<float> adagrad_state_;
+    /** Row-wise AdaGrad: per-row accumulator (rows). */
+    std::vector<float> rowwise_state_;
+    /** Adam: first/second moments (rows x dim each) + per-row step. */
+    std::vector<float> adam_m_;
+    std::vector<float> adam_v_;
+    std::vector<uint32_t> adam_step_;
+
+    /** Scratch reused across calls to avoid per-step allocation churn. */
+    std::vector<uint32_t> order_;
+    std::vector<float> merged_;
+    std::vector<float> row_buf_;
+};
+
+}  // namespace neo::ops

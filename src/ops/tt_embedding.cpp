@@ -1,0 +1,286 @@
+#include "ops/tt_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::ops {
+
+namespace {
+
+/** Smallest f with f^3 >= n. */
+int64_t
+CeilCbrt(int64_t n)
+{
+    int64_t f = static_cast<int64_t>(std::cbrt(static_cast<double>(n)));
+    while (f * f * f < n) {
+        f++;
+    }
+    return std::max<int64_t>(1, f);
+}
+
+}  // namespace
+
+TtShape
+TtShape::Auto(int64_t rows, int64_t dim, int64_t rank)
+{
+    NEO_REQUIRE(rows > 0 && dim > 0, "bad TT table shape");
+    TtShape shape;
+    // Row radices: near-cubic so the cores stay balanced.
+    const int64_t f1 = CeilCbrt(rows);
+    const int64_t rest = (rows + f1 - 1) / f1;
+    int64_t f2 = static_cast<int64_t>(
+        std::ceil(std::sqrt(static_cast<double>(rest))));
+    f2 = std::max<int64_t>(1, f2);
+    const int64_t f3 = (rest + f2 - 1) / f2;
+    shape.row_factors = {f1, f2, f3};
+
+    // Column radices: the most balanced divisor triple of dim.
+    int64_t best_a = dim, best_b = 1, best_c = 1;
+    int64_t best_max = dim;
+    for (int64_t a = 1; a <= dim; a++) {
+        if (dim % a != 0) {
+            continue;
+        }
+        const int64_t ab = dim / a;
+        for (int64_t b = 1; b <= ab; b++) {
+            if (ab % b != 0) {
+                continue;
+            }
+            const int64_t c = ab / b;
+            const int64_t worst = std::max({a, b, c});
+            if (worst < best_max) {
+                best_max = worst;
+                best_a = a;
+                best_b = b;
+                best_c = c;
+            }
+        }
+    }
+    shape.col_factors = {best_a, best_b, best_c};
+    shape.ranks = {rank, rank};
+    return shape;
+}
+
+TtEmbeddingTable::TtEmbeddingTable(int64_t rows, int64_t dim,
+                                   const TtShape& shape, uint64_t seed)
+    : rows_(rows), dim_(dim), shape_(shape)
+{
+    NEO_REQUIRE(shape_.PaddedRows() >= rows_,
+                "row factors cover fewer than rows");
+    NEO_REQUIRE(shape_.Dim() == dim_, "column factors must multiply to dim");
+    const auto [h1, h2, h3] = shape_.row_factors;
+    const auto [d1, d2, d3] = shape_.col_factors;
+    const auto [r1, r2] = shape_.ranks;
+    NEO_REQUIRE(r1 >= 1 && r2 >= 1, "TT ranks must be positive");
+
+    cores_[0].resize(static_cast<size_t>(h1) * d1 * r1);
+    cores_[1].resize(static_cast<size_t>(h2) * r1 * d2 * r2);
+    cores_[2].resize(static_cast<size_t>(h3) * r2 * d3);
+
+    // Initialize so the reconstructed rows have std ~ 1/sqrt(dim):
+    // var(E) = r1*r2*sigma^6 for i.i.d. cores.
+    const double target_var = 1.0 / static_cast<double>(dim_);
+    const double sigma = std::pow(
+        target_var / static_cast<double>(r1 * r2), 1.0 / 6.0);
+    Rng rng(seed ^ 0x77EE77ull);
+    for (auto& core : cores_) {
+        for (auto& x : core) {
+            x = static_cast<float>(sigma) * rng.NextGaussian();
+        }
+    }
+}
+
+size_t
+TtEmbeddingTable::NumParams() const
+{
+    return cores_[0].size() + cores_[1].size() + cores_[2].size();
+}
+
+double
+TtEmbeddingTable::CompressionRatio() const
+{
+    return static_cast<double>(rows_) * static_cast<double>(dim_) /
+           static_cast<double>(NumParams());
+}
+
+std::array<int64_t, 3>
+TtEmbeddingTable::Decompose(int64_t row) const
+{
+    NEO_CHECK(row >= 0 && row < rows_, "TT row out of range: ", row);
+    const auto [h1, h2, h3] = shape_.row_factors;
+    (void)h1;
+    const int64_t i3 = row % h3;
+    const int64_t i2 = (row / h3) % h2;
+    const int64_t i1 = row / (h2 * h3);
+    return {i1, i2, i3};
+}
+
+float*
+TtEmbeddingTable::CoreSlice(int k, int64_t sub_index)
+{
+    return const_cast<float*>(
+        static_cast<const TtEmbeddingTable*>(this)->CoreSlice(k, sub_index));
+}
+
+const float*
+TtEmbeddingTable::CoreSlice(int k, int64_t sub_index) const
+{
+    const auto [d1, d2, d3] = shape_.col_factors;
+    const auto [r1, r2] = shape_.ranks;
+    size_t slab = 0;
+    switch (k) {
+      case 0: slab = static_cast<size_t>(d1) * r1; break;
+      case 1: slab = static_cast<size_t>(r1) * d2 * r2; break;
+      case 2: slab = static_cast<size_t>(r2) * d3; break;
+      default: NEO_PANIC("bad core index");
+    }
+    return cores_[k].data() + static_cast<size_t>(sub_index) * slab;
+}
+
+void
+TtEmbeddingTable::Reconstruct(const std::array<int64_t, 3>& sub,
+                              std::vector<float>& t12, float* out) const
+{
+    const auto [d1, d2, d3] = shape_.col_factors;
+    const auto [r1, r2] = shape_.ranks;
+    const float* a = CoreSlice(0, sub[0]);  // (d1, r1)
+    const float* b = CoreSlice(1, sub[1]);  // (r1, d2*r2)
+    const float* c = CoreSlice(2, sub[2]);  // (r2, d3)
+
+    // t12 = A . B, shape (d1, d2*r2) == (d1*d2, r2) after reinterpretation.
+    t12.assign(static_cast<size_t>(d1) * d2 * r2, 0.0f);
+    for (int64_t i = 0; i < d1; i++) {
+        for (int64_t k = 0; k < r1; k++) {
+            const float aik = a[i * r1 + k];
+            const float* b_row = b + k * d2 * r2;
+            float* t_row = t12.data() + i * d2 * r2;
+            for (int64_t j = 0; j < d2 * r2; j++) {
+                t_row[j] += aik * b_row[j];
+            }
+        }
+    }
+    // out = t12 . C, shape (d1*d2, d3).
+    for (int64_t i = 0; i < d1 * d2; i++) {
+        float* out_row = out + i * d3;
+        for (int64_t j = 0; j < d3; j++) {
+            out_row[j] = 0.0f;
+        }
+        for (int64_t k = 0; k < r2; k++) {
+            const float tik = t12[i * r2 + k];
+            const float* c_row = c + k * d3;
+            for (int64_t j = 0; j < d3; j++) {
+                out_row[j] += tik * c_row[j];
+            }
+        }
+    }
+}
+
+void
+TtEmbeddingTable::ReadRow(int64_t row, float* out) const
+{
+    std::vector<float> t12;
+    Reconstruct(Decompose(row), t12, out);
+}
+
+void
+TtEmbeddingTable::AccumulateRow(int64_t row, float weight, float* out) const
+{
+    std::vector<float> buffer(static_cast<size_t>(dim_));
+    ReadRow(row, buffer.data());
+    for (int64_t c = 0; c < dim_; c++) {
+        out[c] += weight * buffer[c];
+    }
+}
+
+void
+TtEmbeddingTable::ApplyRowGradient(int64_t row, const float* grad, float lr)
+{
+    const auto sub = Decompose(row);
+    const auto [d1, d2, d3] = shape_.col_factors;
+    const auto [r1, r2] = shape_.ranks;
+    float* a = CoreSlice(0, sub[0]);  // (d1, r1)
+    float* b = CoreSlice(1, sub[1]);  // (r1, d2*r2)
+    float* c = CoreSlice(2, sub[2]);  // (r2, d3)
+
+    // Forward intermediates (needed by the chain rule).
+    std::vector<float> t12;
+    std::vector<float> row_buf(static_cast<size_t>(dim_));
+    Reconstruct(sub, t12, row_buf.data());
+
+    // grad viewed as (d1*d2, d3).
+    // dC[k][j]   = sum_i t12[i][k] * g[i][j]
+    std::vector<float> dc(static_cast<size_t>(r2) * d3, 0.0f);
+    for (int64_t i = 0; i < d1 * d2; i++) {
+        const float* g_row = grad + i * d3;
+        for (int64_t k = 0; k < r2; k++) {
+            const float t = t12[i * r2 + k];
+            float* dc_row = dc.data() + k * d3;
+            for (int64_t j = 0; j < d3; j++) {
+                dc_row[j] += t * g_row[j];
+            }
+        }
+    }
+    // dT12[i][k] = sum_j g[i][j] * C[k][j]
+    std::vector<float> dt12(static_cast<size_t>(d1) * d2 * r2, 0.0f);
+    for (int64_t i = 0; i < d1 * d2; i++) {
+        const float* g_row = grad + i * d3;
+        for (int64_t k = 0; k < r2; k++) {
+            const float* c_row = c + k * d3;
+            float sum = 0.0f;
+            for (int64_t j = 0; j < d3; j++) {
+                sum += g_row[j] * c_row[j];
+            }
+            dt12[i * r2 + k] = sum;
+        }
+    }
+    // dT12 viewed as (d1, d2*r2):
+    // dA[i][k] = sum_j dT12[i][j] * B[k][j]
+    std::vector<float> da(static_cast<size_t>(d1) * r1, 0.0f);
+    for (int64_t i = 0; i < d1; i++) {
+        const float* dt_row = dt12.data() + i * d2 * r2;
+        for (int64_t k = 0; k < r1; k++) {
+            const float* b_row = b + k * d2 * r2;
+            float sum = 0.0f;
+            for (int64_t j = 0; j < d2 * r2; j++) {
+                sum += dt_row[j] * b_row[j];
+            }
+            da[i * r1 + k] = sum;
+        }
+    }
+    // dB[k][j] = sum_i A[i][k] * dT12[i][j]
+    std::vector<float> db(static_cast<size_t>(r1) * d2 * r2, 0.0f);
+    for (int64_t i = 0; i < d1; i++) {
+        const float* dt_row = dt12.data() + i * d2 * r2;
+        for (int64_t k = 0; k < r1; k++) {
+            const float aik = a[i * r1 + k];
+            float* db_row = db.data() + k * d2 * r2;
+            for (int64_t j = 0; j < d2 * r2; j++) {
+                db_row[j] += aik * dt_row[j];
+            }
+        }
+    }
+
+    // SGD step on all three core slices.
+    for (size_t i = 0; i < da.size(); i++) {
+        a[i] -= lr * da[i];
+    }
+    for (size_t i = 0; i < db.size(); i++) {
+        b[i] -= lr * db[i];
+    }
+    for (size_t i = 0; i < dc.size(); i++) {
+        c[i] -= lr * dc[i];
+    }
+}
+
+bool
+TtEmbeddingTable::Identical(const TtEmbeddingTable& a,
+                            const TtEmbeddingTable& b)
+{
+    return a.rows_ == b.rows_ && a.dim_ == b.dim_ &&
+           a.cores_[0] == b.cores_[0] && a.cores_[1] == b.cores_[1] &&
+           a.cores_[2] == b.cores_[2];
+}
+
+}  // namespace neo::ops

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tensor-train compressed embedding table (TT-Rec, Yin et al. [59];
+ * cited by Sec. 4.1.4 as one of the paper's memory-saving techniques).
+ *
+ * The H x D table is never materialized: row indices factorize over a
+ * mixed radix (i1, i2, i3) and columns over (c1, c2, c3), and the
+ * embedding is the product of three small cores
+ *
+ *   E[i, :] = G1[i1] . G2[i2] . G3[i3]
+ *
+ * with TT-ranks (r1, r2) controlling the accuracy/compression trade-off.
+ * Parameters drop from H*D to h1*d1*r1 + h2*r1*d2*r2 + h3*r2*d3 — often
+ * 100-1000x for tall tables. Rows are reconstructed on the fly and core
+ * gradients are produced by the chain rule, so TT tables train in place
+ * of plain tables.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace neo::ops {
+
+/** Shape configuration for a 3-core TT factorization. */
+struct TtShape {
+    /** Row radices; h1*h2*h3 >= rows. */
+    std::array<int64_t, 3> row_factors = {0, 0, 0};
+    /** Column radices; d1*d2*d3 == dim. */
+    std::array<int64_t, 3> col_factors = {0, 0, 0};
+    /** TT ranks (r1, r2). */
+    std::array<int64_t, 2> ranks = {8, 8};
+
+    /**
+     * Factor `rows` x `dim` automatically: row factors near the cube
+     * root of rows, column factors from dim's divisors.
+     */
+    static TtShape Auto(int64_t rows, int64_t dim, int64_t rank = 8);
+
+    int64_t PaddedRows() const
+    {
+        return row_factors[0] * row_factors[1] * row_factors[2];
+    }
+    int64_t Dim() const
+    {
+        return col_factors[0] * col_factors[1] * col_factors[2];
+    }
+};
+
+/** Trainable TT-compressed embedding table. */
+class TtEmbeddingTable
+{
+  public:
+    /**
+     * @param rows Logical hash size H.
+     * @param dim Embedding dimension D.
+     * @param shape Factorization (use TtShape::Auto for defaults).
+     * @param seed Deterministic core initialization.
+     */
+    TtEmbeddingTable(int64_t rows, int64_t dim, const TtShape& shape,
+                     uint64_t seed);
+
+    int64_t rows() const { return rows_; }
+    int64_t dim() const { return dim_; }
+    const TtShape& shape() const { return shape_; }
+
+    /** Parameters stored across the three cores. */
+    size_t NumParams() const;
+
+    /** H*D / NumParams(): the headline compression factor. */
+    double CompressionRatio() const;
+
+    /** Reconstruct one row into out[0..dim). */
+    void ReadRow(int64_t row, float* out) const;
+
+    /** Accumulate out[c] += weight * E[row, c]. */
+    void AccumulateRow(int64_t row, float weight, float* out) const;
+
+    /**
+     * Apply one SGD step for a single row's gradient: backpropagates
+     * through the reconstruction into all three cores.
+     *
+     * @param row Logical row index.
+     * @param grad dL/dE[row, :], length dim.
+     * @param lr Learning rate.
+     */
+    void ApplyRowGradient(int64_t row, const float* grad, float lr);
+
+    /** Exact parameter equality (determinism tests). */
+    static bool Identical(const TtEmbeddingTable& a,
+                          const TtEmbeddingTable& b);
+
+  private:
+    /** Mixed-radix decomposition of a row index. */
+    std::array<int64_t, 3> Decompose(int64_t row) const;
+
+    /** Core slice pointers: core k's slab for sub-index ik. */
+    float* CoreSlice(int k, int64_t sub_index);
+    const float* CoreSlice(int k, int64_t sub_index) const;
+
+    /**
+     * Reconstruct intermediates for one row:
+     * t1 = G1[i1] (d1 x r1), t12 = t1 . G2[i2] ((d1*d2) x r2),
+     * row = t12 . G3[i3] ((d1*d2*d3)).
+     * Outputs are written into caller-provided scratch.
+     */
+    void Reconstruct(const std::array<int64_t, 3>& sub,
+                     std::vector<float>& t12, float* out) const;
+
+    int64_t rows_;
+    int64_t dim_;
+    TtShape shape_;
+    /**
+     * Core storage. Core sizes per sub-index slab:
+     *  core 0: d1 * r1;  core 1: r1 * d2 * r2;  core 2: r2 * d3.
+     */
+    std::array<std::vector<float>, 3> cores_;
+};
+
+}  // namespace neo::ops

@@ -1,0 +1,146 @@
+#include "ps/async_ps_trainer.h"
+
+#include "common/logging.h"
+
+namespace neo::ps {
+
+AsyncPsTrainer::AsyncPsTrainer(const core::DlrmConfig& config,
+                               const PsConfig& ps_config)
+    : config_(config), ps_config_(ps_config)
+{
+    config_.Validate();
+    NEO_REQUIRE(ps_config_.num_trainers >= 1, "need at least one trainer");
+
+    Rng center_rng(config_.seed);
+    center_bottom_ = std::make_unique<ops::Mlp>(
+        ops::MlpConfig{config_.BottomLayerSizes(), true}, center_rng);
+    center_top_ = std::make_unique<ops::Mlp>(
+        ops::MlpConfig{config_.TopLayerSizes(), false}, center_rng);
+    server_embeddings_ = std::make_unique<ops::EmbeddingBagCollection>(
+        config_.TableSpecs(), config_.sparse_optimizer, config_.seed);
+    interaction_ = std::make_unique<DotInteraction>(config_.tables.size(),
+                                                    config_.EmbeddingDim());
+
+    trainers_.resize(ps_config_.num_trainers);
+    for (auto& t : trainers_) {
+        // Every replica starts from the center parameters.
+        Rng replica_rng(config_.seed);
+        t.bottom = std::make_unique<ops::Mlp>(
+            ops::MlpConfig{config_.BottomLayerSizes(), true}, replica_rng);
+        t.top = std::make_unique<ops::Mlp>(
+            ops::MlpConfig{config_.TopLayerSizes(), false}, replica_rng);
+        t.opt = std::make_unique<ops::DenseOptimizer>(
+            config_.dense_optimizer);
+        t.bottom_slots = t.bottom->RegisterParams(*t.opt);
+        t.top_slots = t.top->RegisterParams(*t.opt);
+    }
+}
+
+void
+AsyncPsTrainer::EasgdSync(Trainer& trainer)
+{
+    const float alpha = ps_config_.easgd_alpha;
+    auto sync_mlp = [alpha](ops::Mlp& local, ops::Mlp& center) {
+        for (size_t l = 0; l < local.NumLayers(); l++) {
+            auto elastic = [alpha](Matrix& x, Matrix& c) {
+                float* xp = x.data();
+                float* cp = c.data();
+                for (size_t i = 0; i < x.size(); i++) {
+                    const float diff = xp[i] - cp[i];
+                    xp[i] -= alpha * diff;
+                    cp[i] += alpha * diff;
+                }
+            };
+            elastic(local.weight(l), center.weight(l));
+            elastic(local.bias(l), center.bias(l));
+        }
+    };
+    sync_mlp(*trainer.bottom, *center_bottom_);
+    sync_mlp(*trainer.top, *center_top_);
+}
+
+double
+AsyncPsTrainer::TrainMicroStep(Trainer& trainer, const data::Batch& batch)
+{
+    const size_t b = batch.size();
+
+    std::vector<ops::TableInput> inputs;
+    inputs.reserve(config_.tables.size());
+    for (size_t t = 0; t < config_.tables.size(); t++) {
+        inputs.push_back(batch.sparse.InputForTable(t));
+    }
+
+    // ---- forward against the (stale) replica + live server embeddings ----
+    Matrix bottom_out;
+    trainer.bottom->Forward(batch.dense, bottom_out);
+    std::vector<Matrix> pooled;
+    server_embeddings_->Forward(inputs, b, pooled);
+    Matrix interacted(b, interaction_->OutputDim());
+    interaction_->Forward(bottom_out, pooled, interacted);
+    Matrix logits;
+    trainer.top->Forward(interacted, logits);
+    const double loss = BceWithLogitsLoss(logits, batch.labels);
+
+    // ---- backward ----
+    Matrix grad_logits(b, 1);
+    BceWithLogitsGrad(logits, batch.labels, grad_logits);
+
+    trainer.top->ZeroGrads();
+    Matrix grad_interacted;
+    trainer.top->Backward(grad_logits, grad_interacted);
+
+    Matrix grad_bottom_out(b, config_.EmbeddingDim());
+    std::vector<Matrix> grad_pooled(config_.tables.size());
+    for (auto& g : grad_pooled) {
+        g = Matrix(b, config_.EmbeddingDim());
+    }
+    interaction_->Backward(grad_interacted, grad_bottom_out, grad_pooled);
+
+    trainer.bottom->ZeroGrads();
+    Matrix grad_dense_unused;
+    trainer.bottom->Backward(grad_bottom_out, grad_dense_unused);
+
+    // ---- updates: Hogwild-style immediate sparse, local dense ----
+    server_embeddings_->BackwardAndUpdateNaive(inputs, b, grad_pooled);
+    trainer.bottom->ApplyOptimizer(*trainer.opt, trainer.bottom_slots);
+    trainer.top->ApplyOptimizer(*trainer.opt, trainer.top_slots);
+    return loss;
+}
+
+double
+AsyncPsTrainer::Step(data::SyntheticCtrDataset& dataset)
+{
+    Trainer& trainer = trainers_[next_trainer_];
+    next_trainer_ = (next_trainer_ + 1) % ps_config_.num_trainers;
+
+    const data::Batch batch = dataset.NextBatch(ps_config_.batch_size);
+    const double loss = TrainMicroStep(trainer, batch);
+    samples_seen_ += batch.size();
+
+    trainer.steps++;
+    if (trainer.steps % ps_config_.sync_period == 0) {
+        EasgdSync(trainer);
+    }
+    return loss;
+}
+
+void
+AsyncPsTrainer::Evaluate(const data::Batch& batch, NormalizedEntropy& ne)
+{
+    const size_t b = batch.size();
+    std::vector<ops::TableInput> inputs;
+    for (size_t t = 0; t < config_.tables.size(); t++) {
+        inputs.push_back(batch.sparse.InputForTable(t));
+    }
+    Matrix bottom_out;
+    center_bottom_->Forward(batch.dense, bottom_out);
+    std::vector<Matrix> pooled;
+    server_embeddings_->Forward(inputs, b, pooled);
+    Matrix interacted(b, interaction_->OutputDim());
+    interaction_->Forward(bottom_out, pooled, interacted);
+    Matrix logits;
+    center_top_->Forward(interacted, logits);
+    ne.AddLogits(logits, batch.labels);
+}
+
+}  // namespace neo::ps

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Asynchronous parameter-server training baseline (Sec. 2 / Fig. 2).
+ *
+ * The previous-generation system trains DLRMs on a disaggregated CPU
+ * cluster: dense MLP replicas synchronize with a central parameter server
+ * via elastic averaging SGD (EASGD [61]), while embedding tables live on
+ * the server and are updated Hogwild-style [45] — immediately, per
+ * occurrence, with no duplicate merging — so updates from different
+ * trainers interleave and read stale state.
+ *
+ * We emulate the asynchrony deterministically: N virtual trainers are
+ * stepped round-robin; each holds its own dense replica (stale between
+ * EASGD syncs) and reads/writes the shared server embeddings directly
+ * (the naive, order-dependent sparse path). Staleness therefore grows
+ * with the trainer count, reproducing the quality gap of Fig. 10 without
+ * nondeterministic data races.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dlrm_config.h"
+#include "data/dataset.h"
+#include "ops/mlp.h"
+#include "tensor/interaction.h"
+#include "tensor/loss.h"
+
+namespace neo::ps {
+
+/** Parameter-server deployment shape and EASGD hyper-parameters. */
+struct PsConfig {
+    /** Number of virtual trainers (≈16 in the paper's A1 baseline). */
+    int num_trainers = 16;
+    /** Per-trainer mini-batch (~150 in the paper). */
+    size_t batch_size = 150;
+    /** Trainer steps between EASGD syncs with the server. */
+    int sync_period = 8;
+    /** Elastic-averaging coefficient. */
+    float easgd_alpha = 0.4f;
+};
+
+/** Deterministic emulation of the async PS training system. */
+class AsyncPsTrainer
+{
+  public:
+    AsyncPsTrainer(const core::DlrmConfig& config, const PsConfig& ps_config);
+
+    /**
+     * Advance one trainer micro-step (round-robin over trainers), pulling
+     * one batch from `dataset`.
+     * @return That trainer's mini-batch loss.
+     */
+    double Step(data::SyntheticCtrDataset& dataset);
+
+    /** Evaluate NE using the server's center model. */
+    void Evaluate(const data::Batch& batch, NormalizedEntropy& ne);
+
+    /** Total training samples consumed so far. */
+    uint64_t SamplesSeen() const { return samples_seen_; }
+
+    const core::DlrmConfig& config() const { return config_; }
+
+  private:
+    /** Per-trainer state: a dense replica plus optimizer slots. */
+    struct Trainer {
+        std::unique_ptr<ops::Mlp> bottom;
+        std::unique_ptr<ops::Mlp> top;
+        std::unique_ptr<ops::DenseOptimizer> opt;
+        std::vector<size_t> bottom_slots;
+        std::vector<size_t> top_slots;
+        int steps = 0;
+    };
+
+    /** Elastic averaging between one trainer and the server center. */
+    void EasgdSync(Trainer& trainer);
+
+    /** Forward/backward for one batch against a trainer's dense replica. */
+    double TrainMicroStep(Trainer& trainer, const data::Batch& batch);
+
+    core::DlrmConfig config_;
+    PsConfig ps_config_;
+
+    /** Server state: center dense model + embedding tables. */
+    std::unique_ptr<ops::Mlp> center_bottom_;
+    std::unique_ptr<ops::Mlp> center_top_;
+    std::unique_ptr<ops::EmbeddingBagCollection> server_embeddings_;
+    std::unique_ptr<DotInteraction> interaction_;
+
+    std::vector<Trainer> trainers_;
+    int next_trainer_ = 0;
+    uint64_t samples_seen_ = 0;
+};
+
+}  // namespace neo::ps

@@ -1,0 +1,132 @@
+#include "sharding/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace neo::sharding {
+
+const char*
+SchemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kTableWise: return "table-wise";
+      case Scheme::kRowWise: return "row-wise";
+      case Scheme::kColumnWise: return "column-wise";
+      case Scheme::kDataParallel: return "data-parallel";
+      case Scheme::kTableRowWise: return "table-row-wise";
+    }
+    return "unknown";
+}
+
+double
+OptimizerStateBytes(const TableConfig& table, bool row_wise_adagrad)
+{
+    if (row_wise_adagrad) {
+        // One FP32 moment per row regardless of storage precision.
+        return static_cast<double>(table.rows) * sizeof(float);
+    }
+    // Element-wise state mirrors the parameter tensor (FP32 accumulators).
+    return static_cast<double>(table.rows) * static_cast<double>(table.dim) *
+           sizeof(float);
+}
+
+ShardCost
+EstimateShardCost(const TableConfig& table, const Shard& shard,
+                  const Topology& topo, int64_t global_batch,
+                  const CostModelParams& params)
+{
+    NEO_REQUIRE(global_batch > 0, "global batch must be positive");
+    NEO_REQUIRE(topo.num_workers >= 1, "need at least one worker");
+
+    const double b_global = static_cast<double>(global_batch);
+    const double b_local = b_global / topo.num_workers;
+    const double l = table.pooling;
+    const double d_full = static_cast<double>(table.dim);
+    const double bytes_per_elem =
+        static_cast<double>(BytesPerElement(table.precision));
+
+    ShardCost cost;
+
+    // Cache-pressure penalty: very tall tables get worse reuse in HBM/cache.
+    const double tall_factor =
+        table.rows > params.tall_table_rows
+            ? 1.0 + params.tall_table_penalty
+            : 1.0;
+
+    switch (shard.scheme) {
+      case Scheme::kTableWise: {
+        // Owner processes the whole global batch for this table.
+        cost.compute =
+            params.compute_weight * b_global * l * d_full * tall_factor;
+        cost.input_comm = params.input_weight * b_global * l;
+        cost.output_comm = params.output_weight * b_global * d_full;
+        cost.memory_bytes =
+            static_cast<double>(table.rows) * d_full * bytes_per_elem;
+        break;
+      }
+      case Scheme::kRowWise: {
+        // Rows split across workers: indices are bucketized so each shard
+        // sees roughly L * rows_frac of the input, but partial pooled
+        // sums for the WHOLE global batch must be ReduceScattered, so the
+        // output term does not shrink with the shard (communication grows
+        // linearly with trainer count, Sec. 4.2.2).
+        const double rows_frac =
+            static_cast<double>(shard.NumRows()) /
+            std::max<double>(1.0, static_cast<double>(table.rows));
+        cost.compute = params.compute_weight * b_global * l * rows_frac *
+                       d_full * tall_factor;
+        cost.input_comm = params.input_weight * b_global * l * rows_frac;
+        cost.output_comm = params.output_weight * b_global * d_full;
+        cost.memory_bytes = static_cast<double>(shard.NumRows()) * d_full *
+                            bytes_per_elem;
+        break;
+      }
+      case Scheme::kColumnWise: {
+        // Column split: input indices are duplicated to every column shard
+        // (Sec. 4.2.3), compute and output scale with the shard width.
+        const double d_shard = static_cast<double>(shard.NumCols());
+        cost.compute =
+            params.compute_weight * b_global * l * d_shard * tall_factor;
+        cost.input_comm = params.input_weight * b_global * l;  // duplicated
+        cost.output_comm = params.output_weight * b_global * d_shard;
+        cost.memory_bytes = static_cast<double>(table.rows) * d_shard *
+                            bytes_per_elem;
+        break;
+      }
+      case Scheme::kDataParallel: {
+        // Replicated: every worker pools its local batch; no input/output
+        // AllToAll, but the whole table is AllReduced each iteration.
+        cost.compute =
+            params.compute_weight * b_local * l * d_full * tall_factor;
+        cost.input_comm = 0.0;
+        cost.output_comm = params.dp_allreduce_weight *
+                           static_cast<double>(table.rows) * d_full;
+        cost.memory_bytes =
+            static_cast<double>(table.rows) * d_full * bytes_per_elem;
+        break;
+      }
+      case Scheme::kTableRowWise: {
+        // Rows split across one node's workers only: the ReduceScatter of
+        // partials stays on NVLink (discounted); only the final pooled
+        // result crosses the scale-out fabric once per node.
+        const double rows_frac =
+            static_cast<double>(shard.NumRows()) /
+            std::max<double>(1.0, static_cast<double>(table.rows));
+        cost.compute = params.compute_weight * b_global * l * rows_frac *
+                       d_full * tall_factor;
+        cost.input_comm = params.input_weight * b_global * l * rows_frac;
+        cost.output_comm =
+            params.output_weight * b_global * d_full *
+                params.intra_node_discount +
+            params.output_weight * b_global * d_full /
+                std::max(1, topo.workers_per_node);
+        cost.memory_bytes = static_cast<double>(shard.NumRows()) * d_full *
+                            bytes_per_elem;
+        break;
+      }
+    }
+    return cost;
+}
+
+}  // namespace neo::sharding

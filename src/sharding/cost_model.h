@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-shard cost model (Sec. 3.0.1): for a table {H, D} with pooling L,
+ * the input-distribution cost is proportional to L, the pooling compute to
+ * L x D, and the pooled-output communication to D. Weights convert those
+ * counts into common relative cost units and encode topology (intra-node
+ * links are cheaper than scale-out links).
+ */
+#pragma once
+
+#include "sharding/types.h"
+
+namespace neo::sharding {
+
+/** Tunable weights for the shard cost terms. */
+struct CostModelParams {
+    /** Cost per distributed input index (L term). */
+    double input_weight = 0.05;
+    /** Cost per pooled element touched (L*D term, HBM-bound lookup). */
+    double compute_weight = 1.0;
+    /** Cost per pooled-output element communicated (D term, scale-out). */
+    double output_weight = 0.6;
+    /** Cost per parameter AllReduced for data-parallel tables. */
+    double dp_allreduce_weight = 0.002;
+    /** Discount on output_comm for intra-node (NVLink) traffic. */
+    double intra_node_discount = 0.15;
+    /** Extra per-row cache-miss factor for very tall tables. */
+    double tall_table_penalty = 0.1;
+    /** Rows above which the tall-table penalty applies. */
+    double tall_table_rows = 1e8;
+};
+
+/** Cluster shape the cost model needs. */
+struct Topology {
+    int num_workers = 1;
+    int workers_per_node = 8;
+
+    int NumNodes() const
+    {
+        return (num_workers + workers_per_node - 1) / workers_per_node;
+    }
+};
+
+/**
+ * Estimate the steady-state per-iteration cost of one shard.
+ *
+ * @param table The logical table the shard belongs to.
+ * @param shard Shard geometry (scheme + row/col ranges).
+ * @param topo Cluster shape.
+ * @param global_batch Global mini-batch size B.
+ * @param params Cost weights.
+ */
+ShardCost EstimateShardCost(const TableConfig& table, const Shard& shard,
+                            const Topology& topo, int64_t global_batch,
+                            const CostModelParams& params = {});
+
+/**
+ * Optimizer-state bytes per parameter row for capacity accounting: full
+ * AdaGrad doubles storage; row-wise AdaGrad adds one float per row
+ * (Sec. 4.1.4 / the F1 study's 96 TB -> 24 TB math).
+ */
+double OptimizerStateBytes(const TableConfig& table, bool row_wise_adagrad);
+
+}  // namespace neo::sharding

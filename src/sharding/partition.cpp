@@ -1,0 +1,184 @@
+#include "sharding/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace neo::sharding {
+
+namespace {
+
+/** Item order sorted by descending cost (stable for determinism). */
+std::vector<size_t>
+DescendingOrder(const std::vector<double>& costs)
+{
+    std::vector<size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return costs[a] > costs[b];
+    });
+    return order;
+}
+
+}  // namespace
+
+std::vector<int>
+GreedyPartition(const std::vector<double>& costs, int num_bins)
+{
+    NEO_REQUIRE(num_bins >= 1, "need at least one bin");
+    std::vector<int> assignment(costs.size(), 0);
+    if (num_bins == 1) {
+        return assignment;
+    }
+    const std::vector<size_t> order = DescendingOrder(costs);
+
+    // Min-heap of (bin_sum, bin). Ties broken by bin id for determinism.
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (int b = 0; b < num_bins; b++) {
+        heap.push({0.0, b});
+    }
+    for (size_t idx : order) {
+        auto [sum, bin] = heap.top();
+        heap.pop();
+        assignment[idx] = bin;
+        heap.push({sum + costs[idx], bin});
+    }
+    return assignment;
+}
+
+std::vector<int>
+LdmPartition(const std::vector<double>& costs, int num_bins)
+{
+    NEO_REQUIRE(num_bins >= 1, "need at least one bin");
+    std::vector<int> assignment(costs.size(), 0);
+    if (num_bins == 1 || costs.empty()) {
+        return assignment;
+    }
+
+    // A partial partition: k bins, each a (sum, member items) pair kept
+    // sorted by descending sum.
+    struct Partition {
+        std::vector<double> sums;               // descending
+        std::vector<std::vector<size_t>> items; // parallel to sums
+        uint64_t seq = 0;                       // tie-break for determinism
+
+        double Spread() const { return sums.front() - sums.back(); }
+    };
+
+    auto cmp = [](const Partition& a, const Partition& b) {
+        if (a.Spread() != b.Spread()) {
+            return a.Spread() < b.Spread();  // max-heap on spread
+        }
+        return a.seq > b.seq;
+    };
+    std::priority_queue<Partition, std::vector<Partition>, decltype(cmp)>
+        heap(cmp);
+
+    uint64_t seq = 0;
+    for (size_t i = 0; i < costs.size(); i++) {
+        Partition p;
+        p.sums.assign(num_bins, 0.0);
+        p.items.assign(num_bins, {});
+        p.sums[0] = costs[i];
+        p.items[0] = {i};
+        p.seq = seq++;
+        heap.push(std::move(p));
+    }
+
+    // Repeatedly merge the two partitions with the largest spread, pairing
+    // the heaviest bin of one with the lightest bin of the other. This
+    // cancels large differences early — the k-way differencing step.
+    while (heap.size() > 1) {
+        Partition a = heap.top();
+        heap.pop();
+        Partition b = heap.top();
+        heap.pop();
+
+        Partition merged;
+        merged.sums.resize(num_bins);
+        merged.items.resize(num_bins);
+        merged.seq = seq++;
+        for (int i = 0; i < num_bins; i++) {
+            const int j = num_bins - 1 - i;  // reverse order of b
+            merged.sums[i] = a.sums[i] + b.sums[j];
+            merged.items[i] = std::move(a.items[i]);
+            merged.items[i].insert(merged.items[i].end(),
+                                   b.items[j].begin(), b.items[j].end());
+        }
+        // Re-sort bins by descending sum, carrying items along.
+        std::vector<int> order(num_bins);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+            return merged.sums[x] > merged.sums[y];
+        });
+        Partition sorted;
+        sorted.sums.resize(num_bins);
+        sorted.items.resize(num_bins);
+        sorted.seq = merged.seq;
+        for (int i = 0; i < num_bins; i++) {
+            sorted.sums[i] = merged.sums[order[i]];
+            sorted.items[i] = std::move(merged.items[order[i]]);
+        }
+        heap.push(std::move(sorted));
+    }
+
+    const Partition final_partition = heap.top();
+    for (int b = 0; b < num_bins; b++) {
+        for (size_t item : final_partition.items[b]) {
+            assignment[item] = b;
+        }
+    }
+    return assignment;
+}
+
+std::vector<int>
+GreedyPartitionWithCapacity(const std::vector<double>& costs,
+                            const std::vector<double>& memory,
+                            double capacity, int num_bins)
+{
+    NEO_REQUIRE(num_bins >= 1, "need at least one bin");
+    NEO_REQUIRE(costs.size() == memory.size(), "costs/memory size mismatch");
+    std::vector<int> assignment(costs.size(), -1);
+    std::vector<double> bin_cost(num_bins, 0.0);
+    std::vector<double> bin_mem(num_bins, 0.0);
+
+    const std::vector<size_t> order = DescendingOrder(costs);
+    for (size_t idx : order) {
+        int best = -1;
+        for (int b = 0; b < num_bins; b++) {
+            if (bin_mem[b] + memory[idx] > capacity) {
+                continue;
+            }
+            if (best == -1 || bin_cost[b] < bin_cost[best]) {
+                best = b;
+            }
+        }
+        if (best == -1) {
+            return {};  // heuristic found no feasible placement
+        }
+        assignment[idx] = best;
+        bin_cost[best] += costs[idx];
+        bin_mem[best] += memory[idx];
+    }
+    return assignment;
+}
+
+double
+MaxBinSum(const std::vector<double>& costs, const std::vector<int>& assignment,
+          int num_bins)
+{
+    NEO_REQUIRE(costs.size() == assignment.size(),
+                "assignment size mismatch");
+    std::vector<double> sums(num_bins, 0.0);
+    for (size_t i = 0; i < costs.size(); i++) {
+        NEO_REQUIRE(assignment[i] >= 0 && assignment[i] < num_bins,
+                    "bin out of range");
+        sums[assignment[i]] += costs[i];
+    }
+    return *std::max_element(sums.begin(), sums.end());
+}
+
+}  // namespace neo::sharding

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Placement algorithms for the multi-way number-partitioning problem of
+ * balancing shard costs across workers (Sec. 4.2.5): the greedy LPT
+ * heuristic and the largest differencing method (LDM, Karmarkar–Karp).
+ */
+#pragma once
+
+#include <vector>
+
+namespace neo::sharding {
+
+/**
+ * Greedy (longest-processing-time) partition: sort costs descending,
+ * repeatedly assign the next item to the currently lightest bin.
+ *
+ * @param costs Per-item costs.
+ * @param num_bins Number of bins (workers), >= 1.
+ * @return Bin index per item.
+ */
+std::vector<int> GreedyPartition(const std::vector<double>& costs,
+                                 int num_bins);
+
+/**
+ * Karmarkar–Karp largest differencing method generalized to k bins:
+ * maintain partial partitions ordered by spread (max - min bin sum) and
+ * repeatedly merge the two with the largest spread, pairing heavy bins
+ * with light bins. Usually strictly better than greedy.
+ *
+ * @return Bin index per item.
+ */
+std::vector<int> LdmPartition(const std::vector<double>& costs,
+                              int num_bins);
+
+/**
+ * Capacity-constrained greedy: like GreedyPartition, but an item may only
+ * go to a bin whose accumulated memory stays within `capacity`.
+ *
+ * @param costs Per-item balancing costs.
+ * @param memory Per-item memory footprints.
+ * @param capacity Per-bin memory capacity.
+ * @param num_bins Number of bins.
+ * @return Bin per item, or an empty vector if no feasible assignment was
+ *   found by the heuristic.
+ */
+std::vector<int> GreedyPartitionWithCapacity(
+    const std::vector<double>& costs, const std::vector<double>& memory,
+    double capacity, int num_bins);
+
+/** Max bin sum achieved by an assignment (for tests and planners). */
+double MaxBinSum(const std::vector<double>& costs,
+                 const std::vector<int>& assignment, int num_bins);
+
+}  // namespace neo::sharding

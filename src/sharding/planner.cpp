@@ -1,0 +1,544 @@
+#include "sharding/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace neo::sharding {
+
+std::vector<const Shard*>
+ShardingPlan::ShardsForWorker(int worker) const
+{
+    std::vector<const Shard*> result;
+    for (const auto& shard : shards) {
+        if (shard.worker == worker ||
+            shard.scheme == Scheme::kDataParallel) {
+            result.push_back(&shard);
+        }
+    }
+    return result;
+}
+
+Scheme
+ShardingPlan::SchemeForTable(int table) const
+{
+    for (const auto& shard : shards) {
+        if (shard.table == table) {
+            return shard.scheme;
+        }
+    }
+    NEO_FATAL("table ", table, " has no shards in plan");
+}
+
+ShardingPlanner::ShardingPlanner(PlannerOptions options)
+    : options_(std::move(options))
+{
+    NEO_REQUIRE(options_.topo.num_workers >= 1, "need at least one worker");
+    NEO_REQUIRE(options_.hbm_bytes_per_worker > 0, "need HBM capacity");
+}
+
+double
+ShardingPlanner::ShardMemoryBytes(const TableConfig& table,
+                                  const Shard& shard) const
+{
+    // Scale full-table optimizer state by the shard's parameter fraction.
+    const double param_bytes = table.ParamBytes();
+    const double state_bytes =
+        OptimizerStateBytes(table, options_.row_wise_adagrad);
+    double frac = 1.0;
+    switch (shard.scheme) {
+      case Scheme::kRowWise:
+      case Scheme::kTableRowWise:
+        frac = static_cast<double>(shard.NumRows()) /
+               std::max<double>(1.0, static_cast<double>(table.rows));
+        break;
+      case Scheme::kColumnWise:
+        // Column shards replicate the per-row optimizer moment (the paper
+        // notes CW adds one state value per shard, Sec. 4.2.3), so only
+        // parameter bytes shrink with the shard width.
+        frac = static_cast<double>(shard.NumCols()) /
+               std::max<double>(1.0, static_cast<double>(table.dim));
+        return param_bytes * frac + state_bytes;
+      default:
+        break;
+    }
+    return (param_bytes + state_bytes) * frac;
+}
+
+double
+ShardingPlanner::TableWiseCost(const TableConfig& table) const
+{
+    Shard probe;
+    probe.scheme = Scheme::kTableWise;
+    probe.row_end = table.rows;
+    probe.col_end = table.dim;
+    return EstimateShardCost(table, probe, options_.topo,
+                             options_.global_batch, options_.cost_params)
+        .Total();
+}
+
+Scheme
+ShardingPlanner::ChooseScheme(const TableConfig& table,
+                              double cost_budget) const
+{
+    const double full_bytes =
+        table.ParamBytes() + OptimizerStateBytes(table,
+                                                 options_.row_wise_adagrad);
+    const double capacity = options_.hbm_bytes_per_worker;
+
+    // Tables that cannot fit on one worker — or would leave no packing
+    // headroom — must be split. Wide tables prefer a column split (same
+    // AllToAll flow as table-wise); otherwise rows are split, which is
+    // the only scheme that divides the hash dimension (the F1 study).
+    if (full_bytes > capacity * options_.rw_trigger_fraction) {
+        // Moderately-oversized wide tables split by columns (same
+        // AllToAll flow as TW). Multi-worker-sized tables go row-wise:
+        // column shards of a TB-scale table are still huge and pack
+        // poorly, and replicating per-row optimizer state per column
+        // shard stops being cheap.
+        if (options_.allow_column_wise &&
+            table.dim >= options_.cw_min_dim && full_bytes <= capacity) {
+            const double min_shard_bytes =
+                table.ParamBytes() * 16.0 / static_cast<double>(table.dim) +
+                OptimizerStateBytes(table, options_.row_wise_adagrad);
+            if (min_shard_bytes <=
+                capacity * options_.rw_trigger_fraction) {
+                return Scheme::kColumnWise;
+            }
+        }
+        if (options_.allow_table_row_wise &&
+            full_bytes <= capacity * options_.topo.workers_per_node) {
+            return Scheme::kTableRowWise;
+        }
+        NEO_REQUIRE(options_.allow_row_wise,
+                    "table ", table.name, " exceeds worker memory and ",
+                    "row-wise sharding is disabled");
+        return Scheme::kRowWise;
+    }
+
+    // Small tables: replicate if the cluster-wide cost of replication
+    // (every worker pools its local batch + AllReduces the whole table)
+    // beats the table-wise AllToAll flow. Comparing per-worker shard
+    // costs would be misleading — DP spreads its cost over all workers.
+    // Replicas also occupy memory on EVERY worker, so cap DP tables at a
+    // small fraction of HBM.
+    if (options_.allow_data_parallel &&
+        full_bytes <= 0.02 * capacity) {
+        Shard probe;
+        probe.scheme = Scheme::kDataParallel;
+        probe.row_end = table.rows;
+        probe.col_end = table.dim;
+        const ShardCost dp =
+            EstimateShardCost(table, probe, options_.topo,
+                              options_.global_batch, options_.cost_params);
+        probe.scheme = Scheme::kTableWise;
+        const ShardCost tw =
+            EstimateShardCost(table, probe, options_.topo,
+                              options_.global_batch, options_.cost_params);
+        if (dp.Total() * options_.topo.num_workers < tw.Total()) {
+            return Scheme::kDataParallel;
+        }
+    }
+
+    // Hot tables (cost above the per-worker budget share) are column-
+    // split for load balance even though they fit in memory — the paper's
+    // Fig. 13 case where CW's duplicated-input overhead is outweighed by
+    // the better balance.
+    if (options_.allow_column_wise && options_.cw_cost_trigger > 0 &&
+        cost_budget > 0 && table.dim >= options_.cw_balance_min_dim &&
+        TableWiseCost(table) > options_.cw_cost_trigger * cost_budget) {
+        return Scheme::kColumnWise;
+    }
+
+    // Wide tables benefit from column splitting for finer-grained balance.
+    if (options_.allow_column_wise && table.dim >= options_.cw_min_dim) {
+        return Scheme::kColumnWise;
+    }
+    return Scheme::kTableWise;
+}
+
+void
+ShardingPlanner::MakeShards(int table_idx, const TableConfig& table,
+                            Scheme scheme, double cost_budget,
+                            std::vector<Shard>& out) const
+{
+    Shard base;
+    base.table = table_idx;
+    base.scheme = scheme;
+    base.row_begin = 0;
+    base.row_end = table.rows;
+    base.col_begin = 0;
+    base.col_end = table.dim;
+
+    switch (scheme) {
+      case Scheme::kTableWise:
+      case Scheme::kDataParallel: {
+        out.push_back(base);
+        break;
+      }
+      case Scheme::kColumnWise: {
+        // Width: the configured target, shrunk until each shard fits the
+        // memory budget (per-row optimizer state is replicated per shard
+        // and does not shrink with width).
+        const double state_bytes =
+            OptimizerStateBytes(table, options_.row_wise_adagrad);
+        const double budget =
+            options_.hbm_bytes_per_worker * options_.rw_trigger_fraction;
+        int64_t width = std::max<int64_t>(1, options_.cw_shard_dim);
+        // Load-driven width: enough shards that each is under the cost
+        // budget share.
+        if (cost_budget > 0 && options_.cw_cost_trigger > 0) {
+            const double cost = TableWiseCost(table);
+            const double target = options_.cw_cost_trigger * cost_budget;
+            if (cost > target) {
+                const int64_t load_shards = static_cast<int64_t>(
+                    std::ceil(cost / target));
+                const int64_t load_width = std::max<int64_t>(
+                    4, table.dim / std::max<int64_t>(1, load_shards));
+                width = std::min(width, load_width / 4 * 4);
+                width = std::max<int64_t>(4, width);
+            }
+        }
+        if (budget > state_bytes) {
+            const double per_col = table.ParamBytes() /
+                                   static_cast<double>(table.dim);
+            const int64_t fit_width = static_cast<int64_t>(
+                (budget - state_bytes) / std::max(per_col, 1.0));
+            width = std::max<int64_t>(
+                4, std::min(width, fit_width / 4 * 4));
+        }
+        for (int64_t c = 0; c < table.dim; c += width) {
+            Shard shard = base;
+            shard.col_begin = c;
+            shard.col_end = std::min(table.dim, c + width);
+            out.push_back(shard);
+        }
+        break;
+      }
+      case Scheme::kRowWise: {
+        const double full_bytes =
+            table.ParamBytes() +
+            OptimizerStateBytes(table, options_.row_wise_adagrad);
+        const double usable = options_.hbm_bytes_per_worker;
+        int num_shards;
+        if (full_bytes > usable) {
+            // A table bigger than one worker is fully distributed (the
+            // F1 flow): every worker holds a slice, which also keeps the
+            // per-worker packing uniform when several such tables exist.
+            num_shards = options_.topo.num_workers;
+        } else {
+            // Near-capacity tables split into mid-sized shards that the
+            // placement heuristic can pack around.
+            num_shards = std::max<int>(
+                2, static_cast<int>(full_bytes / (0.4 * usable)) + 1);
+        }
+        num_shards = std::min<int>(num_shards, options_.topo.num_workers);
+        for (int s = 0; s < num_shards; s++) {
+            Shard shard = base;
+            shard.row_begin = table.rows * s / num_shards;
+            shard.row_end = table.rows * (s + 1) / num_shards;
+            out.push_back(shard);
+        }
+        break;
+      }
+      case Scheme::kTableRowWise: {
+        const int g = options_.topo.workers_per_node;
+        for (int s = 0; s < g; s++) {
+            Shard shard = base;
+            shard.row_begin = table.rows * s / g;
+            shard.row_end = table.rows * (s + 1) / g;
+            out.push_back(shard);
+        }
+        break;
+      }
+    }
+}
+
+ShardingPlan
+ShardingPlanner::Plan(const std::vector<TableConfig>& tables) const
+{
+    NEO_REQUIRE(!tables.empty(), "no tables to shard");
+    ShardingPlan plan;
+    const int workers = options_.topo.num_workers;
+    plan.worker_cost.assign(workers, 0.0);
+    plan.worker_memory.assign(workers, 0.0);
+
+    // --- 1. Scheme selection + shard expansion ------------------------
+    // Per-worker cost budget: the balance target hot tables are split
+    // against.
+    double total_cost = 0.0;
+    for (const auto& table : tables) {
+        total_cost += TableWiseCost(table);
+    }
+    const double cost_budget = total_cost / workers;
+    for (size_t t = 0; t < tables.size(); t++) {
+        const Scheme scheme = ChooseScheme(tables[t], cost_budget);
+        MakeShards(static_cast<int>(t), tables[t], scheme, cost_budget,
+                   plan.shards);
+    }
+
+    // --- 2. Cost every shard ------------------------------------------
+    plan.costs.reserve(plan.shards.size());
+    for (const auto& shard : plan.shards) {
+        ShardCost cost = EstimateShardCost(tables[shard.table], shard,
+                                           options_.topo,
+                                           options_.global_batch,
+                                           options_.cost_params);
+        cost.memory_bytes = ShardMemoryBytes(tables[shard.table], shard);
+        plan.costs.push_back(cost);
+    }
+
+    // --- 3. Replicated (DP) shards load every worker -------------------
+    std::vector<size_t> placeable;       // worker-level shards
+    std::vector<size_t> node_grouped;    // TWRW shards, grouped per table
+    for (size_t s = 0; s < plan.shards.size(); s++) {
+        const Shard& shard = plan.shards[s];
+        if (shard.scheme == Scheme::kDataParallel) {
+            for (int w = 0; w < workers; w++) {
+                plan.worker_cost[w] += plan.costs[s].Total();
+                plan.worker_memory[w] += plan.costs[s].memory_bytes;
+            }
+        } else if (shard.scheme == Scheme::kTableRowWise) {
+            node_grouped.push_back(s);
+        } else {
+            placeable.push_back(s);
+        }
+    }
+
+    // --- 4. Place TWRW groups at node granularity ----------------------
+    if (!node_grouped.empty()) {
+        const int nodes = options_.topo.NumNodes();
+        const int g = options_.topo.workers_per_node;
+        // Group consecutive TWRW shards of the same table.
+        std::vector<std::vector<size_t>> groups;
+        for (size_t s : node_grouped) {
+            if (groups.empty() ||
+                plan.shards[groups.back().front()].table !=
+                    plan.shards[s].table) {
+                groups.emplace_back();
+            }
+            groups.back().push_back(s);
+        }
+        std::vector<double> group_costs;
+        group_costs.reserve(groups.size());
+        for (const auto& group : groups) {
+            double total = 0.0;
+            for (size_t s : group) {
+                total += plan.costs[s].Total();
+            }
+            group_costs.push_back(total);
+        }
+        const std::vector<int> node_assign =
+            options_.placement == PlacementAlgorithm::kLdm
+                ? LdmPartition(group_costs, nodes)
+                : GreedyPartition(group_costs, nodes);
+        for (size_t gi = 0; gi < groups.size(); gi++) {
+            const int node = node_assign[gi];
+            for (size_t k = 0; k < groups[gi].size(); k++) {
+                const size_t s = groups[gi][k];
+                const int w = node * g + static_cast<int>(k % g);
+                NEO_CHECK(w < workers, "TWRW worker overflow");
+                plan.shards[s].worker = w;
+                plan.worker_cost[w] += plan.costs[s].Total();
+                plan.worker_memory[w] += plan.costs[s].memory_bytes;
+            }
+        }
+    }
+
+    // --- 5. Place worker-level shards ----------------------------------
+    std::vector<double> item_costs;
+    std::vector<double> item_memory;
+    item_costs.reserve(placeable.size());
+    for (size_t s : placeable) {
+        item_costs.push_back(plan.costs[s].Total());
+        item_memory.push_back(plan.costs[s].memory_bytes);
+    }
+
+    std::vector<int> assignment;
+    // DP shards load every worker identically, so a uniform initial load
+    // does not affect balance and LDM still applies; TWRW placement makes
+    // loads non-uniform, which LDM cannot account for.
+    const bool uniform_initial_load =
+        plan.worker_cost.empty() ||
+        std::all_of(plan.worker_cost.begin(), plan.worker_cost.end(),
+                    [&](double c) { return c == plan.worker_cost[0]; });
+    if (options_.placement == PlacementAlgorithm::kLdm &&
+        uniform_initial_load) {
+        assignment = LdmPartition(item_costs, workers);
+        // Validate memory feasibility; LDM ignores capacity.
+        std::vector<double> mem(workers, 0.0);
+        bool ok = true;
+        for (size_t i = 0; i < assignment.size(); i++) {
+            mem[assignment[i]] += item_memory[i];
+            if (mem[assignment[i]] + plan.worker_memory[assignment[i]] >
+                options_.hbm_bytes_per_worker) {
+                ok = false;
+            }
+        }
+        if (!ok) {
+            assignment.clear();
+            plan.note = "LDM placement exceeded HBM; fell back to "
+                        "capacity-constrained greedy";
+        }
+    }
+    if (assignment.empty() && !item_costs.empty()) {
+        // Greedy with initial loads and capacity awareness. First pass
+        // places in descending COST order (best balance); if the packing
+        // fails — memory is tight, as with A2 in FP32 — retry in
+        // descending MEMORY order, which packs reliably at the expense of
+        // balance (the paper's "very little room to explore placement").
+        auto try_order = [&](bool by_memory) -> std::vector<int> {
+            std::vector<size_t> order(item_costs.size());
+            std::iota(order.begin(), order.end(), 0);
+            std::stable_sort(order.begin(), order.end(),
+                             [&](size_t a, size_t b) {
+                                 return by_memory
+                                            ? item_memory[a] >
+                                                  item_memory[b]
+                                            : item_costs[a] >
+                                                  item_costs[b];
+                             });
+            std::vector<int> result(item_costs.size(), -1);
+            std::vector<double> cost_now = plan.worker_cost;
+            std::vector<double> mem_now = plan.worker_memory;
+            for (size_t idx : order) {
+                int best = -1;
+                for (int w = 0; w < workers; w++) {
+                    if (mem_now[w] + item_memory[idx] >
+                        options_.hbm_bytes_per_worker) {
+                        continue;
+                    }
+                    const double key = by_memory ? mem_now[w] : cost_now[w];
+                    const double best_key =
+                        best == -1 ? 0.0
+                                   : (by_memory ? mem_now[best]
+                                                : cost_now[best]);
+                    if (best == -1 || key < best_key) {
+                        best = w;
+                    }
+                }
+                if (best == -1) {
+                    return {};
+                }
+                result[idx] = best;
+                cost_now[best] += item_costs[idx];
+                mem_now[best] += item_memory[idx];
+            }
+            return result;
+        };
+        if (options_.placement == PlacementAlgorithm::kRoundRobin) {
+            // Naive legacy default: cycle tables over workers in index
+            // order, skipping workers that are out of memory.
+            assignment.assign(item_costs.size(), -1);
+            std::vector<double> mem_now = plan.worker_memory;
+            int next = 0;
+            for (size_t idx = 0; idx < item_costs.size(); idx++) {
+                int chosen = -1;
+                for (int probe = 0; probe < workers; probe++) {
+                    const int w = (next + probe) % workers;
+                    if (mem_now[w] + item_memory[idx] <=
+                        options_.hbm_bytes_per_worker) {
+                        chosen = w;
+                        break;
+                    }
+                }
+                if (chosen == -1) {
+                    assignment.clear();
+                    break;
+                }
+                assignment[idx] = chosen;
+                mem_now[chosen] += item_memory[idx];
+                next = (chosen + 1) % workers;
+            }
+        }
+        const bool size_only =
+            options_.placement == PlacementAlgorithm::kSizeGreedy;
+        if (assignment.empty() &&
+            options_.placement != PlacementAlgorithm::kRoundRobin) {
+            assignment = try_order(/*by_memory=*/size_only);
+        } else if (assignment.empty()) {
+            assignment = try_order(/*by_memory=*/false);
+        }
+        if (assignment.empty() && !size_only) {
+            assignment = try_order(/*by_memory=*/true);
+            plan.note = "memory-first packing (capacity too tight for "
+                        "cost-balanced placement)";
+        }
+        if (assignment.empty()) {
+            plan.feasible = false;
+            plan.note = "no feasible placement under per-worker memory "
+                        "capacity";
+            return plan;
+        }
+    }
+
+    for (size_t i = 0; i < placeable.size(); i++) {
+        const size_t s = placeable[i];
+        plan.shards[s].worker = assignment[i];
+        plan.worker_cost[assignment[i]] += plan.costs[s].Total();
+        plan.worker_memory[assignment[i]] += plan.costs[s].memory_bytes;
+    }
+
+    // --- 5b. Local-search rebalance ------------------------------------
+    // Move shards off the straggler worker whenever a lighter worker has
+    // the memory headroom. With tight memory (e.g. FP32 A2) few moves are
+    // legal — the paper's "very little room to explore placement"; freeing
+    // memory (FP16) directly buys balance.
+    if (options_.placement != PlacementAlgorithm::kRoundRobin &&
+        options_.placement != PlacementAlgorithm::kSizeGreedy) {
+        for (int pass = 0; pass < 200; pass++) {
+            int hottest = 0;
+            for (int w = 1; w < workers; w++) {
+                if (plan.worker_cost[w] > plan.worker_cost[hottest]) {
+                    hottest = w;
+                }
+            }
+            bool moved = false;
+            for (size_t s : placeable) {
+                if (plan.shards[s].worker != hottest) {
+                    continue;
+                }
+                const double cost = plan.costs[s].Total();
+                const double mem = plan.costs[s].memory_bytes;
+                for (int w = 0; w < workers && !moved; w++) {
+                    if (w == hottest ||
+                        plan.worker_memory[w] + mem >
+                            options_.hbm_bytes_per_worker) {
+                        continue;
+                    }
+                    // Accept only moves that strictly lower the straggler
+                    // without making the target the new straggler.
+                    if (plan.worker_cost[w] + cost <
+                        plan.worker_cost[hottest]) {
+                        plan.shards[s].worker = w;
+                        plan.worker_cost[hottest] -= cost;
+                        plan.worker_memory[hottest] -= mem;
+                        plan.worker_cost[w] += cost;
+                        plan.worker_memory[w] += mem;
+                        moved = true;
+                    }
+                }
+                if (moved) {
+                    break;
+                }
+            }
+            if (!moved) {
+                break;
+            }
+        }
+    }
+
+    // --- 6. Balance diagnostics ----------------------------------------
+    plan.balance = ComputeLoadBalance(plan.worker_cost);
+    for (int w = 0; w < workers; w++) {
+        if (plan.worker_memory[w] > options_.hbm_bytes_per_worker) {
+            plan.feasible = false;
+            plan.note = "worker " + std::to_string(w) + " over HBM capacity";
+        }
+    }
+    return plan;
+}
+
+}  // namespace neo::sharding

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Core types for hybrid embedding-table sharding (Sec. 4.2).
+ *
+ * Four sharding primitives (Fig. 8) plus the hierarchical table-wise-then-
+ * row-wise variant:
+ *  - table-wise  (TW):  whole tables placed on workers; pooled AllToAll.
+ *  - row-wise    (RW):  row ranges on workers; bucketized input,
+ *                       ReduceScatter of partial pools.
+ *  - column-wise (CW):  embedding-dim ranges; duplicated input indices,
+ *                       same AllToAll flow as TW.
+ *  - data-parallel (DP): small tables replicated; gradients AllReduced.
+ *  - table-row-wise (TWRW): rows split only across one node's workers,
+ *                       exploiting fast intra-node scale-up links.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/float_types.h"
+
+namespace neo::sharding {
+
+/** Sharding primitive applied to one table. */
+enum class Scheme {
+    kTableWise,
+    kRowWise,
+    kColumnWise,
+    kDataParallel,
+    kTableRowWise,
+};
+
+/** Short name for logs and bench output. */
+const char* SchemeName(Scheme scheme);
+
+/** Static configuration of one logical embedding table. */
+struct TableConfig {
+    std::string name;
+    /** Hash size H (number of rows). */
+    int64_t rows = 0;
+    /** Embedding dimension D. */
+    int64_t dim = 0;
+    /** Average pooling size L (indices per sample). */
+    double pooling = 1.0;
+    /** Row storage precision. */
+    Precision precision = Precision::kFp32;
+
+    /** Parameter bytes for the whole table. */
+    double
+    ParamBytes() const
+    {
+        return static_cast<double>(rows) * static_cast<double>(dim) *
+               static_cast<double>(BytesPerElement(precision));
+    }
+};
+
+/** One physical shard of a table, placed on a worker. */
+struct Shard {
+    /** Index of the table in the model's table list. */
+    int table = -1;
+    Scheme scheme = Scheme::kTableWise;
+    /** Row range [row_begin, row_end) for RW / TWRW shards. */
+    int64_t row_begin = 0;
+    int64_t row_end = 0;
+    /** Column range [col_begin, col_end) for CW shards. */
+    int64_t col_begin = 0;
+    int64_t col_end = 0;
+    /** Assigned worker (GPU) id; -1 until placement. */
+    int worker = -1;
+
+    int64_t NumRows() const { return row_end - row_begin; }
+    int64_t NumCols() const { return col_end - col_begin; }
+};
+
+/** Per-shard cost estimate, in abstract (relative) cost units. */
+struct ShardCost {
+    /** Embedding lookup + update cost (HBM-bandwidth bound). */
+    double compute = 0.0;
+    /** Input index redistribution cost. */
+    double input_comm = 0.0;
+    /** Pooled-output communication cost. */
+    double output_comm = 0.0;
+    /** Parameter + optimizer-state bytes on the owning worker. */
+    double memory_bytes = 0.0;
+
+    double Total() const { return compute + input_comm + output_comm; }
+};
+
+}  // namespace neo::sharding

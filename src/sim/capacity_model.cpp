@@ -1,0 +1,77 @@
+#include "sim/capacity_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+CapacityEstimate
+EstimateCapacity(const WorkloadModel& workload, const ClusterSpec& cluster,
+                 Precision emb_precision, bool rowwise_adagrad,
+                 double avg_dim)
+{
+    NEO_REQUIRE(avg_dim > 0, "avg_dim must be positive");
+    CapacityEstimate est;
+    const double params = workload.num_params;
+
+    // Naive: FP32 parameters plus elementwise FP32 optimizer state —
+    // the paper's 12e12 * 4 * 2 = 96 TB for F1.
+    est.naive_bytes = params * 4.0 * 2.0;
+
+    // Optimized: chosen storage precision; row-wise AdaGrad keeps one
+    // FP32 moment per row (params / avg_dim rows).
+    const double param_bytes =
+        params * static_cast<double>(BytesPerElement(emb_precision));
+    const double state_bytes = rowwise_adagrad
+                                   ? params / avg_dim * 4.0
+                                   : params * 4.0;
+    est.optimized_bytes = param_bytes + state_bytes;
+
+    est.fits_hbm = est.optimized_bytes <= cluster.TotalHbm();
+    est.fits_hbm_ddr =
+        est.optimized_bytes <= cluster.TotalHbm() + cluster.TotalDdr();
+    est.fits_hbm_ddr_ssd = est.optimized_bytes <=
+                           cluster.TotalHbm() + cluster.TotalDdr() +
+                               cluster.TotalSsd();
+    return est;
+}
+
+PsBaselineModel::PsBaselineModel(const WorkloadModel& workload)
+    : workload_(workload)
+{
+}
+
+double
+PsBaselineModel::PerTrainerQps() const
+{
+    // Compute roof: fwd+bwd ~ 3x forward FLOPs per sample.
+    const double flops_per_sample = 3.0 * workload_.mflops_per_sample * 1e6;
+    const double compute_qps = cpu_effective_flops_ / flops_per_sample;
+    // Memory roof: embedding rows fetched from PS + local MLP traffic.
+    const double bytes_per_sample = workload_.num_tables *
+                                    workload_.avg_pooling *
+                                    workload_.dim_avg * 4.0 * 2.0;
+    const double memory_qps = cpu_effective_bw_ / bytes_per_sample;
+    return std::min(compute_qps, memory_qps);
+}
+
+double
+PsBaselineModel::QpsAtTrainers(int num_trainers) const
+{
+    NEO_REQUIRE(num_trainers >= 1, "need at least one trainer");
+    // Diminishing returns: PS fan-in and Hogwild conflicts erode scaling
+    // (~90% efficiency per doubling).
+    const double eff =
+        std::pow(0.9, std::log2(static_cast<double>(num_trainers)));
+    return PerTrainerQps() * num_trainers * eff;
+}
+
+double
+PsBaselineModel::MaxQualityNeutralQps() const
+{
+    return QpsAtTrainers(quality_neutral_trainers_);
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory-capacity model for the F1 12T-parameter study (Sec. 5.3.3) and
+ * the throughput model of the previous-generation CPU parameter-server
+ * system (for the 3x / 40x comparisons of Sec. 5.3).
+ */
+#pragma once
+
+#include "common/float_types.h"
+#include "sim/hardware.h"
+#include "sim/workloads.h"
+
+namespace neo::sim {
+
+/** Footprint of a model under given precision/optimizer choices. */
+struct CapacityEstimate {
+    /** Naive footprint: FP32 params + elementwise FP32 optimizer state. */
+    double naive_bytes = 0.0;
+    /** Footprint with the chosen precision + row-wise AdaGrad. */
+    double optimized_bytes = 0.0;
+    bool fits_hbm = false;
+    bool fits_hbm_ddr = false;
+    bool fits_hbm_ddr_ssd = false;
+};
+
+/**
+ * Compute model footprints and hierarchy fit.
+ *
+ * @param workload The model (F1: 12e12 params).
+ * @param cluster Cluster whose HBM/DDR/SSD capacities gate the fit.
+ * @param emb_precision Embedding storage precision for the optimized path.
+ * @param rowwise_adagrad Use 1-float-per-row optimizer state.
+ * @param avg_dim Average embedding dimension (for the row-state math).
+ */
+CapacityEstimate EstimateCapacity(const WorkloadModel& workload,
+                                  const ClusterSpec& cluster,
+                                  Precision emb_precision,
+                                  bool rowwise_adagrad, double avg_dim);
+
+/**
+ * Throughput model of the disaggregated asynchronous CPU PS system
+ * (Sec. 2): per-trainer throughput is compute/memory-roofline bound, and
+ * aggregate scaling saturates because staleness forces the effective
+ * parallelism down (adding trainers beyond a point no longer converts
+ * into quality-neutral throughput).
+ */
+class PsBaselineModel
+{
+  public:
+    explicit PsBaselineModel(const WorkloadModel& workload);
+
+    /** Aggregate QPS with `num_trainers` trainer machines. */
+    double QpsAtTrainers(int num_trainers) const;
+
+    /**
+     * The largest throughput reachable without measurable quality loss
+     * from staleness — the number the 40x time-to-solution comparison is
+     * made against.
+     */
+    double MaxQualityNeutralQps() const;
+
+    /** Per-trainer QPS (roofline over a dual-socket CPU server). */
+    double PerTrainerQps() const;
+
+    /**
+     * Extra samples asynchronous training needs to reach the same NE as
+     * synchronous training (staleness slows statistical progress). Used
+     * by the time-to-solution comparison: the paper's 40x combines the
+     * throughput gap with this statistical-efficiency gap.
+     */
+    double SampleInflationFactor() const { return 3.5; }
+
+    /** Time-to-solution speedup of a GPU system running at `gpu_qps`. */
+    double
+    TimeToSolutionSpeedup(double gpu_qps) const
+    {
+        return gpu_qps / MaxQualityNeutralQps() * SampleInflationFactor();
+    }
+
+  private:
+    WorkloadModel workload_;
+    /** Effective per-trainer compute (FLOP/s) for sparse CTR models. */
+    double cpu_effective_flops_ = 2.3e12;
+    /** Effective per-trainer memory bandwidth (bytes/s). */
+    double cpu_effective_bw_ = 60e9;
+    /** Trainer count beyond which staleness degrades model quality. */
+    int quality_neutral_trainers_ = 20;
+};
+
+}  // namespace neo::sim

@@ -1,0 +1,102 @@
+#include "sim/comm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+CommModel::CommModel(const ClusterSpec& cluster) : cluster_(cluster) {}
+
+double
+CommModel::Alpha(int num_gpus) const
+{
+    return base_latency_ + per_message_overhead_ * num_gpus;
+}
+
+CommEstimate
+CommModel::AllToAll(double bytes_per_gpu, int num_gpus) const
+{
+    NEO_REQUIRE(num_gpus >= 1, "need at least one GPU");
+    CommEstimate est;
+    if (num_gpus == 1 || bytes_per_gpu <= 0) {
+        est.seconds = bytes_per_gpu > 0 ? base_latency_ : 0.0;
+        return est;
+    }
+    const NodeSpec& node = cluster_.node;
+    const double w = num_gpus;
+    // Egress that must leave each GPU; the intra-node part rides NVLink,
+    // the rest is bound by the per-GPU RoCE NIC with AllToAll incast
+    // inefficiency (many small flows, Sec. 5.1 / Fig. 20).
+    const double egress = bytes_per_gpu * (w - 1.0) / w;
+    double inter_fraction = 1.0;
+    if (num_gpus > node.gpus_per_node) {
+        inter_fraction =
+            (w - node.gpus_per_node) / (w - 1.0);
+    } else {
+        inter_fraction = 0.0;
+    }
+    const double inter_bytes = egress * inter_fraction;
+    const double intra_bytes = egress - inter_bytes;
+    const double inter_time =
+        inter_bytes / (node.scaleout_achievable * alltoall_efficiency_);
+    const double intra_time = intra_bytes / node.scaleup_bw;
+    // Intra- and inter-node transfers overlap; the slower path dominates,
+    // plus the latency term.
+    est.seconds = Alpha(num_gpus) + std::max(inter_time, intra_time);
+    est.algo_bandwidth = bytes_per_gpu / est.seconds;
+    est.bus_bandwidth = egress / est.seconds;
+    return est;
+}
+
+CommEstimate
+CommModel::AllReduce(double bytes, int num_gpus) const
+{
+    NEO_REQUIRE(num_gpus >= 1, "need at least one GPU");
+    CommEstimate est;
+    if (num_gpus == 1 || bytes <= 0) {
+        est.seconds = bytes > 0 ? base_latency_ : 0.0;
+        return est;
+    }
+    const NodeSpec& node = cluster_.node;
+    const int g = std::min(num_gpus, node.gpus_per_node);
+    const int nodes = (num_gpus + node.gpus_per_node - 1) /
+                      node.gpus_per_node;
+
+    // Hierarchical ring: intra-node reduce-scatter + all-gather on NVLink,
+    // inter-node ring across nodes using all NICs of a node in parallel.
+    const double intra =
+        g > 1 ? 2.0 * bytes * (g - 1.0) / g / node.scaleup_bw : 0.0;
+    double inter = 0.0;
+    if (nodes > 1) {
+        const double node_bw = node.scaleout_achievable * g;
+        inter = 2.0 * (bytes / g) * (nodes - 1.0) / nodes /
+                (node_bw / g);
+    }
+    est.seconds = Alpha(num_gpus) + intra + inter;
+    const double w = num_gpus;
+    est.bus_bandwidth = 2.0 * bytes * (w - 1.0) / w / est.seconds;
+    est.algo_bandwidth = bytes / est.seconds;
+    return est;
+}
+
+CommEstimate
+CommModel::ReduceScatter(double bytes, int num_gpus) const
+{
+    CommEstimate est = AllReduce(bytes, num_gpus);
+    // One of the two ring phases.
+    est.seconds = Alpha(num_gpus) + (est.seconds - Alpha(num_gpus)) / 2.0;
+    const double w = num_gpus;
+    est.bus_bandwidth = bytes * (w - 1.0) / w / est.seconds;
+    est.algo_bandwidth = bytes / est.seconds;
+    return est;
+}
+
+CommEstimate
+CommModel::AllGather(double bytes, int num_gpus) const
+{
+    return ReduceScatter(bytes, num_gpus);
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Alpha-beta models for the cluster collectives (Sec. 5.1, Appendix A,
+ * Fig. 20). Calibrated so that at 256 MB on 128 GPUs AllToAll achieves
+ * ~7 GB/s per GPU (scale-out bound; 10.5 GB/s achievable link rate with
+ * ~2/3 AllToAll efficiency) and AllReduce ~60 GB/s bus bandwidth
+ * (hierarchical: NVLink intra-node + aggregated RoCE inter-node).
+ */
+#pragma once
+
+#include "sim/hardware.h"
+
+namespace neo::sim {
+
+/** One collective's estimated time and reported bandwidths. */
+struct CommEstimate {
+    double seconds = 0.0;
+    /** NCCL-style bus bandwidth (bytes/s). */
+    double bus_bandwidth = 0.0;
+    /** Payload bytes per GPU / time (algorithm bandwidth). */
+    double algo_bandwidth = 0.0;
+};
+
+/** Collective latency/bandwidth estimator for a cluster. */
+class CommModel
+{
+  public:
+    explicit CommModel(const ClusterSpec& cluster);
+
+    /**
+     * AllToAll of `bytes_per_gpu` total payload per GPU across
+     * `num_gpus` ranks (each peer gets bytes_per_gpu / num_gpus).
+     */
+    CommEstimate AllToAll(double bytes_per_gpu, int num_gpus) const;
+
+    /** Ring/hierarchical AllReduce of a `bytes` buffer on every GPU. */
+    CommEstimate AllReduce(double bytes, int num_gpus) const;
+
+    /** ReduceScatter of `bytes` input per GPU (one stage of AllReduce). */
+    CommEstimate ReduceScatter(double bytes, int num_gpus) const;
+
+    /** AllGather producing `bytes` output per GPU. */
+    CommEstimate AllGather(double bytes, int num_gpus) const;
+
+    const ClusterSpec& cluster() const { return cluster_; }
+
+  private:
+    /** Latency term: base + per-peer message costs. */
+    double Alpha(int num_gpus) const;
+
+    ClusterSpec cluster_;
+    /** Fraction of link rate AllToAll traffic achieves under incast. */
+    double alltoall_efficiency_ = 0.67;
+    /** Base collective launch latency (seconds). */
+    double base_latency_ = 20e-6;
+    /** Per-peer message overhead (seconds). */
+    double per_message_overhead_ = 1.2e-6;
+};
+
+}  // namespace neo::sim

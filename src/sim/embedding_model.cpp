@@ -1,0 +1,102 @@
+#include "sim/embedding_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+double
+EmbeddingModel::Efficiency(double row_bytes, double concurrent_rows) const
+{
+    // Transaction efficiency: a gathered row of R bytes wastes part of the
+    // 128B memory transactions at its edges.
+    const double tx = 128.0;
+    const double tx_eff = row_bytes / (std::ceil(row_bytes / tx) * tx);
+    // Occupancy: enough concurrent row-gathers are needed to saturate HBM.
+    const double half_rows = 16384.0;
+    const double occupancy =
+        concurrent_rows / (concurrent_rows + half_rows);
+    return tx_eff * occupancy;
+}
+
+EmbEstimate
+EmbeddingModel::Forward(const EmbBenchShape& shape) const
+{
+    const double elem = BytesPerElement(shape.precision);
+    const double row_bytes = shape.dim * elem;
+    const double gathered_rows = static_cast<double>(shape.batch) *
+                                 shape.num_tables * shape.pooling;
+    // Rows gathered + pooled FP32 output written.
+    const double bytes =
+        gathered_rows * row_bytes +
+        static_cast<double>(shape.batch) * shape.num_tables * shape.dim *
+            4.0;
+
+    EmbEstimate est;
+    est.bytes_moved = bytes;
+    const double eff = Efficiency(row_bytes, gathered_rows);
+    est.seconds = bytes / (gpu_.hbm_achievable * eff) + gpu_.kernel_overhead;
+    est.achieved_bandwidth = bytes / est.seconds;
+    return est;
+}
+
+EmbEstimate
+EmbeddingModel::BackwardFused(const EmbBenchShape& shape) const
+{
+    const double elem = BytesPerElement(shape.precision);
+    const double row_bytes = shape.dim * elem;
+    const double gathered_rows = static_cast<double>(shape.batch) *
+                                 shape.num_tables * shape.pooling;
+    // Fused backward+optimizer: read the pooled gradient, then for each
+    // unique row read-modify-write the row and touch optimizer state. The
+    // fusion avoids materializing per-occurrence gradients (factor L).
+    const double grad_bytes = static_cast<double>(shape.batch) *
+                              shape.num_tables * shape.dim * 4.0;
+    const double rmw_bytes = gathered_rows * (2.0 * row_bytes + 4.0);
+
+    EmbEstimate est;
+    est.bytes_moved = grad_bytes + rmw_bytes;
+    const double eff = Efficiency(row_bytes, gathered_rows);
+    est.seconds = est.bytes_moved / (gpu_.hbm_achievable * eff) +
+                  gpu_.kernel_overhead;
+    est.achieved_bandwidth = est.bytes_moved / est.seconds;
+    return est;
+}
+
+EmbEstimate
+EmbeddingModel::LookupSeconds(double total_rows, double avg_dim,
+                              Precision precision) const
+{
+    const double elem = BytesPerElement(precision);
+    const double row_bytes = avg_dim * elem;
+    const double bytes = total_rows * row_bytes * 1.0 +
+                         total_rows / 16.0 * avg_dim * 4.0;
+
+    EmbEstimate est;
+    est.bytes_moved = bytes;
+    const double eff = Efficiency(row_bytes, total_rows);
+    est.seconds = bytes / (gpu_.hbm_achievable * eff) + gpu_.kernel_overhead;
+    est.achieved_bandwidth = bytes / est.seconds;
+    return est;
+}
+
+EmbEstimate
+EmbeddingModel::UpdateSeconds(double total_rows, double avg_dim,
+                              Precision precision) const
+{
+    const double elem = BytesPerElement(precision);
+    const double row_bytes = avg_dim * elem;
+    const double bytes = total_rows * (2.0 * row_bytes + 4.0) +
+                         total_rows / 16.0 * avg_dim * 4.0;
+
+    EmbEstimate est;
+    est.bytes_moved = bytes;
+    const double eff = Efficiency(row_bytes, total_rows);
+    est.seconds = bytes / (gpu_.hbm_achievable * eff) + gpu_.kernel_overhead;
+    est.achieved_bandwidth = bytes / est.seconds;
+    return est;
+}
+
+}  // namespace neo::sim

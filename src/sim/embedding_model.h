@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bandwidth model for the fused embedding kernels (Sec. 4.1, Appendix A
+ * Figs. 18-19). Embedding lookup is HBM-bandwidth bound: time is the
+ * bytes of rows gathered (plus pooled output) over the achievable HBM
+ * bandwidth, derated by a row-width efficiency (narrow rows waste memory
+ * transactions) and an occupancy term (small batches cannot fill the
+ * GPU), which yields the rising-then-saturating achieved-bandwidth curves
+ * of the paper's benchmark.
+ */
+#pragma once
+
+#include "common/float_types.h"
+#include "sim/hardware.h"
+
+namespace neo::sim {
+
+/** The Appendix-A embedding benchmark configuration. */
+struct EmbBenchShape {
+    int64_t num_tables = 64;
+    int64_t rows_per_table = 1000000;
+    int64_t dim = 128;
+    int64_t pooling = 32;
+    int64_t batch = 1024;
+    Precision precision = Precision::kFp32;
+};
+
+/** Estimated kernel time and achieved bandwidth. */
+struct EmbEstimate {
+    double seconds = 0.0;
+    double bytes_moved = 0.0;
+    double achieved_bandwidth = 0.0;  // bytes/s
+};
+
+/** HBM-roofline estimator for embedding forward/backward kernels. */
+class EmbeddingModel
+{
+  public:
+    explicit EmbeddingModel(const GpuSpec& gpu) : gpu_(gpu) {}
+
+    /** Pooled-lookup forward kernel. */
+    EmbEstimate Forward(const EmbBenchShape& shape) const;
+
+    /** Fused backward + sparse-optimizer kernel (Sec. 4.1.1). */
+    EmbEstimate BackwardFused(const EmbBenchShape& shape) const;
+
+    /**
+     * Generic lookup estimate used by the iteration model: total rows
+     * gathered and their width, across whatever tables a worker owns.
+     */
+    EmbEstimate LookupSeconds(double total_rows, double avg_dim,
+                              Precision precision) const;
+
+    /** Generic fused-update estimate (read-modify-write + state). */
+    EmbEstimate UpdateSeconds(double total_rows, double avg_dim,
+                              Precision precision) const;
+
+    const GpuSpec& gpu() const { return gpu_; }
+
+  private:
+    /** Achieved fraction of HBM bandwidth for the given access pattern. */
+    double Efficiency(double row_bytes, double concurrent_rows) const;
+
+    GpuSpec gpu_;
+};
+
+}  // namespace neo::sim

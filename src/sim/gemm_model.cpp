@@ -1,0 +1,81 @@
+#include "sim/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+GemmEstimate
+GemmModel::Estimate(const GemmShape& shape) const
+{
+    NEO_REQUIRE(shape.m > 0 && shape.n > 0 && shape.k > 0,
+                "GEMM shape must be positive");
+    const double peak_flops = gpu_.PeakTflops(shape.precision) * 1e12;
+    NEO_REQUIRE(peak_flops > 0, gpu_.name, " does not support ",
+                PrecisionName(shape.precision));
+
+    const double flops = shape.Flops();
+    const double elem_bytes =
+        static_cast<double>(BytesPerElement(shape.precision));
+    // A, B read once; C written (and read for beta accumulation).
+    const double bytes =
+        elem_bytes * (static_cast<double>(shape.m) * shape.k +
+                      static_cast<double>(shape.k) * shape.n +
+                      2.0 * static_cast<double>(shape.m) * shape.n);
+
+    // Occupancy: small GEMMs cannot fill the SM array. Parameterized by
+    // the work per output tile; half-performance point tuned to ~64 waves
+    // of 128x128 tiles, which reproduces the knee in Figs. 14-17.
+    const double tiles =
+        std::ceil(shape.m / 128.0) * std::ceil(shape.n / 128.0);
+    const double depth = static_cast<double>(shape.k);
+    const double work = tiles * std::min(depth, 4096.0);
+    const double half_work = 2048.0;
+    const double occupancy = work / (work + half_work);
+
+    const double compute_time =
+        flops / (peak_flops * gpu_.gemm_efficiency * occupancy);
+    const double memory_time = bytes / gpu_.hbm_achievable;
+
+    GemmEstimate est;
+    est.memory_bound = memory_time > compute_time;
+    est.seconds =
+        std::max(compute_time, memory_time) + gpu_.kernel_overhead;
+    est.achieved_tflops = flops / est.seconds / 1e12;
+    return est;
+}
+
+MlpEstimate
+MlpModel::Estimate(const MlpBenchShape& shape) const
+{
+    std::vector<int64_t> widths(static_cast<size_t>(shape.num_layers) + 1,
+                                shape.width);
+    return EstimateLayers(shape.batch, widths, shape.precision);
+}
+
+MlpEstimate
+MlpModel::EstimateLayers(int64_t batch, const std::vector<int64_t>& widths,
+                         Precision precision) const
+{
+    NEO_REQUIRE(widths.size() >= 2, "need at least one layer");
+    MlpEstimate est;
+    double flops = 0.0;
+    for (size_t l = 0; l + 1 < widths.size(); l++) {
+        GemmShape fwd{batch, widths[l + 1], widths[l], precision};
+        est.forward_seconds += gemm_.Estimate(fwd).seconds;
+        // Backward: dX = dY * W (m x k x n) and dW = dY^T * X, each the
+        // same FLOP count as the forward GEMM.
+        GemmShape bwd_data{batch, widths[l], widths[l + 1], precision};
+        GemmShape bwd_weight{widths[l + 1], widths[l], batch, precision};
+        est.backward_seconds += gemm_.Estimate(bwd_data).seconds +
+                                gemm_.Estimate(bwd_weight).seconds;
+        flops += 3.0 * fwd.Flops();
+    }
+    est.achieved_tflops = flops / est.TotalSeconds() / 1e12;
+    return est;
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Roofline model for GEMM and MLP execution (Appendix A: Figs. 14-17).
+ *
+ * Achieved time for C[m,n] = A[m,k] * B[k,n] is the max of the compute
+ * roof (2mnk / (peak * efficiency * occupancy)) and the memory roof
+ * (bytes moved / achievable HBM bandwidth), plus a kernel overhead. The
+ * occupancy term models small-problem underutilization so the achieved
+ * TF/s curves rise with size and saturate below peak, matching the
+ * paper's GEMM benchmark shapes.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/float_types.h"
+#include "sim/hardware.h"
+
+namespace neo::sim {
+
+/** GEMM problem description. */
+struct GemmShape {
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+    Precision precision = Precision::kFp32;
+
+    double Flops() const { return 2.0 * m * n * k; }
+};
+
+/** Achieved-performance estimate for one GEMM. */
+struct GemmEstimate {
+    double seconds = 0.0;
+    double achieved_tflops = 0.0;
+    bool memory_bound = false;
+};
+
+/** Roofline GEMM estimator for a GPU. */
+class GemmModel
+{
+  public:
+    explicit GemmModel(const GpuSpec& gpu) : gpu_(gpu) {}
+
+    /** Estimate execution time and achieved TF/s of one GEMM. */
+    GemmEstimate Estimate(const GemmShape& shape) const;
+
+    const GpuSpec& gpu() const { return gpu_; }
+
+  private:
+    GpuSpec gpu_;
+};
+
+/** Description of the Appendix-A MLP benchmark network. */
+struct MlpBenchShape {
+    int64_t batch = 512;
+    int64_t width = 1024;    // square layers width x width
+    int num_layers = 20;
+    Precision precision = Precision::kFp32;
+};
+
+/** Estimated time per pass of the MLP benchmark. */
+struct MlpEstimate {
+    double forward_seconds = 0.0;
+    double backward_seconds = 0.0;
+    double achieved_tflops = 0.0;  // fwd+bwd combined
+
+    double TotalSeconds() const
+    {
+        return forward_seconds + backward_seconds;
+    }
+};
+
+/**
+ * MLP benchmark model: `num_layers` square FC layers with ReLU, backward
+ * pass with weight/input gradients (2x the forward GEMM work per layer)
+ * plus an SGD update.
+ */
+class MlpModel
+{
+  public:
+    explicit MlpModel(const GpuSpec& gpu) : gemm_(gpu) {}
+
+    MlpEstimate Estimate(const MlpBenchShape& shape) const;
+
+    /**
+     * Estimate time for an arbitrary-layer MLP (per the production model
+     * configs in Table 3): layer widths given explicitly.
+     */
+    MlpEstimate EstimateLayers(int64_t batch,
+                               const std::vector<int64_t>& widths,
+                               Precision precision) const;
+
+  private:
+    GemmModel gemm_;
+};
+
+}  // namespace neo::sim

@@ -1,0 +1,91 @@
+#include "sim/hardware.h"
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+double
+GpuSpec::PeakTflops(Precision p) const
+{
+    switch (p) {
+      case Precision::kFp32: return fp32_tflops;
+      case Precision::kTf32: return tf32_tflops > 0 ? tf32_tflops
+                                                    : fp32_tflops;
+      case Precision::kFp16: return fp16_tflops;
+      case Precision::kBf16: return bf16_tflops > 0 ? bf16_tflops
+                                                    : fp16_tflops;
+    }
+    return fp32_tflops;
+}
+
+GpuSpec
+GpuSpec::V100()
+{
+    GpuSpec gpu;
+    gpu.name = "V100";
+    gpu.fp32_tflops = 15.7;
+    gpu.tf32_tflops = 0.0;   // no TF32 tensor cores
+    gpu.fp16_tflops = 125.0;
+    gpu.bf16_tflops = 0.0;   // no BF16 support
+    gpu.hbm_peak = 900e9;
+    gpu.hbm_achievable = 850e9;   // Sec. 5.1
+    gpu.hbm_capacity = 32e9;
+    gpu.gemm_efficiency = 0.786;  // Sec. 5.1
+    return gpu;
+}
+
+GpuSpec
+GpuSpec::A100()
+{
+    GpuSpec gpu;
+    gpu.name = "A100";
+    gpu.fp32_tflops = 19.5;
+    gpu.tf32_tflops = 156.0;
+    gpu.fp16_tflops = 312.0;
+    gpu.bf16_tflops = 312.0;
+    gpu.hbm_peak = 1555e9;
+    gpu.hbm_achievable = 1300e9;  // Sec. 5.1
+    gpu.hbm_capacity = 40e9;
+    gpu.gemm_efficiency = 0.705;  // Sec. 5.1
+    return gpu;
+}
+
+NodeSpec
+NodeSpec::Hgx2Prototype()
+{
+    NodeSpec node;
+    node.gpu = GpuSpec::V100();
+    node.gpus_per_node = 8;
+    // Table 2: 1.2 TB/s uni-directional scale-up for the node; per-GPU
+    // NVLink share.
+    node.scaleup_bw = 1.2e12 / node.gpus_per_node;
+    // Table 2: 800 Gbps uni-directional scale-out per node = 8x100 Gb.
+    node.scaleout_peak = 12.5e9;
+    node.scaleout_achievable = 10.5e9;  // Appendix A, Fig. 20 discussion
+    node.host_nw = 25e9;                // 2 x 100 Gbps
+    node.ddr_capacity = 1.5e12;         // Table 2
+    node.ddr_bw = 200e9;                // Table 2
+    node.pcie_bw = 13e9;
+    return node;
+}
+
+NodeSpec
+NodeSpec::ZionEx()
+{
+    NodeSpec node = Hgx2Prototype();
+    node.gpu = GpuSpec::A100();
+    node.scaleup_bw = 1.2e12 / node.gpus_per_node;
+    return node;
+}
+
+ClusterSpec
+ClusterSpec::Prototype(int num_nodes)
+{
+    NEO_REQUIRE(num_nodes >= 1, "need at least one node");
+    ClusterSpec cluster;
+    cluster.node = NodeSpec::Hgx2Prototype();
+    cluster.num_nodes = num_nodes;
+    return cluster;
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hardware descriptions for the performance model: GPU, node and cluster
+ * specs with the paper's calibration points baked in (Sec. 5.1/5.2,
+ * Table 2, Appendix A):
+ *
+ *  - V100: 850 GB/s achievable HBM, <=78.6% GEMM efficiency;
+ *  - A100: 1300 GB/s achievable HBM, <=70.5% GEMM efficiency;
+ *  - prototype node: 8 GPUs, 1.2 TB/s uni scale-up, 8x100 Gb RoCE
+ *    scale-out (12.5 GB/s peak, 10.5 GB/s achievable per GPU),
+ *    1.5 TB DDR @ 200 GB/s, 2x100 Gb host NICs;
+ *  - collectives @256 MB on 128 GPUs: AllToAll 7 GB/s, AllReduce 60 GB/s.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/float_types.h"
+
+namespace neo::sim {
+
+/** One GPU's compute/memory capabilities. */
+struct GpuSpec {
+    std::string name;
+    double fp32_tflops = 0.0;
+    double tf32_tflops = 0.0;  // 0 if unsupported
+    double fp16_tflops = 0.0;
+    double bf16_tflops = 0.0;  // 0 if unsupported
+    /** Peak HBM bandwidth (bytes/s). */
+    double hbm_peak = 0.0;
+    /** Achievable HBM bandwidth from the paper's benchmarks (bytes/s). */
+    double hbm_achievable = 0.0;
+    /** HBM capacity (bytes). */
+    double hbm_capacity = 0.0;
+    /** Max achieved GEMM efficiency vs peak. */
+    double gemm_efficiency = 0.75;
+    /** Kernel launch + scheduling overhead per op (seconds). */
+    double kernel_overhead = 4e-6;
+
+    /** Peak tensor/CUDA-core TFLOPs for a compute precision. */
+    double PeakTflops(Precision p) const;
+
+    static GpuSpec V100();
+    static GpuSpec A100();
+};
+
+/** One server node. */
+struct NodeSpec {
+    GpuSpec gpu;
+    int gpus_per_node = 8;
+    /** Uni-directional NVLink/NVSwitch bandwidth per GPU (bytes/s). */
+    double scaleup_bw = 150e9;
+    /** Per-GPU RoCE NIC peak (bytes/s). */
+    double scaleout_peak = 12.5e9;
+    /** Per-GPU RoCE achievable (bytes/s). */
+    double scaleout_achievable = 10.5e9;
+    /** Host (frontend) network bandwidth per node (bytes/s). */
+    double host_nw = 25e9;
+    /** DDR capacity per node (bytes). */
+    double ddr_capacity = 1.5e12;
+    /** DDR bandwidth per node (bytes/s). */
+    double ddr_bw = 200e9;
+    /** Effective PCIe bandwidth GPU<->host (bytes/s). */
+    double pcie_bw = 13e9;
+    /** SSD capacity (bytes) and bandwidth (bytes/s) for the third tier. */
+    double ssd_capacity = 8e12;
+    double ssd_bw = 2e9;
+
+    /** HGX-2 prototype node of Sec. 5.2 / Table 2 (V100s). */
+    static NodeSpec Hgx2Prototype();
+    /** ZionEX node with A100s (Sec. 3.1, benchmarks in Appendix A). */
+    static NodeSpec ZionEx();
+};
+
+/** A training cluster. */
+struct ClusterSpec {
+    NodeSpec node;
+    int num_nodes = 16;
+
+    int NumGpus() const { return num_nodes * node.gpus_per_node; }
+    double TotalHbm() const { return NumGpus() * node.gpu.hbm_capacity; }
+    double TotalDdr() const { return num_nodes * node.ddr_capacity; }
+    double TotalSsd() const { return num_nodes * node.ssd_capacity; }
+
+    /** The paper's 16-node prototype cluster (Sec. 5.2). */
+    static ClusterSpec Prototype(int num_nodes = 16);
+};
+
+}  // namespace neo::sim

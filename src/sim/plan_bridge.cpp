@@ -1,0 +1,66 @@
+#include "sim/plan_bridge.h"
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+PlanStudyResult
+PlanForWorkload(const WorkloadModel& workload, const ClusterSpec& cluster,
+                const PlanStudyOptions& options)
+{
+    std::vector<sharding::TableConfig> tables =
+        workload.SynthesizeTables(options.table_seed);
+    NEO_REQUIRE(options.row_shrink > 0.0 && options.row_shrink <= 1.0,
+                "row_shrink must be in (0, 1]");
+    for (auto& table : tables) {
+        table.precision = options.emb_precision;
+        if (options.row_shrink < 1.0) {
+            table.rows = std::max<int64_t>(
+                100, static_cast<int64_t>(table.rows * options.row_shrink));
+        }
+    }
+
+    sharding::PlannerOptions planner_options;
+    planner_options.topo.num_workers = options.num_gpus;
+    planner_options.topo.workers_per_node = cluster.node.gpus_per_node;
+    planner_options.global_batch = options.global_batch;
+    planner_options.hbm_bytes_per_worker =
+        cluster.node.gpu.hbm_capacity - options.hbm_reserve +
+        options.extra_capacity_per_gpu;
+    planner_options.allow_column_wise = options.optimized_sharding;
+    planner_options.allow_data_parallel = options.optimized_sharding;
+    planner_options.allow_row_wise = true;
+    // The non-optimized baseline mirrors the naive legacy default:
+    // round-robin table placement, tables split only when they truly
+    // cannot fit (Fig. 13's "severe load imbalance" starting point).
+    planner_options.placement =
+        options.optimized_sharding
+            ? options.placement
+            : sharding::PlacementAlgorithm::kRoundRobin;
+    if (!options.optimized_sharding) {
+        planner_options.rw_trigger_fraction = 1.0;
+    }
+    planner_options.row_wise_adagrad = true;
+
+    sharding::ShardingPlanner planner(planner_options);
+    PlanStudyResult result;
+    result.plan = planner.Plan(tables);
+    result.feasible = result.plan.feasible;
+    result.imbalance = result.plan.balance.imbalance;
+    std::vector<double> rw_dims(options.num_gpus, 0.0);
+    for (const auto& shard : result.plan.shards) {
+        result.scheme_counts[shard.scheme]++;
+        if ((shard.scheme == sharding::Scheme::kRowWise ||
+             shard.scheme == sharding::Scheme::kTableRowWise) &&
+            shard.worker >= 0) {
+            rw_dims[shard.worker] +=
+                static_cast<double>(shard.NumCols());
+        }
+    }
+    for (double d : rw_dims) {
+        result.max_rw_dim_sum = std::max(result.max_rw_dim_sum, d);
+    }
+    return result;
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bridge between the sharding planner and the performance model: for a
+ * Table-3 workload, synthesize a concrete table list, run the actual
+ * ShardingPlanner against the cluster's HBM budget, and extract the load
+ * imbalance the IterationModel uses. This is how the Fig. 13 "optimized
+ * sharding" and "FP16 embeddings give the sharder headroom" effects are
+ * produced by real planner runs rather than hard-coded factors.
+ */
+#pragma once
+
+#include <map>
+
+#include "sharding/planner.h"
+#include "sim/hardware.h"
+#include "sim/workloads.h"
+
+namespace neo::sim {
+
+/** Planner configuration used for a workload study. */
+struct PlanStudyOptions {
+    int num_gpus = 128;
+    int64_t global_batch = 65536;
+    Precision emb_precision = Precision::kFp32;
+    /** Allow CW/DP (the "optimized sharding" step of Fig. 13). */
+    bool optimized_sharding = true;
+    sharding::PlacementAlgorithm placement =
+        sharding::PlacementAlgorithm::kLdm;
+    /** HBM reserved per GPU for framework/NCCL/activations (bytes). */
+    double hbm_reserve = 4e9;
+    /**
+     * Additional per-GPU capacity beyond HBM (DDR share behind the
+     * software cache / UVM) for models that spill the HBM tier, like F1.
+     */
+    double extra_capacity_per_gpu = 0.0;
+    /**
+     * Row-count shrink factor in (0, 1]: the Sec. 5.3.1 scaling study
+     * shrinks table cardinality (re-hashing inputs) so the model fits on
+     * small node counts "with minimal/no impact on the performance
+     * characteristics".
+     */
+    double row_shrink = 1.0;
+    uint64_t table_seed = 7;
+};
+
+/** Planner outcome summarized for the performance model. */
+struct PlanStudyResult {
+    sharding::ShardingPlan plan;
+    /** max/mean embedding cost across GPUs (>= 1). */
+    double imbalance = 1.0;
+    /** Shards per scheme, for reporting. */
+    std::map<sharding::Scheme, int> scheme_counts;
+    /** Whether the plan fit in HBM. */
+    bool feasible = true;
+    /**
+     * Worst per-worker sum of embedding dims over row-wise shards. Each
+     * such dim costs a global-batch-sized partial-pool exchange per
+     * iteration (the RW communication that scales with trainer count,
+     * Sec. 4.2.2); the straggler worker sets the pace.
+     */
+    double max_rw_dim_sum = 0.0;
+};
+
+/** Run the planner for a workload on a cluster. */
+PlanStudyResult PlanForWorkload(const WorkloadModel& workload,
+                                const ClusterSpec& cluster,
+                                const PlanStudyOptions& options);
+
+}  // namespace neo::sim

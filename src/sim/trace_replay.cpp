@@ -1,0 +1,47 @@
+#include "sim/trace_replay.h"
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+ReplayEstimate
+ReplayTrace(std::span<const comm::TraceEvent> trace, const CommModel& model,
+            int num_gpus, double byte_scale)
+{
+    NEO_REQUIRE(byte_scale > 0.0, "byte_scale must be positive");
+    ReplayEstimate est;
+    for (const auto& event : trace) {
+        const double bytes = static_cast<double>(event.bytes) * byte_scale;
+        double seconds = 0.0;
+        switch (event.op) {
+          case comm::CollectiveOp::kAllReduce:
+            seconds = model.AllReduce(bytes, num_gpus).seconds;
+            est.allreduce_seconds += seconds;
+            break;
+          case comm::CollectiveOp::kAllToAll:
+            seconds = model.AllToAll(bytes, num_gpus).seconds;
+            est.alltoall_seconds += seconds;
+            break;
+          case comm::CollectiveOp::kReduceScatter:
+            seconds = model.ReduceScatter(bytes, num_gpus).seconds;
+            est.reducescatter_seconds += seconds;
+            break;
+          case comm::CollectiveOp::kAllGather:
+            seconds = model.AllGather(bytes, num_gpus).seconds;
+            est.allgather_seconds += seconds;
+            break;
+          case comm::CollectiveOp::kBroadcast:
+            // Broadcast rides the same tree as AllGather's one phase.
+            seconds = model.AllGather(bytes, num_gpus).seconds;
+            est.broadcast_seconds += seconds;
+            break;
+          case comm::CollectiveOp::kBarrier:
+            break;
+        }
+        est.total_seconds += seconds;
+        est.calls++;
+    }
+    return est;
+}
+
+}  // namespace neo::sim

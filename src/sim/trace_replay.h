@@ -1,0 +1,43 @@
+/**
+ * @file
+ * PARAM-bench-style trace replay (Appendix A, "Replay mode"): take the
+ * exact sequence and sizes of collective calls a real (functional) run
+ * produced and re-estimate its communication time on a modeled cluster —
+ * "mimic exact workload behavior in terms of collective sizes" instead of
+ * synthetic power-of-two sweeps.
+ */
+#pragma once
+
+#include <span>
+
+#include "comm/process_group.h"
+#include "sim/comm_model.h"
+
+namespace neo::sim {
+
+/** Replay result: total time and a per-op breakdown. */
+struct ReplayEstimate {
+    double total_seconds = 0.0;
+    double allreduce_seconds = 0.0;
+    double alltoall_seconds = 0.0;
+    double reducescatter_seconds = 0.0;
+    double allgather_seconds = 0.0;
+    double broadcast_seconds = 0.0;
+    uint64_t calls = 0;
+};
+
+/**
+ * Replay a recorded collective trace on a modeled cluster.
+ *
+ * @param trace Events recorded by ProcessGroup::SetTrace on one rank.
+ * @param model Collective cost model for the target cluster.
+ * @param num_gpus Rank count of the TARGET cluster (may differ from the
+ *   recording run).
+ * @param byte_scale Multiplier applied to every payload (e.g. the
+ *   global-batch ratio when projecting a small recording to full scale).
+ */
+ReplayEstimate ReplayTrace(std::span<const comm::TraceEvent> trace,
+                           const CommModel& model, int num_gpus,
+                           double byte_scale = 1.0);
+
+}  // namespace neo::sim

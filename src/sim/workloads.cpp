@@ -1,0 +1,204 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace neo::sim {
+
+double
+WorkloadModel::MlpParams() const
+{
+    return static_cast<double>(num_mlp_layers) * avg_mlp_size *
+           avg_mlp_size;
+}
+
+double
+WorkloadModel::EmbeddingParams() const
+{
+    return std::max(0.0, num_params - MlpParams());
+}
+
+std::vector<sharding::TableConfig>
+WorkloadModel::SynthesizeTables(uint64_t seed) const
+{
+    NEO_REQUIRE(num_tables > 0, "workload has no tables");
+    Rng rng(seed ^ 0xF00DULL);
+
+    std::vector<sharding::TableConfig> tables(num_tables);
+
+    // Dims: log-uniform in [dim_min, dim_max], then rescale multiplicative
+    // deviations so the mean matches dim_avg; snap to multiples of 4.
+    std::vector<double> dims(num_tables);
+    double dim_sum = 0.0;
+    for (auto& d : dims) {
+        const double lo = std::log(static_cast<double>(dim_min));
+        const double hi = std::log(static_cast<double>(dim_max));
+        d = std::exp(rng.NextUniform(static_cast<float>(lo),
+                                     static_cast<float>(hi)));
+        dim_sum += d;
+    }
+    const double dim_scale = dim_avg * num_tables / dim_sum;
+    for (int t = 0; t < num_tables; t++) {
+        double d = dims[t] * dim_scale;
+        d = std::clamp(d, static_cast<double>(dim_min),
+                       static_cast<double>(dim_max));
+        tables[t].dim = std::max<int64_t>(
+            4, static_cast<int64_t>(std::round(d / 4.0)) * 4);
+    }
+
+    // A slice of production tables are tiny categorical enums (country,
+    // device type, ...): log-uniform in [100, 20K] rows, negligible
+    // parameter mass, and the natural data-parallel candidates
+    // (Sec. 4.2.4).
+    const int num_small = num_tables / 10;
+    std::vector<int64_t> small_rows(num_small);
+    for (auto& rows : small_rows) {
+        rows = static_cast<int64_t>(
+            std::exp(rng.NextUniform(std::log(100.0f),
+                                     std::log(20000.0f))));
+    }
+
+    // Remaining rows: log-normal spread (sigma ~1.2 gives the heavy skew
+    // of production tables), rescaled so sum(rows * dim) hits the
+    // embedding parameter budget.
+    std::vector<double> raw_rows(num_tables);
+    double weighted = 0.0;
+    for (int t = num_small; t < num_tables; t++) {
+        raw_rows[t] = std::exp(1.2 * rng.NextGaussian());
+        weighted += raw_rows[t] * static_cast<double>(tables[t].dim);
+    }
+    double row_scale = EmbeddingParams() / weighted;
+    // Apply the per-table cap iteratively: clamp, then rescale the
+    // unclamped tables so the total parameter budget is preserved.
+    std::vector<bool> capped(num_tables, false);
+    for (int pass = 0; pass < 4; pass++) {
+        double capped_params = 0.0;
+        double uncapped_weight = 0.0;
+        for (int t = num_small; t < num_tables; t++) {
+            const double params =
+                raw_rows[t] * row_scale * static_cast<double>(tables[t].dim);
+            if (max_table_params > 0 && params > max_table_params) {
+                capped[t] = true;
+            }
+            if (capped[t]) {
+                capped_params += max_table_params;
+            } else {
+                uncapped_weight +=
+                    raw_rows[t] * static_cast<double>(tables[t].dim);
+            }
+        }
+        if (uncapped_weight <= 0) {
+            break;
+        }
+        row_scale = (EmbeddingParams() - capped_params) / uncapped_weight;
+    }
+    // Pooling: heavy-tailed (log-normal, sigma 1) rescaled to the exact
+    // sample mean — production models mix tiny enum features with
+    // user-history features pooling hundreds of ids, which is what makes
+    // naive placement severely imbalanced (Sec. 5.3.2).
+    std::vector<double> raw_pooling(num_tables);
+    double pooling_sum = 0.0;
+    for (auto& p : raw_pooling) {
+        p = std::exp(1.0 * rng.NextGaussian());
+        pooling_sum += p;
+    }
+    const double pooling_scale = avg_pooling * num_tables / pooling_sum;
+
+    for (int t = 0; t < num_tables; t++) {
+        double rows;
+        if (t < num_small) {
+            rows = static_cast<double>(small_rows[t]);
+        } else if (capped[t]) {
+            rows = max_table_params / static_cast<double>(tables[t].dim);
+        } else {
+            rows = raw_rows[t] * row_scale;
+        }
+        tables[t].rows = std::max<int64_t>(100, static_cast<int64_t>(rows));
+        tables[t].name = name + "_t" + std::to_string(t);
+        tables[t].pooling =
+            std::max(1.0, raw_pooling[t] * pooling_scale);
+    }
+    return tables;
+}
+
+WorkloadModel
+WorkloadModel::A1()
+{
+    WorkloadModel m;
+    m.name = "A1";
+    m.num_params = 95e9;
+    m.mflops_per_sample = 89;
+    m.num_tables = 150;       // "~100s"
+    m.dim_min = 4;
+    m.dim_max = 192;
+    m.dim_avg = 68;
+    m.avg_pooling = 27;
+    m.num_mlp_layers = 26;
+    m.avg_mlp_size = 914;
+    m.max_table_params = 4e9;
+    return m;
+}
+
+WorkloadModel
+WorkloadModel::A2()
+{
+    WorkloadModel m;
+    m.name = "A2";
+    m.num_params = 793e9;
+    m.mflops_per_sample = 638;
+    m.num_tables = 1000;      // "~1000s"
+    m.dim_min = 4;
+    m.dim_max = 384;
+    m.dim_avg = 93;
+    m.avg_pooling = 15;
+    m.num_mlp_layers = 20;
+    m.avg_mlp_size = 3375;
+    m.max_table_params = 4e9;
+    return m;
+}
+
+WorkloadModel
+WorkloadModel::A3()
+{
+    WorkloadModel m;
+    m.name = "A3";
+    m.num_params = 845e9;
+    m.mflops_per_sample = 784;
+    m.num_tables = 1000;
+    m.dim_min = 4;
+    m.dim_max = 960;
+    m.dim_avg = 231;
+    m.avg_pooling = 17;
+    m.num_mlp_layers = 26;
+    m.avg_mlp_size = 3210;
+    m.max_table_params = 4e9;
+    return m;
+}
+
+WorkloadModel
+WorkloadModel::F1()
+{
+    WorkloadModel m;
+    m.name = "F1";
+    m.num_params = 12e12;
+    m.mflops_per_sample = 5;
+    m.num_tables = 10;
+    m.dim_min = 256;
+    m.dim_max = 256;
+    m.dim_avg = 256;
+    m.avg_pooling = 20;
+    m.num_mlp_layers = 7;
+    m.avg_mlp_size = 490;
+    return m;
+}
+
+std::vector<WorkloadModel>
+WorkloadModel::All()
+{
+    return {A1(), A2(), A3(), F1()};
+}
+
+}  // namespace neo::sim

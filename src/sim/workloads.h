@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's target production models (Table 3): A1, A2, A3 and the 12T
+ * capacity-limit model F1. Each workload carries the published aggregate
+ * statistics and can synthesize a concrete table list matching them (for
+ * the sharding planner and the functional scale-down runs).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sharding/types.h"
+
+namespace neo::sim {
+
+/** Aggregate description of one production DLRM (Table 3 row). */
+struct WorkloadModel {
+    std::string name;
+    /** Total parameters (dominated by embeddings). */
+    double num_params = 0.0;
+    /** Forward MFLOPs per sample. */
+    double mflops_per_sample = 0.0;
+    int num_tables = 0;
+    int64_t dim_min = 4;
+    int64_t dim_max = 256;
+    double dim_avg = 64.0;
+    double avg_pooling = 20.0;
+    int num_mlp_layers = 20;
+    double avg_mlp_size = 1000.0;
+    /**
+     * Largest single table, in parameters (0 = uncapped). Production A*
+     * models hash-cap their categorical features so no single table
+     * breaks a device; F1 is the capacity-limit model whose tables do
+     * (Sec. 5.3.3).
+     */
+    double max_table_params = 0.0;
+
+    /** Dense (MLP) parameter count estimate: layers x avg_size^2. */
+    double MlpParams() const;
+
+    /** Embedding parameter count: num_params minus the MLP share. */
+    double EmbeddingParams() const;
+
+    /**
+     * Synthesize a concrete table list matching the aggregate stats:
+     * dims log-uniform in [dim_min, dim_max] rescaled to hit dim_avg,
+     * rows log-normal rescaled so total parameters match, poolings
+     * spread around avg_pooling. Deterministic in `seed`.
+     */
+    std::vector<sharding::TableConfig> SynthesizeTables(
+        uint64_t seed = 7) const;
+
+    static WorkloadModel A1();
+    static WorkloadModel A2();
+    static WorkloadModel A3();
+    static WorkloadModel F1();
+
+    /** All four target models. */
+    static std::vector<WorkloadModel> All();
+};
+
+}  // namespace neo::sim

@@ -1,0 +1,90 @@
+#include "tensor/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neo {
+
+void
+ReluForward(Matrix& x)
+{
+    float* p = x.data();
+    for (size_t i = 0; i < x.size(); i++) {
+        p[i] = std::max(p[i], 0.0f);
+    }
+}
+
+void
+ReluBackward(const Matrix& activation, Matrix& grad)
+{
+    NEO_CHECK(activation.rows() == grad.rows() &&
+              activation.cols() == grad.cols(),
+              "ReluBackward shape mismatch");
+    const float* a = activation.data();
+    float* g = grad.data();
+    for (size_t i = 0; i < grad.size(); i++) {
+        if (a[i] <= 0.0f) {
+            g[i] = 0.0f;
+        }
+    }
+}
+
+void
+SigmoidForward(Matrix& x)
+{
+    float* p = x.data();
+    for (size_t i = 0; i < x.size(); i++) {
+        p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+    }
+}
+
+void
+BiasForward(const Matrix& bias, Matrix& x)
+{
+    NEO_CHECK(bias.rows() == 1 && bias.cols() == x.cols(),
+              "bias must be 1 x cols");
+    const float* b = bias.data();
+    for (size_t r = 0; r < x.rows(); r++) {
+        float* row = x.Row(r);
+        for (size_t c = 0; c < x.cols(); c++) {
+            row[c] += b[c];
+        }
+    }
+}
+
+void
+BiasBackward(const Matrix& grad, Matrix& grad_bias)
+{
+    NEO_CHECK(grad_bias.rows() == 1 && grad_bias.cols() == grad.cols(),
+              "bias grad must be 1 x cols");
+    float* gb = grad_bias.data();
+    for (size_t r = 0; r < grad.rows(); r++) {
+        const float* row = grad.Row(r);
+        for (size_t c = 0; c < grad.cols(); c++) {
+            gb[c] += row[c];
+        }
+    }
+}
+
+void
+SoftmaxForward(Matrix& x)
+{
+    for (size_t r = 0; r < x.rows(); r++) {
+        float* row = x.Row(r);
+        float max_val = row[0];
+        for (size_t c = 1; c < x.cols(); c++) {
+            max_val = std::max(max_val, row[c]);
+        }
+        float sum = 0.0f;
+        for (size_t c = 0; c < x.cols(); c++) {
+            row[c] = std::exp(row[c] - max_val);
+            sum += row[c];
+        }
+        const float inv = 1.0f / sum;
+        for (size_t c = 0; c < x.cols(); c++) {
+            row[c] *= inv;
+        }
+    }
+}
+
+}  // namespace neo

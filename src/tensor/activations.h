@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Elementwise activation / bias kernels for the MLP stack: ReLU, sigmoid,
+ * softmax and bias addition, each with the backward form needed for
+ * training.
+ */
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace neo {
+
+/** In-place ReLU: x = max(x, 0). */
+void ReluForward(Matrix& x);
+
+/**
+ * ReLU backward: grad_in = grad_out where activation > 0 else 0.
+ *
+ * @param activation The post-ReLU activations from the forward pass.
+ * @param grad In/out gradient, masked in place.
+ */
+void ReluBackward(const Matrix& activation, Matrix& grad);
+
+/** In-place logistic sigmoid. */
+void SigmoidForward(Matrix& x);
+
+/** Add a bias row-vector (1 x cols) to every row of x. */
+void BiasForward(const Matrix& bias, Matrix& x);
+
+/** Accumulate bias gradient: grad_bias += column sums of grad. */
+void BiasBackward(const Matrix& grad, Matrix& grad_bias);
+
+/** Row-wise softmax, numerically stabilized by the row max. */
+void SoftmaxForward(Matrix& x);
+
+}  // namespace neo

@@ -1,0 +1,94 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+namespace neo {
+
+namespace {
+
+// Block sizes chosen for typical L1/L2 on x86; correctness does not depend
+// on them.
+constexpr size_t kBlockM = 64;
+constexpr size_t kBlockN = 64;
+constexpr size_t kBlockK = 64;
+
+/** Pack op(A) into a row-major m x k buffer so the inner loop is unit-stride. */
+Matrix
+Materialize(Trans trans, const Matrix& a)
+{
+    if (trans == Trans::kNo) {
+        return a;
+    }
+    return Transpose(a);
+}
+
+}  // namespace
+
+Matrix
+Transpose(const Matrix& a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (size_t r = 0; r < a.rows(); r++) {
+        const float* src = a.Row(r);
+        for (size_t c = 0; c < a.cols(); c++) {
+            t(c, r) = src[c];
+        }
+    }
+    return t;
+}
+
+void
+Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+     const Matrix& b, float beta, Matrix& c)
+{
+    const Matrix a_mat = Materialize(trans_a, a);
+    const Matrix b_mat = Materialize(trans_b, b);
+
+    const size_t m = a_mat.rows();
+    const size_t k = a_mat.cols();
+    const size_t n = b_mat.cols();
+    NEO_REQUIRE(b_mat.rows() == k, "Gemm inner dimension mismatch: ",
+                k, " vs ", b_mat.rows());
+    NEO_REQUIRE(c.rows() == m && c.cols() == n, "Gemm output shape mismatch");
+
+    if (beta == 0.0f) {
+        c.Zero();
+    } else if (beta != 1.0f) {
+        c.Scale(beta);
+    }
+    if (alpha == 0.0f || m == 0 || n == 0 || k == 0) {
+        return;
+    }
+
+    // Blocked i-k-j loop: the innermost j loop is unit stride on both B and
+    // C, which vectorizes well; the fixed order keeps accumulation
+    // deterministic.
+    for (size_t i0 = 0; i0 < m; i0 += kBlockM) {
+        const size_t i1 = std::min(i0 + kBlockM, m);
+        for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const size_t k1 = std::min(k0 + kBlockK, k);
+            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+                const size_t j1 = std::min(j0 + kBlockN, n);
+                for (size_t i = i0; i < i1; i++) {
+                    const float* a_row = a_mat.Row(i);
+                    float* c_row = c.Row(i);
+                    for (size_t kk = k0; kk < k1; kk++) {
+                        const float aik = alpha * a_row[kk];
+                        const float* b_row = b_mat.Row(kk);
+                        for (size_t j = j0; j < j1; j++) {
+                            c_row[j] += aik * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+MatMul(const Matrix& a, const Matrix& b, Matrix& c)
+{
+    Gemm(Trans::kNo, Trans::kNo, 1.0f, a, b, 0.0f, c);
+}
+
+}  // namespace neo

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Blocked CPU GEMM kernels. The paper's MLPs run on cuBLAS; here the same
+ * linear algebra runs on a cache-blocked CPU kernel so the functional
+ * training stack is exact and self-contained. Performance figures for
+ * GPU GEMM come from the `sim` roofline model, not from these kernels.
+ */
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace neo {
+
+/** Transpose selector for Gemm operands. */
+enum class Trans { kNo, kYes };
+
+/**
+ * General matrix multiply: C = alpha * op(A) * op(B) + beta * C.
+ *
+ * Shapes (after applying op): op(A) is m x k, op(B) is k x n, C is m x n.
+ * Accumulation is in float with a fixed loop order, so results are bitwise
+ * deterministic run-to-run.
+ */
+void Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c);
+
+/** Convenience: C = A * B (no transpose, alpha=1, beta=0). */
+void MatMul(const Matrix& a, const Matrix& b, Matrix& c);
+
+/** Out-of-place transpose: returns a^T. */
+Matrix Transpose(const Matrix& a);
+
+}  // namespace neo

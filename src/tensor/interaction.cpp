@@ -1,0 +1,109 @@
+#include "tensor/interaction.h"
+
+namespace neo {
+
+DotInteraction::DotInteraction(size_t num_sparse, size_t dim)
+    : num_sparse_(num_sparse), dim_(dim)
+{
+    NEO_REQUIRE(dim_ > 0, "interaction dim must be positive");
+}
+
+size_t
+DotInteraction::OutputDim() const
+{
+    const size_t f = num_sparse_ + 1;
+    return dim_ + f * (f - 1) / 2;
+}
+
+void
+DotInteraction::Forward(const Matrix& dense, const std::vector<Matrix>& sparse,
+                        Matrix& out)
+{
+    NEO_REQUIRE(sparse.size() == num_sparse_, "wrong number of sparse inputs");
+    NEO_REQUIRE(dense.cols() == dim_, "dense dim mismatch");
+    const size_t batch = dense.rows();
+    NEO_REQUIRE(out.rows() == batch && out.cols() == OutputDim(),
+                "interaction output shape mismatch");
+
+    saved_inputs_.clear();
+    saved_inputs_.reserve(num_sparse_ + 1);
+    saved_inputs_.push_back(dense);
+    for (const auto& s : sparse) {
+        NEO_REQUIRE(s.rows() == batch && s.cols() == dim_,
+                    "sparse input shape mismatch");
+        saved_inputs_.push_back(s);
+    }
+
+    const size_t f = num_sparse_ + 1;
+    for (size_t b = 0; b < batch; b++) {
+        float* out_row = out.Row(b);
+        // Pass-through of the dense features.
+        const float* dense_row = dense.Row(b);
+        for (size_t c = 0; c < dim_; c++) {
+            out_row[c] = dense_row[c];
+        }
+        // Strict upper-triangle pairwise dots in a fixed (i < j) order.
+        size_t k = dim_;
+        for (size_t i = 0; i < f; i++) {
+            const float* vi = saved_inputs_[i].Row(b);
+            for (size_t j = i + 1; j < f; j++) {
+                const float* vj = saved_inputs_[j].Row(b);
+                float dot = 0.0f;
+                for (size_t c = 0; c < dim_; c++) {
+                    dot += vi[c] * vj[c];
+                }
+                out_row[k++] = dot;
+            }
+        }
+    }
+}
+
+void
+DotInteraction::Backward(const Matrix& grad_out, Matrix& grad_dense,
+                         std::vector<Matrix>& grad_sparse) const
+{
+    NEO_REQUIRE(saved_inputs_.size() == num_sparse_ + 1,
+                "Backward before Forward");
+    const size_t batch = saved_inputs_[0].rows();
+    NEO_REQUIRE(grad_out.rows() == batch && grad_out.cols() == OutputDim(),
+                "grad_out shape mismatch");
+    NEO_REQUIRE(grad_dense.rows() == batch && grad_dense.cols() == dim_,
+                "grad_dense shape mismatch");
+    NEO_REQUIRE(grad_sparse.size() == num_sparse_,
+                "grad_sparse count mismatch");
+
+    grad_dense.Zero();
+    for (auto& g : grad_sparse) {
+        NEO_REQUIRE(g.rows() == batch && g.cols() == dim_,
+                    "grad_sparse shape mismatch");
+        g.Zero();
+    }
+
+    const size_t f = num_sparse_ + 1;
+    for (size_t b = 0; b < batch; b++) {
+        const float* go = grad_out.Row(b);
+        // Dense pass-through gradient.
+        float* gd = grad_dense.Row(b);
+        for (size_t c = 0; c < dim_; c++) {
+            gd[c] = go[c];
+        }
+        // d(vi . vj)/dvi = vj and vice versa.
+        size_t k = dim_;
+        for (size_t i = 0; i < f; i++) {
+            float* gi = i == 0 ? grad_dense.Row(b) : grad_sparse[i - 1].Row(b);
+            const float* vi = saved_inputs_[i].Row(b);
+            for (size_t j = i + 1; j < f; j++) {
+                float* gj =
+                    j == 0 ? grad_dense.Row(b) : grad_sparse[j - 1].Row(b);
+                const float* vj = saved_inputs_[j].Row(b);
+                const float g = go[k++];
+                for (size_t c = 0; c < dim_; c++) {
+                    gi[c] += g * vj[c];
+                    gj[c] += g * vi[c];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace neo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DLRM dot-product feature interaction (Naumov et al. [39]).
+ *
+ * Inputs: the bottom-MLP output (batch x d) and F pooled embedding vectors
+ * (each batch x d). The op concatenates the bottom output with all pairwise
+ * dot products of the F+1 vectors (strict upper triangle), giving
+ * batch x (d + (F+1)F/2) features for the top MLP.
+ */
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace neo {
+
+/** Dot-product interaction with saved state for the backward pass. */
+class DotInteraction
+{
+  public:
+    /**
+     * @param num_sparse Number of pooled-embedding inputs F.
+     * @param dim Shared feature dimension d.
+     */
+    DotInteraction(size_t num_sparse, size_t dim);
+
+    /** Output feature width: d + (F+1)F/2. */
+    size_t OutputDim() const;
+
+    /**
+     * Forward pass.
+     *
+     * @param dense Bottom-MLP output, batch x d.
+     * @param sparse F matrices, each batch x d.
+     * @param out Output, batch x OutputDim().
+     */
+    void Forward(const Matrix& dense, const std::vector<Matrix>& sparse,
+                 Matrix& out);
+
+    /**
+     * Backward pass; uses the inputs saved by the last Forward().
+     *
+     * @param grad_out Gradient of the output, batch x OutputDim().
+     * @param grad_dense Output gradient w.r.t. the dense input.
+     * @param grad_sparse Output gradients w.r.t. each sparse input.
+     */
+    void Backward(const Matrix& grad_out, Matrix& grad_dense,
+                  std::vector<Matrix>& grad_sparse) const;
+
+    size_t num_sparse() const { return num_sparse_; }
+    size_t dim() const { return dim_; }
+
+  private:
+    /** All F+1 inputs from the last forward, [0]=dense. */
+    std::vector<Matrix> saved_inputs_;
+    size_t num_sparse_;
+    size_t dim_;
+};
+
+}  // namespace neo

@@ -1,0 +1,113 @@
+#include "tensor/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo {
+
+namespace {
+
+/** Stable -log(sigmoid) pieces: softplus(z) = log(1 + e^z). */
+double
+Softplus(double z)
+{
+    if (z > 30.0) {
+        return z;
+    }
+    if (z < -30.0) {
+        return 0.0;
+    }
+    return std::log1p(std::exp(z));
+}
+
+}  // namespace
+
+double
+BceWithLogitsLoss(const Matrix& logits, const std::vector<float>& labels)
+{
+    NEO_REQUIRE(logits.cols() == 1, "logits must be batch x 1");
+    NEO_REQUIRE(logits.rows() == labels.size(), "logits/labels size mismatch");
+    double sum = 0.0;
+    for (size_t i = 0; i < labels.size(); i++) {
+        const double z = logits(i, 0);
+        const double y = labels[i];
+        // loss = softplus(z) - y*z  (stable for both signs of z)
+        sum += Softplus(z) - y * z;
+    }
+    return sum / static_cast<double>(labels.size());
+}
+
+void
+BceWithLogitsGrad(const Matrix& logits, const std::vector<float>& labels,
+                  Matrix& grad, size_t denom)
+{
+    NEO_REQUIRE(logits.cols() == 1, "logits must be batch x 1");
+    NEO_REQUIRE(logits.rows() == labels.size(), "logits/labels size mismatch");
+    NEO_REQUIRE(grad.rows() == logits.rows() && grad.cols() == 1,
+                "grad shape mismatch");
+    if (denom == 0) {
+        denom = labels.size();
+    }
+    const float inv_batch = 1.0f / static_cast<float>(denom);
+    for (size_t i = 0; i < labels.size(); i++) {
+        const float z = logits(i, 0);
+        const float p = 1.0f / (1.0f + std::exp(-z));
+        grad(i, 0) = (p - labels[i]) * inv_batch;
+    }
+}
+
+void
+NormalizedEntropy::Add(double predicted_prob, double label)
+{
+    const double p = std::clamp(predicted_prob, 1e-9, 1.0 - 1e-9);
+    loss_sum_ += -(label * std::log(p) + (1.0 - label) * std::log(1.0 - p));
+    label_sum_ += label;
+    count_++;
+}
+
+void
+NormalizedEntropy::AddLogits(const Matrix& logits,
+                             const std::vector<float>& labels)
+{
+    NEO_REQUIRE(logits.cols() == 1 && logits.rows() == labels.size(),
+                "AddLogits shape mismatch");
+    for (size_t i = 0; i < labels.size(); i++) {
+        const double p = 1.0 / (1.0 + std::exp(-logits(i, 0)));
+        Add(p, labels[i]);
+    }
+}
+
+double
+NormalizedEntropy::MeanLogLoss() const
+{
+    NEO_REQUIRE(count_ > 0, "NE over empty sample");
+    return loss_sum_ / static_cast<double>(count_);
+}
+
+double
+NormalizedEntropy::BaseRate() const
+{
+    NEO_REQUIRE(count_ > 0, "NE over empty sample");
+    return label_sum_ / static_cast<double>(count_);
+}
+
+double
+NormalizedEntropy::Value() const
+{
+    const double p = std::clamp(BaseRate(), 1e-9, 1.0 - 1e-9);
+    const double base_entropy =
+        -(p * std::log(p) + (1.0 - p) * std::log(1.0 - p));
+    return MeanLogLoss() / base_entropy;
+}
+
+void
+NormalizedEntropy::Merge(const NormalizedEntropy& other)
+{
+    loss_sum_ += other.loss_sum_;
+    label_sum_ += other.label_sum_;
+    count_ += other.count_;
+}
+
+}  // namespace neo

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Binary cross-entropy (with logits) loss and the normalized-entropy (NE)
+ * metric used throughout the paper's quality evaluation (Fig. 10; He et al.
+ * [16]).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace neo {
+
+/**
+ * BCE-with-logits forward: mean over the batch of
+ *   -(y*log(sigmoid(z)) + (1-y)*log(1-sigmoid(z)))
+ * computed in the numerically stable log-sum-exp form.
+ *
+ * @param logits Batch x 1 logits.
+ * @param labels Batch labels in {0, 1} (floats).
+ * @return Mean loss.
+ */
+double BceWithLogitsLoss(const Matrix& logits,
+                         const std::vector<float>& labels);
+
+/**
+ * BCE-with-logits backward: grad = (sigmoid(z) - y) / batch.
+ *
+ * @param logits Batch x 1 logits.
+ * @param labels Batch labels.
+ * @param grad Output gradient, batch x 1.
+ * @param denom Batch denominator; 0 means labels.size(). Distributed
+ *   workers pass the GLOBAL batch size so per-worker gradients sum (via
+ *   AllReduce) to the reference global-batch gradient.
+ */
+void BceWithLogitsGrad(const Matrix& logits, const std::vector<float>& labels,
+                       Matrix& grad, size_t denom = 0);
+
+/**
+ * Accumulator for normalized entropy: average logloss divided by the entropy
+ * of the base rate (the average CTR). NE < 1 means the model beats the
+ * background-CTR predictor; lower is better.
+ */
+class NormalizedEntropy
+{
+  public:
+    /** Fold one (probability, label) observation. */
+    void Add(double predicted_prob, double label);
+
+    /** Fold a batch of logits. */
+    void AddLogits(const Matrix& logits, const std::vector<float>& labels);
+
+    /** Current NE value; requires at least one positive and one negative. */
+    double Value() const;
+
+    /** Mean logloss component. */
+    double MeanLogLoss() const;
+
+    /** Empirical base rate p = mean label. */
+    double BaseRate() const;
+
+    uint64_t count() const { return count_; }
+
+    /** Merge another accumulator (for distributed evaluation). */
+    void Merge(const NormalizedEntropy& other);
+
+  private:
+    double loss_sum_ = 0.0;
+    double label_sum_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+}  // namespace neo

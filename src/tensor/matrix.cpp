@@ -1,0 +1,88 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neo {
+
+void
+Matrix::Fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Matrix::InitHeUniform(Rng& rng)
+{
+    // He et al. bound: sqrt(6 / fan_in) with fan_in = cols (weights stored
+    // as [out, in]).
+    const float bound =
+        cols_ > 0 ? std::sqrt(6.0f / static_cast<float>(cols_)) : 0.0f;
+    InitUniform(rng, -bound, bound);
+}
+
+void
+Matrix::InitUniform(Rng& rng, float lo, float hi)
+{
+    for (auto& x : data_) {
+        x = rng.NextUniform(lo, hi);
+    }
+}
+
+void
+Matrix::Add(const Matrix& other)
+{
+    NEO_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "Add shape mismatch");
+    for (size_t i = 0; i < data_.size(); i++) {
+        data_[i] += other.data_[i];
+    }
+}
+
+void
+Matrix::Axpy(float alpha, const Matrix& other)
+{
+    NEO_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "Axpy shape mismatch");
+    for (size_t i = 0; i < data_.size(); i++) {
+        data_[i] += alpha * other.data_[i];
+    }
+}
+
+void
+Matrix::Scale(float s)
+{
+    for (auto& x : data_) {
+        x *= s;
+    }
+}
+
+float
+Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b)
+{
+    NEO_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+              "MaxAbsDiff shape mismatch");
+    float max_diff = 0.0f;
+    for (size_t i = 0; i < a.data_.size(); i++) {
+        max_diff = std::max(max_diff, std::abs(a.data_[i] - b.data_[i]));
+    }
+    return max_diff;
+}
+
+bool
+Matrix::Identical(const Matrix& a, const Matrix& b)
+{
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+}
+
+float
+Matrix::Norm() const
+{
+    double sum = 0.0;
+    for (float x : data_) {
+        sum += static_cast<double>(x) * x;
+    }
+    return static_cast<float>(std::sqrt(sum));
+}
+
+}  // namespace neo

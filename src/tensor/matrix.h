@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Row-major dense float matrix. The MLP stack, interaction arch and
+ * optimizers all operate on this type; it deliberately stays minimal
+ * (no expression templates) so kernels remain easy to audit.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace neo {
+
+/** Dense row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Allocate a rows x cols matrix, zero-initialized. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+    /** Allocate and fill from an explicit buffer (row-major). */
+    Matrix(size_t rows, size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        NEO_REQUIRE(data_.size() == rows_ * cols_,
+                    "matrix data size mismatch");
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /** Element access (debug-checked). */
+    float&
+    operator()(size_t r, size_t c)
+    {
+        NEO_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    float
+    operator()(size_t r, size_t c) const
+    {
+        NEO_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    float* Row(size_t r) { return data_.data() + r * cols_; }
+    const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+    /** Set every element to `value`. */
+    void Fill(float value);
+
+    /** Set every element to zero. */
+    void Zero() { Fill(0.0f); }
+
+    /** Fill with He-uniform init (for ReLU MLPs), deterministic via rng. */
+    void InitHeUniform(Rng& rng);
+
+    /** Fill with uniform values in [lo, hi]. */
+    void InitUniform(Rng& rng, float lo, float hi);
+
+    /** Elementwise a += b. */
+    void Add(const Matrix& other);
+
+    /** Elementwise a += alpha * b (axpy). */
+    void Axpy(float alpha, const Matrix& other);
+
+    /** Multiply every element by `s`. */
+    void Scale(float s);
+
+    /** Max |a - b| over all elements; matrices must be same shape. */
+    static float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+    /** Exact elementwise equality (bitwise determinism checks). */
+    static bool Identical(const Matrix& a, const Matrix& b);
+
+    /** Frobenius norm. */
+    float Norm() const;
+
+    const std::vector<float>& vec() const { return data_; }
+    std::vector<float>& vec() { return data_; }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace neo

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the threaded collective-communication backend: correctness of
+ * every collective against a single-threaded reference across world sizes
+ * (parameterized), determinism of reductions, ragged AllToAllv, quantized
+ * collectives and traffic accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/quantized.h"
+#include "comm/threaded_process_group.h"
+#include "common/rng.h"
+
+namespace neo::comm {
+namespace {
+
+class CollectiveTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CollectiveTest, AllReduceSumsInRankOrder)
+{
+    const int world = GetParam();
+    const size_t count = 1000;
+    std::vector<std::vector<float>> data(world);
+    std::vector<float> expected(count, 0.0f);
+    Rng rng(41);
+    for (int r = 0; r < world; r++) {
+        data[r].resize(count);
+        for (auto& x : data[r]) {
+            x = rng.NextUniform(-1.0f, 1.0f);
+        }
+    }
+    for (size_t i = 0; i < count; i++) {
+        float sum = 0.0f;
+        for (int r = 0; r < world; r++) {
+            sum += data[r][i];  // rank order, matching the contract
+        }
+        expected[i] = sum;
+    }
+
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        std::vector<float> local = data[rank];
+        pg.AllReduceSum(local.data(), local.size());
+        ASSERT_EQ(local, expected) << "rank " << rank;
+    });
+}
+
+TEST_P(CollectiveTest, BroadcastFromEveryRoot)
+{
+    const int world = GetParam();
+    for (int root = 0; root < world; root++) {
+        ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+            std::vector<float> buf(16,
+                                   static_cast<float>(rank * 100));
+            pg.Broadcast(buf.data(), buf.size(), root);
+            for (float x : buf) {
+                ASSERT_EQ(x, static_cast<float>(root * 100));
+            }
+        });
+    }
+}
+
+TEST_P(CollectiveTest, AllGatherConcatenatesInRankOrder)
+{
+    const int world = GetParam();
+    const size_t count = 7;
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        std::vector<float> mine(count);
+        for (size_t i = 0; i < count; i++) {
+            mine[i] = static_cast<float>(rank * 1000 + i);
+        }
+        std::vector<float> out(count * world);
+        pg.AllGather(mine.data(), count, out.data());
+        for (int r = 0; r < world; r++) {
+            for (size_t i = 0; i < count; i++) {
+                ASSERT_EQ(out[r * count + i],
+                          static_cast<float>(r * 1000 + i));
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ReduceScatterMatchesAllReduceChunk)
+{
+    const int world = GetParam();
+    const size_t chunk = 13;
+    std::vector<std::vector<float>> inputs(world);
+    Rng rng(43);
+    for (int r = 0; r < world; r++) {
+        inputs[r].resize(chunk * world);
+        for (auto& x : inputs[r]) {
+            x = rng.NextUniform(-2.0f, 2.0f);
+        }
+    }
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        std::vector<float> out(chunk);
+        pg.ReduceScatterSum(inputs[rank].data(), chunk, out.data());
+        for (size_t i = 0; i < chunk; i++) {
+            float expected = 0.0f;
+            for (int r = 0; r < world; r++) {
+                expected += inputs[r][rank * chunk + i];
+            }
+            ASSERT_EQ(out[i], expected);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AllToAllRoutesRaggedPayloads)
+{
+    const int world = GetParam();
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        // Rank r sends (r*10 + dst) repeated (r + dst) times to dst.
+        std::vector<std::vector<uint8_t>> send(world);
+        for (int dst = 0; dst < world; dst++) {
+            send[dst].assign(static_cast<size_t>(rank + dst),
+                             static_cast<uint8_t>(rank * 10 + dst));
+        }
+        std::vector<std::vector<uint8_t>> recv;
+        pg.AllToAllBytes(send, recv);
+        ASSERT_EQ(recv.size(), static_cast<size_t>(world));
+        for (int src = 0; src < world; src++) {
+            ASSERT_EQ(recv[src].size(), static_cast<size_t>(src + rank));
+            for (uint8_t byte : recv[src]) {
+                ASSERT_EQ(byte, static_cast<uint8_t>(src * 10 + rank));
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, TypedAllToAllWrappers)
+{
+    const int world = GetParam();
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        std::vector<std::vector<int64_t>> send(world);
+        for (int dst = 0; dst < world; dst++) {
+            send[dst] = {rank * 100ll + dst, -1ll};
+        }
+        std::vector<std::vector<int64_t>> recv;
+        pg.AllToAllIndices(send, recv);
+        for (int src = 0; src < world; src++) {
+            ASSERT_EQ(recv[src],
+                      (std::vector<int64_t>{src * 100ll + rank, -1ll}));
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Collectives, AllReduceBitwiseDeterministicAcrossRuns)
+{
+    const int world = 4;
+    const size_t count = 257;
+    std::vector<float> result1(count), result2(count);
+    for (int run = 0; run < 2; run++) {
+        std::vector<float>& result = run == 0 ? result1 : result2;
+        ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+            Rng rng(100 + rank);
+            std::vector<float> local(count);
+            for (auto& x : local) {
+                x = rng.NextUniform(-1.0f, 1.0f);
+            }
+            pg.AllReduceSum(local.data(), count);
+            if (rank == 0) {
+                result = local;
+            }
+        });
+    }
+    EXPECT_EQ(result1, result2);
+}
+
+TEST(Collectives, AllRanksSeeIdenticalAllReduceResult)
+{
+    const int world = 5;
+    const size_t count = 64;
+    std::vector<std::vector<float>> results(world);
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        Rng rng(7 + rank);
+        std::vector<float> local(count);
+        for (auto& x : local) {
+            x = rng.NextUniform(-3.0f, 3.0f);
+        }
+        pg.AllReduceSum(local.data(), count);
+        results[rank] = local;
+    });
+    for (int r = 1; r < world; r++) {
+        EXPECT_EQ(results[0], results[r]) << r;
+    }
+}
+
+TEST(Collectives, StatsCountTraffic)
+{
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        std::vector<float> buf(100, static_cast<float>(rank));
+        pg.AllReduceSum(buf.data(), buf.size());
+        const CommStats stats = pg.Stats();
+        EXPECT_EQ(stats.allreduce_bytes, 400u);
+        EXPECT_GE(stats.calls, 1u);
+    });
+}
+
+// ------------------------------------------------------------ Quantized
+
+TEST(Quantized, Fp16RoundTripErrorBounded)
+{
+    Rng rng(51);
+    std::vector<float> values(4096);
+    for (auto& v : values) {
+        v = rng.NextUniform(-8.0f, 8.0f);
+    }
+    const auto q = QuantizeVector(values, Precision::kFp16);
+    const auto back = DequantizeVector(q, Precision::kFp16);
+    for (size_t i = 0; i < values.size(); i++) {
+        EXPECT_LE(std::abs(back[i] - values[i]),
+                  std::abs(values[i]) / 1024.0f + 1e-6f);
+    }
+}
+
+TEST(Quantized, Bf16HandlesWideDynamicRange)
+{
+    std::vector<float> values = {1e-20f, 1e20f, -3e30f, 5e-35f};
+    const auto back =
+        DequantizeVector(QuantizeVector(values, Precision::kBf16),
+                         Precision::kBf16);
+    for (size_t i = 0; i < values.size(); i++) {
+        EXPECT_NEAR(back[i] / values[i], 1.0f, 0.01f);
+    }
+}
+
+TEST(Quantized, AllToAllDeliversQuantizedPayloads)
+{
+    const int world = 3;
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        std::vector<std::vector<float>> send(world);
+        for (int dst = 0; dst < world; dst++) {
+            send[dst] = {static_cast<float>(rank) + 0.333f,
+                         static_cast<float>(dst) * 1.25f};
+        }
+        std::vector<std::vector<float>> recv;
+        QuantizedAllToAll(pg, send, recv, Precision::kFp16);
+        for (int src = 0; src < world; src++) {
+            ASSERT_EQ(recv[src].size(), 2u);
+            EXPECT_NEAR(recv[src][0], static_cast<float>(src) + 0.333f,
+                        5e-3f);
+            EXPECT_NEAR(recv[src][1], static_cast<float>(rank) * 1.25f,
+                        5e-3f);
+        }
+    });
+}
+
+TEST(Quantized, Fp32PassThroughIsExact)
+{
+    const int world = 2;
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        std::vector<std::vector<float>> send(world);
+        for (int dst = 0; dst < world; dst++) {
+            send[dst] = {0.1234567f * (rank + 1)};
+        }
+        std::vector<std::vector<float>> recv;
+        QuantizedAllToAll(pg, send, recv, Precision::kFp32);
+        for (int src = 0; src < world; src++) {
+            EXPECT_EQ(recv[src][0], 0.1234567f * (src + 1));
+        }
+    });
+}
+
+TEST(Quantized, QuantizedAllReduceStaysClose)
+{
+    const int world = 4;
+    const size_t count = 128;
+    ThreadedWorld::Run(world, [&](int rank, ProcessGroup& pg) {
+        Rng rng(60 + rank);
+        std::vector<float> exact(count), quant(count);
+        for (size_t i = 0; i < count; i++) {
+            exact[i] = rng.NextUniform(-1.0f, 1.0f);
+            quant[i] = exact[i];
+        }
+        pg.AllReduceSum(exact.data(), count);
+        QuantizedAllReduce(pg, quant.data(), count, Precision::kBf16);
+        for (size_t i = 0; i < count; i++) {
+            ASSERT_NEAR(quant[i], exact[i], 0.05f);
+        }
+    });
+}
+
+}  // namespace
+}  // namespace neo::comm
+
+namespace neo::comm {
+namespace {
+
+TEST(Collectives, ZeroLengthPayloadsAreSafe)
+{
+    ThreadedWorld::Run(3, [&](int, ProcessGroup& pg) {
+        // Empty AllReduce and AllToAll must complete without touching
+        // memory.
+        pg.AllReduceSum(nullptr, 0);
+        std::vector<std::vector<uint8_t>> send(3);
+        std::vector<std::vector<uint8_t>> recv;
+        pg.AllToAllBytes(send, recv);
+        for (const auto& r : recv) {
+            ASSERT_TRUE(r.empty());
+        }
+    });
+}
+
+TEST(Collectives, SingleRankWorldIsIdentity)
+{
+    ThreadedWorld::Run(1, [&](int, ProcessGroup& pg) {
+        std::vector<float> buf = {1.0f, -2.0f, 3.0f};
+        const std::vector<float> original = buf;
+        pg.AllReduceSum(buf.data(), buf.size());
+        EXPECT_EQ(buf, original);
+        pg.Broadcast(buf.data(), buf.size(), 0);
+        EXPECT_EQ(buf, original);
+        std::vector<float> out(3);
+        pg.AllGather(buf.data(), 3, out.data());
+        EXPECT_EQ(out, original);
+    });
+}
+
+TEST(Collectives, TraceCapturesOpsAndSizes)
+{
+    std::vector<TraceEvent> trace;
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        if (rank == 0) {
+            pg.SetTrace(&trace);
+        }
+        std::vector<float> buf(10, 1.0f);
+        pg.AllReduceSum(buf.data(), buf.size());
+        std::vector<std::vector<float>> send(
+            2, std::vector<float>(5, 2.0f));
+        std::vector<std::vector<float>> recv;
+        pg.AllToAllFloats(send, recv);
+        if (rank == 0) {
+            pg.SetTrace(nullptr);
+        }
+        // Post-detach traffic must not be recorded.
+        pg.AllReduceSum(buf.data(), buf.size());
+    });
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].op, CollectiveOp::kAllReduce);
+    EXPECT_EQ(trace[0].bytes, 40u);
+    EXPECT_EQ(trace[1].op, CollectiveOp::kAllToAll);
+    EXPECT_EQ(trace[1].bytes, 40u);  // 2 peers x 5 floats
+}
+
+TEST(Collectives, ManySmallCollectivesInterleaveSafely)
+{
+    // Stress the shared boards: alternating collective types back to
+    // back, validating every result.
+    ThreadedWorld::Run(4, [&](int rank, ProcessGroup& pg) {
+        for (int round = 0; round < 50; round++) {
+            float x = static_cast<float>(rank + round);
+            pg.AllReduceSum(&x, 1);
+            float expected = 0.0f;
+            for (int r = 0; r < 4; r++) {
+                expected += static_cast<float>(r + round);
+            }
+            ASSERT_EQ(x, expected) << round;
+
+            std::vector<float> gathered(4);
+            const float mine = static_cast<float>(rank * 10 + round);
+            pg.AllGather(&mine, 1, gathered.data());
+            for (int r = 0; r < 4; r++) {
+                ASSERT_EQ(gathered[r],
+                          static_cast<float>(r * 10 + round));
+            }
+        }
+    });
+}
+
+}  // namespace
+}  // namespace neo::comm

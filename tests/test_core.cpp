@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the single-process reference DLRM: configuration validation,
+ * learning (loss and NE improve on the planted synthetic task), bitwise
+ * run-to-run determinism, and checkpoint round trips.
+ */
+#include <gtest/gtest.h>
+
+#include "core/dlrm_config.h"
+#include "core/dlrm_reference.h"
+#include "data/dataset.h"
+
+namespace neo::core {
+namespace {
+
+data::DatasetConfig
+MakeDataConfig(const DlrmConfig& model, uint64_t seed = 5)
+{
+    data::DatasetConfig config;
+    config.num_dense = model.num_dense;
+    config.seed = seed;
+    for (const auto& t : model.tables) {
+        config.features.push_back({t.rows, t.pooling, 1.05});
+    }
+    return config;
+}
+
+TEST(DlrmConfig, ValidationCatchesDimMismatch)
+{
+    DlrmConfig config = MakeSmallDlrmConfig();
+    config.tables[0].dim = 99;
+    EXPECT_THROW(config.Validate(), std::runtime_error);
+}
+
+TEST(DlrmConfig, DerivedShapes)
+{
+    DlrmConfig config = MakeSmallDlrmConfig(3, 100, 16);
+    EXPECT_EQ(config.EmbeddingDim(), 16u);
+    const auto bottom = config.BottomLayerSizes();
+    EXPECT_EQ(bottom.front(), config.num_dense);
+    EXPECT_EQ(bottom.back(), 16u);
+    const auto top = config.TopLayerSizes();
+    // Interaction output: d + (F+1)F/2 with F=3 -> 16 + 6 = 22.
+    EXPECT_EQ(top.front(), 22u);
+    EXPECT_EQ(top.back(), 1u);
+    EXPECT_GT(config.TotalParams(), 0.0);
+}
+
+TEST(DlrmReference, LossDecreasesOnPlantedTask)
+{
+    DlrmConfig model = MakeSmallDlrmConfig(4, 200, 16);
+    DlrmReference reference(model);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+
+    double first_losses = 0.0, last_losses = 0.0;
+    const int steps = 60;
+    for (int s = 0; s < steps; s++) {
+        const double loss = reference.TrainStep(dataset.NextBatch(64));
+        if (s < 10) {
+            first_losses += loss;
+        }
+        if (s >= steps - 10) {
+            last_losses += loss;
+        }
+    }
+    EXPECT_LT(last_losses, first_losses * 0.98);
+}
+
+TEST(DlrmReference, NeBeatsBaseRatePredictorAfterTraining)
+{
+    DlrmConfig model = MakeSmallDlrmConfig(4, 200, 16);
+    DlrmReference reference(model);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+    for (int s = 0; s < 80; s++) {
+        reference.TrainStep(dataset.NextBatch(64));
+    }
+    NormalizedEntropy ne;
+    for (int e = 0; e < 8; e++) {
+        reference.Evaluate(dataset.NextBatch(64), ne);
+    }
+    EXPECT_LT(ne.Value(), 0.99);
+}
+
+TEST(DlrmReference, BitwiseDeterministicAcrossRuns)
+{
+    DlrmConfig model = MakeSmallDlrmConfig(3, 150, 16);
+    auto run = [&]() {
+        DlrmReference reference(model);
+        data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+        for (int s = 0; s < 10; s++) {
+            reference.TrainStep(dataset.NextBatch(32));
+        }
+        Matrix logits;
+        data::SyntheticCtrDataset eval(MakeDataConfig(model, 123));
+        reference.Predict(eval.NextBatch(32), logits);
+        return logits;
+    };
+    const Matrix a = run();
+    const Matrix b = run();
+    EXPECT_TRUE(Matrix::Identical(a, b));
+}
+
+TEST(DlrmReference, BatchOrderInvariantEmbeddingUpdates)
+{
+    // The exact sparse optimizer makes the update independent of sample
+    // order within a batch; MLP gradients are sums over samples computed
+    // by GEMM, which reorders additions, so compare only the embedding
+    // tables after one step on a permuted batch.
+    DlrmConfig model = MakeSmallDlrmConfig(2, 100, 16);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+    const data::Batch batch = dataset.NextBatch(16);
+
+    // Reversed-sample copy of the batch.
+    data::Batch reversed;
+    reversed.dense = Matrix(16, batch.dense.cols());
+    reversed.labels.resize(16);
+    reversed.sparse = data::KeyedJagged::Empty(batch.sparse.num_tables, 16);
+    std::vector<data::KeyedJagged> pieces;
+    for (size_t b = 16; b-- > 0;) {
+        pieces.push_back(batch.sparse.SliceBatch(b, b + 1));
+    }
+    reversed.sparse = data::ConcatBatches(pieces);
+    for (size_t b = 0; b < 16; b++) {
+        reversed.labels[b] = batch.labels[15 - b];
+        for (size_t c = 0; c < batch.dense.cols(); c++) {
+            reversed.dense(b, c) = batch.dense(15 - b, c);
+        }
+    }
+
+    DlrmReference m1(model), m2(model);
+    m1.TrainStep(batch);
+    m2.TrainStep(reversed);
+    for (size_t t = 0; t < model.tables.size(); t++) {
+        // Gradients reaching the tables differ at float-rounding level
+        // between the two orderings only through MLP backward GEMMs,
+        // which are per-sample independent here; the sparse update itself
+        // is order-invariant. Allow only tiny drift.
+        EXPECT_LT(ops::EmbeddingTable::MaxAbsDiff(m1.embeddings().table(t),
+                                                  m2.embeddings().table(t)),
+                  1e-6f)
+            << t;
+    }
+}
+
+TEST(DlrmReference, CheckpointRoundTripIsExact)
+{
+    DlrmConfig model = MakeSmallDlrmConfig(3, 120, 16);
+    DlrmReference reference(model);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+    for (int s = 0; s < 5; s++) {
+        reference.TrainStep(dataset.NextBatch(32));
+    }
+    BinaryWriter writer;
+    reference.Save(writer);
+
+    DlrmReference restored(model);
+    EXPECT_FALSE(DlrmReference::Identical(reference, restored));
+    BinaryReader reader(writer.buffer());
+    restored.Load(reader);
+    EXPECT_TRUE(DlrmReference::Identical(reference, restored));
+
+    // Restored model predicts identically.
+    data::SyntheticCtrDataset eval(MakeDataConfig(model, 321));
+    const data::Batch batch = eval.NextBatch(16);
+    Matrix l1, l2;
+    reference.Predict(batch, l1);
+    restored.Predict(batch, l2);
+    EXPECT_TRUE(Matrix::Identical(l1, l2));
+}
+
+TEST(DlrmReference, Fp16EmbeddingsStillLearn)
+{
+    DlrmConfig model = MakeSmallDlrmConfig(3, 150, 16);
+    for (auto& t : model.tables) {
+        t.precision = Precision::kFp16;
+    }
+    DlrmReference reference(model);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+    double first = 0.0, last = 0.0;
+    for (int s = 0; s < 60; s++) {
+        const double loss = reference.TrainStep(dataset.NextBatch(64));
+        if (s < 10) {
+            first += loss;
+        }
+        if (s >= 50) {
+            last += loss;
+        }
+    }
+    EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace neo::core

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the data-ingestion layer: the combined lengths+indices format,
+ * the permute/bucketize layout kernels, the synthetic CTR generator's
+ * distributional properties and determinism, and the double-buffered
+ * loader's stream equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/jagged.h"
+
+namespace neo::data {
+namespace {
+
+KeyedJagged
+MakeSimpleJagged()
+{
+    // 2 tables, batch 3.
+    // table 0: lengths {1, 2, 0}, indices {5, 1, 2}
+    // table 1: lengths {0, 1, 1}, indices {9, 3}
+    KeyedJagged kj = KeyedJagged::Empty(2, 3);
+    kj.lengths = {1, 2, 0, 0, 1, 1};
+    kj.indices = {5, 1, 2, 9, 3};
+    kj.RebuildOffsets();
+    return kj;
+}
+
+TEST(KeyedJagged, AccessorsAndConsistency)
+{
+    const KeyedJagged kj = MakeSimpleJagged();
+    kj.CheckConsistent();
+    EXPECT_EQ(kj.TotalIndices(), 5u);
+
+    const auto l0 = kj.LengthsForTable(0);
+    EXPECT_EQ(std::vector<uint32_t>(l0.begin(), l0.end()),
+              (std::vector<uint32_t>{1, 2, 0}));
+    const auto i1 = kj.IndicesForTable(1);
+    EXPECT_EQ(std::vector<int64_t>(i1.begin(), i1.end()),
+              (std::vector<int64_t>{9, 3}));
+
+    const auto input = kj.InputForTable(0);
+    EXPECT_EQ(input.lengths.size(), 3u);
+    EXPECT_EQ(input.indices.size(), 3u);
+}
+
+TEST(KeyedJagged, InconsistentOffsetsCaught)
+{
+    KeyedJagged kj = MakeSimpleJagged();
+    kj.indices.push_back(1);  // extra index not covered by lengths
+    EXPECT_DEATH(kj.CheckConsistent(), "inconsistent");
+}
+
+TEST(KeyedJagged, SliceBatchExtractsSamples)
+{
+    const KeyedJagged kj = MakeSimpleJagged();
+    const KeyedJagged slice = kj.SliceBatch(1, 3);
+    slice.CheckConsistent();
+    EXPECT_EQ(slice.batch, 2u);
+    const auto l0 = slice.LengthsForTable(0);
+    EXPECT_EQ(std::vector<uint32_t>(l0.begin(), l0.end()),
+              (std::vector<uint32_t>{2, 0}));
+    const auto i0 = slice.IndicesForTable(0);
+    EXPECT_EQ(std::vector<int64_t>(i0.begin(), i0.end()),
+              (std::vector<int64_t>{1, 2}));
+    const auto i1 = slice.IndicesForTable(1);
+    EXPECT_EQ(std::vector<int64_t>(i1.begin(), i1.end()),
+              (std::vector<int64_t>{9, 3}));
+}
+
+TEST(KeyedJagged, SliceTableExtractsOneTable)
+{
+    const KeyedJagged kj = MakeSimpleJagged();
+    const KeyedJagged t1 = kj.SliceTable(1);
+    t1.CheckConsistent();
+    EXPECT_EQ(t1.num_tables, 1u);
+    EXPECT_EQ(t1.batch, 3u);
+    EXPECT_EQ(t1.indices, (std::vector<int64_t>{9, 3}));
+}
+
+TEST(KeyedJagged, SliceConcatRoundTrip)
+{
+    const KeyedJagged kj = MakeSimpleJagged();
+    const KeyedJagged a = kj.SliceBatch(0, 1);
+    const KeyedJagged b = kj.SliceBatch(1, 3);
+    std::vector<KeyedJagged> pieces = {a, b};
+    const KeyedJagged rejoined = ConcatBatches(pieces);
+    EXPECT_EQ(rejoined.lengths, kj.lengths);
+    EXPECT_EQ(rejoined.indices, kj.indices);
+    EXPECT_EQ(rejoined.table_offsets, kj.table_offsets);
+}
+
+TEST(KeyedJagged, ConcatPermutesSourceTableToTableSource)
+{
+    // Two sources with one table each; concat must emit (table, source).
+    KeyedJagged src0 = KeyedJagged::Empty(1, 2);
+    src0.lengths = {1, 1};
+    src0.indices = {10, 11};
+    src0.RebuildOffsets();
+    KeyedJagged src1 = KeyedJagged::Empty(1, 2);
+    src1.lengths = {2, 0};
+    src1.indices = {20, 21};
+    src1.RebuildOffsets();
+    std::vector<KeyedJagged> pieces = {src0, src1};
+    const KeyedJagged out = ConcatBatches(pieces);
+    EXPECT_EQ(out.batch, 4u);
+    EXPECT_EQ(out.indices, (std::vector<int64_t>{10, 11, 20, 21}));
+    EXPECT_EQ(out.lengths, (std::vector<uint32_t>{1, 1, 2, 0}));
+}
+
+TEST(Bucketize, SplitsByRowRangeAndRebases)
+{
+    KeyedJagged input = KeyedJagged::Empty(1, 2);
+    input.lengths = {3, 2};
+    input.indices = {0, 10, 25, 5, 35};
+    input.RebuildOffsets();
+
+    const std::vector<int64_t> splits = {0, 10, 30, 40};
+    const Bucketized result = BucketizeRows(input, splits);
+    ASSERT_EQ(result.buckets.size(), 3u);
+
+    // Bucket 0: rows [0,10): indices 0 (sample 0) and 5 (sample 1).
+    EXPECT_EQ(result.buckets[0].lengths, (std::vector<uint32_t>{1, 1}));
+    EXPECT_EQ(result.buckets[0].indices, (std::vector<int64_t>{0, 5}));
+    // Bucket 1: rows [10,30): 10, 25 rebased by 10.
+    EXPECT_EQ(result.buckets[1].lengths, (std::vector<uint32_t>{2, 0}));
+    EXPECT_EQ(result.buckets[1].indices, (std::vector<int64_t>{0, 15}));
+    // Bucket 2: rows [30,40): 35 rebased by 30.
+    EXPECT_EQ(result.buckets[2].lengths, (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(result.buckets[2].indices, (std::vector<int64_t>{5}));
+}
+
+TEST(Bucketize, PreservesTotalIndexCount)
+{
+    DatasetConfig config;
+    config.features = {{1000, 8.0, 1.05}};
+    config.seed = 3;
+    SyntheticCtrDataset dataset(config);
+    const Batch batch = dataset.NextBatch(64);
+    const KeyedJagged one = batch.sparse.SliceTable(0);
+    const std::vector<int64_t> splits = {0, 250, 500, 750, 1000};
+    const Bucketized result = BucketizeRows(one, splits, /*rebase=*/false);
+    size_t total = 0;
+    for (const auto& bucket : result.buckets) {
+        bucket.CheckConsistent();
+        total += bucket.TotalIndices();
+        for (size_t k = 0; k < bucket.indices.size(); k++) {
+            EXPECT_GE(bucket.indices[k], 0);
+            EXPECT_LT(bucket.indices[k], 1000);
+        }
+    }
+    EXPECT_EQ(total, one.TotalIndices());
+}
+
+TEST(Bucketize, OutOfRangeIndexPanics)
+{
+    KeyedJagged input = KeyedJagged::Empty(1, 1);
+    input.lengths = {1};
+    input.indices = {100};
+    input.RebuildOffsets();
+    const std::vector<int64_t> splits = {0, 50};
+    EXPECT_DEATH(BucketizeRows(input, splits), "outside all buckets");
+}
+
+// ---------------------------------------------------------------- Dataset
+
+TEST(Dataset, DeterministicStream)
+{
+    DatasetConfig config;
+    config.features = {{500, 5.0, 1.1}, {200, 3.0, 0.8}};
+    config.seed = 42;
+    SyntheticCtrDataset a(config), b(config);
+    for (int i = 0; i < 3; i++) {
+        const Batch ba = a.NextBatch(32);
+        const Batch bb = b.NextBatch(32);
+        EXPECT_TRUE(Matrix::Identical(ba.dense, bb.dense));
+        EXPECT_EQ(ba.sparse.indices, bb.sparse.indices);
+        EXPECT_EQ(ba.sparse.lengths, bb.sparse.lengths);
+        EXPECT_EQ(ba.labels, bb.labels);
+    }
+}
+
+TEST(Dataset, ShapesAndRanges)
+{
+    DatasetConfig config;
+    config.num_dense = 10;
+    config.features = {{100, 4.0, 1.0}, {50, 2.0, 1.0}, {20, 1.0, 0.0}};
+    SyntheticCtrDataset dataset(config);
+    const Batch batch = dataset.NextBatch(128);
+    batch.sparse.CheckConsistent();
+    EXPECT_EQ(batch.dense.rows(), 128u);
+    EXPECT_EQ(batch.dense.cols(), 10u);
+    EXPECT_EQ(batch.sparse.num_tables, 3u);
+    EXPECT_EQ(batch.labels.size(), 128u);
+    for (size_t t = 0; t < 3; t++) {
+        const auto idx = batch.sparse.IndicesForTable(t);
+        for (int64_t i : idx) {
+            EXPECT_GE(i, 0);
+            EXPECT_LT(i, config.features[t].rows);
+        }
+        const auto lens = batch.sparse.LengthsForTable(t);
+        for (uint32_t l : lens) {
+            EXPECT_GE(l, 1u);  // min pooling of 1
+        }
+    }
+    for (float label : batch.labels) {
+        EXPECT_TRUE(label == 0.0f || label == 1.0f);
+    }
+}
+
+TEST(Dataset, PoolingMatchesConfiguredMean)
+{
+    DatasetConfig config;
+    config.features = {{1000, 12.0, 1.0}};
+    SyntheticCtrDataset dataset(config);
+    double total = 0.0;
+    const int batches = 20, batch_size = 256;
+    for (int i = 0; i < batches; i++) {
+        const Batch batch = dataset.NextBatch(batch_size);
+        total += static_cast<double>(batch.sparse.TotalIndices());
+    }
+    const double avg = total / (batches * batch_size);
+    EXPECT_NEAR(avg, 12.0, 0.5);
+}
+
+TEST(Dataset, ZipfSkewShowsInIndexFrequencies)
+{
+    DatasetConfig config;
+    config.features = {{10000, 10.0, 1.2}};
+    SyntheticCtrDataset dataset(config);
+    std::map<int64_t, int> counts;
+    for (int i = 0; i < 20; i++) {
+        const Batch batch = dataset.NextBatch(256);
+        for (int64_t idx : batch.sparse.indices) {
+            counts[idx]++;
+        }
+    }
+    int head = 0, total = 0;
+    for (const auto& [row, count] : counts) {
+        total += count;
+        if (row < 100) {
+            head += count;
+        }
+    }
+    // 1% of rows should draw a large share of accesses.
+    EXPECT_GT(static_cast<double>(head) / total, 0.3);
+}
+
+TEST(Dataset, LabelsCorrelateWithPlantedSignal)
+{
+    // The base rate should be below 50% (negative bias) and the planted
+    // weights should make labels predictable: check the dataset is not
+    // pure noise by verifying NE of the Bayes-ish predictor built from
+    // the planted weights is below 1.
+    DatasetConfig config;
+    config.num_dense = 4;
+    config.features = {{200, 4.0, 1.0}};
+    config.seed = 11;
+    SyntheticCtrDataset dataset(config);
+    double positives = 0.0, count = 0.0;
+    for (int i = 0; i < 10; i++) {
+        const Batch batch = dataset.NextBatch(256);
+        for (float l : batch.labels) {
+            positives += l;
+            count += 1.0;
+        }
+    }
+    const double rate = positives / count;
+    EXPECT_GT(rate, 0.05);
+    EXPECT_LT(rate, 0.6);
+}
+
+TEST(Dataset, PlantedRowWeightIsDeterministic)
+{
+    DatasetConfig config;
+    config.features = {{100, 2.0, 1.0}};
+    SyntheticCtrDataset a(config), b(config);
+    for (int64_t r = 0; r < 100; r++) {
+        EXPECT_EQ(a.PlantedRowWeight(0, r), b.PlantedRowWeight(0, r));
+    }
+}
+
+// -------------------------------------------------------------- Loader
+
+TEST(DataLoader, StreamMatchesDirectDataset)
+{
+    DatasetConfig config;
+    config.features = {{300, 6.0, 1.0}};
+    config.seed = 17;
+    SyntheticCtrDataset direct(config);
+    DataLoader loader(config, 64);
+    for (int i = 0; i < 5; i++) {
+        const Batch expected = direct.NextBatch(64);
+        const Batch got = loader.NextBatch();
+        EXPECT_TRUE(Matrix::Identical(expected.dense, got.dense)) << i;
+        EXPECT_EQ(expected.sparse.indices, got.sparse.indices) << i;
+        EXPECT_EQ(expected.labels, got.labels) << i;
+    }
+}
+
+}  // namespace
+}  // namespace neo::data
+
+// ---------------------------------------------------------- ReaderTier
+
+#include <set>
+
+#include "data/reader_tier.h"
+
+namespace neo::data {
+namespace {
+
+TEST(ReaderTier, DeliversValidBatches)
+{
+    DatasetConfig config;
+    config.num_dense = 4;
+    config.features = {{500, 5.0, 1.0}};
+    config.seed = 21;
+    ReaderTierOptions options;
+    options.num_readers = 3;
+    options.batch_size = 32;
+    ReaderTier tier(config, options);
+    for (int i = 0; i < 12; i++) {
+        const Batch batch = tier.NextBatch();
+        batch.sparse.CheckConsistent();
+        EXPECT_EQ(batch.size(), 32u);
+        for (int64_t idx : batch.sparse.indices) {
+            EXPECT_GE(idx, 0);
+            EXPECT_LT(idx, 500);
+        }
+    }
+    EXPECT_EQ(tier.batches_consumed(), 12u);
+    EXPECT_GE(tier.batches_produced(), 12u);
+}
+
+TEST(ReaderTier, ReadersShareTheTaskButNotTheStream)
+{
+    // All readers must agree on the planted ground truth (task), while
+    // producing distinct sample streams.
+    DatasetConfig config;
+    config.num_dense = 2;
+    config.features = {{200, 4.0, 1.0}};
+    config.seed = 33;
+
+    DatasetConfig reader0 = config;
+    reader0.task_seed = config.seed;
+    reader0.seed = config.seed + 1;
+    DatasetConfig reader1 = config;
+    reader1.task_seed = config.seed;
+    reader1.seed = config.seed + 1 + 7919;
+    SyntheticCtrDataset a(reader0), b(reader1);
+    for (int64_t r = 0; r < 200; r++) {
+        EXPECT_EQ(a.PlantedRowWeight(0, r), b.PlantedRowWeight(0, r)) << r;
+    }
+    const Batch ba = a.NextBatch(16);
+    const Batch bb = b.NextBatch(16);
+    EXPECT_NE(ba.sparse.indices, bb.sparse.indices);
+}
+
+TEST(ReaderTier, BoundedQueueBackpressure)
+{
+    DatasetConfig config;
+    config.features = {{100, 2.0, 1.0}};
+    ReaderTierOptions options;
+    options.num_readers = 2;
+    options.queue_capacity = 4;
+    options.batch_size = 8;
+    ReaderTier tier(config, options);
+    // Let readers fill the queue, then verify production stalled near the
+    // cap rather than running away.
+    Batch first = tier.NextBatch();
+    (void)first;
+    for (int spin = 0; spin < 50 && tier.batches_produced() < 4; spin++) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_LE(tier.batches_produced(),
+              4u + options.num_readers + tier.batches_consumed());
+}
+
+TEST(DatasetTaskSeed, SeparatesTaskFromStream)
+{
+    DatasetConfig a;
+    a.features = {{300, 4.0, 1.0}};
+    a.seed = 7;
+    DatasetConfig b = a;
+    b.seed = 99;
+    b.task_seed = 7;  // same task, different stream
+    SyntheticCtrDataset da(a), db(b);
+    for (int64_t r = 0; r < 300; r += 13) {
+        EXPECT_EQ(da.PlantedRowWeight(0, r), db.PlantedRowWeight(0, r));
+    }
+    const Batch batch_a = da.NextBatch(32);
+    const Batch batch_b = db.NextBatch(32);
+    EXPECT_NE(batch_a.sparse.indices, batch_b.sparse.indices);
+}
+
+}  // namespace
+}  // namespace neo::data

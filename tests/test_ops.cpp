@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Tests for the embedding/MLP operators: table storage in both precisions,
+ * shard-stable deterministic init, fused pooled lookup, exact sparse
+ * optimizers (order invariance, duplicate merging, algorithm math), dense
+ * optimizers and MLP gradients against numerical differentiation.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ops/dense_optimizer.h"
+#include "ops/embedding_bag.h"
+#include "ops/embedding_table.h"
+#include "ops/mlp.h"
+#include "ops/sparse_optimizer.h"
+
+namespace neo::ops {
+namespace {
+
+// -------------------------------------------------------- EmbeddingTable
+
+TEST(EmbeddingTable, ReadWriteRoundTripFp32)
+{
+    EmbeddingTable table(10, 4);
+    const float row[4] = {1.0f, -2.0f, 3.5f, 0.25f};
+    table.WriteRow(3, row);
+    float out[4];
+    table.ReadRow(3, out);
+    for (int i = 0; i < 4; i++) {
+        EXPECT_EQ(out[i], row[i]);
+    }
+}
+
+TEST(EmbeddingTable, Fp16StorageQuantizes)
+{
+    EmbeddingTable table(4, 2, Precision::kFp16);
+    const float row[2] = {0.1f, 1000.3f};
+    table.WriteRow(0, row);
+    float out[2];
+    table.ReadRow(0, out);
+    // Not exact, but within half precision.
+    EXPECT_NEAR(out[0], 0.1f, 1e-4f);
+    EXPECT_NEAR(out[1], 1000.3f, 0.5f);
+    EXPECT_EQ(table.ParameterBytes(), 4u * 2u * 2u);  // rows*dim*2 bytes
+}
+
+TEST(EmbeddingTable, AccumulateRow)
+{
+    EmbeddingTable table(2, 3);
+    const float row[3] = {1.0f, 2.0f, 3.0f};
+    table.WriteRow(1, row);
+    float acc[3] = {10.0f, 10.0f, 10.0f};
+    table.AccumulateRow(1, 2.0f, acc);
+    EXPECT_EQ(acc[0], 12.0f);
+    EXPECT_EQ(acc[2], 16.0f);
+}
+
+TEST(EmbeddingTable, DeterministicInitIsShardStable)
+{
+    const int64_t rows = 20, dim = 8;
+    EmbeddingTable full(rows, dim);
+    full.InitDeterministic(777, 0, 0, dim);
+
+    // Row shard [5, 12) must match rows 5..11 of the full table.
+    EmbeddingTable row_shard(7, dim);
+    row_shard.InitDeterministic(777, 5, 0, dim);
+    std::vector<float> a(dim), b(dim);
+    for (int64_t r = 0; r < 7; r++) {
+        full.ReadRow(5 + r, a.data());
+        row_shard.ReadRow(r, b.data());
+        EXPECT_EQ(a, b) << "row " << r;
+    }
+
+    // Column shard [2, 6) must match those columns.
+    EmbeddingTable col_shard(rows, 4);
+    col_shard.InitDeterministic(777, 0, 2, dim);
+    std::vector<float> c(4);
+    for (int64_t r = 0; r < rows; r++) {
+        full.ReadRow(r, a.data());
+        col_shard.ReadRow(r, c.data());
+        for (int i = 0; i < 4; i++) {
+            EXPECT_EQ(c[i], a[2 + i]) << r << "," << i;
+        }
+    }
+}
+
+TEST(EmbeddingTable, SaveLoadRoundTrip)
+{
+    Rng rng(3);
+    EmbeddingTable table(16, 8, Precision::kFp16);
+    table.InitUniform(rng);
+    BinaryWriter writer;
+    table.Save(writer);
+    BinaryReader reader(writer.buffer());
+    EmbeddingTable loaded = EmbeddingTable::Load(reader);
+    EXPECT_TRUE(EmbeddingTable::Identical(table, loaded));
+}
+
+TEST(EmbeddingTable, OutOfRangeRowPanics)
+{
+    EmbeddingTable table(4, 2);
+    float buf[2];
+    EXPECT_DEATH(table.ReadRow(4, buf), "out of range");
+}
+
+// ------------------------------------------------------- SparseOptimizer
+
+std::vector<SparseGradRef>
+MakeRefs(const std::vector<int64_t>& rows, const Matrix& grads)
+{
+    std::vector<SparseGradRef> refs;
+    for (size_t i = 0; i < rows.size(); i++) {
+        refs.push_back({rows[i], grads.Row(i)});
+    }
+    return refs;
+}
+
+TEST(SparseOptimizer, SgdMatchesManualUpdate)
+{
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kSgd;
+    config.learning_rate = 0.5f;
+    EmbeddingTable table(4, 2);
+    const float init[2] = {1.0f, 2.0f};
+    table.WriteRow(1, init);
+
+    SparseOptimizer opt(config, 4, 2);
+    Matrix grads(1, 2);
+    grads(0, 0) = 0.2f;
+    grads(0, 1) = -0.4f;
+    const auto refs = MakeRefs({1}, grads);
+    opt.ApplyExact(table, refs);
+
+    float out[2];
+    table.ReadRow(1, out);
+    EXPECT_FLOAT_EQ(out[0], 1.0f - 0.5f * 0.2f);
+    EXPECT_FLOAT_EQ(out[1], 2.0f + 0.5f * 0.4f);
+}
+
+TEST(SparseOptimizer, ExactMergesDuplicatesBeforeNonlinearity)
+{
+    // With AdaGrad, applying g then g (naive) differs from applying 2g
+    // once (exact). Verify both behaviours.
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kAdaGrad;
+    config.learning_rate = 1.0f;
+    config.eps = 0.0f;
+
+    Matrix grads(2, 1);
+    grads(0, 0) = 1.0f;
+    grads(1, 0) = 1.0f;
+
+    EmbeddingTable exact_table(2, 1);
+    SparseOptimizer exact_opt(config, 2, 1);
+    exact_opt.ApplyExact(exact_table, MakeRefs({0, 0}, grads));
+    float w_exact;
+    exact_table.ReadRow(0, &w_exact);
+    // merged grad 2, state 4, update = -1.0 * 2/2 = -1.
+    EXPECT_FLOAT_EQ(w_exact, -1.0f);
+
+    EmbeddingTable naive_table(2, 1);
+    SparseOptimizer naive_opt(config, 2, 1);
+    naive_opt.ApplyNaive(naive_table, MakeRefs({0, 0}, grads));
+    float w_naive;
+    naive_table.ReadRow(0, &w_naive);
+    // two steps: -1/1 then -1/sqrt(2).
+    EXPECT_NEAR(w_naive, -1.0f - 1.0f / std::sqrt(2.0f), 1e-6f);
+    EXPECT_NE(w_exact, w_naive);
+}
+
+TEST(SparseOptimizer, ExactUpdateIsOrderInvariant)
+{
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kRowWiseAdaGrad;
+    config.learning_rate = 0.1f;
+
+    Rng rng(71);
+    const int64_t rows = 10, dim = 4;
+    const size_t n = 30;
+    std::vector<int64_t> row_ids(n);
+    Matrix grads(n, dim);
+    for (size_t i = 0; i < n; i++) {
+        row_ids[i] = static_cast<int64_t>(rng.NextBounded(rows));
+        for (int64_t d = 0; d < dim; d++) {
+            grads(i, d) = rng.NextUniform(-1.0f, 1.0f);
+        }
+    }
+
+    // Apply in original and in permuted order; tables must match bitwise.
+    EmbeddingTable t1(rows, dim), t2(rows, dim);
+    t1.InitDeterministic(5, 0, 0, dim);
+    t2.InitDeterministic(5, 0, 0, dim);
+    SparseOptimizer o1(config, rows, dim), o2(config, rows, dim);
+
+    o1.ApplyExact(t1, MakeRefs(row_ids, grads));
+
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; i++) {
+        perm[i] = i;
+    }
+    // Deterministic shuffle.
+    for (size_t i = n; i > 1; i--) {
+        std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+    }
+    std::vector<int64_t> rows_p(n);
+    Matrix grads_p(n, dim);
+    for (size_t i = 0; i < n; i++) {
+        rows_p[i] = row_ids[perm[i]];
+        for (int64_t d = 0; d < dim; d++) {
+            grads_p(i, d) = grads(perm[i], d);
+        }
+    }
+    o2.ApplyExact(t2, MakeRefs(rows_p, grads_p));
+
+    EXPECT_TRUE(EmbeddingTable::Identical(t1, t2));
+}
+
+TEST(SparseOptimizer, NaiveAdaGradIsOrderDependent)
+{
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kAdaGrad;
+    config.learning_rate = 0.5f;
+
+    Matrix grads(2, 1);
+    grads(0, 0) = 1.0f;
+    grads(1, 0) = 3.0f;
+
+    EmbeddingTable t1(1, 1), t2(1, 1);
+    SparseOptimizer o1(config, 1, 1), o2(config, 1, 1);
+    o1.ApplyNaive(t1, MakeRefs({0, 0}, grads));
+
+    Matrix reversed(2, 1);
+    reversed(0, 0) = 3.0f;
+    reversed(1, 0) = 1.0f;
+    o2.ApplyNaive(t2, MakeRefs({0, 0}, reversed));
+
+    EXPECT_FALSE(EmbeddingTable::Identical(t1, t2));
+}
+
+TEST(SparseOptimizer, RowWiseAdaGradStateMath)
+{
+    // m' = m + (1/D) sum g^2 (Sec. 4.1.4).
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kRowWiseAdaGrad;
+    config.learning_rate = 1.0f;
+    config.eps = 0.0f;
+
+    const int64_t dim = 4;
+    EmbeddingTable table(2, dim);
+    SparseOptimizer opt(config, 2, dim);
+    Matrix grads(1, dim);
+    for (int64_t d = 0; d < dim; d++) {
+        grads(0, d) = 2.0f;  // sum g^2 = 16, /D = 4 => m = 4
+    }
+    opt.ApplyExact(table, MakeRefs({1}, grads));
+    EXPECT_FLOAT_EQ(opt.RowMoment(1), 4.0f);
+    float out[4];
+    table.ReadRow(1, out);
+    // update = -lr * g / sqrt(m) = -2/2 = -1
+    EXPECT_FLOAT_EQ(out[0], -1.0f);
+}
+
+TEST(SparseOptimizer, RowWiseStateIsOnePerRow)
+{
+    SparseOptimizerConfig rw;
+    rw.kind = SparseOptimizerKind::kRowWiseAdaGrad;
+    SparseOptimizerConfig full;
+    full.kind = SparseOptimizerKind::kAdaGrad;
+    const int64_t rows = 100, dim = 64;
+    SparseOptimizer rw_opt(rw, rows, dim);
+    SparseOptimizer full_opt(full, rows, dim);
+    EXPECT_EQ(rw_opt.StateBytes(), rows * sizeof(float));
+    EXPECT_EQ(full_opt.StateBytes(), rows * dim * sizeof(float));
+}
+
+TEST(SparseOptimizer, AdamMovesTowardGradientDirection)
+{
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kAdam;
+    config.learning_rate = 0.1f;
+    EmbeddingTable table(2, 2);
+    SparseOptimizer opt(config, 2, 2);
+    Matrix grads(1, 2);
+    grads(0, 0) = 1.0f;
+    grads(0, 1) = -1.0f;
+    opt.ApplyExact(table, MakeRefs({0}, grads));
+    float out[2];
+    table.ReadRow(0, out);
+    EXPECT_LT(out[0], 0.0f);
+    EXPECT_GT(out[1], 0.0f);
+    // First Adam step with bias correction ≈ -lr * sign(g).
+    EXPECT_NEAR(out[0], -0.1f, 1e-3f);
+}
+
+// ---------------------------------------------------- EmbeddingBagCollection
+
+TEST(EmbeddingBag, ForwardPoolsSum)
+{
+    std::vector<TableSpec> specs = {{4, 2, Precision::kFp32}};
+    SparseOptimizerConfig opt_config;
+    EmbeddingBagCollection ebc(specs, opt_config, 1);
+    const float r0[2] = {1.0f, 2.0f};
+    const float r3[2] = {10.0f, 20.0f};
+    ebc.table(0).WriteRow(0, r0);
+    ebc.table(0).WriteRow(3, r3);
+
+    const std::vector<uint32_t> lengths = {2, 0, 1};
+    const std::vector<int64_t> indices = {0, 3, 0};
+    std::vector<TableInput> inputs = {{lengths, indices}};
+    std::vector<Matrix> outputs;
+    ebc.Forward(inputs, 3, outputs);
+
+    EXPECT_FLOAT_EQ(outputs[0](0, 0), 11.0f);  // rows 0+3
+    EXPECT_FLOAT_EQ(outputs[0](0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(outputs[0](1, 0), 0.0f);   // empty pooling
+    EXPECT_FLOAT_EQ(outputs[0](2, 0), 1.0f);   // row 0
+}
+
+TEST(EmbeddingBag, BackwardRoutesPooledGradToEveryOccurrence)
+{
+    std::vector<TableSpec> specs = {{4, 1, Precision::kFp32}};
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kSgd;
+    config.learning_rate = 1.0f;
+    EmbeddingBagCollection ebc(specs, config, 1);
+    const float zero = 0.0f;
+    for (int64_t r = 0; r < 4; r++) {
+        ebc.table(0).WriteRow(r, &zero);
+    }
+
+    // Sample 0 hits rows {1, 2}; sample 1 hits row {2}.
+    const std::vector<uint32_t> lengths = {2, 1};
+    const std::vector<int64_t> indices = {1, 2, 2};
+    std::vector<TableInput> inputs = {{lengths, indices}};
+    std::vector<Matrix> grads(1);
+    grads[0] = Matrix(2, 1);
+    grads[0](0, 0) = 1.0f;
+    grads[0](1, 0) = 10.0f;
+    ebc.BackwardAndUpdate(inputs, 2, grads);
+
+    float w;
+    ebc.table(0).ReadRow(1, &w);
+    EXPECT_FLOAT_EQ(w, -1.0f);    // only sample 0
+    ebc.table(0).ReadRow(2, &w);
+    EXPECT_FLOAT_EQ(w, -11.0f);   // merged from both samples
+    ebc.table(0).ReadRow(0, &w);
+    EXPECT_FLOAT_EQ(w, 0.0f);     // untouched
+}
+
+TEST(EmbeddingBag, SaveLoadRoundTrip)
+{
+    std::vector<TableSpec> specs = {{8, 4, Precision::kFp32},
+                                    {6, 4, Precision::kFp16}};
+    SparseOptimizerConfig config;
+    EmbeddingBagCollection ebc(specs, config, 77);
+    BinaryWriter writer;
+    ebc.Save(writer);
+
+    EmbeddingBagCollection other(specs, config, 12345);
+    EXPECT_FALSE(EmbeddingTable::Identical(ebc.table(0), other.table(0)));
+    BinaryReader reader(writer.buffer());
+    other.Load(reader);
+    EXPECT_TRUE(EmbeddingTable::Identical(ebc.table(0), other.table(0)));
+    EXPECT_TRUE(EmbeddingTable::Identical(ebc.table(1), other.table(1)));
+}
+
+TEST(EmbeddingBag, MemoryAccounting)
+{
+    std::vector<TableSpec> specs = {{100, 8, Precision::kFp32},
+                                    {50, 8, Precision::kFp16}};
+    SparseOptimizerConfig config;
+    config.kind = SparseOptimizerKind::kRowWiseAdaGrad;
+    EmbeddingBagCollection ebc(specs, config, 1);
+    EXPECT_EQ(ebc.ParameterBytes(), 100u * 8 * 4 + 50u * 8 * 2);
+    EXPECT_EQ(ebc.OptimizerStateBytes(), (100u + 50u) * sizeof(float));
+}
+
+// -------------------------------------------------------- DenseOptimizer
+
+TEST(DenseOptimizer, SgdWithMomentum)
+{
+    DenseOptimizerConfig config;
+    config.kind = DenseOptimizerKind::kSgd;
+    config.learning_rate = 1.0f;
+    config.momentum = 0.5f;
+    DenseOptimizer opt(config);
+    const size_t slot = opt.Register(1, 1);
+
+    Matrix w(1, 1), g(1, 1);
+    g(0, 0) = 1.0f;
+    opt.Step(slot, w, g);
+    EXPECT_FLOAT_EQ(w(0, 0), -1.0f);   // v=1
+    opt.Step(slot, w, g);
+    EXPECT_FLOAT_EQ(w(0, 0), -2.5f);   // v=1.5
+}
+
+TEST(DenseOptimizer, AdaGradShrinksSteps)
+{
+    DenseOptimizerConfig config;
+    config.kind = DenseOptimizerKind::kAdaGrad;
+    config.learning_rate = 1.0f;
+    config.eps = 0.0f;
+    DenseOptimizer opt(config);
+    const size_t slot = opt.Register(1, 1);
+    Matrix w(1, 1), g(1, 1);
+    g(0, 0) = 2.0f;
+    opt.Step(slot, w, g);
+    const float step1 = -w(0, 0);
+    const float before = w(0, 0);
+    opt.Step(slot, w, g);
+    const float step2 = before - w(0, 0);
+    EXPECT_GT(step1, step2);
+    EXPECT_FLOAT_EQ(step1, 1.0f);
+}
+
+TEST(DenseOptimizer, AdamFirstStepIsLrSized)
+{
+    DenseOptimizerConfig config;
+    config.kind = DenseOptimizerKind::kAdam;
+    config.learning_rate = 0.01f;
+    DenseOptimizer opt(config);
+    const size_t slot = opt.Register(1, 1);
+    Matrix w(1, 1), g(1, 1);
+    g(0, 0) = 123.0f;  // magnitude irrelevant for Adam's first step
+    opt.Step(slot, w, g);
+    EXPECT_NEAR(w(0, 0), -0.01f, 1e-4f);
+}
+
+// ------------------------------------------------------------------- Mlp
+
+TEST(Mlp, ForwardShapesAndDeterminism)
+{
+    Rng rng(5);
+    Mlp mlp({{8, 16, 4}, false}, rng);
+    EXPECT_EQ(mlp.InputDim(), 8u);
+    EXPECT_EQ(mlp.OutputDim(), 4u);
+    EXPECT_EQ(mlp.NumLayers(), 2u);
+    EXPECT_EQ(mlp.NumParams(), 8u * 16 + 16 + 16 * 4 + 4);
+
+    Matrix x(3, 8);
+    Rng xrng(6);
+    x.InitUniform(xrng, -1.0f, 1.0f);
+    Matrix out1, out2;
+    mlp.Forward(x, out1);
+    mlp.Forward(x, out2);
+    EXPECT_TRUE(Matrix::Identical(out1, out2));
+
+    Rng rng2(5);
+    Mlp clone({{8, 16, 4}, false}, rng2);
+    EXPECT_TRUE(Mlp::Identical(mlp, clone));
+}
+
+TEST(Mlp, BackwardMatchesNumericalGradient)
+{
+    Rng rng(9);
+    Mlp mlp({{4, 6, 1}, false}, rng);
+    Matrix x(2, 4);
+    Rng xrng(10);
+    x.InitUniform(xrng, -1.0f, 1.0f);
+
+    // Objective: sum of outputs.
+    auto objective = [&](Mlp& m) {
+        Matrix out;
+        m.Forward(x, out);
+        double sum = 0.0;
+        for (size_t i = 0; i < out.size(); i++) {
+            sum += out.data()[i];
+        }
+        return sum;
+    };
+
+    Matrix out;
+    mlp.Forward(x, out);
+    mlp.ZeroGrads();
+    Matrix ones(2, 1);
+    ones.Fill(1.0f);
+    Matrix grad_in;
+    mlp.Backward(ones, grad_in);
+
+    const float eps = 1e-3f;
+    // Check a sample of weight gradients in layer 0 numerically.
+    for (size_t r = 0; r < 3; r++) {
+        for (size_t c = 0; c < 2; c++) {
+            const float saved = mlp.weight(0)(r, c);
+            mlp.weight(0)(r, c) = saved + eps;
+            const double plus = objective(mlp);
+            mlp.weight(0)(r, c) = saved - eps;
+            const double minus = objective(mlp);
+            mlp.weight(0)(r, c) = saved;
+            const double numeric = (plus - minus) / (2.0 * eps);
+            EXPECT_NEAR(mlp.weight_grad(0)(r, c), numeric, 2e-2)
+                << r << "," << c;
+        }
+    }
+    // And the input gradient.
+    for (size_t c = 0; c < 4; c++) {
+        Matrix xp = x, xm = x;
+        xp(0, c) += eps;
+        xm(0, c) -= eps;
+        Matrix o;
+        mlp.Forward(xp, o);
+        double plus = 0.0;
+        for (size_t i = 0; i < o.size(); i++) {
+            plus += o.data()[i];
+        }
+        mlp.Forward(xm, o);
+        double minus = 0.0;
+        for (size_t i = 0; i < o.size(); i++) {
+            minus += o.data()[i];
+        }
+        // Restore saved activations for consistency.
+        mlp.Forward(x, o);
+        EXPECT_NEAR(grad_in(0, c), (plus - minus) / (2.0 * eps), 2e-2) << c;
+    }
+}
+
+TEST(Mlp, PackUnpackGradsRoundTrip)
+{
+    Rng rng(12);
+    Mlp mlp({{4, 8, 2}, false}, rng);
+    Matrix x(5, 4);
+    Rng xrng(13);
+    x.InitUniform(xrng, -1.0f, 1.0f);
+    Matrix out;
+    mlp.Forward(x, out);
+    mlp.ZeroGrads();
+    Matrix grad_out(5, 2);
+    grad_out.Fill(0.5f);
+    Matrix grad_in;
+    mlp.Backward(grad_out, grad_in);
+
+    std::vector<float> buffer(mlp.GradCount());
+    mlp.PackGrads(buffer.data());
+
+    Rng rng2(12);
+    Mlp other({{4, 8, 2}, false}, rng2);
+    other.ZeroGrads();
+    other.UnpackGrads(buffer.data());
+    for (size_t l = 0; l < mlp.NumLayers(); l++) {
+        EXPECT_TRUE(Matrix::Identical(mlp.weight_grad(l),
+                                      other.weight_grad(l)));
+        EXPECT_TRUE(
+            Matrix::Identical(mlp.bias_grad(l), other.bias_grad(l)));
+    }
+}
+
+TEST(Mlp, SaveLoadRoundTrip)
+{
+    Rng rng(15);
+    Mlp mlp({{3, 5, 2}, true}, rng);
+    BinaryWriter writer;
+    mlp.Save(writer);
+
+    Rng rng2(999);
+    Mlp other({{3, 5, 2}, true}, rng2);
+    EXPECT_FALSE(Mlp::Identical(mlp, other));
+    BinaryReader reader(writer.buffer());
+    other.Load(reader);
+    EXPECT_TRUE(Mlp::Identical(mlp, other));
+}
+
+TEST(Mlp, FlopsPerSample)
+{
+    Rng rng(16);
+    Mlp mlp({{10, 20, 5}, false}, rng);
+    EXPECT_DOUBLE_EQ(mlp.FlopsPerSample(), 2.0 * (10 * 20 + 20 * 5));
+}
+
+}  // namespace
+}  // namespace neo::ops
+
+namespace neo::ops {
+namespace {
+
+TEST(DenseOptimizer, LambScalesByTrustRatio)
+{
+    DenseOptimizerConfig config;
+    config.kind = DenseOptimizerKind::kLamb;
+    config.learning_rate = 0.01f;
+    DenseOptimizer opt(config);
+    const size_t slot = opt.Register(1, 2);
+
+    // Large weights + tiny gradient: the trust ratio (||w||/||update||)
+    // amplifies the normalized Adam step to the weight scale.
+    Matrix w(1, 2), g(1, 2);
+    w(0, 0) = 10.0f;
+    w(0, 1) = -10.0f;
+    g(0, 0) = 1e-3f;
+    g(0, 1) = 1e-3f;
+    opt.Step(slot, w, g);
+    // First Adam direction is ~sign(g) (unit-ish norm); trust ratio is
+    // ~||w|| / ||unit|| ~ 14.1/1.41 = 10 -> step ~ lr * 10 * 1 = 0.1.
+    EXPECT_NEAR(w(0, 0), 10.0f - 0.1f, 0.02f);
+    EXPECT_NEAR(w(0, 1), -10.0f - 0.1f, 0.02f);
+}
+
+TEST(DenseOptimizer, LambTrainsMlp)
+{
+    // End-to-end: a LAMB-trained MLP fits a simple target.
+    Rng rng(7);
+    Mlp mlp({{4, 16, 1}, false}, rng);
+    DenseOptimizerConfig config;
+    config.kind = DenseOptimizerKind::kLamb;
+    config.learning_rate = 0.01f;
+    DenseOptimizer opt(config);
+    const auto slots = mlp.RegisterParams(opt);
+
+    Rng xrng(9);
+    Matrix x(32, 4);
+    x.InitUniform(xrng, -1.0f, 1.0f);
+    Matrix target(32, 1);
+    for (size_t b = 0; b < 32; b++) {
+        target(b, 0) = x(b, 0) - 0.5f * x(b, 2);
+    }
+
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int step = 0; step < 200; step++) {
+        Matrix out;
+        mlp.Forward(x, out);
+        Matrix grad(32, 1);
+        double loss = 0.0;
+        for (size_t b = 0; b < 32; b++) {
+            const float diff = out(b, 0) - target(b, 0);
+            loss += 0.5 * diff * diff;
+            grad(b, 0) = diff / 32.0f;
+        }
+        if (step == 0) {
+            first_loss = loss;
+        }
+        last_loss = loss;
+        mlp.ZeroGrads();
+        Matrix grad_in;
+        mlp.Backward(grad, grad_in);
+        mlp.ApplyOptimizer(opt, slots);
+    }
+    EXPECT_LT(last_loss, first_loss * 0.1);
+}
+
+}  // namespace
+}  // namespace neo::ops

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Tests for the sharding subsystem: the per-scheme cost model's documented
+ * properties, the greedy and Karmarkar-Karp partitioners (including a
+ * brute-force optimality comparison on small instances), and the planner's
+ * scheme selection, capacity handling and balance.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sharding/cost_model.h"
+#include "sharding/partition.h"
+#include "sharding/planner.h"
+
+namespace neo::sharding {
+namespace {
+
+TableConfig
+MakeTable(const std::string& name, int64_t rows, int64_t dim, double pooling)
+{
+    TableConfig t;
+    t.name = name;
+    t.rows = rows;
+    t.dim = dim;
+    t.pooling = pooling;
+    return t;
+}
+
+Shard
+FullShard(int table, Scheme scheme, const TableConfig& config)
+{
+    Shard s;
+    s.table = table;
+    s.scheme = scheme;
+    s.row_end = config.rows;
+    s.col_end = config.dim;
+    return s;
+}
+
+// ------------------------------------------------------------ CostModel
+
+TEST(CostModel, TermsScaleAsDocumented)
+{
+    // Sec. 3.0.1: input cost ∝ L, pooling cost ∝ L*D, output comm ∝ D.
+    const Topology topo{8, 8};
+    const TableConfig base = MakeTable("t", 1000, 64, 10.0);
+    const TableConfig wider = MakeTable("t", 1000, 128, 10.0);
+    const TableConfig heavier = MakeTable("t", 1000, 64, 20.0);
+
+    const ShardCost c_base = EstimateShardCost(
+        base, FullShard(0, Scheme::kTableWise, base), topo, 1024);
+    const ShardCost c_wide = EstimateShardCost(
+        wider, FullShard(0, Scheme::kTableWise, wider), topo, 1024);
+    const ShardCost c_heavy = EstimateShardCost(
+        heavier, FullShard(0, Scheme::kTableWise, heavier), topo, 1024);
+
+    EXPECT_DOUBLE_EQ(c_wide.output_comm, 2.0 * c_base.output_comm);
+    EXPECT_DOUBLE_EQ(c_wide.compute, 2.0 * c_base.compute);
+    EXPECT_DOUBLE_EQ(c_wide.input_comm, c_base.input_comm);
+
+    EXPECT_DOUBLE_EQ(c_heavy.input_comm, 2.0 * c_base.input_comm);
+    EXPECT_DOUBLE_EQ(c_heavy.compute, 2.0 * c_base.compute);
+    EXPECT_DOUBLE_EQ(c_heavy.output_comm, c_base.output_comm);
+}
+
+TEST(CostModel, RowWiseOutputCommDoesNotShrinkWithShard)
+{
+    // Sec. 4.2.2: RW communication scales with trainer count — a half
+    // table still ReduceScatters the full global batch.
+    const Topology topo{8, 8};
+    const TableConfig table = MakeTable("t", 1000, 64, 10.0);
+    Shard half = FullShard(0, Scheme::kRowWise, table);
+    half.row_end = 500;
+    const ShardCost c_half =
+        EstimateShardCost(table, half, topo, 1024);
+    const ShardCost c_full = EstimateShardCost(
+        table, FullShard(0, Scheme::kTableWise, table), topo, 1024);
+    EXPECT_DOUBLE_EQ(c_half.output_comm, c_full.output_comm);
+    EXPECT_NEAR(c_half.compute, c_full.compute / 2.0, 1e-9);
+    EXPECT_NEAR(c_half.input_comm, c_full.input_comm / 2.0, 1e-9);
+}
+
+TEST(CostModel, ColumnWiseDuplicatesInput)
+{
+    // Sec. 4.2.3: every column shard receives the full index stream.
+    const Topology topo{8, 8};
+    const TableConfig table = MakeTable("t", 1000, 128, 10.0);
+    Shard half = FullShard(0, Scheme::kColumnWise, table);
+    half.col_end = 64;
+    const ShardCost c_half = EstimateShardCost(table, half, topo, 1024);
+    const ShardCost c_full = EstimateShardCost(
+        table, FullShard(0, Scheme::kTableWise, table), topo, 1024);
+    EXPECT_DOUBLE_EQ(c_half.input_comm, c_full.input_comm);  // duplicated
+    EXPECT_NEAR(c_half.output_comm, c_full.output_comm / 2.0, 1e-9);
+}
+
+TEST(CostModel, DataParallelHasNoAllToAllAndSmallTablesPreferIt)
+{
+    const Topology topo{64, 8};
+    const TableConfig small = MakeTable("s", 50, 16, 2.0);
+    const ShardCost dp = EstimateShardCost(
+        small, FullShard(0, Scheme::kDataParallel, small), topo, 65536);
+    const ShardCost tw = EstimateShardCost(
+        small, FullShard(0, Scheme::kTableWise, small), topo, 65536);
+    EXPECT_EQ(dp.input_comm, 0.0);
+    EXPECT_LT(dp.Total(), tw.Total());
+
+    // A big table must NOT prefer DP: compare cluster-aggregate costs
+    // (DP runs on every worker; TW concentrates on one).
+    const TableConfig big = MakeTable("b", 10000000, 128, 20.0);
+    const ShardCost dp_big = EstimateShardCost(
+        big, FullShard(0, Scheme::kDataParallel, big), topo, 65536);
+    const ShardCost tw_big = EstimateShardCost(
+        big, FullShard(0, Scheme::kTableWise, big), topo, 65536);
+    EXPECT_GT(dp_big.Total() * topo.num_workers, tw_big.Total());
+}
+
+TEST(CostModel, TableRowWiseCheaperOutputThanRowWise)
+{
+    const Topology topo{64, 8};
+    const TableConfig table = MakeTable("t", 1000000, 128, 20.0);
+    Shard rw = FullShard(0, Scheme::kRowWise, table);
+    rw.row_end = table.rows / 8;
+    Shard twrw = rw;
+    twrw.scheme = Scheme::kTableRowWise;
+    const ShardCost c_rw = EstimateShardCost(table, rw, topo, 65536);
+    const ShardCost c_twrw = EstimateShardCost(table, twrw, topo, 65536);
+    EXPECT_LT(c_twrw.output_comm, c_rw.output_comm);
+}
+
+TEST(CostModel, OptimizerStateBytes)
+{
+    const TableConfig table = MakeTable("t", 1000, 64, 1.0);
+    EXPECT_DOUBLE_EQ(OptimizerStateBytes(table, true), 1000.0 * 4);
+    EXPECT_DOUBLE_EQ(OptimizerStateBytes(table, false), 1000.0 * 64 * 4);
+}
+
+// ----------------------------------------------------------- Partition
+
+double
+BruteForceOptimal(const std::vector<double>& costs, int bins)
+{
+    // Exhaustive assignment for tiny instances.
+    const size_t n = costs.size();
+    std::vector<int> assign(n, 0);
+    double best = 1e300;
+    while (true) {
+        std::vector<double> sums(bins, 0.0);
+        for (size_t i = 0; i < n; i++) {
+            sums[assign[i]] += costs[i];
+        }
+        best = std::min(best, *std::max_element(sums.begin(), sums.end()));
+        size_t i = 0;
+        while (i < n && ++assign[i] == bins) {
+            assign[i] = 0;
+            i++;
+        }
+        if (i == n) {
+            break;
+        }
+    }
+    return best;
+}
+
+TEST(Partition, GreedyWithinFourThirdsOfOptimal)
+{
+    // LPT's classic (4/3 - 1/3m) bound, checked against brute force.
+    Rng rng(5);
+    for (int trial = 0; trial < 30; trial++) {
+        std::vector<double> costs(8);
+        for (auto& c : costs) {
+            c = 1.0 + rng.NextDouble() * 9.0;
+        }
+        const int bins = 3;
+        const auto assignment = GreedyPartition(costs, bins);
+        const double greedy_max = MaxBinSum(costs, assignment, bins);
+        const double opt = BruteForceOptimal(costs, bins);
+        EXPECT_LE(greedy_max, opt * (4.0 / 3.0) + 1e-9) << trial;
+    }
+}
+
+TEST(Partition, LdmNoWorseThanGreedyOnRandomInstances)
+{
+    Rng rng(7);
+    int ldm_wins = 0, greedy_wins = 0;
+    for (int trial = 0; trial < 50; trial++) {
+        std::vector<double> costs(20);
+        for (auto& c : costs) {
+            c = std::exp(rng.NextGaussian());
+        }
+        const int bins = 4;
+        const double greedy_max =
+            MaxBinSum(costs, GreedyPartition(costs, bins), bins);
+        const double ldm_max =
+            MaxBinSum(costs, LdmPartition(costs, bins), bins);
+        if (ldm_max < greedy_max - 1e-12) {
+            ldm_wins++;
+        } else if (greedy_max < ldm_max - 1e-12) {
+            greedy_wins++;
+        }
+    }
+    // The paper: LDM "usually works better than the greedy heuristic".
+    EXPECT_GT(ldm_wins, greedy_wins);
+}
+
+TEST(Partition, AllItemsAssignedExactlyOnce)
+{
+    Rng rng(11);
+    std::vector<double> costs(37);
+    for (auto& c : costs) {
+        c = rng.NextDouble() * 5.0;
+    }
+    for (int bins : {1, 2, 5, 8}) {
+        for (const auto& assignment :
+             {GreedyPartition(costs, bins), LdmPartition(costs, bins)}) {
+            ASSERT_EQ(assignment.size(), costs.size());
+            for (int b : assignment) {
+                ASSERT_GE(b, 0);
+                ASSERT_LT(b, bins);
+            }
+        }
+    }
+}
+
+TEST(Partition, LdmMatchesKnownDifferencingResults)
+{
+    // {8,7,6,5,4} into 2 bins is the classic instance where
+    // Karmarkar-Karp is suboptimal: differencing yields a spread of 2
+    // (max bin 16) while the optimum is 15 ({8,7} / {6,5,4}).
+    const std::vector<double> kk_suboptimal = {8, 7, 6, 5, 4};
+    EXPECT_DOUBLE_EQ(
+        MaxBinSum(kk_suboptimal, LdmPartition(kk_suboptimal, 2), 2), 16.0);
+
+    // {8,7,5,4}: differencing finds the perfect split {8,4}/{7,5}.
+    const std::vector<double> kk_optimal = {8, 7, 5, 4};
+    EXPECT_DOUBLE_EQ(
+        MaxBinSum(kk_optimal, LdmPartition(kk_optimal, 2), 2), 12.0);
+}
+
+TEST(Partition, CapacityConstrainedRespectsMemory)
+{
+    const std::vector<double> costs = {10, 9, 8, 1};
+    const std::vector<double> memory = {6, 6, 6, 6};
+    // Capacity 7: one item per bin max; needs 4 bins.
+    EXPECT_TRUE(
+        GreedyPartitionWithCapacity(costs, memory, 7.0, 3).empty());
+    const auto ok = GreedyPartitionWithCapacity(costs, memory, 7.0, 4);
+    ASSERT_EQ(ok.size(), 4u);
+    std::vector<int> seen(4, 0);
+    for (int b : ok) {
+        seen[b]++;
+    }
+    for (int count : seen) {
+        EXPECT_EQ(count, 1);
+    }
+}
+
+TEST(Partition, Deterministic)
+{
+    Rng rng(13);
+    std::vector<double> costs(25);
+    for (auto& c : costs) {
+        c = rng.NextDouble();
+    }
+    EXPECT_EQ(GreedyPartition(costs, 4), GreedyPartition(costs, 4));
+    EXPECT_EQ(LdmPartition(costs, 4), LdmPartition(costs, 4));
+}
+
+// -------------------------------------------------------------- Planner
+
+PlannerOptions
+DefaultOptions(int workers, double hbm = 1e9)
+{
+    PlannerOptions options;
+    options.topo.num_workers = workers;
+    options.topo.workers_per_node = 8;
+    options.global_batch = 4096;
+    options.hbm_bytes_per_worker = hbm;
+    return options;
+}
+
+TEST(Planner, SmallTableGoesDataParallel)
+{
+    ShardingPlanner planner(DefaultOptions(16));
+    const auto plan = planner.Plan({MakeTable("tiny", 100, 8, 2.0)});
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.SchemeForTable(0), Scheme::kDataParallel);
+}
+
+TEST(Planner, OversizedTableGoesRowWise)
+{
+    // 10M rows x 64 dims x 4 B = 2.56 GB > 1 GB capacity.
+    ShardingPlanner planner(DefaultOptions(16, 1e9));
+    const auto plan = planner.Plan({MakeTable("huge", 10000000, 64, 20.0)});
+    ASSERT_TRUE(plan.feasible) << plan.note;
+    EXPECT_EQ(plan.SchemeForTable(0), Scheme::kRowWise);
+    // Shards must partition the rows exactly.
+    int64_t covered = 0;
+    for (const auto& shard : plan.shards) {
+        covered += shard.NumRows();
+        EXPECT_LE(shard.NumRows() * 64 * 4.0,
+                  1e9);  // each shard fits one worker
+    }
+    EXPECT_EQ(covered, 10000000);
+}
+
+TEST(Planner, WideTableGoesColumnWise)
+{
+    auto options = DefaultOptions(16, 10e9);
+    options.cw_min_dim = 256;
+    options.cw_shard_dim = 128;
+    options.cw_cost_trigger = 0.0;  // isolate the width-based splitting
+    ShardingPlanner planner(options);
+    const auto plan =
+        planner.Plan({MakeTable("wide", 500000, 512, 20.0)});
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.SchemeForTable(0), Scheme::kColumnWise);
+    EXPECT_EQ(plan.shards.size(), 4u);  // 512 / 128
+    int64_t covered = 0;
+    for (const auto& shard : plan.shards) {
+        covered += shard.NumCols();
+    }
+    EXPECT_EQ(covered, 512);
+}
+
+TEST(Planner, HotTableColumnSplitsForLoadBalance)
+{
+    // Sec. 5.3.2 / Fig. 13: a table whose pooling cost dwarfs the others
+    // is column-split for balance even though it easily fits in memory.
+    std::vector<TableConfig> tables;
+    tables.push_back(MakeTable("hot", 100000, 128, 500.0));  // huge L
+    for (int t = 0; t < 20; t++) {
+        tables.push_back(
+            MakeTable("cold" + std::to_string(t), 100000, 64, 2.0));
+    }
+    auto options = DefaultOptions(8, 50e9);
+    options.allow_data_parallel = false;
+    ShardingPlanner planner(options);
+    const auto plan = planner.Plan(tables);
+    ASSERT_TRUE(plan.feasible) << plan.note;
+    EXPECT_EQ(plan.SchemeForTable(0), Scheme::kColumnWise);
+    // The split must spread the hot table over several workers.
+    int hot_shards = 0;
+    for (const auto& shard : plan.shards) {
+        hot_shards += shard.table == 0;
+    }
+    EXPECT_GE(hot_shards, 4);
+    EXPECT_LT(plan.balance.imbalance, 1.5);
+}
+
+TEST(Planner, TableRowWisePlacesWithinOneNode)
+{
+    auto options = DefaultOptions(16, 1e9);
+    options.allow_table_row_wise = true;
+    ShardingPlanner planner(options);
+    const auto plan = planner.Plan({MakeTable("big", 10000000, 64, 20.0)});
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.SchemeForTable(0), Scheme::kTableRowWise);
+    // All shards on the same node.
+    std::vector<int> nodes;
+    for (const auto& shard : plan.shards) {
+        nodes.push_back(shard.worker / 8);
+    }
+    for (int n : nodes) {
+        EXPECT_EQ(n, nodes[0]);
+    }
+}
+
+TEST(Planner, BalancesManyTables)
+{
+    Rng rng(17);
+    std::vector<TableConfig> tables;
+    for (int t = 0; t < 200; t++) {
+        tables.push_back(MakeTable(
+            "t" + std::to_string(t),
+            1000 + static_cast<int64_t>(rng.NextBounded(500000)),
+            8 << rng.NextBounded(4), 1.0 + rng.NextDouble() * 30.0));
+    }
+    auto options = DefaultOptions(16, 10e9);
+    ShardingPlanner planner(options);
+    const auto plan = planner.Plan(tables);
+    ASSERT_TRUE(plan.feasible) << plan.note;
+    EXPECT_LT(plan.balance.imbalance, 1.3);
+}
+
+TEST(Planner, LdmBalancesAtLeastAsWellAsGreedyOnAverage)
+{
+    Rng rng(19);
+    double greedy_total = 0.0, ldm_total = 0.0;
+    for (int trial = 0; trial < 5; trial++) {
+        std::vector<TableConfig> tables;
+        for (int t = 0; t < 60; t++) {
+            tables.push_back(MakeTable(
+                "t" + std::to_string(t),
+                1000 + static_cast<int64_t>(rng.NextBounded(2000000)),
+                8 << rng.NextBounded(4), 1.0 + rng.NextDouble() * 20.0));
+        }
+        auto greedy_opts = DefaultOptions(8, 50e9);
+        greedy_opts.placement = PlacementAlgorithm::kGreedy;
+        greedy_opts.allow_data_parallel = false;
+        auto ldm_opts = greedy_opts;
+        ldm_opts.placement = PlacementAlgorithm::kLdm;
+        greedy_total +=
+            ShardingPlanner(greedy_opts).Plan(tables).balance.imbalance;
+        ldm_total +=
+            ShardingPlanner(ldm_opts).Plan(tables).balance.imbalance;
+    }
+    EXPECT_LE(ldm_total, greedy_total + 0.01);
+}
+
+TEST(Planner, InfeasibleWhenMemoryTooSmall)
+{
+    auto options = DefaultOptions(2, 1e6);  // 1 MB per worker
+    options.allow_row_wise = true;
+    ShardingPlanner planner(options);
+    const auto plan = planner.Plan({MakeTable("big", 1000000, 64, 10.0),
+                                    MakeTable("big2", 1000000, 64, 10.0)});
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_FALSE(plan.note.empty());
+}
+
+TEST(Planner, WorkerMemoryRespectsCapacity)
+{
+    Rng rng(23);
+    std::vector<TableConfig> tables;
+    for (int t = 0; t < 50; t++) {
+        tables.push_back(MakeTable(
+            "t" + std::to_string(t),
+            100000 + static_cast<int64_t>(rng.NextBounded(1000000)), 32,
+            5.0));
+    }
+    auto options = DefaultOptions(8, 2e9);
+    ShardingPlanner planner(options);
+    const auto plan = planner.Plan(tables);
+    ASSERT_TRUE(plan.feasible) << plan.note;
+    for (double mem : plan.worker_memory) {
+        EXPECT_LE(mem, 2e9);
+    }
+}
+
+TEST(Planner, Fp16HalvesMemoryFootprint)
+{
+    std::vector<TableConfig> tables = {MakeTable("t", 1000000, 64, 10.0)};
+    auto options = DefaultOptions(4, 10e9);
+    options.allow_data_parallel = false;
+    const auto plan_fp32 = ShardingPlanner(options).Plan(tables);
+    tables[0].precision = Precision::kFp16;
+    const auto plan_fp16 = ShardingPlanner(options).Plan(tables);
+    const double mem32 = *std::max_element(plan_fp32.worker_memory.begin(),
+                                           plan_fp32.worker_memory.end());
+    const double mem16 = *std::max_element(plan_fp16.worker_memory.begin(),
+                                           plan_fp16.worker_memory.end());
+    // Parameters halve; the row-wise AdaGrad state stays FP32.
+    EXPECT_LT(mem16, mem32 * 0.6);
+}
+
+}  // namespace
+}  // namespace neo::sharding
+
+namespace neo::sharding {
+namespace {
+
+// ----------------------------------------------- planner fuzz (TEST_P)
+
+class PlannerFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PlannerFuzz, PlanInvariantsHoldOnRandomTables)
+{
+    Rng rng(GetParam());
+    std::vector<TableConfig> tables;
+    const int num_tables = 20 + static_cast<int>(rng.NextBounded(60));
+    for (int t = 0; t < num_tables; t++) {
+        TableConfig table;
+        table.name = "fuzz" + std::to_string(t);
+        table.rows = 100 + static_cast<int64_t>(rng.NextBounded(5000000));
+        table.dim = 4 << rng.NextBounded(6);  // 4..128
+        table.pooling = 1.0 + rng.NextDouble() * 60.0;
+        tables.push_back(table);
+    }
+
+    PlannerOptions options;
+    options.topo.num_workers = 1 + static_cast<int>(rng.NextBounded(32));
+    options.topo.workers_per_node = 8;
+    options.global_batch = 4096;
+    options.hbm_bytes_per_worker = 5e8 + rng.NextDouble() * 5e9;
+    options.placement = rng.NextBounded(2) ? PlacementAlgorithm::kLdm
+                                           : PlacementAlgorithm::kGreedy;
+    ShardingPlanner planner(options);
+    const ShardingPlan plan = planner.Plan(tables);
+    if (!plan.feasible) {
+        EXPECT_FALSE(plan.note.empty());
+        return;  // infeasible is a legal outcome for tight random memory
+    }
+
+    // Invariant 1: every table fully covered exactly once.
+    for (int t = 0; t < num_tables; t++) {
+        int64_t rows_covered = 0;
+        int64_t cols_covered = 0;
+        Scheme scheme = Scheme::kTableWise;
+        int shards = 0;
+        for (const auto& shard : plan.shards) {
+            if (shard.table != t) {
+                continue;
+            }
+            shards++;
+            scheme = shard.scheme;
+            rows_covered += shard.NumRows();
+            cols_covered += shard.NumCols();
+        }
+        ASSERT_GT(shards, 0) << t;
+        switch (scheme) {
+          case Scheme::kRowWise:
+          case Scheme::kTableRowWise:
+            EXPECT_EQ(rows_covered, tables[t].rows) << t;
+            break;
+          case Scheme::kColumnWise:
+            EXPECT_EQ(cols_covered, tables[t].dim) << t;
+            break;
+          default:
+            EXPECT_EQ(shards, 1) << t;
+        }
+    }
+
+    // Invariant 2: every placed shard has a valid worker; memory bounded.
+    for (const auto& shard : plan.shards) {
+        if (shard.scheme != Scheme::kDataParallel) {
+            EXPECT_GE(shard.worker, 0);
+            EXPECT_LT(shard.worker, options.topo.num_workers);
+        }
+    }
+    for (double mem : plan.worker_memory) {
+        EXPECT_LE(mem, options.hbm_bytes_per_worker * (1 + 1e-9));
+    }
+
+    // Invariant 3: planning is deterministic.
+    const ShardingPlan replay = planner.Plan(tables);
+    ASSERT_EQ(replay.shards.size(), plan.shards.size());
+    for (size_t s = 0; s < plan.shards.size(); s++) {
+        EXPECT_EQ(replay.shards[s].worker, plan.shards[s].worker) << s;
+        EXPECT_EQ(replay.shards[s].row_begin, plan.shards[s].row_begin);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+}  // namespace
+}  // namespace neo::sharding

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit and property tests for the tensor kernels: GEMM against a naive
+ * reference over random shapes, activation forward/backward, loss
+ * gradients against numerical differentiation, and the DLRM dot-product
+ * interaction.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/activations.h"
+#include "tensor/gemm.h"
+#include "tensor/interaction.h"
+#include "tensor/loss.h"
+#include "tensor/matrix.h"
+
+namespace neo {
+namespace {
+
+Matrix
+RandomMatrix(size_t rows, size_t cols, Rng& rng, float scale = 1.0f)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); i++) {
+        m.data()[i] = rng.NextUniform(-scale, scale);
+    }
+    return m;
+}
+
+/** Naive O(mnk) reference GEMM. */
+void
+NaiveGemm(Trans ta, Trans tb, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix& c)
+{
+    const size_t m = ta == Trans::kNo ? a.rows() : a.cols();
+    const size_t k = ta == Trans::kNo ? a.cols() : a.rows();
+    const size_t n = tb == Trans::kNo ? b.cols() : b.rows();
+    Matrix out(m, n);
+    for (size_t i = 0; i < m; i++) {
+        for (size_t j = 0; j < n; j++) {
+            double sum = 0.0;
+            for (size_t kk = 0; kk < k; kk++) {
+                const float av = ta == Trans::kNo ? a(i, kk) : a(kk, i);
+                const float bv = tb == Trans::kNo ? b(kk, j) : b(j, kk);
+                sum += static_cast<double>(av) * bv;
+            }
+            out(i, j) = alpha * static_cast<float>(sum) + beta * c(i, j);
+        }
+    }
+    c = out;
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, BasicOps)
+{
+    Matrix m(2, 3);
+    m(0, 0) = 1.0f;
+    m(1, 2) = -2.0f;
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(0, 0), 1.0f);
+
+    Matrix n = m;
+    n.Scale(2.0f);
+    EXPECT_EQ(n(1, 2), -4.0f);
+    m.Add(n);
+    EXPECT_EQ(m(0, 0), 3.0f);
+    m.Axpy(0.5f, n);
+    EXPECT_EQ(m(1, 2), -8.0f);
+
+    EXPECT_FLOAT_EQ(Matrix::MaxAbsDiff(m, m), 0.0f);
+    EXPECT_TRUE(Matrix::Identical(m, m));
+    EXPECT_FALSE(Matrix::Identical(m, n));
+}
+
+TEST(Matrix, NormMatchesDefinition)
+{
+    Matrix m(1, 2);
+    m(0, 0) = 3.0f;
+    m(0, 1) = 4.0f;
+    EXPECT_FLOAT_EQ(m.Norm(), 5.0f);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(3);
+    const Matrix m = RandomMatrix(5, 7, rng);
+    EXPECT_TRUE(Matrix::Identical(Transpose(Transpose(m)), m));
+}
+
+// ------------------------------------------------------------------ GEMM
+
+struct GemmCase {
+    size_t m, n, k;
+    Trans ta, tb;
+    float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase>
+{
+};
+
+TEST_P(GemmParamTest, MatchesNaiveReference)
+{
+    const GemmCase& p = GetParam();
+    Rng rng(101 + p.m * 7 + p.n * 3 + p.k);
+    const Matrix a = p.ta == Trans::kNo ? RandomMatrix(p.m, p.k, rng)
+                                        : RandomMatrix(p.k, p.m, rng);
+    const Matrix b = p.tb == Trans::kNo ? RandomMatrix(p.k, p.n, rng)
+                                        : RandomMatrix(p.n, p.k, rng);
+    Matrix c = RandomMatrix(p.m, p.n, rng);
+    Matrix c_ref = c;
+
+    Gemm(p.ta, p.tb, p.alpha, a, b, p.beta, c);
+    NaiveGemm(p.ta, p.tb, p.alpha, a, b, p.beta, c_ref);
+    EXPECT_LT(Matrix::MaxAbsDiff(c, c_ref),
+              1e-4f * static_cast<float>(p.k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{64, 64, 64, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{65, 63, 129, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{17, 9, 33, Trans::kYes, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{17, 9, 33, Trans::kNo, Trans::kYes, 1.0f, 0.0f},
+        GemmCase{17, 9, 33, Trans::kYes, Trans::kYes, 1.0f, 0.0f},
+        GemmCase{20, 30, 40, Trans::kNo, Trans::kNo, 2.5f, 1.0f},
+        GemmCase{20, 30, 40, Trans::kYes, Trans::kNo, -1.0f, 0.5f},
+        GemmCase{128, 1, 200, Trans::kNo, Trans::kNo, 1.0f, 0.0f}));
+
+TEST(Gemm, Deterministic)
+{
+    Rng rng(5);
+    const Matrix a = RandomMatrix(70, 90, rng);
+    const Matrix b = RandomMatrix(90, 50, rng);
+    Matrix c1(70, 50), c2(70, 50);
+    MatMul(a, b, c1);
+    MatMul(a, b, c2);
+    EXPECT_TRUE(Matrix::Identical(c1, c2));
+}
+
+TEST(Gemm, ShapeMismatchFatal)
+{
+    Matrix a(2, 3), b(4, 5), c(2, 5);
+    EXPECT_THROW(MatMul(a, b, c), std::runtime_error);
+}
+
+// ----------------------------------------------------------- Activations
+
+TEST(Activations, ReluForwardBackward)
+{
+    Matrix x(1, 4);
+    x(0, 0) = -1.0f;
+    x(0, 1) = 2.0f;
+    x(0, 2) = 0.0f;
+    x(0, 3) = -0.5f;
+    Matrix act = x;
+    ReluForward(act);
+    EXPECT_EQ(act(0, 0), 0.0f);
+    EXPECT_EQ(act(0, 1), 2.0f);
+    EXPECT_EQ(act(0, 2), 0.0f);
+
+    Matrix grad(1, 4);
+    grad.Fill(1.0f);
+    ReluBackward(act, grad);
+    EXPECT_EQ(grad(0, 0), 0.0f);
+    EXPECT_EQ(grad(0, 1), 1.0f);
+    EXPECT_EQ(grad(0, 2), 0.0f);
+}
+
+TEST(Activations, BiasForwardBackward)
+{
+    Matrix x(2, 3);
+    Matrix bias(1, 3);
+    bias(0, 0) = 1.0f;
+    bias(0, 1) = -2.0f;
+    bias(0, 2) = 0.5f;
+    BiasForward(bias, x);
+    EXPECT_EQ(x(0, 0), 1.0f);
+    EXPECT_EQ(x(1, 1), -2.0f);
+
+    Matrix grad(2, 3);
+    grad.Fill(1.0f);
+    Matrix grad_bias(1, 3);
+    BiasBackward(grad, grad_bias);
+    EXPECT_EQ(grad_bias(0, 0), 2.0f);  // column sums over batch of 2
+}
+
+TEST(Activations, SigmoidRange)
+{
+    Rng rng(7);
+    Matrix x = RandomMatrix(4, 4, rng, 10.0f);
+    SigmoidForward(x);
+    for (size_t i = 0; i < x.size(); i++) {
+        EXPECT_GT(x.data()[i], 0.0f);
+        EXPECT_LT(x.data()[i], 1.0f);
+    }
+}
+
+TEST(Activations, SoftmaxRowsSumToOne)
+{
+    Rng rng(11);
+    Matrix x = RandomMatrix(5, 9, rng, 20.0f);
+    SoftmaxForward(x);
+    for (size_t r = 0; r < x.rows(); r++) {
+        float sum = 0.0f;
+        for (size_t c = 0; c < x.cols(); c++) {
+            sum += x(r, c);
+            EXPECT_GE(x(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+// ------------------------------------------------------------------ Loss
+
+TEST(Loss, BceMatchesClosedForm)
+{
+    Matrix logits(2, 1);
+    logits(0, 0) = 0.0f;   // p = 0.5
+    logits(1, 0) = 2.0f;
+    const std::vector<float> labels = {1.0f, 0.0f};
+    const double expected =
+        (-std::log(0.5) + -std::log(1.0 - 1.0 / (1.0 + std::exp(-2.0)))) /
+        2.0;
+    EXPECT_NEAR(BceWithLogitsLoss(logits, labels), expected, 1e-6);
+}
+
+TEST(Loss, GradMatchesNumericalDerivative)
+{
+    Rng rng(13);
+    Matrix logits = RandomMatrix(8, 1, rng, 3.0f);
+    std::vector<float> labels(8);
+    for (auto& l : labels) {
+        l = rng.NextFloat() < 0.5f ? 0.0f : 1.0f;
+    }
+    Matrix grad(8, 1);
+    BceWithLogitsGrad(logits, labels, grad);
+
+    const float eps = 1e-3f;
+    for (size_t i = 0; i < 8; i++) {
+        Matrix plus = logits, minus = logits;
+        plus(i, 0) += eps;
+        minus(i, 0) -= eps;
+        const double numeric = (BceWithLogitsLoss(plus, labels) -
+                                BceWithLogitsLoss(minus, labels)) /
+                               (2.0 * eps);
+        EXPECT_NEAR(grad(i, 0), numeric, 1e-3) << i;
+    }
+}
+
+TEST(Loss, StableAtExtremeLogits)
+{
+    Matrix logits(2, 1);
+    logits(0, 0) = 100.0f;
+    logits(1, 0) = -100.0f;
+    const std::vector<float> labels = {1.0f, 0.0f};
+    EXPECT_NEAR(BceWithLogitsLoss(logits, labels), 0.0, 1e-6);
+    EXPECT_TRUE(std::isfinite(BceWithLogitsLoss(logits, {0.0f, 1.0f})));
+}
+
+TEST(Loss, NormalizedEntropyOfBaseRatePredictorIsOne)
+{
+    NormalizedEntropy ne;
+    // Predictor that always outputs the base rate p=0.3.
+    Rng rng(17);
+    for (int i = 0; i < 50000; i++) {
+        ne.Add(0.3, rng.NextDouble() < 0.3 ? 1.0 : 0.0);
+    }
+    EXPECT_NEAR(ne.Value(), 1.0, 0.02);
+}
+
+TEST(Loss, NormalizedEntropyOfPerfectPredictorNearZero)
+{
+    NormalizedEntropy ne;
+    Rng rng(19);
+    for (int i = 0; i < 1000; i++) {
+        const double label = rng.NextDouble() < 0.4 ? 1.0 : 0.0;
+        ne.Add(label > 0.5 ? 0.999 : 0.001, label);
+    }
+    EXPECT_LT(ne.Value(), 0.02);
+}
+
+TEST(Loss, NormalizedEntropyMerge)
+{
+    NormalizedEntropy a, b, all;
+    Rng rng(23);
+    for (int i = 0; i < 1000; i++) {
+        const double p = rng.NextDouble();
+        const double label = rng.NextDouble() < 0.5 ? 1.0 : 0.0;
+        (i % 2 ? a : b).Add(p, label);
+        all.Add(p, label);
+    }
+    a.Merge(b);
+    // Partial sums accumulate in a different order, so allow float noise.
+    EXPECT_NEAR(a.Value(), all.Value(), 1e-12);
+    EXPECT_EQ(a.count(), all.count());
+}
+
+// ----------------------------------------------------------- Interaction
+
+TEST(Interaction, OutputLayoutMatchesDefinition)
+{
+    const size_t d = 4;
+    DotInteraction interaction(2, d);  // dense + 2 sparse => 3 vectors
+    EXPECT_EQ(interaction.OutputDim(), d + 3);
+
+    Matrix dense(1, d), s0(1, d), s1(1, d);
+    for (size_t c = 0; c < d; c++) {
+        dense(0, c) = 1.0f;
+        s0(0, c) = 2.0f;
+        s1(0, c) = static_cast<float>(c);
+    }
+    Matrix out(1, interaction.OutputDim());
+    interaction.Forward(dense, {s0, s1}, out);
+    // Pass-through.
+    EXPECT_EQ(out(0, 0), 1.0f);
+    // dots: (dense.s0)=8, (dense.s1)=6, (s0.s1)=12 in (i<j) order.
+    EXPECT_FLOAT_EQ(out(0, d + 0), 8.0f);
+    EXPECT_FLOAT_EQ(out(0, d + 1), 6.0f);
+    EXPECT_FLOAT_EQ(out(0, d + 2), 12.0f);
+}
+
+TEST(Interaction, BackwardMatchesNumericalGradient)
+{
+    Rng rng(29);
+    const size_t d = 5, batch = 3, f = 2;
+    DotInteraction interaction(f, d);
+    Matrix dense = RandomMatrix(batch, d, rng);
+    std::vector<Matrix> sparse = {RandomMatrix(batch, d, rng),
+                                  RandomMatrix(batch, d, rng)};
+    Matrix out(batch, interaction.OutputDim());
+    interaction.Forward(dense, sparse, out);
+
+    // Scalar objective: sum of all outputs weighted by fixed coefficients.
+    Matrix weights = RandomMatrix(batch, interaction.OutputDim(), rng);
+    auto objective = [&](const Matrix& dn, const std::vector<Matrix>& sp) {
+        DotInteraction local(f, d);
+        Matrix o(batch, local.OutputDim());
+        local.Forward(dn, sp, o);
+        double sum = 0.0;
+        for (size_t i = 0; i < o.size(); i++) {
+            sum += static_cast<double>(o.data()[i]) * weights.data()[i];
+        }
+        return sum;
+    };
+
+    Matrix grad_dense(batch, d);
+    std::vector<Matrix> grad_sparse = {Matrix(batch, d), Matrix(batch, d)};
+    interaction.Backward(weights, grad_dense, grad_sparse);
+
+    const float eps = 1e-3f;
+    for (size_t b = 0; b < batch; b++) {
+        for (size_t c = 0; c < d; c++) {
+            {
+                Matrix plus = dense, minus = dense;
+                plus(b, c) += eps;
+                minus(b, c) -= eps;
+                const double numeric =
+                    (objective(plus, sparse) - objective(minus, sparse)) /
+                    (2.0 * eps);
+                EXPECT_NEAR(grad_dense(b, c), numeric, 5e-2) << b << "," << c;
+            }
+            {
+                auto plus = sparse, minus = sparse;
+                plus[1](b, c) += eps;
+                minus[1](b, c) -= eps;
+                const double numeric =
+                    (objective(dense, plus) - objective(dense, minus)) /
+                    (2.0 * eps);
+                EXPECT_NEAR(grad_sparse[1](b, c), numeric, 5e-2)
+                    << b << "," << c;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace neo
+
+namespace neo {
+namespace {
+
+// --------------------------------------- interaction sweep (TEST_P)
+
+struct InteractionCase {
+    size_t num_sparse;
+    size_t dim;
+    size_t batch;
+};
+
+class InteractionSweep : public ::testing::TestWithParam<InteractionCase>
+{
+};
+
+TEST_P(InteractionSweep, ForwardBackwardShapesAndEnergy)
+{
+    const auto& p = GetParam();
+    Rng rng(100 + p.num_sparse + p.dim + p.batch);
+    DotInteraction interaction(p.num_sparse, p.dim);
+    const Matrix dense = RandomMatrix(p.batch, p.dim, rng);
+    std::vector<Matrix> sparse;
+    for (size_t f = 0; f < p.num_sparse; f++) {
+        sparse.push_back(RandomMatrix(p.batch, p.dim, rng));
+    }
+    Matrix out(p.batch, interaction.OutputDim());
+    interaction.Forward(dense, sparse, out);
+
+    // Pass-through region must equal the dense input exactly.
+    for (size_t b = 0; b < p.batch; b++) {
+        for (size_t c = 0; c < p.dim; c++) {
+            ASSERT_EQ(out(b, c), dense(b, c));
+        }
+    }
+
+    // Backward of an all-ones output gradient: the pass-through
+    // component of grad_dense is exactly one.
+    Matrix grad_out(p.batch, interaction.OutputDim());
+    grad_out.Fill(1.0f);
+    Matrix grad_dense(p.batch, p.dim);
+    std::vector<Matrix> grad_sparse(p.num_sparse);
+    for (auto& g : grad_sparse) {
+        g = Matrix(p.batch, p.dim);
+    }
+    interaction.Backward(grad_out, grad_dense, grad_sparse);
+    // grad_dense = 1 (pass-through) + sum of the other vectors.
+    for (size_t b = 0; b < p.batch; b++) {
+        for (size_t c = 0; c < p.dim; c++) {
+            float expected = 1.0f;
+            for (const auto& s : sparse) {
+                expected += s(b, c);
+            }
+            ASSERT_NEAR(grad_dense(b, c), expected, 1e-4f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, InteractionSweep,
+    ::testing::Values(InteractionCase{1, 4, 1}, InteractionCase{2, 8, 3},
+                      InteractionCase{5, 16, 7},
+                      InteractionCase{10, 32, 2},
+                      InteractionCase{3, 64, 5}));
+
+}  // namespace
+}  // namespace neo
