@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact_optimizer.dir/ablation_exact_optimizer.cpp.o"
+  "CMakeFiles/ablation_exact_optimizer.dir/ablation_exact_optimizer.cpp.o.d"
+  "ablation_exact_optimizer"
+  "ablation_exact_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

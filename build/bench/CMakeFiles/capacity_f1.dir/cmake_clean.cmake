@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_f1.dir/capacity_f1.cpp.o"
+  "CMakeFiles/capacity_f1.dir/capacity_f1.cpp.o.d"
+  "capacity_f1"
+  "capacity_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_replay.dir/comm_replay.cpp.o"
+  "CMakeFiles/comm_replay.dir/comm_replay.cpp.o.d"
+  "comm_replay"
+  "comm_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

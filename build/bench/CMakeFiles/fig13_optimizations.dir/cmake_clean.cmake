@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_optimizations.dir/fig13_optimizations.cpp.o"
+  "CMakeFiles/fig13_optimizations.dir/fig13_optimizations.cpp.o.d"
+  "fig13_optimizations"
+  "fig13_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

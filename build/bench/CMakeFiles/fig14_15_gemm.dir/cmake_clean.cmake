@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_gemm.dir/fig14_15_gemm.cpp.o"
+  "CMakeFiles/fig14_15_gemm.dir/fig14_15_gemm.cpp.o.d"
+  "fig14_15_gemm"
+  "fig14_15_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

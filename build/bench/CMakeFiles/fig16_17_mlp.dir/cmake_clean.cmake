@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_17_mlp.dir/fig16_17_mlp.cpp.o"
+  "CMakeFiles/fig16_17_mlp.dir/fig16_17_mlp.cpp.o.d"
+  "fig16_17_mlp"
+  "fig16_17_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_17_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

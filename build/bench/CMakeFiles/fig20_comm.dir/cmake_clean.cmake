@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_comm.dir/fig20_comm.cpp.o"
+  "CMakeFiles/fig20_comm.dir/fig20_comm.cpp.o.d"
+  "fig20_comm"
+  "fig20_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_data.dir/micro_data.cpp.o"
+  "CMakeFiles/micro_data.dir/micro_data.cpp.o.d"
+  "micro_data"
+  "micro_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

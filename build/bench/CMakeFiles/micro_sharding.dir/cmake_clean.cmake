@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sharding.dir/micro_sharding.cpp.o"
+  "CMakeFiles/micro_sharding.dir/micro_sharding.cpp.o.d"
+  "micro_sharding"
+  "micro_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tt.dir/micro_tt.cpp.o"
+  "CMakeFiles/micro_tt.dir/micro_tt.cpp.o.d"
+  "micro_tt"
+  "micro_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

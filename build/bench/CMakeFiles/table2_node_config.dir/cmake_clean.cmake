@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_node_config.dir/table2_node_config.cpp.o"
+  "CMakeFiles/table2_node_config.dir/table2_node_config.cpp.o.d"
+  "table2_node_config"
+  "table2_node_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_node_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

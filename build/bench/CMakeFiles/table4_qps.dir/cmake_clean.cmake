@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_qps.dir/table4_qps.cpp.o"
+  "CMakeFiles/table4_qps.dir/table4_qps.cpp.o.d"
+  "table4_qps"
+  "table4_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zionex_projection.dir/zionex_projection.cpp.o"
+  "CMakeFiles/zionex_projection.dir/zionex_projection.cpp.o.d"
+  "zionex_projection"
+  "zionex_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zionex_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

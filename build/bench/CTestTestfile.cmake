@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1_requirements "/root/repo/build/bench/table1_requirements")
+set_tests_properties(bench_smoke_table1_requirements PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2_node_config "/root/repo/build/bench/table2_node_config")
+set_tests_properties(bench_smoke_table2_node_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table3_models "/root/repo/build/bench/table3_models")
+set_tests_properties(bench_smoke_table3_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table4_qps "/root/repo/build/bench/table4_qps")
+set_tests_properties(bench_smoke_table4_qps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_scaling "/root/repo/build/bench/fig11_scaling")
+set_tests_properties(bench_smoke_fig11_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12_breakdown "/root/repo/build/bench/fig12_breakdown")
+set_tests_properties(bench_smoke_fig12_breakdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig13_optimizations "/root/repo/build/bench/fig13_optimizations")
+set_tests_properties(bench_smoke_fig13_optimizations PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig14_15_gemm "/root/repo/build/bench/fig14_15_gemm")
+set_tests_properties(bench_smoke_fig14_15_gemm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig16_17_mlp "/root/repo/build/bench/fig16_17_mlp")
+set_tests_properties(bench_smoke_fig16_17_mlp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_capacity_f1 "/root/repo/build/bench/capacity_f1")
+set_tests_properties(bench_smoke_capacity_f1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_zionex_projection "/root/repo/build/bench/zionex_projection")
+set_tests_properties(bench_smoke_zionex_projection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")

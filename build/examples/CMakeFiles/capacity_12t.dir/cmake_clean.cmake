@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_12t.dir/capacity_12t.cpp.o"
+  "CMakeFiles/capacity_12t.dir/capacity_12t.cpp.o.d"
+  "capacity_12t"
+  "capacity_12t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_12t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

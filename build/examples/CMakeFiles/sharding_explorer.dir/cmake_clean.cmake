@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharding_explorer.dir/sharding_explorer.cpp.o"
+  "CMakeFiles/sharding_explorer.dir/sharding_explorer.cpp.o.d"
+  "sharding_explorer"
+  "sharding_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharding_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

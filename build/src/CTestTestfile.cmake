@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("comm")
+subdirs("ops")
+subdirs("cache")
+subdirs("sharding")
+subdirs("data")
+subdirs("core")
+subdirs("ps")
+subdirs("sim")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cached_embedding_store.cpp" "src/cache/CMakeFiles/neo_cache.dir/cached_embedding_store.cpp.o" "gcc" "src/cache/CMakeFiles/neo_cache.dir/cached_embedding_store.cpp.o.d"
+  "/root/repo/src/cache/memory_tier.cpp" "src/cache/CMakeFiles/neo_cache.dir/memory_tier.cpp.o" "gcc" "src/cache/CMakeFiles/neo_cache.dir/memory_tier.cpp.o.d"
+  "/root/repo/src/cache/set_associative_cache.cpp" "src/cache/CMakeFiles/neo_cache.dir/set_associative_cache.cpp.o" "gcc" "src/cache/CMakeFiles/neo_cache.dir/set_associative_cache.cpp.o.d"
+  "/root/repo/src/cache/tiered_embedding_bag.cpp" "src/cache/CMakeFiles/neo_cache.dir/tiered_embedding_bag.cpp.o" "gcc" "src/cache/CMakeFiles/neo_cache.dir/tiered_embedding_bag.cpp.o.d"
+  "/root/repo/src/cache/uvm_store.cpp" "src/cache/CMakeFiles/neo_cache.dir/uvm_store.cpp.o" "gcc" "src/cache/CMakeFiles/neo_cache.dir/uvm_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/neo_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

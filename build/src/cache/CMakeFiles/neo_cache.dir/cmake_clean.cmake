@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_cache.dir/cached_embedding_store.cpp.o"
+  "CMakeFiles/neo_cache.dir/cached_embedding_store.cpp.o.d"
+  "CMakeFiles/neo_cache.dir/memory_tier.cpp.o"
+  "CMakeFiles/neo_cache.dir/memory_tier.cpp.o.d"
+  "CMakeFiles/neo_cache.dir/set_associative_cache.cpp.o"
+  "CMakeFiles/neo_cache.dir/set_associative_cache.cpp.o.d"
+  "CMakeFiles/neo_cache.dir/tiered_embedding_bag.cpp.o"
+  "CMakeFiles/neo_cache.dir/tiered_embedding_bag.cpp.o.d"
+  "CMakeFiles/neo_cache.dir/uvm_store.cpp.o"
+  "CMakeFiles/neo_cache.dir/uvm_store.cpp.o.d"
+  "libneo_cache.a"
+  "libneo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

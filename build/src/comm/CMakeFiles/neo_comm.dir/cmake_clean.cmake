@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_comm.dir/process_group.cpp.o"
+  "CMakeFiles/neo_comm.dir/process_group.cpp.o.d"
+  "CMakeFiles/neo_comm.dir/quantized.cpp.o"
+  "CMakeFiles/neo_comm.dir/quantized.cpp.o.d"
+  "CMakeFiles/neo_comm.dir/threaded_process_group.cpp.o"
+  "CMakeFiles/neo_comm.dir/threaded_process_group.cpp.o.d"
+  "libneo_comm.a"
+  "libneo_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_common.dir/float_types.cpp.o"
+  "CMakeFiles/neo_common.dir/float_types.cpp.o.d"
+  "CMakeFiles/neo_common.dir/logging.cpp.o"
+  "CMakeFiles/neo_common.dir/logging.cpp.o.d"
+  "CMakeFiles/neo_common.dir/rng.cpp.o"
+  "CMakeFiles/neo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/neo_common.dir/serialize.cpp.o"
+  "CMakeFiles/neo_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/neo_common.dir/stats.cpp.o"
+  "CMakeFiles/neo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/neo_common.dir/table_printer.cpp.o"
+  "CMakeFiles/neo_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/neo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/neo_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/neo_common.dir/units.cpp.o"
+  "CMakeFiles/neo_common.dir/units.cpp.o.d"
+  "libneo_common.a"
+  "libneo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/neo_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/distributed_trainer.cpp" "src/core/CMakeFiles/neo_core.dir/distributed_trainer.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/distributed_trainer.cpp.o.d"
+  "/root/repo/src/core/dlrm_config.cpp" "src/core/CMakeFiles/neo_core.dir/dlrm_config.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/dlrm_config.cpp.o.d"
+  "/root/repo/src/core/dlrm_reference.cpp" "src/core/CMakeFiles/neo_core.dir/dlrm_reference.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/dlrm_reference.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/neo_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/neo_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/neo_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/neo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharding/CMakeFiles/neo_sharding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

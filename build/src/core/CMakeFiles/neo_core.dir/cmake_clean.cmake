@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/neo_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/neo_core.dir/distributed_trainer.cpp.o"
+  "CMakeFiles/neo_core.dir/distributed_trainer.cpp.o.d"
+  "CMakeFiles/neo_core.dir/dlrm_config.cpp.o"
+  "CMakeFiles/neo_core.dir/dlrm_config.cpp.o.d"
+  "CMakeFiles/neo_core.dir/dlrm_reference.cpp.o"
+  "CMakeFiles/neo_core.dir/dlrm_reference.cpp.o.d"
+  "CMakeFiles/neo_core.dir/pipeline.cpp.o"
+  "CMakeFiles/neo_core.dir/pipeline.cpp.o.d"
+  "libneo_core.a"
+  "libneo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataloader.cpp" "src/data/CMakeFiles/neo_data.dir/dataloader.cpp.o" "gcc" "src/data/CMakeFiles/neo_data.dir/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/neo_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/neo_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/jagged.cpp" "src/data/CMakeFiles/neo_data.dir/jagged.cpp.o" "gcc" "src/data/CMakeFiles/neo_data.dir/jagged.cpp.o.d"
+  "/root/repo/src/data/reader_tier.cpp" "src/data/CMakeFiles/neo_data.dir/reader_tier.cpp.o" "gcc" "src/data/CMakeFiles/neo_data.dir/reader_tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/neo_ops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

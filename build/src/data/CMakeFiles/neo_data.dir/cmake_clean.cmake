@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_data.dir/dataloader.cpp.o"
+  "CMakeFiles/neo_data.dir/dataloader.cpp.o.d"
+  "CMakeFiles/neo_data.dir/dataset.cpp.o"
+  "CMakeFiles/neo_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/neo_data.dir/jagged.cpp.o"
+  "CMakeFiles/neo_data.dir/jagged.cpp.o.d"
+  "CMakeFiles/neo_data.dir/reader_tier.cpp.o"
+  "CMakeFiles/neo_data.dir/reader_tier.cpp.o.d"
+  "libneo_data.a"
+  "libneo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

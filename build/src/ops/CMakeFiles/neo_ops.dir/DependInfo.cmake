@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/dense_optimizer.cpp" "src/ops/CMakeFiles/neo_ops.dir/dense_optimizer.cpp.o" "gcc" "src/ops/CMakeFiles/neo_ops.dir/dense_optimizer.cpp.o.d"
+  "/root/repo/src/ops/embedding_bag.cpp" "src/ops/CMakeFiles/neo_ops.dir/embedding_bag.cpp.o" "gcc" "src/ops/CMakeFiles/neo_ops.dir/embedding_bag.cpp.o.d"
+  "/root/repo/src/ops/embedding_table.cpp" "src/ops/CMakeFiles/neo_ops.dir/embedding_table.cpp.o" "gcc" "src/ops/CMakeFiles/neo_ops.dir/embedding_table.cpp.o.d"
+  "/root/repo/src/ops/mlp.cpp" "src/ops/CMakeFiles/neo_ops.dir/mlp.cpp.o" "gcc" "src/ops/CMakeFiles/neo_ops.dir/mlp.cpp.o.d"
+  "/root/repo/src/ops/sparse_optimizer.cpp" "src/ops/CMakeFiles/neo_ops.dir/sparse_optimizer.cpp.o" "gcc" "src/ops/CMakeFiles/neo_ops.dir/sparse_optimizer.cpp.o.d"
+  "/root/repo/src/ops/tt_embedding.cpp" "src/ops/CMakeFiles/neo_ops.dir/tt_embedding.cpp.o" "gcc" "src/ops/CMakeFiles/neo_ops.dir/tt_embedding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

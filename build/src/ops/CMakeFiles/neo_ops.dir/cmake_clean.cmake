@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_ops.dir/dense_optimizer.cpp.o"
+  "CMakeFiles/neo_ops.dir/dense_optimizer.cpp.o.d"
+  "CMakeFiles/neo_ops.dir/embedding_bag.cpp.o"
+  "CMakeFiles/neo_ops.dir/embedding_bag.cpp.o.d"
+  "CMakeFiles/neo_ops.dir/embedding_table.cpp.o"
+  "CMakeFiles/neo_ops.dir/embedding_table.cpp.o.d"
+  "CMakeFiles/neo_ops.dir/mlp.cpp.o"
+  "CMakeFiles/neo_ops.dir/mlp.cpp.o.d"
+  "CMakeFiles/neo_ops.dir/sparse_optimizer.cpp.o"
+  "CMakeFiles/neo_ops.dir/sparse_optimizer.cpp.o.d"
+  "CMakeFiles/neo_ops.dir/tt_embedding.cpp.o"
+  "CMakeFiles/neo_ops.dir/tt_embedding.cpp.o.d"
+  "libneo_ops.a"
+  "libneo_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

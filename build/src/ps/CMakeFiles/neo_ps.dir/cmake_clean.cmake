@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_ps.dir/async_ps_trainer.cpp.o"
+  "CMakeFiles/neo_ps.dir/async_ps_trainer.cpp.o.d"
+  "libneo_ps.a"
+  "libneo_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

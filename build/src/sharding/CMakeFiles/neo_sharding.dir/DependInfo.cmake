@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharding/cost_model.cpp" "src/sharding/CMakeFiles/neo_sharding.dir/cost_model.cpp.o" "gcc" "src/sharding/CMakeFiles/neo_sharding.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sharding/partition.cpp" "src/sharding/CMakeFiles/neo_sharding.dir/partition.cpp.o" "gcc" "src/sharding/CMakeFiles/neo_sharding.dir/partition.cpp.o.d"
+  "/root/repo/src/sharding/planner.cpp" "src/sharding/CMakeFiles/neo_sharding.dir/planner.cpp.o" "gcc" "src/sharding/CMakeFiles/neo_sharding.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_sharding.dir/cost_model.cpp.o"
+  "CMakeFiles/neo_sharding.dir/cost_model.cpp.o.d"
+  "CMakeFiles/neo_sharding.dir/partition.cpp.o"
+  "CMakeFiles/neo_sharding.dir/partition.cpp.o.d"
+  "CMakeFiles/neo_sharding.dir/planner.cpp.o"
+  "CMakeFiles/neo_sharding.dir/planner.cpp.o.d"
+  "libneo_sharding.a"
+  "libneo_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

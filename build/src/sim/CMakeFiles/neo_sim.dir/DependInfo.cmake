@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capacity_model.cpp" "src/sim/CMakeFiles/neo_sim.dir/capacity_model.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/capacity_model.cpp.o.d"
+  "/root/repo/src/sim/comm_model.cpp" "src/sim/CMakeFiles/neo_sim.dir/comm_model.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/comm_model.cpp.o.d"
+  "/root/repo/src/sim/embedding_model.cpp" "src/sim/CMakeFiles/neo_sim.dir/embedding_model.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/embedding_model.cpp.o.d"
+  "/root/repo/src/sim/gemm_model.cpp" "src/sim/CMakeFiles/neo_sim.dir/gemm_model.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/gemm_model.cpp.o.d"
+  "/root/repo/src/sim/hardware.cpp" "src/sim/CMakeFiles/neo_sim.dir/hardware.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/hardware.cpp.o.d"
+  "/root/repo/src/sim/iteration_model.cpp" "src/sim/CMakeFiles/neo_sim.dir/iteration_model.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/iteration_model.cpp.o.d"
+  "/root/repo/src/sim/plan_bridge.cpp" "src/sim/CMakeFiles/neo_sim.dir/plan_bridge.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/plan_bridge.cpp.o.d"
+  "/root/repo/src/sim/trace_replay.cpp" "src/sim/CMakeFiles/neo_sim.dir/trace_replay.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/sim/CMakeFiles/neo_sim.dir/workloads.cpp.o" "gcc" "src/sim/CMakeFiles/neo_sim.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharding/CMakeFiles/neo_sharding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

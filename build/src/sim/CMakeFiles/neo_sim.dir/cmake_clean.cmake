@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_sim.dir/capacity_model.cpp.o"
+  "CMakeFiles/neo_sim.dir/capacity_model.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/comm_model.cpp.o"
+  "CMakeFiles/neo_sim.dir/comm_model.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/embedding_model.cpp.o"
+  "CMakeFiles/neo_sim.dir/embedding_model.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/gemm_model.cpp.o"
+  "CMakeFiles/neo_sim.dir/gemm_model.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/hardware.cpp.o"
+  "CMakeFiles/neo_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/iteration_model.cpp.o"
+  "CMakeFiles/neo_sim.dir/iteration_model.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/plan_bridge.cpp.o"
+  "CMakeFiles/neo_sim.dir/plan_bridge.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/trace_replay.cpp.o"
+  "CMakeFiles/neo_sim.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/workloads.cpp.o"
+  "CMakeFiles/neo_sim.dir/workloads.cpp.o.d"
+  "libneo_sim.a"
+  "libneo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_tensor.dir/activations.cpp.o"
+  "CMakeFiles/neo_tensor.dir/activations.cpp.o.d"
+  "CMakeFiles/neo_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/neo_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/neo_tensor.dir/interaction.cpp.o"
+  "CMakeFiles/neo_tensor.dir/interaction.cpp.o.d"
+  "CMakeFiles/neo_tensor.dir/loss.cpp.o"
+  "CMakeFiles/neo_tensor.dir/loss.cpp.o.d"
+  "CMakeFiles/neo_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/neo_tensor.dir/matrix.cpp.o.d"
+  "libneo_tensor.a"
+  "libneo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

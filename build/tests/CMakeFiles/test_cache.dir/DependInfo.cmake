@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/neo_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/neo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/neo_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/neo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharding/CMakeFiles/neo_sharding.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/neo_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

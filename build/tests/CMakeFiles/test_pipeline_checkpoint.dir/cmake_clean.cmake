@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_checkpoint.dir/test_pipeline_checkpoint.cpp.o"
+  "CMakeFiles/test_pipeline_checkpoint.dir/test_pipeline_checkpoint.cpp.o.d"
+  "test_pipeline_checkpoint"
+  "test_pipeline_checkpoint.pdb"
+  "test_pipeline_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tt_embedding.dir/test_tt_embedding.cpp.o"
+  "CMakeFiles/test_tt_embedding.dir/test_tt_embedding.cpp.o.d"
+  "test_tt_embedding"
+  "test_tt_embedding.pdb"
+  "test_tt_embedding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tt_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_sharding[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_ps[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_tt_embedding[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_checkpoint[1]_include.cmake")
