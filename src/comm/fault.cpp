@@ -1,0 +1,92 @@
+#include "comm/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "comm/threaded_process_group.h"
+#include "common/logging.h"
+
+namespace neo::comm {
+
+const char*
+FaultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kKill: return "kill";
+      case FaultKind::kDelay: return "delay";
+      case FaultKind::kCorrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+void
+FaultInjector::Arm(const FaultSpec& spec)
+{
+    NEO_REQUIRE(spec.rank >= 0, "fault victim rank must be >= 0");
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.push_back(spec);
+}
+
+void
+FaultInjector::OnCollective(ThreadedWorld& world, int rank,
+                            uint64_t call_index, CollectiveOp op,
+                            float* payload, size_t count)
+{
+    FaultSpec spec;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = std::find_if(
+            armed_.begin(), armed_.end(), [&](const FaultSpec& s) {
+                return s.rank == rank && s.call_index == call_index;
+            });
+        if (it == armed_.end()) {
+            return;
+        }
+        spec = *it;
+        armed_.erase(it);
+        fired_.push_back({spec, op});
+    }
+
+    switch (spec.kind) {
+      case FaultKind::kDelay:
+        // Straggler: the rank survives but arrives late; peers see it
+        // either as absorbed latency or as a barrier-deadline failure.
+        std::this_thread::sleep_for(spec.delay);
+        return;
+      case FaultKind::kCorrupt:
+        // Silent data corruption; only collectives with a mutable local
+        // payload can be poisoned this way.
+        if (payload != nullptr) {
+            for (size_t i = 0; i < count; i++) {
+                payload[i] = spec.corrupt_value;
+            }
+        }
+        return;
+      case FaultKind::kKill: {
+        std::ostringstream cause;
+        cause << "injected kill at " << CollectiveOpName(op) << " call #"
+              << call_index;
+        // Poison first so peers wake immediately instead of waiting for
+        // their barrier deadline, then take this rank down.
+        world.Abort(rank, cause.str(), spec.transient);
+        throw RankFailure(rank, cause.str(), spec.transient);
+      }
+    }
+}
+
+std::vector<FaultEvent>
+FaultInjector::Fired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_;
+}
+
+size_t
+FaultInjector::NumArmed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return armed_.size();
+}
+
+}  // namespace neo::comm

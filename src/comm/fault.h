@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic fault injection for collective backends.
+ *
+ * The paper's production setting (128-GPU ZionEX jobs, Sec. 5) treats a
+ * slow or failed worker as a first-class event; testing that behaviour
+ * needs a way to make a chosen rank fail at a chosen point, repeatably.
+ * A FaultInjector is armed with FaultSpecs addressed by (rank, per-rank
+ * collective call index) and attached to a world; the backend calls
+ * OnCollective() at the top of every collective, which then kills the
+ * rank (throws RankFailure after poisoning the world), delays it (a
+ * straggler, detectable via barrier deadlines), or corrupts its payload
+ * (silent data error, for end-to-end detection tests).
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "comm/process_group.h"
+
+namespace neo::comm {
+
+class ThreadedWorld;
+
+/** What an armed fault does to its victim. */
+enum class FaultKind {
+    /** Poison the world and throw RankFailure from the victim. */
+    kKill,
+    /** Sleep `delay` before the collective proceeds (straggler). */
+    kDelay,
+    /** Overwrite the collective's mutable payload with `corrupt_value`. */
+    kCorrupt,
+};
+
+/** Human-readable name for a fault kind. */
+const char* FaultKindName(FaultKind kind);
+
+/** One armed fault: fires when `rank` makes its `call_index`-th call. */
+struct FaultSpec {
+    /** Victim rank. */
+    int rank = 0;
+    /** Per-rank collective call counter value to fire at (0-based). */
+    uint64_t call_index = 0;
+    FaultKind kind = FaultKind::kKill;
+    /** Sleep duration for kDelay faults. */
+    std::chrono::milliseconds delay{0};
+    /** Payload poison value for kCorrupt faults. */
+    float corrupt_value = std::numeric_limits<float>::quiet_NaN();
+    /**
+     * Whether the fault models a transient condition (carried on the
+     * resulting RankFailure so ranks can decide to attempt recovery).
+     * Only meaningful for kKill.
+     */
+    bool transient = true;
+};
+
+/** One fired fault, for post-run inspection. */
+struct FaultEvent {
+    FaultSpec spec;
+    CollectiveOp op;
+};
+
+/**
+ * Holds armed faults and fires them from collective call sites. Each spec
+ * fires at most once (call indices are strictly increasing per rank, so a
+ * matched spec can never match again); arm several specs for repeated
+ * faults. Thread-safe: collectives on different ranks probe concurrently.
+ */
+class FaultInjector
+{
+  public:
+    /** Arm one fault. May be called repeatedly, including mid-run. */
+    void Arm(const FaultSpec& spec);
+
+    /**
+     * Probe-and-fire hook, called by the backend at the top of every
+     * collective with that rank's call index. `payload`/`count` describe
+     * the collective's mutable buffer when it has one (AllReduce,
+     * Broadcast), else nullptr/0 — kCorrupt faults without a mutable
+     * payload are ignored. May sleep, mutate the payload, or poison
+     * `world` and throw RankFailure.
+     */
+    void OnCollective(ThreadedWorld& world, int rank, uint64_t call_index,
+                      CollectiveOp op, float* payload, size_t count);
+
+    /** Faults fired so far, in firing order. */
+    std::vector<FaultEvent> Fired() const;
+
+    /** Number of specs armed but not yet fired. */
+    size_t NumArmed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<FaultSpec> armed_;
+    std::vector<FaultEvent> fired_;
+};
+
+}  // namespace neo::comm

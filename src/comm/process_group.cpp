@@ -4,6 +4,14 @@
 
 namespace neo::comm {
 
+RankFailure::RankFailure(int failed_rank, std::string cause, bool transient)
+    : std::runtime_error("rank " + std::to_string(failed_rank) +
+                         " failed: " + cause),
+      failed_rank_(failed_rank), cause_(std::move(cause)),
+      transient_(transient)
+{
+}
+
 const char*
 CollectiveOpName(CollectiveOp op)
 {

@@ -14,12 +14,45 @@
  */
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace neo::comm {
+
+/**
+ * Thrown by collectives when the communicator has been poisoned by a rank
+ * failure (the rank threw, was killed by fault injection, or missed a
+ * barrier deadline). Every surviving rank receives a RankFailure naming
+ * the same originating rank, so failure handling is symmetric: either all
+ * ranks complete a collective or all ranks observe the same failure.
+ */
+class RankFailure : public std::runtime_error
+{
+  public:
+    RankFailure(int failed_rank, std::string cause, bool transient);
+
+    /** Rank blamed for poisoning the communicator. */
+    int failed_rank() const { return failed_rank_; }
+
+    /** Human-readable description of the originating failure. */
+    const std::string& cause() const { return cause_; }
+
+    /**
+     * True when the originating fault is known to be transient (e.g. an
+     * injected one-shot fault): the group may be recoverable and a step
+     * retry is worth attempting. False means the rank is gone for good.
+     */
+    bool transient() const { return transient_; }
+
+  private:
+    int failed_rank_;
+    std::string cause_;
+    bool transient_;
+};
 
 /** Collective operation kinds, used for traffic accounting. */
 enum class CollectiveOp {
@@ -66,7 +99,8 @@ struct CommStats {
 /**
  * One rank's handle to a communicator. Collective calls must be made by
  * every rank in the group (BSP style); mismatched participation deadlocks,
- * as with NCCL.
+ * as with NCCL — except that fault-aware backends bound the hang: a missing
+ * rank trips the barrier deadline and every waiter throws RankFailure.
  */
 class ProcessGroup
 {
@@ -81,6 +115,36 @@ class ProcessGroup
 
     /** Block until every rank has entered the barrier. */
     virtual void Barrier() = 0;
+
+    /**
+     * Barrier with an explicit deadline: block until every rank has
+     * entered, or until `timeout` elapses. Fault-aware backends poison
+     * the group and throw RankFailure (naming the slowest absent rank) on
+     * expiry; the base implementation ignores the timeout.
+     */
+    virtual void
+    Barrier(std::chrono::milliseconds timeout)
+    {
+        (void)timeout;
+        Barrier();
+    }
+
+    /** False once the group has been poisoned by a rank failure. */
+    virtual bool Healthy() const { return true; }
+
+    /**
+     * Attempt to restore a poisoned group so a step can be retried after
+     * a transient fault. Collective: every surviving rank must call it;
+     * returns true when all Size() ranks rendezvoused within `timeout`
+     * and the group was reset, false otherwise (the failed rank is truly
+     * gone). Backends without fault support always return false.
+     */
+    virtual bool
+    Recover(std::chrono::milliseconds timeout)
+    {
+        (void)timeout;
+        return false;
+    }
 
     /**
      * In-place sum-AllReduce over floats. After the call every rank holds

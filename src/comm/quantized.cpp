@@ -80,7 +80,10 @@ void
 QuantizedAllReduce(ProcessGroup& pg, float* data, size_t count,
                    Precision precision)
 {
-    if (precision == Precision::kFp32 || precision == Precision::kTf32) {
+    if (count == 0 || precision == Precision::kFp32 ||
+        precision == Precision::kTf32) {
+        // Zero-length reduces (data may be null) still synchronize; the
+        // backend guards the empty payload.
         pg.AllReduceSum(data, count);
         return;
     }

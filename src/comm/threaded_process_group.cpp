@@ -1,16 +1,22 @@
 #include "comm/threaded_process_group.h"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <functional>
+#include <sstream>
 
 #include "common/logging.h"
 
 namespace neo::comm {
 
-ThreadedWorld::ThreadedWorld(int size) : size_(size)
+ThreadedWorld::ThreadedWorld(int size) : ThreadedWorld(size, Options()) {}
+
+ThreadedWorld::ThreadedWorld(int size, Options options)
+    : size_(size), options_(options)
 {
     NEO_REQUIRE(size >= 1, "world size must be >= 1");
+    barrier_entries_.assign(size_, 0);
     ptr_board_.assign(size_, nullptr);
     size_board_.assign(size_, 0);
     a2a_board_.assign(size_, {});
@@ -30,9 +36,59 @@ ThreadedWorld::GetGroup(int rank)
 }
 
 void
-ThreadedWorld::Barrier()
+ThreadedWorld::AbortLocked(int rank, const std::string& cause, bool transient)
+{
+    if (aborted_) {
+        return;  // first failure wins; later ones are secondary
+    }
+    aborted_ = true;
+    abort_rank_ = rank;
+    abort_cause_ = cause;
+    abort_transient_ = transient;
+    barrier_cv_.notify_all();
+}
+
+void
+ThreadedWorld::Abort(int rank, const std::string& cause, bool transient)
+{
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    AbortLocked(rank, cause, transient);
+}
+
+bool
+ThreadedWorld::aborted() const
+{
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    return aborted_;
+}
+
+int
+ThreadedWorld::aborted_rank() const
+{
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    return aborted_ ? abort_rank_ : -1;
+}
+
+void
+ThreadedWorld::ThrowAbortedLocked() const
+{
+    throw RankFailure(abort_rank_, abort_cause_, abort_transient_);
+}
+
+void
+ThreadedWorld::Barrier(int rank)
+{
+    Barrier(rank, options_.barrier_timeout);
+}
+
+void
+ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
 {
     std::unique_lock<std::mutex> lock(barrier_mutex_);
+    if (aborted_) {
+        ThrowAbortedLocked();
+    }
+    barrier_entries_[rank]++;
     const uint64_t generation = barrier_generation_;
     if (++barrier_waiting_ == size_) {
         barrier_waiting_ = 0;
@@ -40,14 +96,92 @@ ThreadedWorld::Barrier()
         barrier_cv_.notify_all();
         return;
     }
-    barrier_cv_.wait(lock,
-                     [&] { return barrier_generation_ != generation; });
+    const auto released = [&] {
+        return barrier_generation_ != generation || aborted_;
+    };
+    if (timeout.count() > 0) {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        if (!barrier_cv_.wait_until(lock, deadline, released)) {
+            // Deadline expired with the barrier incomplete: blame the
+            // rank that has made the least barrier progress (the absent
+            // straggler) and poison the world so everyone fails alike.
+            // Transient: a straggler may yet arrive, so recovery is
+            // worth attempting.
+            int straggler = rank;
+            uint64_t fewest = barrier_entries_[rank];
+            for (int r = 0; r < size_; r++) {
+                if (barrier_entries_[r] < fewest) {
+                    fewest = barrier_entries_[r];
+                    straggler = r;
+                }
+            }
+            std::ostringstream cause;
+            cause << "barrier timeout after " << timeout.count()
+                  << " ms (stuck at " << fewest << " barrier entries vs "
+                  << barrier_entries_[rank] << " on detecting rank " << rank
+                  << ")";
+            AbortLocked(straggler, cause.str(), /*transient=*/true);
+        }
+    } else {
+        barrier_cv_.wait(lock, released);
+    }
+    // Throw only if THIS barrier is the one that failed. If the
+    // generation advanced, the barrier completed (every rank entered)
+    // before or concurrently with the abort; this rank must report
+    // success and let the next collective's entry check fail instead.
+    // Throwing retroactively out of a completed barrier would desync the
+    // retry schedule: this rank would replay a step its peers consider
+    // finished, and the off-by-one lineup deadlocks the world later.
+    if (barrier_generation_ == generation && aborted_) {
+        ThrowAbortedLocked();
+    }
+}
+
+bool
+ThreadedWorld::TryRecover(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    if (!aborted_) {
+        return true;
+    }
+    const uint64_t generation = recover_generation_;
+    if (++recover_waiting_ == size_) {
+        recover_waiting_ = 0;
+        recover_generation_++;
+        // Full world rendezvoused: clear the poison and restart barrier
+        // state so the next collective begins from a clean slate. Entry
+        // counters reset too — ranks aborted a multi-barrier collective
+        // at different depths, and stale counts would misname stragglers.
+        aborted_ = false;
+        abort_rank_ = -1;
+        abort_cause_.clear();
+        abort_transient_ = false;
+        barrier_waiting_ = 0;
+        barrier_generation_++;
+        std::fill(barrier_entries_.begin(), barrier_entries_.end(), 0);
+        barrier_cv_.notify_all();
+        return true;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const bool recovered = barrier_cv_.wait_until(
+        lock, deadline, [&] { return recover_generation_ != generation; });
+    if (!recovered) {
+        recover_waiting_--;
+    }
+    return recovered;
 }
 
 void
 ThreadedWorld::Run(int size, const std::function<void(int, ProcessGroup&)>& fn)
 {
-    ThreadedWorld world(size);
+    Run(size, Options{}, fn);
+}
+
+void
+ThreadedWorld::Run(int size, const Options& options,
+                   const std::function<void(int, ProcessGroup&)>& fn)
+{
+    ThreadedWorld world(size, options);
     std::vector<std::thread> threads;
     std::vector<std::exception_ptr> errors(size);
     threads.reserve(size);
@@ -55,13 +189,26 @@ ThreadedWorld::Run(int size, const std::function<void(int, ProcessGroup&)>& fn)
         threads.emplace_back([&, r] {
             try {
                 fn(r, world.GetGroup(r));
+            } catch (const std::exception& e) {
+                errors[r] = std::current_exception();
+                // Poison the world so peers unblock with RankFailure
+                // instead of hanging at their next barrier. No-op if the
+                // world is already poisoned (this is a secondary failure).
+                world.Abort(r, e.what());
             } catch (...) {
                 errors[r] = std::current_exception();
+                world.Abort(r, "unknown exception");
             }
         });
     }
     for (auto& t : threads) {
         t.join();
+    }
+    // Rethrow the originating rank's exception in preference to the
+    // secondary RankFailures it caused on other ranks.
+    const int origin = world.aborted_rank();
+    if (origin >= 0 && errors[origin]) {
+        std::rethrow_exception(errors[origin]);
     }
     for (auto& e : errors) {
         if (e) {
@@ -71,56 +218,78 @@ ThreadedWorld::Run(int size, const std::function<void(int, ProcessGroup&)>& fn)
 }
 
 void
+ThreadedProcessGroup::MaybeInject(CollectiveOp op, float* payload,
+                                  size_t count)
+{
+    const uint64_t seq = collective_seq_++;
+    FaultInjector* injector = world_->options_.injector;
+    if (injector != nullptr) {
+        injector->OnCollective(*world_, rank_, seq, op, payload, count);
+    }
+}
+
+void
 ThreadedProcessGroup::Barrier()
 {
+    MaybeInject(CollectiveOp::kBarrier, nullptr, 0);
+    world_->Barrier(rank_);
     stats_.calls++;
-    world_->Barrier();
+}
+
+void
+ThreadedProcessGroup::Barrier(std::chrono::milliseconds timeout)
+{
+    MaybeInject(CollectiveOp::kBarrier, nullptr, 0);
+    world_->Barrier(rank_, timeout);
+    stats_.calls++;
 }
 
 void
 ThreadedProcessGroup::AllReduceSum(float* data, size_t count)
 {
     ThreadedWorld& w = *world_;
+    MaybeInject(CollectiveOp::kAllReduce, data, count);
+    if (w.size() > 1 && count > 0) {
+        w.ptr_board_[rank_] = data;
+        w.size_board_[rank_] = count;
+        w.Barrier(rank_);  // pointers published
+
+        if (rank_ == 0) {
+            for (int r = 1; r < w.size(); r++) {
+                NEO_CHECK(w.size_board_[r] == count,
+                          "AllReduce count mismatch across ranks");
+            }
+            w.reduce_scratch_.resize(count);
+        }
+        w.Barrier(rank_);  // scratch sized
+
+        // Reduce-scatter phase: this rank owns chunk `rank_` and
+        // accumulates it in rank order for determinism.
+        const size_t n = static_cast<size_t>(w.size());
+        const size_t begin = count * static_cast<size_t>(rank_) / n;
+        const size_t end = count * static_cast<size_t>(rank_ + 1) / n;
+        for (size_t i = begin; i < end; i++) {
+            float sum = 0.0f;
+            for (int r = 0; r < w.size(); r++) {
+                sum += static_cast<const float*>(w.ptr_board_[r])[i];
+            }
+            w.reduce_scratch_[i] = sum;
+        }
+        w.Barrier(rank_);  // scratch complete
+
+        // All-gather phase: everyone copies the full reduced vector.
+        std::memcpy(data, w.reduce_scratch_.data(), count * sizeof(float));
+        w.Barrier(rank_);  // boards free for reuse
+    } else {
+        // A zero-length (or single-rank) reduce still synchronizes
+        // (collectives are barriers), but moves no data.
+        w.Barrier(rank_);
+    }
+    // Stats and traces account completed collectives only; an aborted
+    // collective throws above and must not be double-counted on retry.
     stats_.calls++;
     stats_.allreduce_bytes += count * sizeof(float);
     Record(CollectiveOp::kAllReduce, count * sizeof(float));
-    if (w.size() == 1 || count == 0) {
-        // A zero-length reduce still synchronizes (collectives are
-        // barriers), but moves no data.
-        w.Barrier();
-        return;
-    }
-
-    w.ptr_board_[rank_] = data;
-    w.size_board_[rank_] = count;
-    w.Barrier();  // pointers published
-
-    if (rank_ == 0) {
-        for (int r = 1; r < w.size(); r++) {
-            NEO_CHECK(w.size_board_[r] == count,
-                      "AllReduce count mismatch across ranks");
-        }
-        w.reduce_scratch_.resize(count);
-    }
-    w.Barrier();  // scratch sized
-
-    // Reduce-scatter phase: this rank owns chunk `rank_` and accumulates it
-    // in rank order for determinism.
-    const size_t n = static_cast<size_t>(w.size());
-    const size_t begin = count * static_cast<size_t>(rank_) / n;
-    const size_t end = count * static_cast<size_t>(rank_ + 1) / n;
-    for (size_t i = begin; i < end; i++) {
-        float sum = 0.0f;
-        for (int r = 0; r < w.size(); r++) {
-            sum += static_cast<const float*>(w.ptr_board_[r])[i];
-        }
-        w.reduce_scratch_[i] = sum;
-    }
-    w.Barrier();  // scratch complete
-
-    // All-gather phase: everyone copies the full reduced vector.
-    std::memcpy(data, w.reduce_scratch_.data(), count * sizeof(float));
-    w.Barrier();  // boards free for reuse
 }
 
 void
@@ -128,45 +297,53 @@ ThreadedProcessGroup::Broadcast(float* data, size_t count, int root)
 {
     ThreadedWorld& w = *world_;
     NEO_REQUIRE(root >= 0 && root < w.size(), "broadcast root out of range");
+    MaybeInject(CollectiveOp::kBroadcast, data, count);
+    if (w.size() > 1 && count > 0) {
+        w.ptr_board_[rank_] = data;
+        w.size_board_[rank_] = count;
+        w.Barrier(rank_);
+
+        if (rank_ != root) {
+            NEO_CHECK(w.size_board_[root] == count,
+                      "Broadcast count mismatch");
+            std::memcpy(data, w.ptr_board_[root], count * sizeof(float));
+        }
+        w.Barrier(rank_);
+    } else {
+        // Zero-length broadcast synchronizes without touching `data`,
+        // which may legitimately be null.
+        w.Barrier(rank_);
+    }
     stats_.calls++;
     if (rank_ == root) {
         stats_.broadcast_bytes += count * sizeof(float);
     }
     Record(CollectiveOp::kBroadcast, count * sizeof(float));
-    if (w.size() == 1) {
-        return;
-    }
-
-    w.ptr_board_[rank_] = data;
-    w.size_board_[rank_] = count;
-    w.Barrier();
-
-    if (rank_ != root) {
-        NEO_CHECK(w.size_board_[root] == count,
-                  "Broadcast count mismatch");
-        std::memcpy(data, w.ptr_board_[root], count * sizeof(float));
-    }
-    w.Barrier();
 }
 
 void
 ThreadedProcessGroup::AllGather(const float* in, size_t count, float* out)
 {
     ThreadedWorld& w = *world_;
+    MaybeInject(CollectiveOp::kAllGather, nullptr, 0);
+    if (count > 0) {
+        w.ptr_board_[rank_] = in;
+        w.size_board_[rank_] = count;
+        w.Barrier(rank_);
+
+        for (int r = 0; r < w.size(); r++) {
+            NEO_CHECK(w.size_board_[r] == count, "AllGather count mismatch");
+            std::memcpy(out + static_cast<size_t>(r) * count,
+                        w.ptr_board_[r], count * sizeof(float));
+        }
+        w.Barrier(rank_);
+    } else {
+        // Zero-length gather synchronizes; `in`/`out` may be null.
+        w.Barrier(rank_);
+    }
     stats_.calls++;
     stats_.allgather_bytes += count * sizeof(float);
     Record(CollectiveOp::kAllGather, count * sizeof(float));
-
-    w.ptr_board_[rank_] = in;
-    w.size_board_[rank_] = count;
-    w.Barrier();
-
-    for (int r = 0; r < w.size(); r++) {
-        NEO_CHECK(w.size_board_[r] == count, "AllGather count mismatch");
-        std::memcpy(out + static_cast<size_t>(r) * count, w.ptr_board_[r],
-                    count * sizeof(float));
-    }
-    w.Barrier();
 }
 
 void
@@ -174,27 +351,35 @@ ThreadedProcessGroup::ReduceScatterSum(const float* in, size_t count,
                                        float* out)
 {
     ThreadedWorld& w = *world_;
-    stats_.calls++;
-    stats_.reducescatter_bytes += count * sizeof(float) *
-                                  static_cast<size_t>(w.size());
-    Record(CollectiveOp::kReduceScatter,
-           count * sizeof(float) * static_cast<size_t>(w.size()));
+    MaybeInject(CollectiveOp::kReduceScatter, nullptr, 0);
+    if (count > 0) {
+        w.ptr_board_[rank_] = in;
+        w.size_board_[rank_] = count;
+        w.Barrier(rank_);
 
-    w.ptr_board_[rank_] = in;
-    w.size_board_[rank_] = count;
-    w.Barrier();
-
-    const size_t offset = static_cast<size_t>(rank_) * count;
-    for (size_t i = 0; i < count; i++) {
-        float sum = 0.0f;
+        // Validate the shared-count invariant once, not per element.
         for (int r = 0; r < w.size(); r++) {
             NEO_CHECK(w.size_board_[r] == count,
                       "ReduceScatter count mismatch");
-            sum += static_cast<const float*>(w.ptr_board_[r])[offset + i];
         }
-        out[i] = sum;
+        const size_t offset = static_cast<size_t>(rank_) * count;
+        for (size_t i = 0; i < count; i++) {
+            float sum = 0.0f;
+            for (int r = 0; r < w.size(); r++) {
+                sum += static_cast<const float*>(w.ptr_board_[r])[offset + i];
+            }
+            out[i] = sum;
+        }
+        w.Barrier(rank_);
+    } else {
+        // Zero-length reduce-scatter synchronizes; buffers may be null.
+        w.Barrier(rank_);
     }
-    w.Barrier();
+    stats_.calls++;
+    stats_.reducescatter_bytes +=
+        count * sizeof(float) * static_cast<size_t>(w.size());
+    Record(CollectiveOp::kReduceScatter,
+           count * sizeof(float) * static_cast<size_t>(w.size()));
 }
 
 void
@@ -205,29 +390,37 @@ ThreadedProcessGroup::AllToAllBytes(
     ThreadedWorld& w = *world_;
     NEO_REQUIRE(send_buffers.size() == static_cast<size_t>(w.size()),
                 "AllToAll needs one send buffer per rank");
-    stats_.calls++;
+    MaybeInject(CollectiveOp::kAllToAll, nullptr, 0);
     uint64_t total_send = 0;
+    uint64_t offrank_send = 0;
     for (int r = 0; r < w.size(); r++) {
         total_send += send_buffers[r].size();
         if (r != rank_) {
-            stats_.alltoall_bytes += send_buffers[r].size();
+            offrank_send += send_buffers[r].size();
         }
     }
-    Record(CollectiveOp::kAllToAll, total_send);
 
     auto& my_slots = w.a2a_board_[rank_];
     my_slots.resize(w.size());
     for (int r = 0; r < w.size(); r++) {
         my_slots[r] = {send_buffers[r].data(), send_buffers[r].size()};
     }
-    w.Barrier();
+    w.Barrier(rank_);
 
     recv_buffers.assign(w.size(), {});
     for (int src = 0; src < w.size(); src++) {
         const auto& [ptr, len] = w.a2a_board_[src][rank_];
-        recv_buffers[src].assign(ptr, ptr + len);
+        // Empty slots stay empty; `ptr` may be null for an empty vector
+        // and must not feed pointer arithmetic.
+        if (len > 0) {
+            recv_buffers[src].assign(ptr, ptr + len);
+        }
     }
-    w.Barrier();
+    w.Barrier(rank_);
+
+    stats_.calls++;
+    stats_.alltoall_bytes += offrank_send;
+    Record(CollectiveOp::kAllToAll, total_send);
 }
 
 }  // namespace neo::comm

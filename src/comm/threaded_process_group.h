@@ -8,9 +8,19 @@
  * every rank computes bitwise-identical results regardless of thread
  * scheduling — the determinism contract the paper's exact optimizers rely
  * on.
+ *
+ * Failure handling follows a poisoned-barrier protocol: a failing rank
+ * (an exception escaping its worker fn, an injected kill, or a missed
+ * barrier deadline) marks the world aborted and wakes every waiter; from
+ * then on every Barrier() — and therefore every collective, since all
+ * collectives barrier internally — throws RankFailure naming the
+ * originating rank. A job thus fails fast and symmetrically instead of
+ * hanging on the first absent rank. After a transient fault, TryRecover()
+ * lets all surviving ranks rendezvous and re-arm the world for a retry.
  */
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -18,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault.h"
 #include "comm/process_group.h"
 
 namespace neo::comm {
@@ -31,8 +42,23 @@ class ThreadedProcessGroup;
 class ThreadedWorld
 {
   public:
-    /** Create a world with `size` ranks. */
+    /** Failure-handling knobs for a world. */
+    struct Options {
+        /**
+         * Default deadline applied to every barrier (and therefore every
+         * collective). Zero or negative waits forever — the pre-fault-
+         * tolerance behaviour.
+         */
+        std::chrono::milliseconds barrier_timeout{60000};
+        /** Optional deterministic fault injector; not owned. */
+        FaultInjector* injector = nullptr;
+    };
+
+    /** Create a world with `size` ranks and default options. */
     explicit ThreadedWorld(int size);
+
+    /** Create a world with explicit failure-handling options. */
+    ThreadedWorld(int size, Options options);
     ~ThreadedWorld();
 
     ThreadedWorld(const ThreadedWorld&) = delete;
@@ -45,23 +71,79 @@ class ThreadedWorld
 
     /**
      * Convenience: spawn `size` threads running fn(rank, pg) and join them.
-     * Exceptions from workers are rethrown (first one wins).
+     * An exception escaping one rank's fn poisons the world, so every
+     * other rank unblocks with RankFailure instead of hanging; the
+     * originating rank's exception is rethrown in preference to the
+     * secondary RankFailures.
      */
     static void Run(int size,
                     const std::function<void(int, ProcessGroup&)>& fn);
 
+    /** Run with explicit failure-handling options and fault injection. */
+    static void Run(int size, const Options& options,
+                    const std::function<void(int, ProcessGroup&)>& fn);
+
+    /**
+     * Poison the world on behalf of `rank`: record the cause (first abort
+     * wins) and wake every barrier waiter, which then throw RankFailure.
+     * Idempotent and thread-safe.
+     */
+    void Abort(int rank, const std::string& cause, bool transient = false);
+
+    /** True once the world has been poisoned. */
+    bool aborted() const;
+
+    /** Rank blamed for the poisoning (-1 when not aborted). */
+    int aborted_rank() const;
+
+    /**
+     * Collective recovery rendezvous after a transient fault: resets the
+     * abort flag and all barrier state once every rank has arrived.
+     * Returns false (leaving the world poisoned) if the full world does
+     * not rendezvous within `timeout` — i.e. some rank is truly dead.
+     */
+    bool TryRecover(std::chrono::milliseconds timeout);
+
   private:
     friend class ThreadedProcessGroup;
 
-    /** Central sense-reversing barrier across all ranks. */
-    void Barrier();
+    /**
+     * Central sense-reversing barrier across all ranks, with a deadline.
+     * Throws RankFailure if the world is (or becomes) aborted, or if the
+     * deadline expires — in which case the waiter names the slowest
+     * absent rank and poisons the world first.
+     */
+    void Barrier(int rank, std::chrono::milliseconds timeout);
+
+    /** Barrier with the world's default timeout. */
+    void Barrier(int rank);
+
+    /** Record the abort; requires barrier_mutex_ held. */
+    void AbortLocked(int rank, const std::string& cause, bool transient);
+
+    /** Throw RankFailure from the stored abort info; lock must be held. */
+    [[noreturn]] void ThrowAbortedLocked() const;
 
     int size_;
+    Options options_;
 
-    std::mutex barrier_mutex_;
+    mutable std::mutex barrier_mutex_;
     std::condition_variable barrier_cv_;
     int barrier_waiting_ = 0;
     uint64_t barrier_generation_ = 0;
+    /** Lifetime barrier-entry count per rank; lowest = straggler. */
+    std::vector<uint64_t> barrier_entries_;
+
+    /** Poisoned-world state (first abort wins). */
+    bool aborted_ = false;
+    int abort_rank_ = -1;
+    std::string abort_cause_;
+    bool abort_transient_ = false;
+
+    /** Recovery rendezvous (separate generation so it works while
+     *  poisoned). */
+    int recover_waiting_ = 0;
+    uint64_t recover_generation_ = 0;
 
     /** Pointer board: one slot per rank, repurposed per collective. */
     std::vector<const void*> ptr_board_;
@@ -85,6 +167,7 @@ class ThreadedProcessGroup : public ProcessGroup
     int Size() const override { return world_->size(); }
 
     void Barrier() override;
+    void Barrier(std::chrono::milliseconds timeout) override;
     void AllReduceSum(float* data, size_t count) override;
     void Broadcast(float* data, size_t count, int root) override;
     void AllGather(const float* in, size_t count, float* out) override;
@@ -93,6 +176,12 @@ class ThreadedProcessGroup : public ProcessGroup
     void AllToAllBytes(
         const std::vector<std::vector<uint8_t>>& send_buffers,
         std::vector<std::vector<uint8_t>>& recv_buffers) override;
+
+    bool Healthy() const override { return !world_->aborted(); }
+    bool Recover(std::chrono::milliseconds timeout) override
+    {
+        return world_->TryRecover(timeout);
+    }
 
     CommStats Stats() const override { return stats_; }
 
@@ -111,8 +200,18 @@ class ThreadedProcessGroup : public ProcessGroup
         }
     }
 
+    /**
+     * Advance this rank's collective call counter and give the armed
+     * fault injector (if any) a chance to fire. Called at the top of
+     * every collective, before any shared-board traffic, so stats and
+     * traces only ever record completed collectives.
+     */
+    void MaybeInject(CollectiveOp op, float* payload, size_t count);
+
     ThreadedWorld* world_;
     int rank_;
+    /** Collective calls issued (not necessarily completed) by this rank. */
+    uint64_t collective_seq_ = 0;
     CommStats stats_;
     std::vector<TraceEvent>* trace_ = nullptr;
 };

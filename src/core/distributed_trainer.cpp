@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <thread>
 
 #include "common/logging.h"
 #include "data/jagged.h"
@@ -419,6 +420,45 @@ DistributedDlrm::TrainStep(const data::Batch& local_batch)
 {
     PreparedInput prepared = PrepareInput(local_batch);
     return TrainStepPrepared(prepared);
+}
+
+StepResult
+DistributedDlrm::TrainStepWithRecovery(const data::Batch& local_batch)
+{
+    StepResult result;
+    while (true) {
+        result.attempts++;
+        try {
+            result.loss = TrainStep(local_batch);
+            result.ok = true;
+            return result;
+        } catch (const comm::RankFailure& failure) {
+            result.failures.push_back({failure.failed_rank(),
+                                       failure.cause(), result.attempts,
+                                       failure.transient()});
+            if (!failure.transient() ||
+                result.attempts > options_.max_step_retries) {
+                return result;
+            }
+            // Exponential backoff, then an all-rank rendezvous to re-arm
+            // the communicator. Every surviving rank runs this same
+            // path (they all received the same RankFailure), so the
+            // rendezvous either completes everywhere or times out
+            // everywhere — no rank is left retrying alone.
+            std::this_thread::sleep_for(options_.retry_backoff *
+                                        (1ll << (result.attempts - 1)));
+            if (!pg_.Recover(options_.recover_timeout)) {
+                result.failures.push_back(
+                    {failure.failed_rank(),
+                     "recovery rendezvous timed out; rank did not return",
+                     result.attempts, false});
+                return result;
+            }
+            Warn("rank ", rank_, ": step attempt ", result.attempts,
+                 " lost to failure of rank ", failure.failed_rank(),
+                 " (", failure.cause(), "); retrying");
+        }
+    }
 }
 
 void

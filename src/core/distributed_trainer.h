@@ -18,8 +18,10 @@
  */
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "comm/process_group.h"
 #include "comm/quantized.h"
@@ -40,6 +42,43 @@ struct DistributedOptions {
     Precision backward_alltoall = Precision::kFp32;
     /** Use the exact (sorted/merged) sparse update; false = naive path. */
     bool exact_sparse_update = true;
+
+    // ---- failure handling (TrainStepWithRecovery) ----
+
+    /** Step retries after a transient RankFailure (0 = fail fast). */
+    int max_step_retries = 0;
+    /** Backoff before retry k is `retry_backoff << (k - 1)`. */
+    std::chrono::milliseconds retry_backoff{10};
+    /** Deadline for the all-rank recovery rendezvous after a failure. */
+    std::chrono::milliseconds recover_timeout{2000};
+};
+
+/** One failed training-step attempt, as observed by this rank. */
+struct StepFailure {
+    /** Rank the communicator blamed for the failure. */
+    int failed_rank = -1;
+    /** Originating cause, from RankFailure::cause(). */
+    std::string cause;
+    /** 1-based attempt number that failed. */
+    int attempt = 0;
+    /** Whether the fault was reported transient (retry-worthy). */
+    bool transient = false;
+};
+
+/**
+ * Structured outcome of a fault-tolerant training step: instead of
+ * hanging (the old behaviour) or unwinding the whole worker, each rank
+ * reports what happened — success (possibly after retries) or a bounded
+ * failure naming the guilty rank.
+ */
+struct StepResult {
+    bool ok = false;
+    /** Global mean loss; valid when ok. */
+    double loss = 0.0;
+    /** Attempts made (1 = first try succeeded). */
+    int attempts = 0;
+    /** One record per failed attempt, in order. */
+    std::vector<StepFailure> failures;
 };
 
 /** One worker's view of the distributed model. */
@@ -80,6 +119,18 @@ class DistributedDlrm
 
     /** Convenience: PrepareInput + TrainStepPrepared. */
     double TrainStep(const data::Batch& local_batch);
+
+    /**
+     * Fault-tolerant TrainStep: catches comm::RankFailure and returns a
+     * structured per-rank report instead of unwinding. When the failure
+     * is transient and `max_step_retries` allows, every rank backs off
+     * exponentially, rendezvouses via ProcessGroup::Recover, and retries
+     * the step from PrepareInput. Retried steps have at-least-once
+     * update semantics: an attempt that failed after its sparse/dense
+     * optimizer updates re-applies them on retry (exactly-once would
+     * need a checkpoint rollback, see core/checkpoint).
+     */
+    StepResult TrainStepWithRecovery(const data::Batch& local_batch);
 
     /** Forward-only logits for this worker's local batch (collective). */
     void Predict(const data::Batch& local_batch, Matrix& logits);

@@ -5,19 +5,27 @@ namespace neo::core {
 std::optional<double>
 PipelinedTrainer::Push(const data::Batch& local_batch)
 {
-    // Stage 1: distribute the incoming batch's sparse inputs (the
-    // AllToAll that would overlap compute on hardware).
-    DistributedDlrm::PreparedInput next =
-        trainer_.PrepareInput(local_batch);
+    try {
+        // Stage 1: distribute the incoming batch's sparse inputs (the
+        // AllToAll that would overlap compute on hardware).
+        DistributedDlrm::PreparedInput next =
+            trainer_.PrepareInput(local_batch);
 
-    // Stage 2: train the previously prepared batch.
-    std::optional<double> loss;
-    if (pending_.has_value()) {
-        loss = trainer_.TrainStepPrepared(*pending_);
-        steps_completed_++;
+        // Stage 2: train the previously prepared batch.
+        std::optional<double> loss;
+        if (pending_.has_value()) {
+            loss = trainer_.TrainStepPrepared(*pending_);
+            steps_completed_++;
+        }
+        pending_ = std::move(next);
+        return loss;
+    } catch (const comm::RankFailure&) {
+        // The prepared batch's place in the collective schedule is lost
+        // once the world aborts; drop it so a recovered pipeline restarts
+        // from a clean prime instead of replaying half a schedule.
+        pending_.reset();
+        throw;
     }
-    pending_ = std::move(next);
-    return loss;
 }
 
 std::optional<double>
@@ -26,10 +34,15 @@ PipelinedTrainer::Flush()
     if (!pending_.has_value()) {
         return std::nullopt;
     }
-    const double loss = trainer_.TrainStepPrepared(*pending_);
-    steps_completed_++;
-    pending_.reset();
-    return loss;
+    try {
+        const double loss = trainer_.TrainStepPrepared(*pending_);
+        steps_completed_++;
+        pending_.reset();
+        return loss;
+    } catch (const comm::RankFailure&) {
+        pending_.reset();
+        throw;
+    }
 }
 
 }  // namespace neo::core

@@ -1,5 +1,7 @@
 #include "ps/async_ps_trainer.h"
 
+#include <stdexcept>
+
 #include "common/logging.h"
 
 namespace neo::ps {
@@ -107,21 +109,65 @@ AsyncPsTrainer::TrainMicroStep(Trainer& trainer, const data::Batch& batch)
     return loss;
 }
 
+void
+AsyncPsTrainer::FailTrainer(int index, const std::string& cause)
+{
+    NEO_REQUIRE(index >= 0 &&
+                    index < static_cast<int>(trainers_.size()),
+                "trainer index out of range");
+    if (trainers_[index].failed) {
+        return;
+    }
+    trainers_[index].failed = true;
+    failures_.push_back({index, samples_seen_, cause});
+    Warn("ps trainer ", index, " failed (", cause, "); ",
+         NumHealthyTrainers(), " of ", trainers_.size(),
+         " trainers remain");
+}
+
+int
+AsyncPsTrainer::NumHealthyTrainers() const
+{
+    int healthy = 0;
+    for (const auto& t : trainers_) {
+        healthy += t.failed ? 0 : 1;
+    }
+    return healthy;
+}
+
 double
 AsyncPsTrainer::Step(data::SyntheticCtrDataset& dataset)
 {
-    Trainer& trainer = trainers_[next_trainer_];
-    next_trainer_ = (next_trainer_ + 1) % ps_config_.num_trainers;
+    // Round-robin over healthy trainers; dead ones lose their turn, so a
+    // failure degrades throughput (and staleness) without stopping the
+    // job. Every failure path below is bounded by the trainer count.
+    for (int probe = 0; probe < ps_config_.num_trainers; probe++) {
+        const int index = next_trainer_;
+        next_trainer_ = (next_trainer_ + 1) % ps_config_.num_trainers;
+        Trainer& trainer = trainers_[index];
+        if (trainer.failed) {
+            continue;
+        }
 
-    const data::Batch batch = dataset.NextBatch(ps_config_.batch_size);
-    const double loss = TrainMicroStep(trainer, batch);
-    samples_seen_ += batch.size();
+        const data::Batch batch = dataset.NextBatch(ps_config_.batch_size);
+        double loss = 0.0;
+        try {
+            loss = TrainMicroStep(trainer, batch);
+        } catch (const std::exception& e) {
+            FailTrainer(index, e.what());
+            continue;
+        }
+        samples_seen_ += batch.size();
 
-    trainer.steps++;
-    if (trainer.steps % ps_config_.sync_period == 0) {
-        EasgdSync(trainer);
+        trainer.steps++;
+        if (trainer.steps % ps_config_.sync_period == 0) {
+            EasgdSync(trainer);
+        }
+        return loss;
     }
-    return loss;
+    throw std::runtime_error(
+        "async PS: all " + std::to_string(ps_config_.num_trainers) +
+        " trainers have failed");
 }
 
 void

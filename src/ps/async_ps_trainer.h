@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/dlrm_config.h"
@@ -41,6 +42,15 @@ struct PsConfig {
     float easgd_alpha = 0.4f;
 };
 
+/** One failed virtual trainer, for the degraded-mode report. */
+struct TrainerFailure {
+    /** Index of the trainer that died. */
+    int trainer = -1;
+    /** Samples the job had consumed when it died. */
+    uint64_t at_sample = 0;
+    std::string cause;
+};
+
 /** Deterministic emulation of the async PS training system. */
 class AsyncPsTrainer
 {
@@ -50,9 +60,29 @@ class AsyncPsTrainer
     /**
      * Advance one trainer micro-step (round-robin over trainers), pulling
      * one batch from `dataset`.
-     * @return That trainer's mini-batch loss.
+     *
+     * Degrades gracefully: a trainer whose micro-step throws is marked
+     * failed and recorded (see failures()); the job continues round-robin
+     * over the surviving trainers — mirroring how the async PS system
+     * tolerates worker loss, at the cost of throughput, where the sync
+     * system must recover the collective. Throws only when no healthy
+     * trainer remains.
+     *
+     * @return The stepped trainer's mini-batch loss.
      */
     double Step(data::SyntheticCtrDataset& dataset);
+
+    /** Administratively kill one trainer (fault injection / tests). */
+    void FailTrainer(int index, const std::string& cause);
+
+    /** Trainers still participating in the round-robin. */
+    int NumHealthyTrainers() const;
+
+    /** Structured report of every trainer death, in order. */
+    const std::vector<TrainerFailure>& failures() const
+    {
+        return failures_;
+    }
 
     /** Evaluate NE using the server's center model. */
     void Evaluate(const data::Batch& batch, NormalizedEntropy& ne);
@@ -71,6 +101,8 @@ class AsyncPsTrainer
         std::vector<size_t> bottom_slots;
         std::vector<size_t> top_slots;
         int steps = 0;
+        /** Dead trainers are skipped by the round-robin. */
+        bool failed = false;
     };
 
     /** Elastic averaging between one trainer and the server center. */
@@ -91,6 +123,7 @@ class AsyncPsTrainer
     std::vector<Trainer> trainers_;
     int next_trainer_ = 0;
     uint64_t samples_seen_ = 0;
+    std::vector<TrainerFailure> failures_;
 };
 
 }  // namespace neo::ps

@@ -15,6 +15,33 @@ CommModel::Alpha(int num_gpus) const
     return base_latency_ + per_message_overhead_ * num_gpus;
 }
 
+double
+CommModel::WithFaults(double seconds) const
+{
+    double s = seconds + faults_.straggler_delay_s;
+    const double p =
+        std::clamp(faults_.failure_rate_per_collective, 0.0, 0.999);
+    if (p > 0.0) {
+        // Geometric number of aborted attempts before the one that
+        // completes; each aborted attempt burns the collective time plus
+        // the detection deadline and the recovery rendezvous.
+        const double expected_aborts = p / (1.0 - p);
+        s += expected_aborts *
+             (s + faults_.detect_timeout_s + faults_.recovery_overhead_s);
+    }
+    return s;
+}
+
+CommEstimate
+CommModel::Finalize(double seconds, double algo_bytes, double bus_bytes)
+{
+    CommEstimate est;
+    est.seconds = seconds;
+    est.algo_bandwidth = algo_bytes / seconds;
+    est.bus_bandwidth = bus_bytes / seconds;
+    return est;
+}
+
 CommEstimate
 CommModel::AllToAll(double bytes_per_gpu, int num_gpus) const
 {
@@ -44,21 +71,13 @@ CommModel::AllToAll(double bytes_per_gpu, int num_gpus) const
     const double intra_time = intra_bytes / node.scaleup_bw;
     // Intra- and inter-node transfers overlap; the slower path dominates,
     // plus the latency term.
-    est.seconds = Alpha(num_gpus) + std::max(inter_time, intra_time);
-    est.algo_bandwidth = bytes_per_gpu / est.seconds;
-    est.bus_bandwidth = egress / est.seconds;
-    return est;
+    const double raw = Alpha(num_gpus) + std::max(inter_time, intra_time);
+    return Finalize(WithFaults(raw), bytes_per_gpu, egress);
 }
 
-CommEstimate
-CommModel::AllReduce(double bytes, int num_gpus) const
+double
+CommModel::AllReduceRawSeconds(double bytes, int num_gpus) const
 {
-    NEO_REQUIRE(num_gpus >= 1, "need at least one GPU");
-    CommEstimate est;
-    if (num_gpus == 1 || bytes <= 0) {
-        est.seconds = bytes > 0 ? base_latency_ : 0.0;
-        return est;
-    }
     const NodeSpec& node = cluster_.node;
     const int g = std::min(num_gpus, node.gpus_per_node);
     const int nodes = (num_gpus + node.gpus_per_node - 1) /
@@ -74,23 +93,38 @@ CommModel::AllReduce(double bytes, int num_gpus) const
         inter = 2.0 * (bytes / g) * (nodes - 1.0) / nodes /
                 (node_bw / g);
     }
-    est.seconds = Alpha(num_gpus) + intra + inter;
+    return Alpha(num_gpus) + intra + inter;
+}
+
+CommEstimate
+CommModel::AllReduce(double bytes, int num_gpus) const
+{
+    NEO_REQUIRE(num_gpus >= 1, "need at least one GPU");
+    CommEstimate est;
+    if (num_gpus == 1 || bytes <= 0) {
+        est.seconds = bytes > 0 ? base_latency_ : 0.0;
+        return est;
+    }
     const double w = num_gpus;
-    est.bus_bandwidth = 2.0 * bytes * (w - 1.0) / w / est.seconds;
-    est.algo_bandwidth = bytes / est.seconds;
-    return est;
+    const double raw = AllReduceRawSeconds(bytes, num_gpus);
+    return Finalize(WithFaults(raw), bytes, 2.0 * bytes * (w - 1.0) / w);
 }
 
 CommEstimate
 CommModel::ReduceScatter(double bytes, int num_gpus) const
 {
-    CommEstimate est = AllReduce(bytes, num_gpus);
-    // One of the two ring phases.
-    est.seconds = Alpha(num_gpus) + (est.seconds - Alpha(num_gpus)) / 2.0;
+    NEO_REQUIRE(num_gpus >= 1, "need at least one GPU");
+    CommEstimate est;
+    if (num_gpus == 1 || bytes <= 0) {
+        est.seconds = bytes > 0 ? base_latency_ : 0.0;
+        return est;
+    }
+    // One of the two ring phases of the fault-free AllReduce.
+    const double ar_raw = AllReduceRawSeconds(bytes, num_gpus);
+    const double raw =
+        Alpha(num_gpus) + (ar_raw - Alpha(num_gpus)) / 2.0;
     const double w = num_gpus;
-    est.bus_bandwidth = bytes * (w - 1.0) / w / est.seconds;
-    est.algo_bandwidth = bytes / est.seconds;
-    return est;
+    return Finalize(WithFaults(raw), bytes, bytes * (w - 1.0) / w);
 }
 
 CommEstimate

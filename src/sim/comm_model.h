@@ -21,6 +21,25 @@ struct CommEstimate {
     double algo_bandwidth = 0.0;
 };
 
+/**
+ * Reliability model for a cluster's collectives. BSP collectives finish at
+ * the slowest rank, so a straggler's delay is paid in full on every call;
+ * a failed collective costs its detection deadline plus abort-propagation
+ * and recovery overhead, then is retried (geometric expectation). Mirrors
+ * the runtime behaviour of neo::comm's poisoned-barrier protocol, so a
+ * fault-injected functional run and a modeled run degrade the same way.
+ */
+struct FaultModel {
+    /** Extra latency the slowest rank adds to every collective (s). */
+    double straggler_delay_s = 0.0;
+    /** Probability one collective aborts and must be retried. */
+    double failure_rate_per_collective = 0.0;
+    /** Barrier deadline paid before an abort is detected (s). */
+    double detect_timeout_s = 0.010;
+    /** Abort propagation + recovery rendezvous overhead per failure (s). */
+    double recovery_overhead_s = 0.050;
+};
+
 /** Collective latency/bandwidth estimator for a cluster. */
 class CommModel
 {
@@ -42,13 +61,35 @@ class CommModel
     /** AllGather producing `bytes` output per GPU. */
     CommEstimate AllGather(double bytes, int num_gpus) const;
 
+    /** Install a reliability model applied to every estimate. */
+    void SetFaultModel(const FaultModel& faults) { faults_ = faults; }
+
+    const FaultModel& fault_model() const { return faults_; }
+
     const ClusterSpec& cluster() const { return cluster_; }
 
   private:
     /** Latency term: base + per-peer message costs. */
     double Alpha(int num_gpus) const;
 
+    /**
+     * Expected wall time of one collective whose fault-free time is
+     * `seconds`, under the installed fault model: straggler delay on
+     * every call, plus expected aborted attempts (each costing the
+     * failed fraction, detection deadline and recovery) before the one
+     * that completes.
+     */
+    double WithFaults(double seconds) const;
+
+    /** Fault-free AllReduce time (latency + ring phases). */
+    double AllReduceRawSeconds(double bytes, int num_gpus) const;
+
+    /** Package a time with its algorithm/bus byte counts. */
+    static CommEstimate Finalize(double seconds, double algo_bytes,
+                                 double bus_bytes);
+
     ClusterSpec cluster_;
+    FaultModel faults_;
     /** Fraction of link rate AllToAll traffic achieves under incast. */
     double alltoall_efficiency_ = 0.67;
     /** Base collective launch latency (seconds). */

@@ -3,12 +3,16 @@
  * Tests for the threaded collective-communication backend: correctness of
  * every collective against a single-threaded reference across world sizes
  * (parameterized), determinism of reductions, ragged AllToAllv, quantized
- * collectives and traffic accounting.
+ * collectives, traffic accounting, and the fault-tolerance layer (abort
+ * propagation, barrier deadlines, fault injection, recovery).
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 
+#include "comm/fault.h"
 #include "comm/quantized.h"
 #include "comm/threaded_process_group.h"
 #include "common/rng.h"
@@ -286,6 +290,261 @@ TEST(Quantized, QuantizedAllReduceStaysClose)
     });
 }
 
+// ------------------------------------------------------ Fault tolerance
+
+TEST(FaultTolerance, ThrowingRankRethrowsWithoutDeadlock)
+{
+    // Regression: before the abort protocol, a rank that threw inside
+    // Run left every other rank blocked forever in Barrier(), so this
+    // test hung instead of failing.
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<int> blamed(4, -1);
+    bool rethrown = false;
+    try {
+        ThreadedWorld::Run(4, [&](int rank, ProcessGroup& pg) {
+            if (rank == 2) {
+                throw std::runtime_error("boom on rank 2");
+            }
+            std::vector<float> buf(64, 1.0f);
+            try {
+                pg.AllReduceSum(buf.data(), buf.size());
+            } catch (const RankFailure& f) {
+                blamed[rank] = f.failed_rank();
+                EXPECT_NE(f.cause().find("boom"), std::string::npos);
+            }
+        });
+    } catch (const std::runtime_error& e) {
+        rethrown = true;
+        // The originating exception wins over secondary RankFailures.
+        EXPECT_NE(std::string(e.what()).find("boom on rank 2"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(rethrown);
+    EXPECT_EQ(blamed[0], 2);
+    EXPECT_EQ(blamed[1], 2);
+    EXPECT_EQ(blamed[3], 2);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(20));
+}
+
+TEST(FaultTolerance, KilledRankNamedByEveryRank)
+{
+    FaultInjector injector;
+    FaultSpec kill;
+    kill.rank = 1;
+    kill.call_index = 0;
+    kill.kind = FaultKind::kKill;
+    injector.Arm(kill);
+    ThreadedWorld::Options options;
+    options.injector = &injector;
+
+    bool rethrown = false;
+    try {
+        ThreadedWorld::Run(4, options, [&](int rank, ProcessGroup& pg) {
+            std::vector<float> buf(8, static_cast<float>(rank));
+            pg.AllReduceSum(buf.data(), buf.size());
+        });
+    } catch (const RankFailure& f) {
+        rethrown = true;
+        EXPECT_EQ(f.failed_rank(), 1);
+        EXPECT_TRUE(f.transient());
+        EXPECT_NE(f.cause().find("injected kill"), std::string::npos);
+    }
+    EXPECT_TRUE(rethrown);
+    ASSERT_EQ(injector.Fired().size(), 1u);
+    EXPECT_EQ(injector.Fired()[0].op, CollectiveOp::kAllReduce);
+    EXPECT_EQ(injector.NumArmed(), 0u);
+}
+
+TEST(FaultTolerance, BarrierTimeoutNamesStraggler)
+{
+    FaultInjector injector;
+    FaultSpec lag;
+    lag.rank = 2;
+    lag.call_index = 0;
+    lag.kind = FaultKind::kDelay;
+    lag.delay = std::chrono::milliseconds(400);
+    injector.Arm(lag);
+    ThreadedWorld::Options options;
+    options.barrier_timeout = std::chrono::milliseconds(50);
+    options.injector = &injector;
+
+    std::vector<int> blamed(4, -1);
+    std::vector<std::string> causes(4);
+    ThreadedWorld::Run(4, options, [&](int rank, ProcessGroup& pg) {
+        float x = 1.0f;
+        try {
+            pg.AllReduceSum(&x, 1);
+        } catch (const RankFailure& f) {
+            blamed[rank] = f.failed_rank();
+            causes[rank] = f.cause();
+        }
+    });
+    for (int r = 0; r < 4; r++) {
+        EXPECT_EQ(blamed[r], 2) << "rank " << r;
+        EXPECT_NE(causes[r].find("timeout"), std::string::npos)
+            << causes[r];
+    }
+}
+
+TEST(FaultTolerance, StragglerWithinDeadlineIsAbsorbed)
+{
+    FaultInjector injector;
+    FaultSpec lag;
+    lag.rank = 0;
+    lag.call_index = 0;
+    lag.kind = FaultKind::kDelay;
+    lag.delay = std::chrono::milliseconds(30);
+    injector.Arm(lag);
+    ThreadedWorld::Options options;
+    options.barrier_timeout = std::chrono::milliseconds(5000);
+    options.injector = &injector;
+
+    ThreadedWorld::Run(3, options, [&](int rank, ProcessGroup& pg) {
+        float x = static_cast<float>(rank);
+        pg.AllReduceSum(&x, 1);
+        ASSERT_EQ(x, 3.0f);
+    });
+}
+
+TEST(FaultTolerance, ExplicitBarrierDeadline)
+{
+    std::vector<int> blamed(2, -1);
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        if (rank == 1) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        }
+        try {
+            pg.Barrier(std::chrono::milliseconds(rank == 0 ? 50 : 5000));
+        } catch (const RankFailure& f) {
+            blamed[rank] = f.failed_rank();
+        }
+    });
+    EXPECT_EQ(blamed[0], 1);  // deadline expired waiting for rank 1
+    EXPECT_EQ(blamed[1], 1);  // world already poisoned on arrival
+}
+
+TEST(FaultTolerance, CorruptFaultPoisonsPayloadDeterministically)
+{
+    FaultInjector injector;
+    FaultSpec corrupt;
+    corrupt.rank = 0;
+    corrupt.call_index = 0;
+    corrupt.kind = FaultKind::kCorrupt;
+    corrupt.corrupt_value = 100.0f;
+    injector.Arm(corrupt);
+    ThreadedWorld::Options options;
+    options.injector = &injector;
+
+    ThreadedWorld::Run(2, options, [&](int, ProcessGroup& pg) {
+        std::vector<float> buf(4, 1.0f);
+        pg.AllReduceSum(buf.data(), buf.size());
+        for (float x : buf) {
+            ASSERT_EQ(x, 101.0f);  // corrupted 100 + honest 1
+        }
+    });
+}
+
+TEST(FaultTolerance, TransientKillRecoveredByRetry)
+{
+    FaultInjector injector;
+    FaultSpec kill;
+    kill.rank = 0;
+    kill.call_index = 2;  // third AllReduce call on rank 0
+    kill.kind = FaultKind::kKill;
+    kill.transient = true;
+    injector.Arm(kill);
+    ThreadedWorld::Options options;
+    options.barrier_timeout = std::chrono::milliseconds(5000);
+    options.injector = &injector;
+
+    std::vector<int> retries(3, 0);
+    ThreadedWorld::Run(3, options, [&](int rank, ProcessGroup& pg) {
+        for (int step = 0; step < 5; step++) {
+            float x = static_cast<float>(rank + step);
+            for (;;) {
+                try {
+                    pg.AllReduceSum(&x, 1);
+                    break;
+                } catch (const RankFailure& f) {
+                    ASSERT_TRUE(f.transient());
+                    retries[rank]++;
+                    ASSERT_TRUE(
+                        pg.Recover(std::chrono::milliseconds(2000)));
+                    x = static_cast<float>(rank + step);
+                }
+            }
+            ASSERT_EQ(x, static_cast<float>(3 + 3 * step)) << step;
+        }
+        EXPECT_TRUE(pg.Healthy());
+    });
+    // Every rank lost exactly the one injected step and recovered.
+    EXPECT_EQ(retries, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(FaultTolerance, RecoveryFailsWhenRankIsPermanentlyDead)
+{
+    ThreadedWorld::Options options;
+    options.barrier_timeout = std::chrono::milliseconds(100);
+
+    std::vector<int> recovered(3, -1);
+    ThreadedWorld::Run(3, options, [&](int rank, ProcessGroup& pg) {
+        if (rank == 1) {
+            return;  // dead before its first collective
+        }
+        float x = 1.0f;
+        try {
+            pg.AllReduceSum(&x, 1);
+            ADD_FAILURE() << "collective must not complete";
+        } catch (const RankFailure& f) {
+            EXPECT_EQ(f.failed_rank(), 1);
+            recovered[rank] =
+                pg.Recover(std::chrono::milliseconds(100)) ? 1 : 0;
+            EXPECT_FALSE(pg.Healthy());
+        }
+    });
+    EXPECT_EQ(recovered[0], 0);
+    EXPECT_EQ(recovered[2], 0);
+}
+
+TEST(FaultTolerance, AbortedCollectiveNotCountedInStatsOrTrace)
+{
+    FaultInjector injector;
+    FaultSpec kill;
+    kill.rank = 1;
+    kill.call_index = 0;
+    kill.kind = FaultKind::kKill;
+    injector.Arm(kill);
+    ThreadedWorld::Options options;
+    options.injector = &injector;
+
+    std::vector<TraceEvent> trace;
+    CommStats stats0;
+    ThreadedWorld::Run(2, options, [&](int rank, ProcessGroup& pg) {
+        if (rank == 0) {
+            pg.SetTrace(&trace);
+        }
+        std::vector<float> buf(10, 1.0f);
+        try {
+            pg.AllReduceSum(buf.data(), buf.size());
+            ADD_FAILURE() << "first collective must abort";
+        } catch (const RankFailure&) {
+            ASSERT_TRUE(pg.Recover(std::chrono::milliseconds(2000)));
+        }
+        buf.assign(10, 1.0f);
+        pg.AllReduceSum(buf.data(), buf.size());
+        if (rank == 0) {
+            stats0 = pg.Stats();
+            pg.SetTrace(nullptr);
+        }
+    });
+    // Only the completed collective is accounted, on stats and trace.
+    EXPECT_EQ(stats0.calls, 1u);
+    EXPECT_EQ(stats0.allreduce_bytes, 40u);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].op, CollectiveOp::kAllReduce);
+}
+
 }  // namespace
 }  // namespace neo::comm
 
@@ -346,6 +605,29 @@ TEST(Collectives, TraceCapturesOpsAndSizes)
     EXPECT_EQ(trace[0].bytes, 40u);
     EXPECT_EQ(trace[1].op, CollectiveOp::kAllToAll);
     EXPECT_EQ(trace[1].bytes, 40u);  // 2 peers x 5 floats
+}
+
+TEST(Collectives, ZeroCountGuardsOnEveryCollective)
+{
+    // Regression: Broadcast/AllGather/ReduceScatter/AllToAll used to run
+    // memcpy/pointer arithmetic on (null, 0) payloads. All five
+    // collectives must treat count == 0 as synchronize-only.
+    ThreadedWorld::Run(3, [&](int rank, ProcessGroup& pg) {
+        pg.AllReduceSum(nullptr, 0);
+        pg.Broadcast(nullptr, 0, /*root=*/1);
+        pg.AllGather(nullptr, 0, nullptr);
+        pg.ReduceScatterSum(nullptr, 0, nullptr);
+        std::vector<std::vector<uint8_t>> send(3);
+        std::vector<std::vector<uint8_t>> recv;
+        pg.AllToAllBytes(send, recv);
+        for (const auto& r : recv) {
+            ASSERT_TRUE(r.empty());
+        }
+        // The shared boards must still be usable afterwards.
+        float x = static_cast<float>(rank);
+        pg.AllReduceSum(&x, 1);
+        ASSERT_EQ(x, 3.0f);
+    });
 }
 
 TEST(Collectives, ManySmallCollectivesInterleaveSafely)

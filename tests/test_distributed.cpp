@@ -7,6 +7,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "comm/fault.h"
 #include "comm/threaded_process_group.h"
 #include "core/distributed_trainer.h"
 #include "core/dlrm_config.h"
@@ -771,6 +774,165 @@ TEST(Distributed, MixedSchemePlanTrainsCloseToReference)
     // SGD sparse optimizer: every scheme (including CW) is numerically
     // transparent, so the tolerance stays tight.
     EXPECT_LT(Matrix::MaxAbsDiff(dist, ref), 2e-3);
+}
+
+/**
+ * A transient kill injected into the first collective of a training step
+ * (the AllToAll of PrepareInput — before any parameter mutation) is
+ * absorbed by TrainStepWithRecovery on every rank: one retry after a
+ * recovery rendezvous, and the surviving step trains exactly like a
+ * fault-free run.
+ */
+TEST(Distributed, TransientFaultRecoveredByStepRetry)
+{
+    using std::chrono::milliseconds;
+    DlrmConfig model = core::MakeSmallDlrmConfig(3, 100, 16);
+    const int workers = 3;
+    const size_t global_batch = 24;
+    const size_t local_batch = global_batch / workers;
+    const sharding::ShardingPlan plan =
+        ForcedPlan(model, workers, sharding::Scheme::kTableWise);
+
+    DistributedOptions options;
+    options.max_step_retries = 2;
+    options.retry_backoff = milliseconds(1);
+    options.recover_timeout = milliseconds(5000);
+
+    comm::FaultInjector injector;
+    // Rank 1's first collective call is PrepareInput's length exchange,
+    // issued before the trainer mutates any state, so a retry restarts
+    // the step from scratch without divergence.
+    comm::FaultSpec spec;
+    spec.rank = 1;
+    spec.call_index = 0;
+    spec.kind = comm::FaultKind::kKill;
+    spec.transient = true;
+    injector.Arm(spec);
+
+    comm::ThreadedWorld::Options world_options;
+    world_options.injector = &injector;
+    world_options.barrier_timeout = milliseconds(20000);
+
+    std::vector<core::StepResult> results(workers);
+    std::vector<double> clean_loss(workers, 0.0);
+    comm::ThreadedWorld::Run(
+        workers, world_options, [&](int rank, comm::ProcessGroup& pg) {
+            DistributedDlrm trainer(model, plan, pg, options);
+            data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+            data::Batch global = dataset.NextBatch(global_batch);
+            data::Batch local;
+            local.dense = Matrix(local_batch, global.dense.cols());
+            for (size_t b = 0; b < local_batch; b++) {
+                for (size_t c = 0; c < global.dense.cols(); c++) {
+                    local.dense(b, c) =
+                        global.dense(rank * local_batch + b, c);
+                }
+            }
+            local.sparse = global.sparse.SliceBatch(
+                rank * local_batch, (rank + 1) * local_batch);
+            local.labels.assign(
+                global.labels.begin() + rank * local_batch,
+                global.labels.begin() + (rank + 1) * local_batch);
+            results[rank] = trainer.TrainStepWithRecovery(local);
+        });
+
+    // Fault-free run of the identical step, for loss comparison.
+    comm::ThreadedWorld::Run(
+        workers, [&](int rank, comm::ProcessGroup& pg) {
+            DistributedDlrm trainer(model, plan, pg, options);
+            data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+            data::Batch global = dataset.NextBatch(global_batch);
+            data::Batch local;
+            local.dense = Matrix(local_batch, global.dense.cols());
+            for (size_t b = 0; b < local_batch; b++) {
+                for (size_t c = 0; c < global.dense.cols(); c++) {
+                    local.dense(b, c) =
+                        global.dense(rank * local_batch + b, c);
+                }
+            }
+            local.sparse = global.sparse.SliceBatch(
+                rank * local_batch, (rank + 1) * local_batch);
+            local.labels.assign(
+                global.labels.begin() + rank * local_batch,
+                global.labels.begin() + (rank + 1) * local_batch);
+            clean_loss[rank] = trainer.TrainStep(local);
+        });
+
+    EXPECT_EQ(injector.Fired().size(), 1u);
+    for (int r = 0; r < workers; r++) {
+        SCOPED_TRACE("rank " + std::to_string(r));
+        EXPECT_TRUE(results[r].ok);
+        EXPECT_EQ(results[r].attempts, 2);
+        ASSERT_EQ(results[r].failures.size(), 1u);
+        EXPECT_EQ(results[r].failures[0].failed_rank, 1);
+        EXPECT_TRUE(results[r].failures[0].transient);
+        // Nothing was mutated before the injected kill, so the recovered
+        // step is bitwise identical to the fault-free one.
+        EXPECT_EQ(results[r].loss, clean_loss[r]);
+    }
+}
+
+/**
+ * A permanent failure exhausts the retry budget and surfaces as a
+ * structured failure report (ok == false) on the surviving ranks
+ * instead of a deadlock or an unhandled exception.
+ */
+TEST(Distributed, PermanentFaultReportsStructuredFailure)
+{
+    using std::chrono::milliseconds;
+    DlrmConfig model = core::MakeSmallDlrmConfig(3, 100, 16);
+    const int workers = 2;
+    const size_t global_batch = 16;
+    const size_t local_batch = global_batch / workers;
+    const sharding::ShardingPlan plan =
+        ForcedPlan(model, workers, sharding::Scheme::kTableWise);
+
+    DistributedOptions options;
+    options.max_step_retries = 3;
+    options.retry_backoff = milliseconds(1);
+    options.recover_timeout = milliseconds(5000);
+
+    comm::FaultInjector injector;
+    comm::FaultSpec spec;
+    spec.rank = 0;
+    spec.call_index = 0;
+    spec.kind = comm::FaultKind::kKill;
+    spec.transient = false;  // permanent: no retry is attempted
+    injector.Arm(spec);
+
+    comm::ThreadedWorld::Options world_options;
+    world_options.injector = &injector;
+
+    std::vector<core::StepResult> results(workers);
+    comm::ThreadedWorld::Run(
+        workers, world_options, [&](int rank, comm::ProcessGroup& pg) {
+            DistributedDlrm trainer(model, plan, pg, options);
+            data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+            data::Batch global = dataset.NextBatch(global_batch);
+            data::Batch local;
+            local.dense = Matrix(local_batch, global.dense.cols());
+            for (size_t b = 0; b < local_batch; b++) {
+                for (size_t c = 0; c < global.dense.cols(); c++) {
+                    local.dense(b, c) =
+                        global.dense(rank * local_batch + b, c);
+                }
+            }
+            local.sparse = global.sparse.SliceBatch(
+                rank * local_batch, (rank + 1) * local_batch);
+            local.labels.assign(
+                global.labels.begin() + rank * local_batch,
+                global.labels.begin() + (rank + 1) * local_batch);
+            results[rank] = trainer.TrainStepWithRecovery(local);
+        });
+
+    for (int r = 0; r < workers; r++) {
+        SCOPED_TRACE("rank " + std::to_string(r));
+        EXPECT_FALSE(results[r].ok);
+        EXPECT_EQ(results[r].attempts, 1);
+        ASSERT_EQ(results[r].failures.size(), 1u);
+        EXPECT_EQ(results[r].failures[0].failed_rank, 0);
+        EXPECT_FALSE(results[r].failures[0].transient);
+    }
 }
 
 }  // namespace

@@ -144,5 +144,50 @@ TEST(AsyncPs, DeterministicEmulation)
     EXPECT_EQ(run(), run());
 }
 
+/**
+ * Degraded mode: a killed virtual trainer loses its round-robin turn but
+ * the job keeps stepping over the survivors, and every death is recorded
+ * in the structured failure report. Only when the last trainer dies does
+ * Step throw.
+ */
+TEST(AsyncPs, DeadTrainerIsSkippedAndReported)
+{
+    core::DlrmConfig model = core::MakeSmallDlrmConfig(3, 120, 16);
+    PsConfig ps;
+    ps.num_trainers = 3;
+    ps.batch_size = 16;
+    AsyncPsTrainer trainer(model, ps);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+
+    // Warm up one full round so every trainer has stepped once.
+    for (int s = 0; s < 3; s++) {
+        trainer.Step(dataset);
+    }
+    EXPECT_EQ(trainer.NumHealthyTrainers(), 3);
+
+    trainer.FailTrainer(1, "injected oom");
+    EXPECT_EQ(trainer.NumHealthyTrainers(), 2);
+    // Idempotent: a second death report for the same trainer is a no-op.
+    trainer.FailTrainer(1, "duplicate");
+    ASSERT_EQ(trainer.failures().size(), 1u);
+    EXPECT_EQ(trainer.failures()[0].trainer, 1);
+    EXPECT_EQ(trainer.failures()[0].cause, "injected oom");
+    EXPECT_EQ(trainer.failures()[0].at_sample, trainer.SamplesSeen());
+
+    // The job keeps making progress over the two survivors.
+    const uint64_t before = trainer.SamplesSeen();
+    for (int s = 0; s < 6; s++) {
+        trainer.Step(dataset);
+    }
+    EXPECT_EQ(trainer.SamplesSeen(), before + 6 * ps.batch_size);
+
+    // Kill the rest: the job degrades to zero capacity and Step throws.
+    trainer.FailTrainer(0, "injected kill");
+    trainer.FailTrainer(2, "injected kill");
+    EXPECT_EQ(trainer.NumHealthyTrainers(), 0);
+    EXPECT_EQ(trainer.failures().size(), 3u);
+    EXPECT_THROW(trainer.Step(dataset), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace neo::ps

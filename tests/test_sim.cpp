@@ -173,6 +173,82 @@ TEST(CommModel, SingleGpuIsFree)
     EXPECT_EQ(model.AllToAll(0.0, 8).seconds, 0.0);
 }
 
+TEST(CommModel, DefaultFaultModelIsTransparent)
+{
+    const CommModel clean(ClusterSpec::Prototype(16));
+    CommModel faulty(ClusterSpec::Prototype(16));
+    faulty.SetFaultModel(FaultModel{});  // all-zero rates: no effect
+    for (double bytes : {1e4, 1e6, 1e8}) {
+        EXPECT_EQ(clean.AllReduce(bytes, 128).seconds,
+                  faulty.AllReduce(bytes, 128).seconds);
+        EXPECT_EQ(clean.AllToAll(bytes, 128).seconds,
+                  faulty.AllToAll(bytes, 128).seconds);
+        EXPECT_EQ(clean.ReduceScatter(bytes, 128).seconds,
+                  faulty.ReduceScatter(bytes, 128).seconds);
+    }
+}
+
+TEST(CommModel, StragglerDelayIsPaidInFull)
+{
+    // BSP collectives finish at the slowest rank, so a straggler's delay
+    // is added verbatim to every collective.
+    const CommModel clean(ClusterSpec::Prototype(16));
+    CommModel faulty(ClusterSpec::Prototype(16));
+    FaultModel faults;
+    faults.straggler_delay_s = 3e-3;
+    faulty.SetFaultModel(faults);
+
+    for (double bytes : {1e4, 1e6, 1e8}) {
+        const double base = clean.AllToAll(bytes, 128).seconds;
+        const double slow = faulty.AllToAll(bytes, 128).seconds;
+        EXPECT_NEAR(slow - base, faults.straggler_delay_s, 1e-12);
+        // Reported bandwidths are derived from the degraded time.
+        EXPECT_LT(faulty.AllToAll(bytes, 128).bus_bandwidth,
+                  clean.AllToAll(bytes, 128).bus_bandwidth);
+    }
+}
+
+TEST(CommModel, FailureRateInflatesTimeMonotonically)
+{
+    CommModel model(ClusterSpec::Prototype(16));
+    const double bytes = 64e6;
+    double prev = model.AllReduce(bytes, 128).seconds;
+    for (double rate : {0.01, 0.05, 0.2, 0.5}) {
+        FaultModel faults;
+        faults.failure_rate_per_collective = rate;
+        model.SetFaultModel(faults);
+        const double cur = model.AllReduce(bytes, 128).seconds;
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+    // Each expected abort pays at least the detection deadline, so even a
+    // rare failure costs more than the raw retry fraction.
+    FaultModel faults;
+    faults.failure_rate_per_collective = 0.5;
+    model.SetFaultModel(faults);
+    const double clean = CommModel(ClusterSpec::Prototype(16))
+                             .AllReduce(bytes, 128)
+                             .seconds;
+    // p = 0.5 → one expected aborted attempt: ≥ 2× the clean time plus
+    // one detection + recovery charge.
+    EXPECT_GE(model.AllReduce(bytes, 128).seconds,
+              2.0 * clean + faults.detect_timeout_s +
+                  faults.recovery_overhead_s);
+}
+
+TEST(CommModel, FreePathsIgnoreFaultModel)
+{
+    CommModel model(ClusterSpec::Prototype(16));
+    FaultModel faults;
+    faults.straggler_delay_s = 1.0;
+    faults.failure_rate_per_collective = 0.5;
+    model.SetFaultModel(faults);
+    // Single-GPU and zero-byte collectives never hit the network, so the
+    // reliability model does not apply.
+    EXPECT_LT(model.AllReduce(1e6, 1).seconds, 1e-3);
+    EXPECT_EQ(model.AllToAll(0.0, 8).seconds, 0.0);
+}
+
 // ------------------------------------------------------- Embedding model
 
 TEST(EmbeddingModel, BandwidthSaturatesBelowAchievable)
