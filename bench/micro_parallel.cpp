@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Intra-op parallelism sweep: times GEMM, fused embedding forward, and
+ * fused backward+exact-optimizer at several default-pool thread counts and
+ * emits BENCH_parallel.json with the speedup curves. Each timed run is
+ * also checked bit-for-bit against the 1-thread result, so the file doubles
+ * as a determinism record.
+ *
+ * Usage: micro_parallel [--quick] [--out=PATH]
+ *   --quick  small shapes (smoke-test mode)
+ *   --out    JSON output path (default BENCH_parallel.json in the cwd)
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "ops/embedding_bag.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace neo;
+
+struct RunResult {
+    size_t threads;
+    double seconds;
+    bool bit_identical;
+};
+
+struct WorkloadResult {
+    std::string name;
+    std::string shape;
+    std::vector<RunResult> results;
+};
+
+std::vector<size_t>
+ThreadCounts()
+{
+    std::vector<size_t> counts = {1, 2, 4};
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+        counts.push_back(hw);
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts;
+}
+
+/** Best-of-reps wall time for fn(). */
+template <typename F>
+double
+TimeBest(int reps, F&& fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; r++) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto end = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(end - start).count());
+    }
+    return best;
+}
+
+Matrix
+RandomMatrix(size_t rows, size_t cols, Rng& rng)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); i++) {
+        m.data()[i] = rng.NextFloat() * 2.0f - 1.0f;
+    }
+    return m;
+}
+
+WorkloadResult
+BenchGemm(bool quick, int reps)
+{
+    const size_t dim = quick ? 192 : 1024;
+    Rng rng(3);
+    const Matrix a = RandomMatrix(dim, dim, rng);
+    const Matrix b = RandomMatrix(dim, dim, rng);
+    Matrix c(dim, dim);
+
+    WorkloadResult out;
+    out.name = "gemm";
+    out.shape = std::to_string(dim) + "x" + std::to_string(dim) + "x" +
+                std::to_string(dim);
+    Matrix reference;
+    for (size_t threads : ThreadCounts()) {
+        SetDefaultPoolThreads(threads);
+        MatMul(a, b, c);  // warm up (and produce the comparison output)
+        if (threads == 1) {
+            reference = c;
+        }
+        const double secs = TimeBest(reps, [&] { MatMul(a, b, c); });
+        out.results.push_back(
+            {threads, secs, Matrix::Identical(reference, c)});
+    }
+    return out;
+}
+
+struct EmbSetup {
+    std::vector<ops::TableSpec> specs;
+    std::vector<std::vector<uint32_t>> lengths;
+    std::vector<std::vector<int64_t>> indices;
+    std::vector<ops::TableInput> inputs;
+    size_t batch;
+};
+
+/** Paper-style table mix (Fig. 18 config, scaled to the host). */
+EmbSetup
+MakeEmbSetup(bool quick)
+{
+    EmbSetup s;
+    const int64_t num_tables = quick ? 4 : 16;
+    const int64_t rows = quick ? 5000 : 100000;
+    const int64_t dim = quick ? 32 : 128;
+    const uint32_t pooling = quick ? 8 : 32;
+    s.batch = quick ? 128 : 2048;
+    s.specs.assign(static_cast<size_t>(num_tables),
+                   {rows, dim, Precision::kFp32});
+    Rng rng(13);
+    s.lengths.resize(s.specs.size());
+    s.indices.resize(s.specs.size());
+    for (size_t t = 0; t < s.specs.size(); t++) {
+        s.lengths[t].assign(s.batch, pooling);
+        s.indices[t].resize(s.batch * pooling);
+        for (auto& idx : s.indices[t]) {
+            // Skew toward hot rows so the backward pass sees duplicates.
+            const uint64_t r = rng.NextBounded(static_cast<uint64_t>(rows));
+            idx = static_cast<int64_t>(r * r / static_cast<uint64_t>(rows));
+        }
+        s.inputs.push_back({s.lengths[t], s.indices[t]});
+    }
+    return s;
+}
+
+WorkloadResult
+BenchEmbForward(const EmbSetup& s, int reps)
+{
+    ops::SparseOptimizerConfig opt;
+    const ops::EmbeddingBagCollection ebc(s.specs, opt, 7);
+
+    WorkloadResult out;
+    out.name = "embedding_forward";
+    out.shape = std::to_string(s.specs.size()) + "tables x " +
+                std::to_string(s.specs[0].rows) + "rows x d" +
+                std::to_string(s.specs[0].dim) + ", batch " +
+                std::to_string(s.batch);
+    std::vector<Matrix> outputs;
+    std::vector<Matrix> reference;
+    for (size_t threads : ThreadCounts()) {
+        SetDefaultPoolThreads(threads);
+        ebc.Forward(s.inputs, s.batch, outputs);  // warm up + comparison
+        if (threads == 1) {
+            reference = outputs;
+        }
+        bool identical = true;
+        for (size_t t = 0; t < outputs.size(); t++) {
+            identical =
+                identical && Matrix::Identical(reference[t], outputs[t]);
+        }
+        const double secs =
+            TimeBest(reps, [&] { ebc.Forward(s.inputs, s.batch, outputs); });
+        out.results.push_back({threads, secs, identical});
+    }
+    return out;
+}
+
+WorkloadResult
+BenchEmbBackward(const EmbSetup& s, int reps)
+{
+    ops::SparseOptimizerConfig opt;  // row-wise AdaGrad default
+
+    std::vector<Matrix> grads;
+    Rng rng(23);
+    for (const auto& spec : s.specs) {
+        grads.push_back(
+            RandomMatrix(s.batch, static_cast<size_t>(spec.dim), rng));
+    }
+
+    WorkloadResult out;
+    out.name = "embedding_backward_fused";
+    out.shape = std::to_string(s.specs.size()) + "tables x " +
+                std::to_string(s.specs[0].rows) + "rows x d" +
+                std::to_string(s.specs[0].dim) + ", batch " +
+                std::to_string(s.batch);
+    // The update mutates table state, so determinism is checked on the
+    // final parameters of a fixed number of steps; timing uses the same
+    // collection (state growth does not change the work shape).
+    std::vector<ops::EmbeddingBagCollection> reference;
+    for (size_t threads : ThreadCounts()) {
+        SetDefaultPoolThreads(threads);
+        ops::EmbeddingBagCollection check(s.specs, opt, 7);
+        check.BackwardAndUpdate(s.inputs, s.batch, grads);
+        if (threads == 1) {
+            reference.push_back(std::move(check));
+        }
+        bool identical = true;
+        const ops::EmbeddingBagCollection& ref = reference.front();
+        const ops::EmbeddingBagCollection& got =
+            threads == 1 ? ref : check;
+        for (size_t t = 0; t < s.specs.size(); t++) {
+            identical = identical && ops::EmbeddingTable::Identical(
+                                         ref.table(t), got.table(t));
+        }
+        ops::EmbeddingBagCollection timed(s.specs, opt, 7);
+        const double secs = TimeBest(
+            reps, [&] { timed.BackwardAndUpdate(s.inputs, s.batch, grads); });
+        out.results.push_back({threads, secs, identical});
+    }
+    return out;
+}
+
+void
+PrintAndWrite(const std::vector<WorkloadResult>& workloads, bool quick,
+              const std::string& out_path)
+{
+    for (const auto& w : workloads) {
+        std::printf("== %s (%s) ==\n\n", w.name.c_str(), w.shape.c_str());
+        TablePrinter table({"threads", "seconds", "speedup vs 1T",
+                            "bit-identical"});
+        const double base = w.results.front().seconds;
+        for (const auto& r : w.results) {
+            table.Row()
+                .Cell(static_cast<int64_t>(r.threads))
+                .CellF(r.seconds, "%.4f")
+                .CellF(base / r.seconds, "%.2f")
+                .Cell(r.bit_identical ? "yes" : "NO");
+        }
+        table.Print();
+        std::printf("\n");
+    }
+
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_parallel\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (size_t i = 0; i < workloads.size(); i++) {
+        const auto& w = workloads[i];
+        std::fprintf(f, "    {\n      \"name\": \"%s\",\n", w.name.c_str());
+        std::fprintf(f, "      \"shape\": \"%s\",\n", w.shape.c_str());
+        std::fprintf(f, "      \"results\": [\n");
+        const double base = w.results.front().seconds;
+        for (size_t j = 0; j < w.results.size(); j++) {
+            const auto& r = w.results[j];
+            std::fprintf(f,
+                         "        {\"threads\": %zu, \"seconds\": %.6f, "
+                         "\"speedup_vs_1\": %.3f, \"bit_identical\": %s}%s\n",
+                         r.threads, r.seconds, base / r.seconds,
+                         r.bit_identical ? "true" : "false",
+                         j + 1 < w.results.size() ? "," : "");
+        }
+        std::fprintf(f, "      ]\n    }%s\n",
+                     i + 1 < workloads.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_parallel.json";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const int reps = quick ? 2 : 3;
+    const EmbSetup emb = MakeEmbSetup(quick);
+    std::vector<WorkloadResult> workloads;
+    workloads.push_back(BenchGemm(quick, reps));
+    workloads.push_back(BenchEmbForward(emb, reps));
+    workloads.push_back(BenchEmbBackward(emb, reps));
+    SetDefaultPoolThreads(1);
+    PrintAndWrite(workloads, quick, out_path);
+
+    // Non-zero exit if any run diverged from the serial result, so the
+    // smoke test doubles as a determinism check.
+    for (const auto& w : workloads) {
+        for (const auto& r : w.results) {
+            if (!r.bit_identical) {
+                return 1;
+            }
+        }
+    }
+    return 0;
+}

@@ -3,8 +3,20 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace neo::comm {
+
+namespace {
+
+/**
+ * Elements per convert chunk. The conversions are pure elementwise maps,
+ * so chunking over the shared pool cannot change results; the grain keeps
+ * small control-plane payloads on the serial path.
+ */
+constexpr size_t kConvertGrain = 8192;
+
+}  // namespace
 
 std::vector<uint16_t>
 QuantizeVector(const std::vector<float>& in, Precision precision)
@@ -12,14 +24,18 @@ QuantizeVector(const std::vector<float>& in, Precision precision)
     std::vector<uint16_t> out(in.size());
     switch (precision) {
       case Precision::kFp16:
-        for (size_t i = 0; i < in.size(); i++) {
-            out[i] = detail::FloatToHalfBits(in[i]);
-        }
+        ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; i++) {
+                out[i] = detail::FloatToHalfBits(in[i]);
+            }
+        });
         break;
       case Precision::kBf16:
-        for (size_t i = 0; i < in.size(); i++) {
-            out[i] = detail::FloatToBFloat16Bits(in[i]);
-        }
+        ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; i++) {
+                out[i] = detail::FloatToBFloat16Bits(in[i]);
+            }
+        });
         break;
       default:
         NEO_FATAL("QuantizeVector supports fp16/bf16 only");
@@ -33,14 +49,18 @@ DequantizeVector(const std::vector<uint16_t>& in, Precision precision)
     std::vector<float> out(in.size());
     switch (precision) {
       case Precision::kFp16:
-        for (size_t i = 0; i < in.size(); i++) {
-            out[i] = detail::HalfBitsToFloat(in[i]);
-        }
+        ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; i++) {
+                out[i] = detail::HalfBitsToFloat(in[i]);
+            }
+        });
         break;
       case Precision::kBf16:
-        for (size_t i = 0; i < in.size(); i++) {
-            out[i] = detail::BFloat16BitsToFloat(in[i]);
-        }
+        ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; i++) {
+                out[i] = detail::BFloat16BitsToFloat(in[i]);
+            }
+        });
         break;
       default:
         NEO_FATAL("DequantizeVector supports fp16/bf16 only");

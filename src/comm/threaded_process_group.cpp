@@ -7,8 +7,20 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace neo::comm {
+
+namespace {
+
+/**
+ * Elements per local-reduction chunk. Each element's sum stays in fixed
+ * rank order inside the chunk loop, so chunking over the shared pool keeps
+ * reductions bit-identical to the serial loop at any thread count.
+ */
+constexpr size_t kReduceGrain = 4096;
+
+}  // namespace
 
 ThreadedWorld::ThreadedWorld(int size) : ThreadedWorld(size, Options()) {}
 
@@ -264,17 +276,22 @@ ThreadedProcessGroup::AllReduceSum(float* data, size_t count)
         w.Barrier(rank_);  // scratch sized
 
         // Reduce-scatter phase: this rank owns chunk `rank_` and
-        // accumulates it in rank order for determinism.
+        // accumulates it in rank order for determinism. The owned range is
+        // further chunked across the shared pool; ranks write disjoint
+        // scratch ranges, so intra-op workers compose with the inter-rank
+        // threads.
         const size_t n = static_cast<size_t>(w.size());
         const size_t begin = count * static_cast<size_t>(rank_) / n;
         const size_t end = count * static_cast<size_t>(rank_ + 1) / n;
-        for (size_t i = begin; i < end; i++) {
-            float sum = 0.0f;
-            for (int r = 0; r < w.size(); r++) {
-                sum += static_cast<const float*>(w.ptr_board_[r])[i];
+        ParallelFor(begin, end, kReduceGrain, [&](size_t cb, size_t ce) {
+            for (size_t i = cb; i < ce; i++) {
+                float sum = 0.0f;
+                for (int r = 0; r < w.size(); r++) {
+                    sum += static_cast<const float*>(w.ptr_board_[r])[i];
+                }
+                w.reduce_scratch_[i] = sum;
             }
-            w.reduce_scratch_[i] = sum;
-        }
+        });
         w.Barrier(rank_);  // scratch complete
 
         // All-gather phase: everyone copies the full reduced vector.
@@ -363,13 +380,16 @@ ThreadedProcessGroup::ReduceScatterSum(const float* in, size_t count,
                       "ReduceScatter count mismatch");
         }
         const size_t offset = static_cast<size_t>(rank_) * count;
-        for (size_t i = 0; i < count; i++) {
-            float sum = 0.0f;
-            for (int r = 0; r < w.size(); r++) {
-                sum += static_cast<const float*>(w.ptr_board_[r])[offset + i];
+        ParallelFor(0, count, kReduceGrain, [&](size_t cb, size_t ce) {
+            for (size_t i = cb; i < ce; i++) {
+                float sum = 0.0f;
+                for (int r = 0; r < w.size(); r++) {
+                    sum += static_cast<const float*>(
+                        w.ptr_board_[r])[offset + i];
+                }
+                out[i] = sum;
             }
-            out[i] = sum;
-        }
+        });
         w.Barrier(rank_);
     } else {
         // Zero-length reduce-scatter synchronizes; buffers may be null.

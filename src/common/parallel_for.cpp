@@ -1,0 +1,139 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace neo {
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+/** Set while this thread executes a ParallelFor chunk (bars nesting). */
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+size_t
+DefaultParallelism()
+{
+    if (const char* env = std::getenv("NEO_NUM_THREADS")) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0') {
+            return std::max<size_t>(1, static_cast<size_t>(parsed));
+        }
+        Warn("ignoring malformed NEO_NUM_THREADS='", env, "'");
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool&
+DefaultThreadPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
+        g_pool = std::make_unique<ThreadPool>(DefaultParallelism());
+    }
+    return *g_pool;
+}
+
+void
+SetDefaultPoolThreads(size_t num_threads)
+{
+    NEO_REQUIRE(num_threads >= 1, "default pool needs at least one thread");
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool.reset();  // drain + join the old pool before the replacement
+    g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+bool
+InParallelRegion()
+{
+    return t_in_parallel_region;
+}
+
+void
+ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)>& fn)
+{
+    NEO_REQUIRE(grain >= 1, "ParallelFor grain must be >= 1");
+    if (end <= begin) {
+        return;
+    }
+    const size_t total = end - begin;
+    const size_t chunks = (total + grain - 1) / grain;
+    const auto run_chunk = [&](size_t chunk) {
+        const size_t b = begin + chunk * grain;
+        const size_t e = std::min(b + grain, end);
+        fn(b, e);
+    };
+
+    // Serial fallback keeps the exact same chunk sequence so the executed
+    // call pattern is independent of the thread count.
+    if (chunks <= 1 || pool.size() <= 1 || t_in_parallel_region) {
+        for (size_t c = 0; c < chunks; c++) {
+            run_chunk(c);
+        }
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    const auto drain = [&] {
+        const bool was_in_region = t_in_parallel_region;
+        t_in_parallel_region = true;
+        while (!failed.load(std::memory_order_relaxed)) {
+            const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks) {
+                break;
+            }
+            try {
+                run_chunk(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) {
+                    error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        t_in_parallel_region = was_in_region;
+    };
+
+    // The caller participates, so progress never depends on pool workers
+    // being free — nested or cross-thread use cannot deadlock.
+    const size_t helpers = std::min(pool.size(), chunks - 1);
+    std::vector<std::future<void>> pending;
+    pending.reserve(helpers);
+    for (size_t h = 0; h < helpers; h++) {
+        pending.push_back(pool.Submit(drain));
+    }
+    drain();
+    for (auto& f : pending) {
+        f.get();
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ParallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)>& fn)
+{
+    ParallelFor(DefaultThreadPool(), begin, end, grain, fn);
+}
+
+}  // namespace neo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Intra-op parallelism primitive (Sec. 4.4 analogue): ParallelFor chunks an
+ * index range over the shared ThreadPool so hot kernels (GEMM, fused
+ * embedding lookup, exact sparse optimizer, quantized collectives) can
+ * saturate the host the way FBGEMM kernels saturate a GPU.
+ *
+ * Determinism contract: the range is split into fixed chunks of `grain`
+ * indices — the chunking depends only on (begin, end, grain), never on the
+ * thread count — and the callback must make chunks independent (each chunk
+ * reads shared inputs and writes a disjoint output slice, no cross-chunk
+ * reductions). Under that contract results are bit-identical to the serial
+ * loop at any thread count, which the determinism suite pins down.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace neo {
+
+/**
+ * Thread count the default pool is created with: `NEO_NUM_THREADS` if set
+ * (clamped to >= 1), else std::thread::hardware_concurrency().
+ */
+size_t DefaultParallelism();
+
+/**
+ * Process-wide lazily-initialized pool shared by all parallel kernels and
+ * the data loader. Created on first use with DefaultParallelism() threads.
+ */
+ThreadPool& DefaultThreadPool();
+
+/**
+ * Replace the default pool with one of `num_threads` workers. Test/bench
+ * knob for sweeping thread counts; callers must ensure no parallel work is
+ * in flight (the old pool drains before the swap completes).
+ */
+void SetDefaultPoolThreads(size_t num_threads);
+
+/** True while the calling thread is executing inside a ParallelFor chunk. */
+bool InParallelRegion();
+
+/**
+ * Apply `fn(chunk_begin, chunk_end)` over [begin, end) in fixed chunks of
+ * `grain` indices. Runs serially (same chunk sequence) when there is a
+ * single chunk, the pool has one thread, or the caller is already inside a
+ * ParallelFor chunk (no nested parallelism). Otherwise chunks are executed
+ * by the pool workers plus the calling thread; the call returns after every
+ * chunk completes. The first exception thrown by a chunk is rethrown.
+ */
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/** ParallelFor over the shared default pool. */
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace neo

@@ -15,13 +15,21 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool()
 {
+    Shutdown();
+}
+
+void
+ThreadPool::Shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
     for (auto& w : workers_) {
-        w.join();
+        if (w.joinable()) {
+            w.join();
+        }
     }
 }
 

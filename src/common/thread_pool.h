@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace neo {
 
 /** Simple FIFO thread pool with future-returning submission. */
@@ -29,7 +31,16 @@ class ThreadPool
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /** Submit a task; the returned future resolves with its result. */
+    /**
+     * Drain pending work and join all workers. Idempotent (from the owning
+     * thread); after shutdown, Submit throws.
+     */
+    void Shutdown();
+
+    /**
+     * Submit a task; the returned future resolves with its result.
+     * Throws std::runtime_error if the pool has been shut down.
+     */
     template <typename F>
     auto
     Submit(F&& fn) -> std::future<std::invoke_result_t<F>>
@@ -40,6 +51,8 @@ class ThreadPool
         std::future<R> result = task->get_future();
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            NEO_REQUIRE(!stopping_,
+                        "ThreadPool::Submit called after shutdown");
             queue_.emplace([task] { (*task)(); });
         }
         cv_.notify_one();

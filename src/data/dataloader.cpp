@@ -1,5 +1,7 @@
 #include "data/dataloader.h"
 
+#include "common/parallel_for.h"
+
 namespace neo::data {
 
 DataLoader::DataLoader(const DatasetConfig& config, size_t batch_size)
@@ -19,9 +21,10 @@ DataLoader::~DataLoader()
 void
 DataLoader::StartPrefetch()
 {
-    // One async generation in flight at a time; the dataset is only touched
-    // by that task, so no locking is needed.
-    pending_ = std::async(std::launch::async, [this] {
+    // One generation in flight at a time on the shared process-wide pool
+    // (no per-loader thread spawn); the dataset is only touched by that
+    // task, so no locking is needed.
+    pending_ = DefaultThreadPool().Submit([this] {
         return dataset_->NextBatch(batch_size_);
     });
 }

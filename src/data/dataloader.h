@@ -1,8 +1,9 @@
 /**
  * @file
  * Double-buffered data loader (Sec. 3.0.2 / 4.3): batch i+1 is generated
- * on a background thread while batch i trains, the CPU-side analogue of
- * overlapping host-to-device input transfer with compute.
+ * on the shared process-wide thread pool while batch i trains, the
+ * CPU-side analogue of overlapping host-to-device input transfer with
+ * compute.
  */
 #pragma once
 

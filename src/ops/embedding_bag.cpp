@@ -1,8 +1,30 @@
 #include "ops/embedding_bag.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace neo::ops {
+
+namespace {
+
+/**
+ * Batch rows per forward shard. Each shard pools a contiguous sample range
+ * of one table, so shards write disjoint output rows and the partitioning
+ * (table x fixed batch chunks) is independent of the thread count.
+ */
+constexpr size_t kForwardBatchGrain = 64;
+
+/** One (table, sample-range) unit of forward work. */
+struct ForwardShard {
+    size_t table;
+    size_t batch_begin;
+    size_t batch_end;
+    size_t index_offset;  // offset of batch_begin's first index
+};
+
+}  // namespace
 
 uint64_t
 EmbeddingBagCollection::TableSeed(uint64_t base_seed, size_t table)
@@ -33,8 +55,11 @@ EmbeddingBagCollection::Forward(std::span<const TableInput> inputs,
     NEO_REQUIRE(inputs.size() == tables_.size(),
                 "one input per table required");
     outputs.resize(tables_.size());
-    // Fused loop over all local tables (the CPU analogue of the single
-    // batched CUDA kernel in Fig. 7).
+    // Serial pass: validate inputs, size outputs, and carve the fused
+    // (table x batch) iteration space into shards. Offsets into the
+    // combined indices are prefix sums of lengths, so they are computed
+    // here once and each shard starts from a known position.
+    std::vector<ForwardShard> shards;
     for (size_t t = 0; t < tables_.size(); t++) {
         const EmbeddingTable& table = tables_[t];
         const TableInput& in = inputs[t];
@@ -48,18 +73,39 @@ EmbeddingBagCollection::Forward(std::span<const TableInput> inputs,
         }
         size_t offset = 0;
         for (size_t b = 0; b < batch; b++) {
-            float* row = out.Row(b);
+            if (b % kForwardBatchGrain == 0) {
+                shards.push_back(
+                    {t, b, std::min(b + kForwardBatchGrain, batch), offset});
+            }
             const uint32_t len = in.lengths[b];
             NEO_CHECK(offset + len <= in.indices.size(),
                       "indices shorter than lengths imply");
-            for (uint32_t i = 0; i < len; i++) {
-                table.AccumulateRow(in.indices[offset + i], 1.0f, row);
-            }
             offset += len;
         }
         NEO_CHECK(offset == in.indices.size(),
                   "indices longer than lengths imply");
     }
+    // Fused parallel loop over all local tables (the CPU analogue of the
+    // single batched CUDA kernel in Fig. 7). Shards write disjoint output
+    // rows and only read table parameters, so any thread count produces
+    // the serial result bit-for-bit.
+    ParallelFor(0, shards.size(), 1, [&](size_t s0, size_t s1) {
+        for (size_t s = s0; s < s1; s++) {
+            const ForwardShard& shard = shards[s];
+            const EmbeddingTable& table = tables_[shard.table];
+            const TableInput& in = inputs[shard.table];
+            Matrix& out = outputs[shard.table];
+            size_t offset = shard.index_offset;
+            for (size_t b = shard.batch_begin; b < shard.batch_end; b++) {
+                float* row = out.Row(b);
+                const uint32_t len = in.lengths[b];
+                for (uint32_t i = 0; i < len; i++) {
+                    table.AccumulateRow(in.indices[offset + i], 1.0f, row);
+                }
+                offset += len;
+            }
+        }
+    });
 }
 
 void

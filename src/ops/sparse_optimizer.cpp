@@ -4,8 +4,19 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace neo::ops {
+
+namespace {
+
+/**
+ * Unique-row groups per ApplyExact chunk. Fixed (thread-count-independent)
+ * chunking; below one chunk the update runs serially.
+ */
+constexpr size_t kExactGroupGrain = 64;
+
+}  // namespace
 
 const char*
 SparseOptimizerKindName(SparseOptimizerKind kind)
@@ -63,13 +74,13 @@ SparseOptimizer::RowMoment(int64_t row) const
 
 void
 SparseOptimizer::UpdateRow(EmbeddingTable& table, int64_t row,
-                           const float* g)
+                           const float* g, float* row_buf)
 {
     const float lr = config_.learning_rate;
     const float eps = config_.eps;
     const size_t d = static_cast<size_t>(dim_);
-    table.ReadRow(row, row_buf_.data());
-    float* w = row_buf_.data();
+    table.ReadRow(row, row_buf);
+    float* w = row_buf;
 
     switch (config_.kind) {
       case SparseOptimizerKind::kSgd: {
@@ -121,7 +132,7 @@ SparseOptimizer::UpdateRow(EmbeddingTable& table, int64_t row,
         break;
       }
     }
-    table.WriteRow(row, row_buf_.data());
+    table.WriteRow(row, row_buf);
 }
 
 void
@@ -146,38 +157,57 @@ SparseOptimizer::ApplyExact(EmbeddingTable& table,
                          return grads[a].row < grads[b].row;
                      });
 
-    const size_t d = static_cast<size_t>(dim_);
-    merged_.assign(d, 0.0f);
+    // Scan the sorted occurrences once (serially) to find the unique-row
+    // group boundaries and validate row ids.
+    group_starts_.clear();
     size_t i = 0;
     while (i < order_.size()) {
         const int64_t row = grads[order_[i]].row;
         NEO_CHECK(row >= 0 && row < rows_, "gradient row out of range");
-        std::fill(merged_.begin(), merged_.end(), 0.0f);
+        group_starts_.push_back(i);
         size_t j = i;
         while (j < order_.size() && grads[order_[j]].row == row) {
             j++;
         }
-        if (j - i > 1) {
-            // Floating-point sums depend on order, so canonicalize the
-            // duplicate occurrences (lexicographic by gradient values)
-            // before merging; the merged sum is then invariant to any
-            // permutation of the input batch.
-            std::sort(order_.begin() + i, order_.begin() + j,
-                      [&](uint32_t a, uint32_t b) {
-                          return std::lexicographical_compare(
-                              grads[a].grad, grads[a].grad + d,
-                              grads[b].grad, grads[b].grad + d);
-                      });
-        }
-        for (size_t k = i; k < j; k++) {
-            const float* g = grads[order_[k]].grad;
-            for (size_t c = 0; c < d; c++) {
-                merged_[c] += g[c];
-            }
-        }
-        UpdateRow(table, row, merged_.data());
         i = j;
     }
+    group_starts_.push_back(order_.size());
+
+    // Apply groups in parallel: each group owns one table row and its
+    // optimizer state, groups are disjoint, and the per-group merge order
+    // is fixed by the global sort — bit-identical at any thread count.
+    const size_t d = static_cast<size_t>(dim_);
+    const size_t num_groups = group_starts_.size() - 1;
+    ParallelFor(0, num_groups, kExactGroupGrain, [&](size_t g0, size_t g1) {
+        std::vector<float> merged(d);
+        std::vector<float> row_buf(d);
+        for (size_t g = g0; g < g1; g++) {
+            const size_t s = group_starts_[g];
+            const size_t e = group_starts_[g + 1];
+            const int64_t row = grads[order_[s]].row;
+            if (e - s > 1) {
+                // Floating-point sums depend on order, so canonicalize the
+                // duplicate occurrences (lexicographic by gradient values)
+                // before merging; the merged sum is then invariant to any
+                // permutation of the input batch. The sort touches only
+                // this group's order_ subrange, disjoint across groups.
+                std::sort(order_.begin() + s, order_.begin() + e,
+                          [&](uint32_t a, uint32_t b) {
+                              return std::lexicographical_compare(
+                                  grads[a].grad, grads[a].grad + d,
+                                  grads[b].grad, grads[b].grad + d);
+                          });
+            }
+            std::fill(merged.begin(), merged.end(), 0.0f);
+            for (size_t k = s; k < e; k++) {
+                const float* g_ptr = grads[order_[k]].grad;
+                for (size_t c = 0; c < d; c++) {
+                    merged[c] += g_ptr[c];
+                }
+            }
+            UpdateRow(table, row, merged.data(), row_buf.data());
+        }
+    });
 }
 
 void
@@ -189,7 +219,7 @@ SparseOptimizer::ApplyNaive(EmbeddingTable& table,
     for (const auto& ref : grads) {
         NEO_CHECK(ref.row >= 0 && ref.row < rows_,
                   "gradient row out of range");
-        UpdateRow(table, ref.row, ref.grad);
+        UpdateRow(table, ref.row, ref.grad, row_buf_.data());
     }
 }
 

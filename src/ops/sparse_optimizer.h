@@ -69,6 +69,10 @@ class SparseOptimizer
     /**
      * Exact fused update: sort + merge duplicate rows, then apply one
      * optimizer step per unique row. Deterministic and order-invariant.
+     * Unique-row groups are applied in parallel over the shared pool —
+     * groups touch disjoint table rows and disjoint optimizer state, and
+     * each group's merge order is fixed by the global sort, so the result
+     * is bit-identical to the serial path at any thread count.
      */
     void ApplyExact(EmbeddingTable& table,
                     std::span<const SparseGradRef> grads);
@@ -89,9 +93,12 @@ class SparseOptimizer
     float RowMoment(int64_t row) const;
 
   private:
-    /** Apply one merged-gradient step to a single row. */
+    /**
+     * Apply one merged-gradient step to a single row. `row_buf` is a
+     * dim-sized scratch for the widened row (per-thread in parallel use).
+     */
     void UpdateRow(EmbeddingTable& table, int64_t row,
-                   const float* merged_grad);
+                   const float* merged_grad, float* row_buf);
 
     SparseOptimizerConfig config_;
     int64_t rows_;
@@ -108,7 +115,7 @@ class SparseOptimizer
 
     /** Scratch reused across calls to avoid per-step allocation churn. */
     std::vector<uint32_t> order_;
-    std::vector<float> merged_;
+    std::vector<size_t> group_starts_;
     std::vector<float> row_buf_;
 };
 

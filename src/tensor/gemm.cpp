@@ -1,6 +1,9 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "common/parallel_for.h"
 
 namespace neo {
 
@@ -12,14 +15,70 @@ constexpr size_t kBlockM = 64;
 constexpr size_t kBlockN = 64;
 constexpr size_t kBlockK = 64;
 
-/** Pack op(A) into a row-major m x k buffer so the inner loop is unit-stride. */
-Matrix
-Materialize(Trans trans, const Matrix& a)
+/**
+ * Compute C rows [i_begin, i_end) of C += alpha * op(A) * op(B), where
+ * i_begin is kBlockM-aligned so block boundaries match the serial schedule.
+ *
+ * Transposed operands are packed one block panel at a time into the
+ * caller-provided scratch (`a_panel` is kBlockM x kBlockK, `b_panel` is
+ * kBlockK x kBlockN) so the inner loop stays unit-stride without ever
+ * materializing the full transposed matrix. The i-k-j accumulation order
+ * is identical to the serial kernel, so results stay bitwise deterministic.
+ */
+void
+GemmRowRange(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+             const Matrix& b, Matrix& c, size_t i_begin, size_t i_end,
+             size_t k, size_t n, float* a_panel, float* b_panel)
 {
-    if (trans == Trans::kNo) {
-        return a;
+    for (size_t i0 = i_begin; i0 < i_end; i0 += kBlockM) {
+        const size_t i1 = std::min(i0 + kBlockM, i_end);
+        for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const size_t k1 = std::min(k0 + kBlockK, k);
+            if (trans_a == Trans::kYes) {
+                // op(A)[i, kk] = a(kk, i): gather the column slice once per
+                // (i-block, k-block) panel.
+                for (size_t kk = k0; kk < k1; kk++) {
+                    const float* src = a.Row(kk);
+                    float* dst = a_panel + (kk - k0);
+                    for (size_t i = i0; i < i1; i++) {
+                        dst[(i - i0) * kBlockK] = src[i];
+                    }
+                }
+            }
+            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+                const size_t j1 = std::min(j0 + kBlockN, n);
+                if (trans_b == Trans::kYes) {
+                    // op(B)[kk, j] = b(j, kk): row j of B supplies column j
+                    // of the panel.
+                    for (size_t j = j0; j < j1; j++) {
+                        const float* src = b.Row(j);
+                        float* dst = b_panel + (j - j0);
+                        for (size_t kk = k0; kk < k1; kk++) {
+                            dst[(kk - k0) * kBlockN] = src[kk];
+                        }
+                    }
+                }
+                const size_t jn = j1 - j0;
+                for (size_t i = i0; i < i1; i++) {
+                    const float* a_base =
+                        trans_a == Trans::kYes
+                            ? a_panel + (i - i0) * kBlockK
+                            : a.Row(i) + k0;
+                    float* c_base = c.Row(i) + j0;
+                    for (size_t kk = k0; kk < k1; kk++) {
+                        const float aik = alpha * a_base[kk - k0];
+                        const float* b_base =
+                            trans_b == Trans::kYes
+                                ? b_panel + (kk - k0) * kBlockN
+                                : b.Row(kk) + j0;
+                        for (size_t j = 0; j < jn; j++) {
+                            c_base[j] += aik * b_base[j];
+                        }
+                    }
+                }
+            }
+        }
     }
-    return Transpose(a);
 }
 
 }  // namespace
@@ -41,14 +100,11 @@ void
 Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
      const Matrix& b, float beta, Matrix& c)
 {
-    const Matrix a_mat = Materialize(trans_a, a);
-    const Matrix b_mat = Materialize(trans_b, b);
-
-    const size_t m = a_mat.rows();
-    const size_t k = a_mat.cols();
-    const size_t n = b_mat.cols();
-    NEO_REQUIRE(b_mat.rows() == k, "Gemm inner dimension mismatch: ",
-                k, " vs ", b_mat.rows());
+    const size_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+    const size_t k = trans_a == Trans::kNo ? a.cols() : a.rows();
+    const size_t n = trans_b == Trans::kNo ? b.cols() : b.rows();
+    const size_t b_k = trans_b == Trans::kNo ? b.rows() : b.cols();
+    NEO_REQUIRE(b_k == k, "Gemm inner dimension mismatch: ", k, " vs ", b_k);
     NEO_REQUIRE(c.rows() == m && c.cols() == n, "Gemm output shape mismatch");
 
     if (beta == 0.0f) {
@@ -62,27 +118,18 @@ Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
 
     // Blocked i-k-j loop: the innermost j loop is unit stride on both B and
     // C, which vectorizes well; the fixed order keeps accumulation
-    // deterministic.
-    for (size_t i0 = 0; i0 < m; i0 += kBlockM) {
-        const size_t i1 = std::min(i0 + kBlockM, m);
-        for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
-            const size_t k1 = std::min(k0 + kBlockK, k);
-            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
-                const size_t j1 = std::min(j0 + kBlockN, n);
-                for (size_t i = i0; i < i1; i++) {
-                    const float* a_row = a_mat.Row(i);
-                    float* c_row = c.Row(i);
-                    for (size_t kk = k0; kk < k1; kk++) {
-                        const float aik = alpha * a_row[kk];
-                        const float* b_row = b_mat.Row(kk);
-                        for (size_t j = j0; j < j1; j++) {
-                            c_row[j] += aik * b_row[j];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    // deterministic. Row blocks write disjoint C rows, so the M dimension
+    // parallelizes with no cross-chunk interaction (grain = 1 block).
+    const size_t m_blocks = (m + kBlockM - 1) / kBlockM;
+    ParallelFor(0, m_blocks, 1, [&](size_t blk0, size_t blk1) {
+        std::vector<float> a_panel(
+            trans_a == Trans::kYes ? kBlockM * kBlockK : 0);
+        std::vector<float> b_panel(
+            trans_b == Trans::kYes ? kBlockK * kBlockN : 0);
+        GemmRowRange(trans_a, trans_b, alpha, a, b, c, blk0 * kBlockM,
+                     std::min(blk1 * kBlockM, m), k, n, a_panel.data(),
+                     b_panel.data());
+    });
 }
 
 void

@@ -19,7 +19,10 @@ enum class Trans { kNo, kYes };
  *
  * Shapes (after applying op): op(A) is m x k, op(B) is k x n, C is m x n.
  * Accumulation is in float with a fixed loop order, so results are bitwise
- * deterministic run-to-run.
+ * deterministic run-to-run. Row blocks of C are computed in parallel over
+ * the shared thread pool (disjoint outputs, fixed block partitioning), so
+ * results are also bit-identical at any thread count. Transposed operands
+ * are packed per cache block — the full transpose is never materialized.
  */
 void Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
           const Matrix& b, float beta, Matrix& c);

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Determinism suite for intra-op parallelism: every parallel kernel (GEMM,
+ * fused embedding forward, fused backward + exact optimizer, quantized
+ * conversions, collective local reductions) must produce bit-identical
+ * results at any thread count, because ParallelFor uses fixed
+ * thread-count-independent chunking and chunks never interact. Also covers
+ * the ParallelFor primitive itself and the ThreadPool shutdown contract.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/quantized.h"
+#include "comm/threaded_process_group.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ops/embedding_bag.h"
+#include "tensor/gemm.h"
+#include "tensor/matrix.h"
+
+namespace neo {
+namespace {
+
+/** Thread counts the determinism contract is pinned at. */
+std::vector<size_t>
+SweepThreadCounts()
+{
+    std::vector<size_t> counts = {1, 2, 7};
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+        counts.push_back(hw);
+    }
+    return counts;
+}
+
+/** Restore a 1-thread (serial) default pool after each test. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { SetDefaultPoolThreads(1); }
+};
+
+Matrix
+RandomMatrix(size_t rows, size_t cols, Rng& rng)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); i++) {
+        m.data()[i] = rng.NextFloat() * 2.0f - 1.0f;
+    }
+    return m;
+}
+
+// ----------------------------------------------------------- ParallelFor
+
+TEST_F(ParallelTest, ParallelForCoversRangeExactlyOnce)
+{
+    for (size_t threads : SweepThreadCounts()) {
+        ThreadPool pool(threads);
+        std::vector<int> hits(1013, 0);
+        ParallelFor(pool, 0, hits.size(), 64, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; i++) {
+                hits[i]++;
+            }
+        });
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+                  static_cast<int>(hits.size()))
+            << "threads=" << threads;
+    }
+}
+
+TEST_F(ParallelTest, ParallelForEmptyAndSubGrainRanges)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    ParallelFor(pool, 5, 5, 16, [&](size_t, size_t) { calls++; });
+    EXPECT_EQ(calls.load(), 0);  // empty range: fn never invoked
+
+    ParallelFor(pool, 0, 7, 16, [&](size_t b, size_t e) {
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 7u);
+        calls++;
+    });
+    EXPECT_EQ(calls.load(), 1);  // sub-grain: one serial chunk
+}
+
+TEST_F(ParallelTest, ParallelForChunkingIsThreadCountIndependent)
+{
+    // The (begin, end) chunk sequence must depend only on the grain.
+    const auto chunks_at = [](size_t threads) {
+        ThreadPool pool(threads);
+        std::mutex mu;
+        std::vector<std::pair<size_t, size_t>> chunks;
+        ParallelFor(pool, 3, 260, 32, [&](size_t b, size_t e) {
+            std::lock_guard<std::mutex> lock(mu);
+            chunks.push_back({b, e});
+        });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    const auto serial = chunks_at(1);
+    ASSERT_EQ(serial.size(), 9u);
+    EXPECT_EQ(serial.front(), (std::pair<size_t, size_t>{3, 35}));
+    EXPECT_EQ(serial.back(), (std::pair<size_t, size_t>{259, 260}));
+    for (size_t threads : SweepThreadCounts()) {
+        EXPECT_EQ(chunks_at(threads), serial) << "threads=" << threads;
+    }
+}
+
+TEST_F(ParallelTest, ParallelForPropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        ParallelFor(pool, 0, 1000, 10,
+                    [&](size_t b, size_t) {
+                        if (b >= 500) {
+                            throw std::runtime_error("chunk failed");
+                        }
+                    }),
+        std::runtime_error);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsSerially)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    ParallelFor(pool, 0, 8, 1, [&](size_t, size_t) {
+        EXPECT_TRUE(InParallelRegion());
+        // Nested call must not deadlock; it degrades to the serial path.
+        ParallelFor(pool, 0, 4, 1, [&](size_t, size_t) { total++; });
+    });
+    EXPECT_EQ(total.load(), 32);
+    EXPECT_FALSE(InParallelRegion());
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolShutdown, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+    pool.Submit([] {}).get();
+    pool.Shutdown();
+    EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+    pool.Shutdown();  // idempotent
+}
+
+// ------------------------------------------------------------------ GEMM
+
+TEST_F(ParallelTest, GemmBitIdenticalAcrossThreadCounts)
+{
+    struct Case {
+        size_t m, n, k;
+        Trans ta, tb;
+        float alpha, beta;
+    };
+    const Case cases[] = {
+        {150, 130, 170, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        {150, 130, 170, Trans::kYes, Trans::kNo, -0.5f, 1.0f},
+        {150, 130, 170, Trans::kNo, Trans::kYes, 2.0f, 0.25f},
+        {129, 65, 67, Trans::kYes, Trans::kYes, 1.0f, 0.0f},
+        {3, 5, 7, Trans::kNo, Trans::kNo, 1.0f, 0.0f},  // sub-grain
+        {0, 4, 4, Trans::kNo, Trans::kNo, 1.0f, 0.0f},  // empty
+    };
+    for (const Case& p : cases) {
+        Rng rng(31 + p.m + p.n + p.k);
+        const Matrix a = p.ta == Trans::kNo ? RandomMatrix(p.m, p.k, rng)
+                                            : RandomMatrix(p.k, p.m, rng);
+        const Matrix b = p.tb == Trans::kNo ? RandomMatrix(p.k, p.n, rng)
+                                            : RandomMatrix(p.n, p.k, rng);
+        const Matrix c0 = RandomMatrix(p.m, p.n, rng);
+
+        SetDefaultPoolThreads(1);
+        Matrix serial = c0;
+        Gemm(p.ta, p.tb, p.alpha, a, b, p.beta, serial);
+
+        for (size_t threads : SweepThreadCounts()) {
+            SetDefaultPoolThreads(threads);
+            Matrix c = c0;
+            Gemm(p.ta, p.tb, p.alpha, a, b, p.beta, c);
+            EXPECT_TRUE(Matrix::Identical(serial, c))
+                << "m=" << p.m << " threads=" << threads;
+        }
+    }
+}
+
+// ------------------------------------------------- EmbeddingBagCollection
+
+struct EmbInputs {
+    std::vector<std::vector<uint32_t>> lengths;
+    std::vector<std::vector<int64_t>> indices;
+    std::vector<ops::TableInput> inputs;
+};
+
+/** Build Zipf-ish random inputs; some samples get zero-length pools. */
+EmbInputs
+MakeInputs(const std::vector<ops::TableSpec>& specs, size_t batch,
+           uint64_t seed)
+{
+    EmbInputs in;
+    Rng rng(seed);
+    in.lengths.resize(specs.size());
+    in.indices.resize(specs.size());
+    for (size_t t = 0; t < specs.size(); t++) {
+        in.lengths[t].resize(batch);
+        for (size_t b = 0; b < batch; b++) {
+            in.lengths[t][b] = rng.NextBounded(9);  // includes zero-length
+            for (uint32_t i = 0; i < in.lengths[t][b]; i++) {
+                // Square the draw to skew toward hot rows (duplicates).
+                const uint64_t r = rng.NextBounded(
+                    static_cast<uint64_t>(specs[t].rows));
+                in.indices[t].push_back(static_cast<int64_t>(
+                    r * r / std::max<uint64_t>(1, specs[t].rows)));
+            }
+        }
+    }
+    for (size_t t = 0; t < specs.size(); t++) {
+        in.inputs.push_back({in.lengths[t], in.indices[t]});
+    }
+    return in;
+}
+
+TEST_F(ParallelTest, EmbeddingForwardBitIdenticalAcrossThreadCounts)
+{
+    const std::vector<ops::TableSpec> specs = {
+        {500, 16, Precision::kFp32},
+        {300, 24, Precision::kFp16},
+        {40, 8, Precision::kFp32},
+    };
+    ops::SparseOptimizerConfig opt;
+    const ops::EmbeddingBagCollection ebc(specs, opt, 42);
+
+    for (size_t batch : {size_t{0}, size_t{3}, size_t{257}}) {
+        const EmbInputs in = MakeInputs(specs, batch, 7 + batch);
+
+        SetDefaultPoolThreads(1);
+        std::vector<Matrix> serial;
+        ebc.Forward(in.inputs, batch, serial);
+
+        for (size_t threads : SweepThreadCounts()) {
+            SetDefaultPoolThreads(threads);
+            std::vector<Matrix> out;
+            ebc.Forward(in.inputs, batch, out);
+            ASSERT_EQ(out.size(), serial.size());
+            for (size_t t = 0; t < out.size(); t++) {
+                EXPECT_TRUE(Matrix::Identical(serial[t], out[t]))
+                    << "batch=" << batch << " table=" << t
+                    << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST_F(ParallelTest, BackwardAndUpdateBitIdenticalAcrossThreadCounts)
+{
+    const std::vector<ops::TableSpec> specs = {
+        {400, 12, Precision::kFp32},
+        {150, 20, Precision::kFp16},
+    };
+    for (ops::SparseOptimizerKind kind :
+         {ops::SparseOptimizerKind::kSgd, ops::SparseOptimizerKind::kAdaGrad,
+          ops::SparseOptimizerKind::kRowWiseAdaGrad,
+          ops::SparseOptimizerKind::kAdam}) {
+        ops::SparseOptimizerConfig opt;
+        opt.kind = kind;
+
+        // Train a few steps at each thread count from the same seed; the
+        // final table parameters must match the serial run bit-for-bit.
+        const auto train = [&](size_t threads) {
+            SetDefaultPoolThreads(threads);
+            ops::EmbeddingBagCollection ebc(specs, opt, 99);
+            const size_t batch = 173;
+            for (int step = 0; step < 3; step++) {
+                const EmbInputs in = MakeInputs(specs, batch, 11 + step);
+                std::vector<Matrix> out;
+                ebc.Forward(in.inputs, batch, out);
+                std::vector<Matrix> grads;
+                Rng rng(55 + step);
+                for (size_t t = 0; t < specs.size(); t++) {
+                    grads.push_back(RandomMatrix(
+                        batch, static_cast<size_t>(specs[t].dim), rng));
+                }
+                ebc.BackwardAndUpdate(in.inputs, batch, grads);
+            }
+            return ebc;
+        };
+
+        const ops::EmbeddingBagCollection serial = train(1);
+        for (size_t threads : SweepThreadCounts()) {
+            ops::EmbeddingBagCollection run = train(threads);
+            for (size_t t = 0; t < specs.size(); t++) {
+                EXPECT_TRUE(ops::EmbeddingTable::Identical(serial.table(t),
+                                                           run.table(t)))
+                    << "kind=" << ops::SparseOptimizerKindName(kind)
+                    << " table=" << t << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST_F(ParallelTest, BackwardAndUpdateEmptyBatch)
+{
+    const std::vector<ops::TableSpec> specs = {{50, 8, Precision::kFp32}};
+    ops::SparseOptimizerConfig opt;
+    SetDefaultPoolThreads(4);
+    ops::EmbeddingBagCollection ebc(specs, opt, 5);
+    ops::EmbeddingBagCollection ref(specs, opt, 5);
+    const EmbInputs in = MakeInputs(specs, 0, 1);
+    std::vector<Matrix> grads = {Matrix(0, 8)};
+    ebc.BackwardAndUpdate(in.inputs, 0, grads);
+    EXPECT_TRUE(ops::EmbeddingTable::Identical(ebc.table(0), ref.table(0)));
+}
+
+// ------------------------------------------------------- Quantized comms
+
+TEST_F(ParallelTest, QuantizeDequantizeBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(17);
+    std::vector<float> data(100000);
+    for (auto& v : data) {
+        v = (rng.NextFloat() * 2.0f - 1.0f) * 1000.0f;
+    }
+    for (Precision p : {Precision::kFp16, Precision::kBf16}) {
+        SetDefaultPoolThreads(1);
+        const auto q_serial = comm::QuantizeVector(data, p);
+        const auto d_serial = comm::DequantizeVector(q_serial, p);
+        for (size_t threads : SweepThreadCounts()) {
+            SetDefaultPoolThreads(threads);
+            const auto q = comm::QuantizeVector(data, p);
+            EXPECT_EQ(q, q_serial) << "threads=" << threads;
+            EXPECT_EQ(comm::DequantizeVector(q, p), d_serial)
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST_F(ParallelTest, AllReduceBitIdenticalAcrossThreadCounts)
+{
+    constexpr int kRanks = 4;
+    constexpr size_t kCount = 40000;  // > kReduceGrain per rank chunk
+    const auto run = [&](size_t threads) {
+        SetDefaultPoolThreads(threads);
+        std::vector<std::vector<float>> data(kRanks);
+        for (int r = 0; r < kRanks; r++) {
+            Rng rng(100 + r);
+            data[r].resize(kCount);
+            for (auto& v : data[r]) {
+                v = rng.NextFloat() * 2.0f - 1.0f;
+            }
+        }
+        comm::ThreadedWorld::Run(kRanks, [&](int rank, comm::ProcessGroup& pg) {
+            pg.AllReduceSum(data[rank].data(), kCount);
+        });
+        return data;
+    };
+    const auto serial = run(1);
+    for (size_t threads : SweepThreadCounts()) {
+        const auto out = run(threads);
+        for (int r = 0; r < kRanks; r++) {
+            EXPECT_EQ(out[r], serial[r])
+                << "rank=" << r << " threads=" << threads;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace neo
