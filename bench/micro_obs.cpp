@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Observability overhead microbenchmark: runs the same 2-rank
+ * hybrid-parallel training loop with tracing disabled and enabled,
+ * verifies the final loss is bit-identical (observation must not perturb
+ * training), prints the measured StepBreakdown, and emits BENCH_obs.json
+ * with the tracing-on-vs-off step times. The enabled overhead budget is
+ * <2% (ISSUE: span sites are two clock reads and a slot write); the
+ * number is reported rather than asserted because single-core CI noise
+ * dwarfs it.
+ *
+ * Usage: micro_obs [--quick] [--out=PATH] [--trace-out=PATH]
+ *   --quick      fewer steps / smaller model (smoke-test mode)
+ *   --out        JSON output path (default BENCH_obs.json in the cwd)
+ *   --trace-out  also write the traced run's Chrome trace JSON here
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/threaded_process_group.h"
+#include "core/distributed_trainer.h"
+#include "core/dlrm_config.h"
+#include "data/dataset.h"
+#include "obs/step_breakdown.h"
+#include "obs/trace.h"
+#include "sharding/planner.h"
+
+namespace {
+
+using namespace neo;
+
+constexpr int kWorkers = 2;
+
+data::DatasetConfig
+MakeDataConfig(const core::DlrmConfig& model)
+{
+    data::DatasetConfig config;
+    config.num_dense = model.num_dense;
+    config.seed = 99;
+    for (const auto& t : model.tables) {
+        config.features.push_back({t.rows, t.pooling, 1.05});
+    }
+    return config;
+}
+
+struct RunResult {
+    double seconds = 0.0;  ///< wall-clock of the whole training loop
+    std::vector<double> final_loss;
+};
+
+/** One full training run; the same work with tracing on or off. */
+RunResult
+RunTraining(const core::DlrmConfig& model, const sharding::ShardingPlan& plan,
+            size_t local_batch, int steps)
+{
+    RunResult result;
+    result.final_loss.assign(kWorkers, 0.0);
+    const auto start = std::chrono::steady_clock::now();
+    comm::ThreadedWorld::Run(kWorkers, [&](int rank,
+                                           comm::ProcessGroup& pg) {
+        core::DistributedDlrm trainer(model, plan, pg);
+        data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+        for (int s = 0; s < steps; s++) {
+            data::Batch global = dataset.NextBatch(local_batch * kWorkers);
+            data::Batch local;
+            const size_t begin = rank * local_batch;
+            local.dense = Matrix(local_batch, global.dense.cols());
+            for (size_t b = 0; b < local_batch; b++) {
+                for (size_t c = 0; c < global.dense.cols(); c++) {
+                    local.dense(b, c) = global.dense(begin + b, c);
+                }
+            }
+            local.sparse =
+                global.sparse.SliceBatch(begin, begin + local_batch);
+            local.labels.assign(global.labels.begin() + begin,
+                                global.labels.begin() + begin +
+                                    local_batch);
+            result.final_loss[rank] = trainer.TrainStep(local);
+        }
+    });
+    const auto end = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+/** Best wall-clock over `reps` fresh runs. */
+RunResult
+BestOf(int reps, const core::DlrmConfig& model,
+       const sharding::ShardingPlan& plan, size_t local_batch, int steps)
+{
+    RunResult best;
+    best.seconds = 1e30;
+    for (int r = 0; r < reps; r++) {
+        // Start each traced rep from an empty buffer so late reps do not
+        // hit the capacity limit (Clear is safe here: the world joined).
+        obs::Tracer::Get().Clear();
+        RunResult run = RunTraining(model, plan, local_batch, steps);
+        if (run.seconds < best.seconds) {
+            best = std::move(run);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_obs.json";
+    std::string trace_out;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            trace_out = argv[i] + 12;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    const int steps = quick ? 4 : 30;
+    const int reps = quick ? 2 : 5;
+    const size_t local_batch = quick ? 16 : 64;
+    const core::DlrmConfig model = quick
+        ? core::MakeSmallDlrmConfig(4, 200, 8)
+        : core::MakeSmallDlrmConfig(8, 4000, 32);
+
+    sharding::PlannerOptions planner_options;
+    planner_options.topo.num_workers = kWorkers;
+    planner_options.topo.workers_per_node = kWorkers;
+    planner_options.global_batch = local_batch * kWorkers;
+    planner_options.hbm_bytes_per_worker = 1e12;
+    sharding::ShardingPlanner planner(planner_options);
+    const sharding::ShardingPlan plan = planner.Plan(model.tables);
+
+    // ---- tracing off ---------------------------------------------------
+    obs::Tracer::Get().SetEnabled(false);
+    obs::Tracer::Get().Clear();
+    const RunResult off =
+        BestOf(reps, model, plan, local_batch, steps);
+
+    // ---- tracing on ----------------------------------------------------
+    obs::Tracer::Get().SetEnabled(true);
+    const RunResult on = BestOf(reps, model, plan, local_batch, steps);
+    obs::Tracer::Get().SetEnabled(false);
+
+    bool bit_identical = true;
+    for (int r = 0; r < kWorkers; r++) {
+        bit_identical &= off.final_loss[r] == on.final_loss[r];
+    }
+    if (!bit_identical) {
+        std::fprintf(stderr,
+                     "FAIL: tracing changed the training result\n");
+        return 1;
+    }
+
+    const std::vector<obs::Span> spans = obs::Tracer::Get().Collect();
+    const uint64_t dropped = obs::Tracer::Get().DroppedSpans();
+    const obs::StepBreakdown breakdown =
+        obs::StepBreakdown::FromSpans(spans, /*rank=*/0);
+
+    const double off_step = off.seconds / steps;
+    const double on_step = on.seconds / steps;
+    const double overhead = (on_step - off_step) / off_step;
+
+    std::printf("== micro_obs: tracing overhead (%d steps, best of %d) ==\n\n",
+                steps, reps);
+    std::printf("tracing off: %.3f ms/step\n", off_step * 1e3);
+    std::printf("tracing on:  %.3f ms/step  (%+.2f%%)\n", on_step * 1e3,
+                overhead * 100.0);
+    std::printf("spans recorded: %zu (dropped %llu)\n", spans.size(),
+                static_cast<unsigned long long>(dropped));
+    std::printf("final loss bit-identical on/off: %s\n\n",
+                bit_identical ? "yes" : "NO");
+    std::printf("%s\n", breakdown.ToTable().c_str());
+
+    if (!trace_out.empty()) {
+        if (!obs::Tracer::Get().WriteChromeJson(trace_out)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_out.c_str());
+    }
+
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_obs\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"steps\": %d,\n", steps);
+    std::fprintf(f, "  \"workers\": %d,\n", kWorkers);
+    std::fprintf(f, "  \"tracing_off_step_seconds\": %.6f,\n", off_step);
+    std::fprintf(f, "  \"tracing_on_step_seconds\": %.6f,\n", on_step);
+    std::fprintf(f, "  \"overhead_fraction\": %.6f,\n", overhead);
+    std::fprintf(f, "  \"spans_recorded\": %zu,\n", spans.size());
+    std::fprintf(f, "  \"spans_dropped\": %llu,\n",
+                 static_cast<unsigned long long>(dropped));
+    std::fprintf(f, "  \"breakdown_coverage\": %.6f,\n",
+                 breakdown.Coverage());
+    std::fprintf(f, "  \"bit_identical\": %s\n",
+                 bit_identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the concurrency-sensitive suites: configures a
 # dedicated build tree with -DNEO_SANITIZE=thread and runs the tsan_* ctest
-# entries (whole-binary runs of test_common, test_comm, test_parallel with
-# NEO_NUM_THREADS=4 so the intra-op pool is actually concurrent).
+# entries (whole-binary runs of test_common, test_comm, test_obs,
+# test_parallel with NEO_NUM_THREADS=4 so the intra-op pool is actually
+# concurrent).
 #
 # Usage: scripts/tsan_tests.sh   (from the repo root)
 #   BUILD_DIR=... to override the build tree (default build-tsan)
@@ -12,5 +13,6 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j \
-    --target test_common --target test_comm --target test_parallel
+    --target test_common --target test_comm --target test_obs \
+    --target test_parallel
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^tsan_'

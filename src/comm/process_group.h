@@ -77,6 +77,16 @@ struct TraceEvent {
     CollectiveOp op;
     /** Payload bytes (op-specific: buffer size or total send bytes). */
     uint64_t bytes;
+    // Timing fields (default-initialized so `{op, bytes}` braced literals
+    // stay valid). sim::ReplayTrace ignores them: replay re-estimates the
+    // time from sizes alone, and a timed trace must replay identically to
+    // its untimed twin.
+    /** Collective entry time, ns on obs::NowNs()'s steady clock. */
+    int64_t start_ns = 0;
+    /** Measured wall-clock of the collective (incl. barrier waits), ns. */
+    int64_t duration_ns = 0;
+    /** Per-op sequence index on the recording rank (0 = first call). */
+    uint64_t seq = 0;
 };
 
 /** Per-rank traffic counters (bytes sent off-rank, call counts). */
@@ -187,8 +197,25 @@ class ProcessGroup
      * Attach a trace sink: every subsequent collective appends one
      * TraceEvent. Pass nullptr to detach. The sink must outlive the
      * recording window; default implementation ignores tracing.
+     *
+     * Thread contract: SetTrace may be called from any thread (the sink
+     * pointer is published with release/acquire semantics in fault-aware
+     * backends), but appends happen on the rank's own collective-calling
+     * thread — callers must not read the sink vector while a collective
+     * is in flight on this rank.
      */
     virtual void SetTrace(std::vector<TraceEvent>* /*trace*/) {}
+
+    /**
+     * Re-book the bytes accounted for this rank's most recently completed
+     * collective to `wire_bytes` — the size actually moved on the wire.
+     * Used by compressed paths whose in-memory call carries FP32 but whose
+     * modeled transport is FP16/BF16 (Sec. 6.1's comm-precision study):
+     * adjusts the per-op CommStats counter and the bytes of the trace
+     * event just recorded (if any). No-op when nothing was booked yet;
+     * default implementation ignores it.
+     */
+    virtual void RebookLastCollective(uint64_t /*wire_bytes*/) {}
 
     // -- Typed convenience wrappers over AllToAllBytes -------------------
 

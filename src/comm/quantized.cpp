@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "obs/trace.h"
 
 namespace neo::comm {
 
@@ -21,6 +22,10 @@ constexpr size_t kConvertGrain = 8192;
 std::vector<uint16_t>
 QuantizeVector(const std::vector<float>& in, Precision precision)
 {
+    // Category "q" is transparent to StepBreakdown: conversion cost rolls
+    // up into whichever phase (emb_fwd exchange, mlp allreduce, ...) runs
+    // it, while the span itself stays visible on the timeline.
+    NEO_TRACE_SPAN("quantize", "q");
     std::vector<uint16_t> out(in.size());
     switch (precision) {
       case Precision::kFp16:
@@ -46,6 +51,7 @@ QuantizeVector(const std::vector<float>& in, Precision precision)
 std::vector<float>
 DequantizeVector(const std::vector<uint16_t>& in, Precision precision)
 {
+    NEO_TRACE_SPAN("dequantize", "q");
     std::vector<float> out(in.size());
     switch (precision) {
       case Precision::kFp16:
@@ -115,6 +121,10 @@ QuantizedAllReduce(ProcessGroup& pg, float* data, size_t count,
         DequantizeVector(QuantizeVector(local, precision), precision);
     std::memcpy(data, rounded.data(), count * sizeof(float));
     pg.AllReduceSum(data, count);
+    // The in-memory reduce carries FP32, but the modeled wire format is
+    // the 16-bit payload: re-book the bytes at wire size so CommStats and
+    // traces match what QuantizedAllToAll already accounts.
+    pg.RebookLastCollective(count * BytesPerElement(precision));
 }
 
 }  // namespace neo::comm

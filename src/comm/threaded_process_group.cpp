@@ -8,6 +8,8 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace neo::comm {
 
@@ -57,6 +59,7 @@ ThreadedWorld::AbortLocked(int rank, const std::string& cause, bool transient)
     abort_rank_ = rank;
     abort_cause_ = cause;
     abort_transient_ = transient;
+    obs::MetricsRegistry::Get().GetCounter("neo.comm.aborts").Add();
     barrier_cv_.notify_all();
 }
 
@@ -96,6 +99,7 @@ ThreadedWorld::Barrier(int rank)
 void
 ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
 {
+    NEO_TRACE_SPAN_V("barrier_wait", "barrier");
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     if (aborted_) {
         ThrowAbortedLocked();
@@ -152,6 +156,7 @@ ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
 bool
 ThreadedWorld::TryRecover(std::chrono::milliseconds timeout)
 {
+    NEO_TRACE_SPAN("recover", "comm");
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     if (!aborted_) {
         return true;
@@ -171,6 +176,7 @@ ThreadedWorld::TryRecover(std::chrono::milliseconds timeout)
         barrier_waiting_ = 0;
         barrier_generation_++;
         std::fill(barrier_entries_.begin(), barrier_entries_.end(), 0);
+        obs::MetricsRegistry::Get().GetCounter("neo.comm.recoveries").Add();
         barrier_cv_.notify_all();
         return true;
     }
@@ -200,6 +206,8 @@ ThreadedWorld::Run(int size, const Options& options,
     for (int r = 0; r < size; r++) {
         threads.emplace_back([&, r] {
             try {
+                // Tag the worker thread so its trace spans carry the rank.
+                obs::Tracer::SetThreadRank(r);
                 fn(r, world.GetGroup(r));
             } catch (const std::exception& e) {
                 errors[r] = std::current_exception();
@@ -243,6 +251,7 @@ ThreadedProcessGroup::MaybeInject(CollectiveOp op, float* payload,
 void
 ThreadedProcessGroup::Barrier()
 {
+    NEO_TRACE_SPAN("barrier", "barrier");
     MaybeInject(CollectiveOp::kBarrier, nullptr, 0);
     world_->Barrier(rank_);
     stats_.calls++;
@@ -251,6 +260,7 @@ ThreadedProcessGroup::Barrier()
 void
 ThreadedProcessGroup::Barrier(std::chrono::milliseconds timeout)
 {
+    NEO_TRACE_SPAN("barrier", "barrier");
     MaybeInject(CollectiveOp::kBarrier, nullptr, 0);
     world_->Barrier(rank_, timeout);
     stats_.calls++;
@@ -259,6 +269,8 @@ ThreadedProcessGroup::Barrier(std::chrono::milliseconds timeout)
 void
 ThreadedProcessGroup::AllReduceSum(float* data, size_t count)
 {
+    NEO_TRACE_SPAN("allreduce", "allreduce");
+    const int64_t t0 = obs::NowNs();
     ThreadedWorld& w = *world_;
     MaybeInject(CollectiveOp::kAllReduce, data, count);
     if (w.size() > 1 && count > 0) {
@@ -304,14 +316,15 @@ ThreadedProcessGroup::AllReduceSum(float* data, size_t count)
     }
     // Stats and traces account completed collectives only; an aborted
     // collective throws above and must not be double-counted on retry.
-    stats_.calls++;
-    stats_.allreduce_bytes += count * sizeof(float);
-    Record(CollectiveOp::kAllReduce, count * sizeof(float));
+    Book(CollectiveOp::kAllReduce, &stats_.allreduce_bytes,
+         count * sizeof(float), count * sizeof(float), t0);
 }
 
 void
 ThreadedProcessGroup::Broadcast(float* data, size_t count, int root)
 {
+    NEO_TRACE_SPAN("broadcast", "comm");
+    const int64_t t0 = obs::NowNs();
     ThreadedWorld& w = *world_;
     NEO_REQUIRE(root >= 0 && root < w.size(), "broadcast root out of range");
     MaybeInject(CollectiveOp::kBroadcast, data, count);
@@ -331,16 +344,16 @@ ThreadedProcessGroup::Broadcast(float* data, size_t count, int root)
         // which may legitimately be null.
         w.Barrier(rank_);
     }
-    stats_.calls++;
-    if (rank_ == root) {
-        stats_.broadcast_bytes += count * sizeof(float);
-    }
-    Record(CollectiveOp::kBroadcast, count * sizeof(float));
+    Book(CollectiveOp::kBroadcast, &stats_.broadcast_bytes,
+         rank_ == root ? count * sizeof(float) : 0, count * sizeof(float),
+         t0);
 }
 
 void
 ThreadedProcessGroup::AllGather(const float* in, size_t count, float* out)
 {
+    NEO_TRACE_SPAN("allgather", "comm");
+    const int64_t t0 = obs::NowNs();
     ThreadedWorld& w = *world_;
     MaybeInject(CollectiveOp::kAllGather, nullptr, 0);
     if (count > 0) {
@@ -358,15 +371,16 @@ ThreadedProcessGroup::AllGather(const float* in, size_t count, float* out)
         // Zero-length gather synchronizes; `in`/`out` may be null.
         w.Barrier(rank_);
     }
-    stats_.calls++;
-    stats_.allgather_bytes += count * sizeof(float);
-    Record(CollectiveOp::kAllGather, count * sizeof(float));
+    Book(CollectiveOp::kAllGather, &stats_.allgather_bytes,
+         count * sizeof(float), count * sizeof(float), t0);
 }
 
 void
 ThreadedProcessGroup::ReduceScatterSum(const float* in, size_t count,
                                        float* out)
 {
+    NEO_TRACE_SPAN("reducescatter", "comm");
+    const int64_t t0 = obs::NowNs();
     ThreadedWorld& w = *world_;
     MaybeInject(CollectiveOp::kReduceScatter, nullptr, 0);
     if (count > 0) {
@@ -395,11 +409,9 @@ ThreadedProcessGroup::ReduceScatterSum(const float* in, size_t count,
         // Zero-length reduce-scatter synchronizes; buffers may be null.
         w.Barrier(rank_);
     }
-    stats_.calls++;
-    stats_.reducescatter_bytes +=
-        count * sizeof(float) * static_cast<size_t>(w.size());
-    Record(CollectiveOp::kReduceScatter,
-           count * sizeof(float) * static_cast<size_t>(w.size()));
+    Book(CollectiveOp::kReduceScatter, &stats_.reducescatter_bytes,
+         count * sizeof(float) * static_cast<size_t>(w.size()),
+         count * sizeof(float) * static_cast<size_t>(w.size()), t0);
 }
 
 void
@@ -407,6 +419,8 @@ ThreadedProcessGroup::AllToAllBytes(
     const std::vector<std::vector<uint8_t>>& send_buffers,
     std::vector<std::vector<uint8_t>>& recv_buffers)
 {
+    NEO_TRACE_SPAN("alltoall", "a2a");
+    const int64_t t0 = obs::NowNs();
     ThreadedWorld& w = *world_;
     NEO_REQUIRE(send_buffers.size() == static_cast<size_t>(w.size()),
                 "AllToAll needs one send buffer per rank");
@@ -438,9 +452,55 @@ ThreadedProcessGroup::AllToAllBytes(
     }
     w.Barrier(rank_);
 
+    Book(CollectiveOp::kAllToAll, &stats_.alltoall_bytes, offrank_send,
+         total_send, t0);
+}
+
+bool
+ThreadedProcessGroup::Recover(std::chrono::milliseconds timeout)
+{
+    return world_->TryRecover(timeout);
+}
+
+void
+ThreadedProcessGroup::Book(CollectiveOp op, uint64_t* stat_field,
+                           uint64_t stat_bytes, uint64_t trace_bytes,
+                           int64_t start_ns)
+{
     stats_.calls++;
-    stats_.alltoall_bytes += offrank_send;
-    Record(CollectiveOp::kAllToAll, total_send);
+    *stat_field += stat_bytes;
+    last_stat_field_ = stat_field;
+    last_stat_bytes_ = stat_bytes;
+    last_traced_ = false;
+    const size_t op_index = static_cast<size_t>(op);
+    std::vector<TraceEvent>* trace =
+        trace_.load(std::memory_order_acquire);
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.op = op;
+        event.bytes = trace_bytes;
+        event.start_ns = start_ns;
+        event.duration_ns = obs::NowNs() - start_ns;
+        event.seq = op_seq_[op_index];
+        trace->push_back(event);
+        last_traced_ = true;
+    }
+    op_seq_[op_index]++;
+}
+
+void
+ThreadedProcessGroup::RebookLastCollective(uint64_t wire_bytes)
+{
+    if (last_stat_field_ == nullptr) {
+        return;
+    }
+    *last_stat_field_ = *last_stat_field_ - last_stat_bytes_ + wire_bytes;
+    last_stat_bytes_ = wire_bytes;
+    std::vector<TraceEvent>* trace =
+        trace_.load(std::memory_order_acquire);
+    if (last_traced_ && trace != nullptr && !trace->empty()) {
+        trace->back().bytes = wire_bytes;
+    }
 }
 
 }  // namespace neo::comm

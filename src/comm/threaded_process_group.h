@@ -20,6 +20,8 @@
  */
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -178,27 +180,33 @@ class ThreadedProcessGroup : public ProcessGroup
         std::vector<std::vector<uint8_t>>& recv_buffers) override;
 
     bool Healthy() const override { return !world_->aborted(); }
-    bool Recover(std::chrono::milliseconds timeout) override
-    {
-        return world_->TryRecover(timeout);
-    }
+    bool Recover(std::chrono::milliseconds timeout) override;
 
     CommStats Stats() const override { return stats_; }
 
+    /**
+     * Release-publish the sink so a sink attached from another thread
+     * (e.g. the driver before spawning rank threads) is visible to this
+     * rank's collectives without a data race. Appends themselves stay
+     * strictly on the rank thread: collectives finish their ParallelFor
+     * local reductions (whose workers never touch the sink) before the
+     * single post-completion push_back.
+     */
     void SetTrace(std::vector<TraceEvent>* trace) override
     {
-        trace_ = trace;
+        trace_.store(trace, std::memory_order_release);
     }
 
+    void RebookLastCollective(uint64_t wire_bytes) override;
+
   private:
-    /** Append one trace event if a sink is attached. */
-    void
-    Record(CollectiveOp op, uint64_t bytes)
-    {
-        if (trace_ != nullptr) {
-            trace_->push_back({op, bytes});
-        }
-    }
+    /**
+     * Account one completed collective: bump `*stat_field` by
+     * `stat_bytes`, append a timed TraceEvent of `trace_bytes` if a sink
+     * is attached, and remember both for RebookLastCollective.
+     */
+    void Book(CollectiveOp op, uint64_t* stat_field, uint64_t stat_bytes,
+              uint64_t trace_bytes, int64_t start_ns);
 
     /**
      * Advance this rank's collective call counter and give the armed
@@ -213,7 +221,15 @@ class ThreadedProcessGroup : public ProcessGroup
     /** Collective calls issued (not necessarily completed) by this rank. */
     uint64_t collective_seq_ = 0;
     CommStats stats_;
-    std::vector<TraceEvent>* trace_ = nullptr;
+    /** Trace sink; atomic so SetTrace from another thread is race-free
+     *  against this rank's collectives (append path is rank-thread-only). */
+    std::atomic<std::vector<TraceEvent>*> trace_{nullptr};
+    /** Per-op completed-call counters feeding TraceEvent::seq. */
+    std::array<uint64_t, 6> op_seq_{};
+    /** Rebooking state: the stats field / bytes of the last Book(). */
+    uint64_t* last_stat_field_ = nullptr;
+    uint64_t last_stat_bytes_ = 0;
+    bool last_traced_ = false;
 };
 
 }  // namespace neo::comm

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace neo {
 
@@ -70,6 +71,9 @@ ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
     if (end <= begin) {
         return;
     }
+    // Transparent category: the caller participates in the drain, so this
+    // time belongs to whatever phase invoked the loop.
+    NEO_TRACE_SPAN("parallel_for", "par");
     const size_t total = end - begin;
     const size_t chunks = (total + grain - 1) / grain;
     const auto run_chunk = [&](size_t chunk) {
@@ -92,6 +96,7 @@ ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
     std::exception_ptr error;
     std::mutex error_mutex;
     const auto drain = [&] {
+        NEO_TRACE_SPAN_V("parallel_for_drain", "par");
         const bool was_in_region = t_in_parallel_region;
         t_in_parallel_region = true;
         while (!failed.load(std::memory_order_relaxed)) {

@@ -1,8 +1,7 @@
 #include "common/stats.h"
 
 #include <cmath>
-
-#include "common/logging.h"
+#include <stdexcept>
 
 namespace neo {
 
@@ -15,8 +14,15 @@ RunningStat::stddev() const
 double
 Percentile(std::vector<double> values, double p)
 {
-    NEO_REQUIRE(!values.empty(), "Percentile of empty sample");
-    NEO_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    // Throw (not NEO_REQUIRE, which aborts): callers like the metrics
+    // registry legitimately probe arbitrary sample sets and must be able
+    // to handle the degenerate cases.
+    if (values.empty()) {
+        throw std::invalid_argument("Percentile of empty sample");
+    }
+    if (!(p >= 0.0 && p <= 100.0)) {
+        throw std::invalid_argument("percentile must be in [0,100]");
+    }
     std::sort(values.begin(), values.end());
     if (values.size() == 1) {
         return values[0];

@@ -58,6 +58,7 @@ class RunningStat
  *
  * @param values Observations (copied and sorted internally).
  * @param p Percentile in [0, 100].
+ * @throws std::invalid_argument on an empty sample or p outside [0, 100].
  */
 double Percentile(std::vector<double> values, double p);
 

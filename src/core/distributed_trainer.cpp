@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "data/jagged.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace neo::core {
 
@@ -120,6 +122,9 @@ DistributedDlrm::BuildRoutes()
 DistributedDlrm::PreparedInput
 DistributedDlrm::PrepareInput(const data::Batch& local_batch)
 {
+    // Bucketize/route time books as "data"; the nested lengths/indices
+    // AllToAlls carve their own time into the alltoall bucket.
+    NEO_TRACE_SPAN("prepare_input", "data");
     NEO_REQUIRE(local_batch.sparse.num_tables == config_.tables.size(),
                 "batch has ", local_batch.sparse.num_tables,
                 " sparse features but the model has ",
@@ -350,76 +355,105 @@ DistributedDlrm::TrainStepPrepared(PreparedInput& prepared)
 
     // ---- model-parallel embedding forward + exchange ----
     std::vector<Matrix> shard_pooled;
-    ForwardEmbeddings(prepared, shard_pooled);
     std::vector<Matrix> pooled;
-    ExchangePooled(shard_pooled, b_local, pooled);
+    {
+        NEO_TRACE_SPAN("emb_forward", "emb_fwd");
+        ForwardEmbeddings(prepared, shard_pooled);
+        ExchangePooled(shard_pooled, b_local, pooled);
 
-    // ---- replicated DP tables pool the local batch directly ----
-    for (const auto& dp : dp_tables_) {
-        Matrix& out = pooled[dp.table];
-        const auto input = prepared.local_sparse.InputForTable(
-            static_cast<size_t>(dp.table));
-        size_t offset = 0;
-        for (size_t b = 0; b < b_local; b++) {
-            float* row = out.Row(b);
-            for (uint32_t k = 0; k < input.lengths[b]; k++) {
-                dp.replica.AccumulateRow(input.indices[offset + k], 1.0f,
-                                         row);
+        // ---- replicated DP tables pool the local batch directly ----
+        for (const auto& dp : dp_tables_) {
+            Matrix& out = pooled[dp.table];
+            const auto input = prepared.local_sparse.InputForTable(
+                static_cast<size_t>(dp.table));
+            size_t offset = 0;
+            for (size_t b = 0; b < b_local; b++) {
+                float* row = out.Row(b);
+                for (uint32_t k = 0; k < input.lengths[b]; k++) {
+                    dp.replica.AccumulateRow(input.indices[offset + k],
+                                             1.0f, row);
+                }
+                offset += input.lengths[b];
             }
-            offset += input.lengths[b];
         }
     }
 
     // ---- dense forward ----
-    Matrix bottom_out;
-    bottom_->Forward(prepared.dense, bottom_out);
-    Matrix interacted(b_local, interaction_->OutputDim());
-    interaction_->Forward(bottom_out, pooled, interacted);
     Matrix logits;
-    top_->Forward(interacted, logits);
+    Matrix bottom_out;
+    Matrix interacted(b_local, interaction_->OutputDim());
+    double loss = 0.0;
+    {
+        NEO_TRACE_SPAN("dense_forward", "mlp_fwd");
+        bottom_->Forward(prepared.dense, bottom_out);
+        interaction_->Forward(bottom_out, pooled, interacted);
+        top_->Forward(interacted, logits);
 
-    // ---- loss (global mean via AllReduce of the local sum) ----
-    float loss_sum = static_cast<float>(
-        BceWithLogitsLoss(logits, prepared.labels) *
-        static_cast<double>(b_local));
-    pg_.AllReduceSum(&loss_sum, 1);
-    const double loss = loss_sum / static_cast<double>(b_global);
+        // ---- loss (global mean via AllReduce of the local sum) ----
+        float loss_sum = static_cast<float>(
+            BceWithLogitsLoss(logits, prepared.labels) *
+            static_cast<double>(b_local));
+        pg_.AllReduceSum(&loss_sum, 1);
+        loss = loss_sum / static_cast<double>(b_global);
+    }
 
     // ---- backward ----
-    Matrix grad_logits(b_local, 1);
-    BceWithLogitsGrad(logits, prepared.labels, grad_logits, b_global);
-
-    top_->ZeroGrads();
-    Matrix grad_interacted;
-    top_->Backward(grad_logits, grad_interacted);
-
-    Matrix grad_bottom_out(b_local, config_.EmbeddingDim());
     std::vector<Matrix> grad_pooled(config_.tables.size());
-    for (auto& g : grad_pooled) {
-        g = Matrix(b_local, config_.EmbeddingDim());
-    }
-    interaction_->Backward(grad_interacted, grad_bottom_out, grad_pooled);
+    {
+        NEO_TRACE_SPAN("dense_backward", "mlp_bwd");
+        Matrix grad_logits(b_local, 1);
+        BceWithLogitsGrad(logits, prepared.labels, grad_logits, b_global);
 
-    bottom_->ZeroGrads();
-    Matrix grad_dense_unused;
-    bottom_->Backward(grad_bottom_out, grad_dense_unused);
+        top_->ZeroGrads();
+        Matrix grad_interacted;
+        top_->Backward(grad_logits, grad_interacted);
+
+        Matrix grad_bottom_out(b_local, config_.EmbeddingDim());
+        for (auto& g : grad_pooled) {
+            g = Matrix(b_local, config_.EmbeddingDim());
+        }
+        interaction_->Backward(grad_interacted, grad_bottom_out,
+                               grad_pooled);
+
+        bottom_->ZeroGrads();
+        Matrix grad_dense_unused;
+        bottom_->Backward(grad_bottom_out, grad_dense_unused);
+    }
 
     // ---- sparse updates (model-parallel, then replicated DP) ----
-    ExchangeGradsAndUpdate(prepared, grad_pooled);
-    UpdateDpTables(prepared, grad_pooled);
+    {
+        NEO_TRACE_SPAN("emb_backward_update", "emb_bwd");
+        ExchangeGradsAndUpdate(prepared, grad_pooled);
+        UpdateDpTables(prepared, grad_pooled);
+    }
 
     // ---- data-parallel MLP sync + update ----
-    AllReduceMlpGrads();
-    bottom_->ApplyOptimizer(dense_opt_, bottom_slots_);
-    top_->ApplyOptimizer(dense_opt_, top_slots_);
+    {
+        // Pack/unpack rides the allreduce bucket (it exists only to feed
+        // the wire); the nested collective span refines the timing.
+        NEO_TRACE_SPAN("allreduce_mlp_grads", "allreduce");
+        AllReduceMlpGrads();
+    }
+    {
+        NEO_TRACE_SPAN("dense_optimizer", "opt");
+        bottom_->ApplyOptimizer(dense_opt_, bottom_slots_);
+        top_->ApplyOptimizer(dense_opt_, top_slots_);
+    }
     return loss;
 }
 
 double
 DistributedDlrm::TrainStep(const data::Batch& local_batch)
 {
+    NEO_TRACE_SPAN("train_step", "step");
+    const int64_t t0 = obs::NowNs();
     PreparedInput prepared = PrepareInput(local_batch);
-    return TrainStepPrepared(prepared);
+    const double loss = TrainStepPrepared(prepared);
+    auto& metrics = obs::MetricsRegistry::Get();
+    metrics.GetCounter("neo.core.steps").Add();
+    metrics.GetHistogram("neo.core.step_seconds")
+        .Observe(static_cast<double>(obs::NowNs() - t0) * 1e-9);
+    return loss;
 }
 
 StepResult
@@ -433,6 +467,9 @@ DistributedDlrm::TrainStepWithRecovery(const data::Batch& local_batch)
             result.ok = true;
             return result;
         } catch (const comm::RankFailure& failure) {
+            obs::MetricsRegistry::Get()
+                .GetCounter("neo.core.step_retries")
+                .Add();
             result.failures.push_back({failure.failed_rank(),
                                        failure.cause(), result.attempts,
                                        failure.transient()});

@@ -1,19 +1,26 @@
 #include "core/pipeline.h"
 
+#include "obs/trace.h"
+
 namespace neo::core {
 
 std::optional<double>
 PipelinedTrainer::Push(const data::Batch& local_batch)
 {
+    NEO_TRACE_SPAN("pipeline_push", "step");
     try {
         // Stage 1: distribute the incoming batch's sparse inputs (the
         // AllToAll that would overlap compute on hardware).
         DistributedDlrm::PreparedInput next =
             trainer_.PrepareInput(local_batch);
 
-        // Stage 2: train the previously prepared batch.
+        // Stage 2: train the previously prepared batch. Named differently
+        // from "train_step" because a pipelined step excludes its own
+        // input distribution (that happened one Push earlier); pass
+        // step_name="pipeline_step" to StepBreakdown for pipelined runs.
         std::optional<double> loss;
         if (pending_.has_value()) {
+            NEO_TRACE_SPAN("pipeline_step", "step");
             loss = trainer_.TrainStepPrepared(*pending_);
             steps_completed_++;
         }
@@ -35,6 +42,7 @@ PipelinedTrainer::Flush()
         return std::nullopt;
     }
     try {
+        NEO_TRACE_SPAN("pipeline_step", "step");
         const double loss = trainer_.TrainStepPrepared(*pending_);
         steps_completed_++;
         pending_.reset();

@@ -1,6 +1,7 @@
 #include "data/dataloader.h"
 
 #include "common/parallel_for.h"
+#include "obs/trace.h"
 
 namespace neo::data {
 
@@ -25,6 +26,9 @@ DataLoader::StartPrefetch()
     // (no per-loader thread spawn); the dataset is only touched by that
     // task, so no locking is needed.
     pending_ = DefaultThreadPool().Submit([this] {
+        // Runs on a shared-pool thread: shows under the pool's process in
+        // the trace; the consumer-side stall is "next_batch_wait" below.
+        NEO_TRACE_SPAN("data_prefetch", "data");
         return dataset_->NextBatch(batch_size_);
     });
 }
@@ -32,7 +36,10 @@ DataLoader::StartPrefetch()
 Batch
 DataLoader::NextBatch()
 {
-    Batch batch = pending_.get();
+    Batch batch = [&] {
+        NEO_TRACE_SPAN("next_batch_wait", "data");
+        return pending_.get();
+    }();
     StartPrefetch();
     return batch;
 }

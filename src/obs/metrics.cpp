@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace neo::obs {
+
+void
+Histogram::Observe(double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stat_.Add(x);
+    if (samples_.size() < window_) {
+        samples_.push_back(x);
+    } else {
+        samples_[next_] = x;
+    }
+    next_ = (next_ + 1) % window_;
+}
+
+Histogram::Snapshot
+Histogram::GetSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.count = stat_.count();
+    if (snap.count == 0) {
+        return snap;
+    }
+    snap.sum = stat_.sum();
+    snap.mean = stat_.mean();
+    snap.min = stat_.min();
+    snap.max = stat_.max();
+    snap.stddev = stat_.stddev();
+    snap.p50 = Percentile(samples_, 50.0);
+    snap.p95 = Percentile(samples_, 95.0);
+    snap.p99 = Percentile(samples_, 99.0);
+    return snap;
+}
+
+void
+Histogram::Reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stat_ = RunningStat();
+    samples_.clear();
+    next_ = 0;
+}
+
+MetricsRegistry&
+MetricsRegistry::Get()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter&
+MetricsRegistry::GetCounter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    NEO_REQUIRE(gauges_.find(name) == gauges_.end() &&
+                    histograms_.find(name) == histograms_.end(),
+                "metric '", name, "' already registered as another kind");
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+Gauge&
+MetricsRegistry::GetGauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    NEO_REQUIRE(counters_.find(name) == counters_.end() &&
+                    histograms_.find(name) == histograms_.end(),
+                "metric '", name, "' already registered as another kind");
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
+}
+
+Histogram&
+MetricsRegistry::GetHistogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    NEO_REQUIRE(counters_.find(name) == counters_.end() &&
+                    gauges_.find(name) == gauges_.end(),
+                "metric '", name, "' already registered as another kind");
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
+}
+
+void
+MetricsRegistry::Reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, counter] : counters_) {
+        counter->Reset();
+    }
+    for (auto& [name, gauge] : gauges_) {
+        gauge->Reset();
+    }
+    for (auto& [name, histogram] : histograms_) {
+        histogram->Reset();
+    }
+}
+
+namespace {
+
+std::string
+JsonNumber(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+MetricsRegistry::ToJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, counter] : counters_) {
+        out += first ? "" : ",";
+        first = false;
+        out += "\"" + name + "\":" + std::to_string(counter->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, gauge] : gauges_) {
+        out += first ? "" : ",";
+        first = false;
+        out += "\"" + name + "\":" + JsonNumber(gauge->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, histogram] : histograms_) {
+        const Histogram::Snapshot s = histogram->GetSnapshot();
+        out += first ? "" : ",";
+        first = false;
+        out += "\"" + name + "\":{\"count\":" + std::to_string(s.count) +
+               ",\"sum\":" + JsonNumber(s.sum) +
+               ",\"mean\":" + JsonNumber(s.mean) +
+               ",\"min\":" + JsonNumber(s.min) +
+               ",\"max\":" + JsonNumber(s.max) +
+               ",\"stddev\":" + JsonNumber(s.stddev) +
+               ",\"p50\":" + JsonNumber(s.p50) +
+               ",\"p95\":" + JsonNumber(s.p95) +
+               ",\"p99\":" + JsonNumber(s.p99) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+MetricsRegistry::ToCsv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "name,kind,count,value,min,max,p50,p95,p99\n";
+    for (const auto& [name, counter] : counters_) {
+        out += name + ",counter,," + std::to_string(counter->value()) +
+               ",,,,,\n";
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        out += name + ",gauge,," + JsonNumber(gauge->value()) + ",,,,,\n";
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        const Histogram::Snapshot s = histogram->GetSnapshot();
+        out += name + ",histogram," + std::to_string(s.count) + "," +
+               JsonNumber(s.mean) + "," + JsonNumber(s.min) + "," +
+               JsonNumber(s.max) + "," + JsonNumber(s.p50) + "," +
+               JsonNumber(s.p95) + "," + JsonNumber(s.p99) + "\n";
+    }
+    return out;
+}
+
+}  // namespace neo::obs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and histograms
+ * with JSON/CSV export. Instruments follow the `neo.<layer>.<name>`
+ * naming convention (e.g. neo.core.step_seconds, neo.comm.aborts) so
+ * exports group naturally by subsystem.
+ *
+ * Instruments are created on first lookup and live for the process
+ * lifetime; Reset() zeroes values but never invalidates references, so
+ * call sites may cache `Counter&` in a local static. Counters and gauges
+ * are lock-free atomics; histograms take a short per-instrument mutex
+ * (they fold into a RunningStat and keep a bounded ring of recent
+ * samples for percentile export).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace neo::obs {
+
+/** Monotonic event/byte counter. */
+class Counter
+{
+  public:
+    void
+    Add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+    void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Distribution of observations: Welford running stats plus a bounded
+ * ring buffer of the most recent samples for percentile estimates.
+ */
+class Histogram
+{
+  public:
+    /** Moments + percentiles over the retained sample window. */
+    struct Snapshot {
+        uint64_t count = 0;
+        double sum = 0.0;
+        double mean = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double stddev = 0.0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+
+    explicit Histogram(size_t window = 1 << 14) : window_(window) {}
+
+    void Observe(double x);
+
+    Snapshot GetSnapshot() const;
+
+    void Reset();
+
+  private:
+    mutable std::mutex mutex_;
+    RunningStat stat_;
+    /** Ring of the last `window_` observations. */
+    std::vector<double> samples_;
+    size_t next_ = 0;
+    size_t window_;
+};
+
+/**
+ * Registry of named instruments. A name resolves to the same instrument
+ * for the process lifetime; looking the same name up as two different
+ * kinds is a fatal misuse.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Process-wide shared registry. */
+    static MetricsRegistry& Get();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& GetCounter(const std::string& name);
+    Gauge& GetGauge(const std::string& name);
+    Histogram& GetHistogram(const std::string& name);
+
+    /**
+     * Zero every instrument's value. References stay valid (instruments
+     * are never destroyed), so per-step snapshot loops can Reset between
+     * steps without re-resolving names.
+     */
+    void Reset();
+
+    /**
+     * One JSON object:
+     * {"counters":{name:value},"gauges":{...},
+     *  "histograms":{name:{count,mean,min,max,stddev,p50,p95,p99,sum}}}
+     */
+    std::string ToJson() const;
+
+    /** Flat CSV: name,kind,count,value,min,max,p50,p95,p99 per line. */
+    std::string ToCsv() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace neo::obs

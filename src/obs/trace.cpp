@@ -1,0 +1,298 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace neo::obs {
+
+namespace {
+
+/** Process epoch: first steady_clock read, so start_ns values stay small. */
+int64_t
+Epoch()
+{
+    static const int64_t epoch =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    return epoch;
+}
+
+thread_local int t_rank = -1;
+thread_local uint16_t t_depth = 0;
+thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
+
+/** Minimal JSON string escaping for span names/categories. */
+void
+AppendEscaped(std::string& out, const char* s)
+{
+    for (; *s != '\0'; s++) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+}
+
+}  // namespace
+
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() -
+           Epoch();
+}
+
+/**
+ * Fixed-capacity single-writer span log. The owning thread writes slot
+ * `count` then publishes with a release store; readers take an acquire
+ * snapshot of `count` and copy the prefix — wait-free on both sides.
+ */
+struct Tracer::ThreadBuffer {
+    explicit ThreadBuffer(size_t capacity, uint32_t tid_in)
+        : slots(capacity), tid(tid_in) {}
+
+    std::vector<Span> slots;
+    std::atomic<size_t> count{0};
+    std::atomic<uint64_t> dropped{0};
+    uint32_t tid;
+};
+
+Tracer::Tracer()
+{
+    size_t capacity = size_t{1} << 16;
+    if (const char* env = std::getenv("NEO_TRACE_BUFFER")) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0) {
+            capacity = static_cast<size_t>(parsed);
+        }
+    }
+    buffer_capacity_.store(capacity, std::memory_order_relaxed);
+    if (const char* env = std::getenv("NEO_TRACE")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0) {
+            runtime_level_.store(parsed >= 2 ? 2 : 1,
+                                 std::memory_order_relaxed);
+            enabled_.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+Tracer&
+Tracer::Get()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::SetEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::SetRuntimeLevel(int level)
+{
+    runtime_level_.store(level < 1 ? 1 : level, std::memory_order_relaxed);
+}
+
+int
+Tracer::runtime_level() const
+{
+    return runtime_level_.load(std::memory_order_relaxed);
+}
+
+void
+Tracer::SetThreadRank(int rank)
+{
+    t_rank = rank;
+}
+
+int
+Tracer::ThreadRank()
+{
+    return t_rank;
+}
+
+void
+Tracer::SetThreadBufferCapacity(size_t spans)
+{
+    buffer_capacity_.store(spans < 1 ? 1 : spans, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer*
+Tracer::BufferForThisThread()
+{
+    if (t_buffer == nullptr) {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        auto* buffer = new ThreadBuffer(
+            buffer_capacity_.load(std::memory_order_relaxed),
+            static_cast<uint32_t>(buffers_.size()));
+        buffers_.push_back(buffer);
+        t_buffer = buffer;
+    }
+    return t_buffer;
+}
+
+void
+Tracer::RecordClosedSpan(const char* name, const char* cat, int64_t start_ns,
+                         int64_t dur_ns, uint16_t depth)
+{
+    ThreadBuffer* buffer = BufferForThisThread();
+    const size_t n = buffer->count.load(std::memory_order_relaxed);
+    if (n >= buffer->slots.size()) {
+        buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Span& span = buffer->slots[n];
+    span.name = name;
+    span.cat = cat;
+    span.start_ns = start_ns;
+    span.dur_ns = dur_ns;
+    span.rank = t_rank;
+    span.tid = buffer->tid;
+    span.depth = depth;
+    buffer->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<Span>
+Tracer::Collect() const
+{
+    std::vector<const ThreadBuffer*> buffers;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        buffers.assign(buffers_.begin(), buffers_.end());
+    }
+    std::vector<Span> out;
+    for (const ThreadBuffer* buffer : buffers) {
+        const size_t n = buffer->count.load(std::memory_order_acquire);
+        out.insert(out.end(), buffer->slots.begin(),
+                   buffer->slots.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return out;
+}
+
+uint64_t
+Tracer::DroppedSpans() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    uint64_t dropped = 0;
+    for (const ThreadBuffer* buffer : buffers_) {
+        dropped += buffer->dropped.load(std::memory_order_relaxed);
+    }
+    return dropped;
+}
+
+void
+Tracer::Clear()
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (ThreadBuffer* buffer : buffers_) {
+        buffer->count.store(0, std::memory_order_release);
+        buffer->dropped.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::string
+Tracer::ToChromeJson() const
+{
+    const std::vector<Span> spans = Collect();
+
+    // Name one process per rank (pid = rank + 1; pid 0 = shared pool) so
+    // Perfetto's track grouping mirrors the simulated cluster.
+    std::map<int, bool> ranks_seen;
+    for (const Span& span : spans) {
+        ranks_seen[span.rank] = true;
+    }
+
+    std::string out;
+    out.reserve(128 + spans.size() * 96);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    char buf[160];
+    for (const auto& [rank, unused] : ranks_seen) {
+        (void)unused;
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                      "\"name\":\"process_name\",\"args\":{\"name\":\"",
+                      rank + 1);
+        out += buf;
+        if (rank >= 0) {
+            out += "rank " + std::to_string(rank);
+        } else {
+            out += "shared pool";
+        }
+        out += "\"}}";
+    }
+    for (const Span& span : spans) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += "{\"name\":\"";
+        AppendEscaped(out, span.name);
+        out += "\",\"cat\":\"";
+        AppendEscaped(out, span.cat);
+        // Chrome trace-event timestamps are microseconds (doubles keep
+        // the ns fraction so short spans stay ordered).
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":%d,\"tid\":%u}",
+                      static_cast<double>(span.start_ns) / 1e3,
+                      static_cast<double>(span.dur_ns) / 1e3, span.rank + 1,
+                      span.tid);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Tracer::WriteChromeJson(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    const std::string json = ToChromeJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == json.size();
+    return ok;
+}
+
+namespace detail {
+
+uint16_t
+EnterSpan()
+{
+    return t_depth++;
+}
+
+void
+ExitSpan()
+{
+    t_depth--;
+}
+
+}  // namespace detail
+
+}  // namespace neo::obs

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "obs/trace.h"
 
 namespace neo::ops {
 
@@ -52,6 +53,7 @@ EmbeddingBagCollection::Forward(std::span<const TableInput> inputs,
                                 size_t batch,
                                 std::vector<Matrix>& outputs) const
 {
+    NEO_TRACE_SPAN("emb_bag_forward", "emb_fwd");
     NEO_REQUIRE(inputs.size() == tables_.size(),
                 "one input per table required");
     outputs.resize(tables_.size());
@@ -134,6 +136,7 @@ EmbeddingBagCollection::BackwardAndUpdate(std::span<const TableInput> inputs,
                                           size_t batch,
                                           const std::vector<Matrix>& grads)
 {
+    NEO_TRACE_SPAN("emb_bag_backward_update", "emb_bwd");
     NEO_REQUIRE(inputs.size() == tables_.size() &&
                 grads.size() == tables_.size(),
                 "one input and grad per table required");

@@ -1,6 +1,7 @@
 #include "ops/mlp.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "tensor/activations.h"
 #include "tensor/gemm.h"
 
@@ -30,6 +31,7 @@ Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config)
 void
 Mlp::Forward(const Matrix& x, Matrix& out)
 {
+    NEO_TRACE_SPAN("mlp_forward", "mlp_fwd");
     NEO_REQUIRE(x.cols() == InputDim(), "MLP input dim mismatch");
     const size_t layers = weights_.size();
     const Matrix* cur = &x;
@@ -55,6 +57,7 @@ Mlp::Forward(const Matrix& x, Matrix& out)
 void
 Mlp::Backward(const Matrix& grad_out, Matrix& grad_in)
 {
+    NEO_TRACE_SPAN("mlp_backward", "mlp_bwd");
     const size_t layers = weights_.size();
     NEO_REQUIRE(grad_out.cols() == OutputDim(), "grad_out dim mismatch");
     Matrix grad = grad_out;

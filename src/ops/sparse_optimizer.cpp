@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "obs/trace.h"
 
 namespace neo::ops {
 
@@ -139,6 +140,9 @@ void
 SparseOptimizer::ApplyExact(EmbeddingTable& table,
                             std::span<const SparseGradRef> grads)
 {
+    // Sparse updates live in the paper's embedding-backward phase, so
+    // they book as emb_bwd rather than the dense optimizer bucket.
+    NEO_TRACE_SPAN("sparse_apply_exact", "emb_bwd");
     NEO_REQUIRE(table.rows() == rows_ && table.dim() == dim_,
                 "optimizer/table shape mismatch");
     if (grads.empty()) {
@@ -214,6 +218,7 @@ void
 SparseOptimizer::ApplyNaive(EmbeddingTable& table,
                             std::span<const SparseGradRef> grads)
 {
+    NEO_TRACE_SPAN("sparse_apply_naive", "emb_bwd");
     NEO_REQUIRE(table.rows() == rows_ && table.dim() == dim_,
                 "optimizer/table shape mismatch");
     for (const auto& ref : grads) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace neo::ps {
 
@@ -41,6 +42,7 @@ AsyncPsTrainer::AsyncPsTrainer(const core::DlrmConfig& config,
 void
 AsyncPsTrainer::EasgdSync(Trainer& trainer)
 {
+    NEO_TRACE_SPAN("easgd_sync", "opt");
     const float alpha = ps_config_.easgd_alpha;
     auto sync_mlp = [alpha](ops::Mlp& local, ops::Mlp& center) {
         for (size_t l = 0; l < local.NumLayers(); l++) {
@@ -64,6 +66,7 @@ AsyncPsTrainer::EasgdSync(Trainer& trainer)
 double
 AsyncPsTrainer::TrainMicroStep(Trainer& trainer, const data::Batch& batch)
 {
+    NEO_TRACE_SPAN("ps_micro_step", "step");
     const size_t b = batch.size();
 
     std::vector<ops::TableInput> inputs;

@@ -44,4 +44,14 @@ ReplayTrace(std::span<const comm::TraceEvent> trace, const CommModel& model,
     return est;
 }
 
+double
+MeasuredCommSeconds(std::span<const comm::TraceEvent> trace)
+{
+    double seconds = 0.0;
+    for (const auto& event : trace) {
+        seconds += static_cast<double>(event.duration_ns) * 1e-9;
+    }
+    return seconds;
+}
+
 }  // namespace neo::sim

@@ -40,4 +40,12 @@ ReplayEstimate ReplayTrace(std::span<const comm::TraceEvent> trace,
                            const CommModel& model, int num_gpus,
                            double byte_scale = 1.0);
 
+/**
+ * Sum of the measured wall-clock of the traced collectives (their
+ * TraceEvent::duration_ns fields), in seconds — the measured number the
+ * ReplayTrace estimate is validated against. Returns 0 for untimed traces
+ * recorded before timing was added.
+ */
+double MeasuredCommSeconds(std::span<const comm::TraceEvent> trace);
+
 }  // namespace neo::sim

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/parallel_for.h"
+#include "obs/trace.h"
 
 namespace neo {
 
@@ -100,6 +101,9 @@ void
 Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
      const Matrix& b, float beta, Matrix& c)
 {
+    // "gemm" is transparent to StepBreakdown: the time rolls up into the
+    // enclosing mlp_fwd/mlp_bwd phase while staying visible in Perfetto.
+    NEO_TRACE_SPAN("gemm", "gemm");
     const size_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
     const size_t k = trans_a == Trans::kNo ? a.cols() : a.rows();
     const size_t n = trans_b == Trans::kNo ? b.cols() : b.rows();

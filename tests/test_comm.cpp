@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <numeric>
 #include <thread>
 
@@ -605,6 +606,106 @@ TEST(Collectives, TraceCapturesOpsAndSizes)
     EXPECT_EQ(trace[0].bytes, 40u);
     EXPECT_EQ(trace[1].op, CollectiveOp::kAllToAll);
     EXPECT_EQ(trace[1].bytes, 40u);  // 2 peers x 5 floats
+}
+
+TEST(Collectives, TraceRecordsTimingAndPerOpSequence)
+{
+    std::vector<TraceEvent> trace;
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        if (rank == 0) {
+            pg.SetTrace(&trace);
+        }
+        std::vector<float> buf(8, 1.0f);
+        for (int i = 0; i < 3; i++) {
+            pg.AllReduceSum(buf.data(), buf.size());
+        }
+        std::vector<std::vector<float>> send(
+            2, std::vector<float>(4, 2.0f));
+        std::vector<std::vector<float>> recv;
+        pg.AllToAllFloats(send, recv);
+        pg.AllToAllFloats(send, recv);
+    });
+    ASSERT_EQ(trace.size(), 5u);
+    int64_t prev_start = std::numeric_limits<int64_t>::min();
+    for (const TraceEvent& event : trace) {
+        // Collectives synchronize, so every call takes measurable-or-zero
+        // time and later calls start no earlier than earlier ones.
+        EXPECT_GE(event.duration_ns, 0);
+        EXPECT_GE(event.start_ns, prev_start);
+        prev_start = event.start_ns;
+    }
+    // The sequence number counts calls of the SAME op kind, so replayed
+    // traces can be aligned op-by-op across ranks.
+    EXPECT_EQ(trace[0].seq, 0u);
+    EXPECT_EQ(trace[1].seq, 1u);
+    EXPECT_EQ(trace[2].seq, 2u);
+    EXPECT_EQ(trace[3].seq, 0u);
+    EXPECT_EQ(trace[4].seq, 1u);
+}
+
+TEST(Collectives, TypedWrappersAccountWireBytes)
+{
+    // AllToAllIndices moves 8-byte int64 ids and AllToAllLengths 4-byte
+    // counts; stats must reflect the element width of the wire payload,
+    // counting off-rank traffic only.
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        std::vector<std::vector<int64_t>> idx_send(2);
+        idx_send[0] = {1, 2, 3};
+        idx_send[1] = {4, 5, 6};
+        std::vector<std::vector<int64_t>> idx_recv;
+        pg.AllToAllIndices(idx_send, idx_recv);
+        // 3 ids x 8 bytes to the one off-rank peer.
+        EXPECT_EQ(pg.Stats().alltoall_bytes, 24u);
+
+        std::vector<std::vector<uint32_t>> len_send(2);
+        len_send[0] = {7u, 8u};
+        len_send[1] = {9u, 10u};
+        std::vector<std::vector<uint32_t>> len_recv;
+        pg.AllToAllLengths(len_send, len_recv);
+        // + 2 lengths x 4 bytes off-rank.
+        EXPECT_EQ(pg.Stats().alltoall_bytes, 24u + 8u);
+        (void)rank;
+    });
+}
+
+TEST(Quantized, AllToAllAccountsQuantizedWireBytes)
+{
+    // A quantized exchange must book the 2-byte-per-element wire format,
+    // not the 4-byte float payload handed to the caller.
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        std::vector<std::vector<float>> send(2);
+        send[0] = std::vector<float>(10, 1.0f);
+        send[1] = std::vector<float>(10, 2.0f);
+        std::vector<std::vector<float>> recv;
+        QuantizedAllToAll(pg, send, recv, Precision::kFp16);
+        // 10 halves x 2 bytes to the off-rank peer.
+        EXPECT_EQ(pg.Stats().alltoall_bytes, 20u);
+        (void)rank;
+    });
+}
+
+TEST(Quantized, AllReduceRebooksStatsAndTraceToWireBytes)
+{
+    const size_t count = 100;
+    std::vector<TraceEvent> trace;
+    ThreadedWorld::Run(2, [&](int rank, ProcessGroup& pg) {
+        if (rank == 0) {
+            pg.SetTrace(&trace);
+        }
+        std::vector<float> buf(count, static_cast<float>(rank));
+        QuantizedAllReduce(pg, buf.data(), count, Precision::kBf16);
+        // The underlying AllReduceSum books 4 B/elem; QuantizedAllReduce
+        // rebooks to the bf16 wire size actually exchanged.
+        EXPECT_EQ(pg.Stats().allreduce_bytes, count * 2);
+
+        std::vector<float> full(count, 1.0f);
+        pg.AllReduceSum(full.data(), count);
+        EXPECT_EQ(pg.Stats().allreduce_bytes, count * 2 + count * 4);
+    });
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].op, CollectiveOp::kAllReduce);
+    EXPECT_EQ(trace[0].bytes, count * 2);  // rebooked wire bytes
+    EXPECT_EQ(trace[1].bytes, count * 4);  // fp32 path untouched
 }
 
 TEST(Collectives, ZeroCountGuardsOnEveryCollective)

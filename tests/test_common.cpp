@@ -258,6 +258,41 @@ TEST(Stats, PercentileInterpolates)
     EXPECT_DOUBLE_EQ(Percentile(v, 62.5), 35);
 }
 
+TEST(Stats, RunningStatMinMaxFirstSample)
+{
+    // Regression for the count == 1 branch: the first observation must
+    // seed min/max even when it is "worse" than the zero-initialized
+    // members (positive min, negative max).
+    RunningStat positive;
+    positive.Add(7.5);
+    EXPECT_DOUBLE_EQ(positive.min(), 7.5);
+    EXPECT_DOUBLE_EQ(positive.max(), 7.5);
+    EXPECT_DOUBLE_EQ(positive.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(positive.variance(), 0.0);
+
+    RunningStat negative;
+    negative.Add(-3.0);
+    EXPECT_DOUBLE_EQ(negative.min(), -3.0);
+    EXPECT_DOUBLE_EQ(negative.max(), -3.0);
+    negative.Add(-9.0);
+    EXPECT_DOUBLE_EQ(negative.min(), -9.0);
+    EXPECT_DOUBLE_EQ(negative.max(), -3.0);
+}
+
+TEST(Stats, PercentileEdgeCases)
+{
+    // Single sample: every percentile is that sample.
+    std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(Percentile(one, 0), 42.0);
+    EXPECT_DOUBLE_EQ(Percentile(one, 50), 42.0);
+    EXPECT_DOUBLE_EQ(Percentile(one, 100), 42.0);
+
+    // Empty input and out-of-range p must throw, not crash or read UB.
+    EXPECT_THROW(Percentile({}, 50), std::invalid_argument);
+    EXPECT_THROW(Percentile({1.0, 2.0}, -0.1), std::invalid_argument);
+    EXPECT_THROW(Percentile({1.0, 2.0}, 100.1), std::invalid_argument);
+}
+
 TEST(Stats, LoadBalanceMetrics)
 {
     const LoadBalance lb = ComputeLoadBalance({2.0, 4.0, 6.0});

@@ -551,6 +551,35 @@ TEST(TraceReplay, MoreGpusMoreAllToAllTime)
               ReplayTrace(trace, model, 128).total_seconds);
 }
 
+TEST(TraceReplay, TimedTraceReplaysIdenticalToUntimed)
+{
+    // Replay re-estimates time from op kinds and sizes alone; the
+    // measured timing a live run attaches must not perturb it.
+    const CommModel model(ClusterSpec::Prototype(16));
+    const std::vector<comm::TraceEvent> untimed = {
+        {comm::CollectiveOp::kAllReduce, 1 << 20},
+        {comm::CollectiveOp::kAllToAll, 1 << 18},
+        {comm::CollectiveOp::kBroadcast, 1 << 10},
+    };
+    std::vector<comm::TraceEvent> timed = untimed;
+    for (size_t i = 0; i < timed.size(); i++) {
+        timed[i].start_ns = static_cast<int64_t>(1000 * i);
+        timed[i].duration_ns = 500;
+        timed[i].seq = i;
+    }
+    const ReplayEstimate from_untimed = ReplayTrace(untimed, model, 128);
+    const ReplayEstimate from_timed = ReplayTrace(timed, model, 128);
+    EXPECT_DOUBLE_EQ(from_timed.total_seconds, from_untimed.total_seconds);
+    EXPECT_DOUBLE_EQ(from_timed.allreduce_seconds,
+                     from_untimed.allreduce_seconds);
+    EXPECT_DOUBLE_EQ(from_timed.alltoall_seconds,
+                     from_untimed.alltoall_seconds);
+    EXPECT_EQ(from_timed.calls, from_untimed.calls);
+
+    EXPECT_DOUBLE_EQ(MeasuredCommSeconds(untimed), 0.0);
+    EXPECT_NEAR(MeasuredCommSeconds(timed), 3 * 500e-9, 1e-15);
+}
+
 // -------------------------------------- iteration-model property sweep
 
 struct SweepCase {
