@@ -8,17 +8,31 @@
  * a structured per-rank failure/recovery report. The same degradation is
  * then priced on the modeled cluster via sim::FaultModel so the
  * functional and analytical layers can be compared.
+ *
+ * It then measures the elastic-recovery cost inputs: differential
+ * checkpoint write/restore latency vs table size, and delta size vs Zipf
+ * skew (the Check-N-Run observation), calibrates sim::FaultModel's
+ * checkpoint bandwidth terms from the measurements, and emits everything
+ * as BENCH_fault.json.
+ *
+ * Usage: micro_fault [--quick] [--out=PATH]
+ *   --quick  smaller tables / fewer touches (smoke-test mode)
+ *   --out    JSON output path (default BENCH_fault.json in the cwd)
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "comm/fault.h"
 #include "comm/threaded_process_group.h"
+#include "common/rng.h"
 #include "common/table_printer.h"
+#include "core/checkpoint.h"
 #include "core/distributed_trainer.h"
 #include "data/dataset.h"
+#include "ops/embedding_table.h"
 #include "sharding/planner.h"
 #include "sim/comm_model.h"
 #include "sim/hardware.h"
@@ -70,11 +84,123 @@ struct RankReport {
     double wall_ms = 0.0;
 };
 
+/** Wall-clock seconds of fn(). */
+template <typename F>
+double
+TimeOnce(F&& fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** One table size's checkpoint write/restore measurement. */
+struct CkptMeasure {
+    int64_t rows = 0;
+    int64_t dim = 0;
+    size_t baseline_bytes = 0;
+    double baseline_write_s = 0.0;
+    size_t delta_bytes = 0;
+    double delta_write_s = 0.0;
+    double restore_s = 0.0;
+    uint64_t delta_rows = 0;
+};
+
+/**
+ * Measure baseline write, delta write after `touches` Zipf-skewed row
+ * updates, and baseline+delta restore for one rows x dim table.
+ */
+CkptMeasure
+MeasureCheckpoint(int64_t rows, int64_t dim, int touches)
+{
+    CkptMeasure m;
+    m.rows = rows;
+    m.dim = dim;
+    Rng rng(41);
+    ops::EmbeddingTable table(rows, dim);
+    table.InitUniform(rng);
+    core::DeltaCheckpointer checkpointer(&table);
+
+    std::vector<uint8_t> baseline;
+    m.baseline_write_s =
+        TimeOnce([&] { baseline = checkpointer.WriteBaseline(); });
+    m.baseline_bytes = baseline.size();
+
+    ZipfSampler sampler(static_cast<uint64_t>(rows), 1.2);
+    std::vector<float> row(static_cast<size_t>(dim));
+    for (int i = 0; i < touches; i++) {
+        const int64_t r = static_cast<int64_t>(sampler.Sample(rng));
+        table.ReadRow(r, row.data());
+        for (auto& x : row) {
+            x += 0.01f;
+        }
+        table.WriteRow(r, row.data());
+    }
+
+    std::vector<uint8_t> delta;
+    m.delta_write_s = TimeOnce([&] { delta = checkpointer.WriteDelta(); });
+    m.delta_bytes = delta.size();
+    m.delta_rows = checkpointer.last_delta_rows();
+
+    m.restore_s = TimeOnce(
+        [&] { core::DeltaCheckpointer::Restore(baseline, {delta}); });
+    return m;
+}
+
+/** One Zipf skew's delta-size measurement. */
+struct SkewMeasure {
+    double skew = 0.0;
+    uint64_t unique_rows = 0;
+    size_t delta_bytes = 0;
+    size_t baseline_bytes = 0;
+};
+
+SkewMeasure
+MeasureSkew(int64_t rows, int64_t dim, int touches, double skew)
+{
+    SkewMeasure m;
+    m.skew = skew;
+    Rng rng(43);
+    ops::EmbeddingTable table(rows, dim);
+    table.InitUniform(rng);
+    core::DeltaCheckpointer checkpointer(&table);
+    m.baseline_bytes = checkpointer.WriteBaseline().size();
+
+    ZipfSampler sampler(static_cast<uint64_t>(rows), skew);
+    std::vector<float> row(static_cast<size_t>(dim));
+    for (int i = 0; i < touches; i++) {
+        const int64_t r = static_cast<int64_t>(sampler.Sample(rng));
+        table.ReadRow(r, row.data());
+        for (auto& x : row) {
+            x += 0.01f;
+        }
+        table.WriteRow(r, row.data());
+    }
+    m.delta_bytes = checkpointer.WriteDelta().size();
+    m.unique_rows = checkpointer.last_delta_rows();
+    return m;
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bool quick = false;
+    std::string out_path = "BENCH_fault.json";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     core::DlrmConfig model = core::MakeSmallDlrmConfig(8, 500, 16);
 
     sharding::PlannerOptions planner_options;
@@ -250,5 +376,133 @@ main()
         row("1% aborts + recovery", faults);
     }
     model_table.Print();
+
+    // ---- recovery latency vs table size --------------------------------
+    const int64_t dim = 32;
+    const int touches = quick ? 512 : 4096;
+    const std::vector<int64_t> table_rows =
+        quick ? std::vector<int64_t>{1024, 4096}
+              : std::vector<int64_t>{2048, 8192, 32768};
+    std::printf("\ndifferential checkpoint latency vs table size "
+                "(d%lld, %d Zipf(1.2) touches):\n\n",
+                static_cast<long long>(dim), touches);
+    TablePrinter ckpt_table({"rows", "baseline KB", "write ms", "delta KB",
+                             "delta ms", "restore ms", "delta rows"});
+    std::vector<CkptMeasure> measures;
+    for (const int64_t rows : table_rows) {
+        const CkptMeasure m = MeasureCheckpoint(rows, dim, touches);
+        measures.push_back(m);
+        ckpt_table.Row()
+            .Cell(static_cast<int64_t>(m.rows))
+            .CellF(m.baseline_bytes / 1e3, "%.1f")
+            .CellF(m.baseline_write_s * 1e3, "%.3f")
+            .CellF(m.delta_bytes / 1e3, "%.1f")
+            .CellF(m.delta_write_s * 1e3, "%.3f")
+            .CellF(m.restore_s * 1e3, "%.3f")
+            .Cell(static_cast<int64_t>(m.delta_rows));
+    }
+    ckpt_table.Print();
+
+    // ---- delta size vs Zipf skew ---------------------------------------
+    const int64_t skew_rows = quick ? 4096 : 32768;
+    const std::vector<double> skews = {1.01, 1.2, 1.5, 2.0};
+    std::printf("\ndelta size vs access skew (%lld rows x d%lld, %d "
+                "touches): hotter access -> fewer unique rows -> smaller "
+                "delta (Check-N-Run):\n\n",
+                static_cast<long long>(skew_rows),
+                static_cast<long long>(dim), touches);
+    TablePrinter skew_table({"zipf s", "unique rows", "delta KB",
+                             "% of baseline"});
+    std::vector<SkewMeasure> skew_measures;
+    for (const double s : skews) {
+        const SkewMeasure m = MeasureSkew(skew_rows, dim, touches, s);
+        skew_measures.push_back(m);
+        skew_table.Row()
+            .CellF(m.skew, "%.2f")
+            .Cell(static_cast<int64_t>(m.unique_rows))
+            .CellF(m.delta_bytes / 1e3, "%.1f")
+            .CellF(100.0 * m.delta_bytes / m.baseline_bytes, "%.2f");
+    }
+    skew_table.Print();
+
+    // ---- calibrate the FaultModel cost terms ---------------------------
+    // Fit bandwidths on the largest table, then check the model against
+    // the smallest — a cross-size sanity check, not a tautology.
+    sim::FaultModel calibrated;
+    calibrated.straggler_delay_s = 0.0;
+    const CkptMeasure& fit = measures.back();
+    calibrated.CalibrateCheckpoint(
+        static_cast<double>(fit.baseline_bytes), fit.baseline_write_s,
+        static_cast<double>(fit.baseline_bytes + fit.delta_bytes),
+        fit.restore_s);
+    const CkptMeasure& probe = measures.front();
+    const double probe_bytes =
+        static_cast<double>(probe.baseline_bytes + probe.delta_bytes);
+    const double modeled_restore =
+        calibrated.CheckpointRestoreSeconds(probe_bytes);
+    // One survivor's share of a shrink: restore the full logical state,
+    // re-slice a quarter of it onto the new placement.
+    const double shrink_s = calibrated.ShrinkRecoverySeconds(
+        static_cast<double>(fit.baseline_bytes + fit.delta_bytes),
+        static_cast<double>(fit.baseline_bytes) / 4.0);
+    std::printf("\ncalibrated fault model: write %.1f MB/s, restore %.1f "
+                "MB/s\n  modeled restore of %lld-row table: %.3f ms "
+                "(measured %.3f ms)\n  modeled end-to-end shrink recovery "
+                "(detect + rendezvous + restore + reshard): %.3f ms\n",
+                calibrated.checkpoint_write_Bps / 1e6,
+                calibrated.checkpoint_restore_Bps / 1e6,
+                static_cast<long long>(probe.rows), modeled_restore * 1e3,
+                probe.restore_s * 1e3, shrink_s * 1e3);
+
+    // ---- JSON ----------------------------------------------------------
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_fault\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"workers\": %d,\n", kWorkers);
+    std::fprintf(f, "  \"all_ranks_recovered\": true,\n");
+    std::fprintf(f, "  \"checkpoint_latency\": [\n");
+    for (size_t i = 0; i < measures.size(); i++) {
+        const CkptMeasure& m = measures[i];
+        std::fprintf(
+            f,
+            "    {\"rows\": %lld, \"dim\": %lld, \"baseline_bytes\": %zu, "
+            "\"baseline_write_s\": %.6f, \"delta_bytes\": %zu, "
+            "\"delta_write_s\": %.6f, \"restore_s\": %.6f, "
+            "\"delta_rows\": %llu}%s\n",
+            static_cast<long long>(m.rows), static_cast<long long>(m.dim),
+            m.baseline_bytes, m.baseline_write_s, m.delta_bytes,
+            m.delta_write_s, m.restore_s,
+            static_cast<unsigned long long>(m.delta_rows),
+            i + 1 < measures.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"delta_vs_skew\": [\n");
+    for (size_t i = 0; i < skew_measures.size(); i++) {
+        const SkewMeasure& m = skew_measures[i];
+        std::fprintf(f,
+                     "    {\"skew\": %.2f, \"touches\": %d, "
+                     "\"unique_rows\": %llu, \"delta_bytes\": %zu, "
+                     "\"baseline_bytes\": %zu}%s\n",
+                     m.skew, touches,
+                     static_cast<unsigned long long>(m.unique_rows),
+                     m.delta_bytes, m.baseline_bytes,
+                     i + 1 < skew_measures.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"fault_model\": {\n");
+    std::fprintf(f, "    \"checkpoint_write_Bps\": %.1f,\n",
+                 calibrated.checkpoint_write_Bps);
+    std::fprintf(f, "    \"checkpoint_restore_Bps\": %.1f,\n",
+                 calibrated.checkpoint_restore_Bps);
+    std::fprintf(f, "    \"reshard_Bps\": %.1f,\n", calibrated.reshard_Bps);
+    std::fprintf(f, "    \"modeled_probe_restore_s\": %.6f,\n",
+                 modeled_restore);
+    std::fprintf(f, "    \"measured_probe_restore_s\": %.6f,\n",
+                 probe.restore_s);
+    std::fprintf(f, "    \"shrink_recovery_s\": %.6f\n  }\n}\n", shrink_s);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
     return 0;
 }

@@ -36,9 +36,14 @@ FaultInjector::OnCollective(ThreadedWorld& world, int rank,
     FaultSpec spec;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const uint64_t op_count = op_counts_[rank][static_cast<size_t>(op)]++;
         const auto it = std::find_if(
             armed_.begin(), armed_.end(), [&](const FaultSpec& s) {
-                return s.rank == rank && s.call_index == call_index;
+                if (s.rank != rank) {
+                    return false;
+                }
+                return s.match_op ? (s.op == op && s.call_index == op_count)
+                                  : s.call_index == call_index;
             });
         if (it == armed_.end()) {
             return;

@@ -14,9 +14,11 @@
  */
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -45,6 +47,15 @@ struct FaultSpec {
     int rank = 0;
     /** Per-rank collective call counter value to fire at (0-based). */
     uint64_t call_index = 0;
+    /**
+     * When true, `call_index` counts only collectives of kind `op` (a
+     * per-rank, per-op counter). Tests use this to address a semantic
+     * point in a step — e.g. "rank 2's 3rd AllReduce" — without knowing
+     * the exact interleaving of other collectives.
+     */
+    bool match_op = false;
+    /** The op counted when match_op is set. */
+    CollectiveOp op = CollectiveOp::kBarrier;
     FaultKind kind = FaultKind::kKill;
     /** Sleep duration for kDelay faults. */
     std::chrono::milliseconds delay{0};
@@ -97,6 +108,8 @@ class FaultInjector
     mutable std::mutex mutex_;
     std::vector<FaultSpec> armed_;
     std::vector<FaultEvent> fired_;
+    /** Per-rank, per-op call counters for match_op specs. */
+    std::map<int, std::array<uint64_t, 6>> op_counts_;
 };
 
 }  // namespace neo::comm

@@ -189,6 +189,56 @@ ThreadedWorld::TryRecover(std::chrono::milliseconds timeout)
     return recovered;
 }
 
+ThreadedWorld::ShrinkResult
+ThreadedWorld::ShrinkAfterFailure(int rank, std::chrono::milliseconds timeout)
+{
+    NEO_TRACE_SPAN("shrink_world", "recovery");
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    NEO_REQUIRE(aborted_,
+                "ShrinkAfterFailure requires a poisoned world (a declared "
+                "dead rank)");
+    NEO_REQUIRE(size_ >= 2, "cannot shrink a single-rank world");
+    const int dead = abort_rank_;
+    NEO_REQUIRE(rank >= 0 && rank < size_ && rank != dead,
+                "only survivors may join a shrink rendezvous");
+
+    ShrinkResult result;
+    result.new_rank = rank < dead ? rank : rank - 1;
+    result.new_size = size_ - 1;
+
+    const uint64_t generation = shrink_generation_;
+    if (++shrink_waiting_ == size_ - 1) {
+        // Last survivor arrived: build the child world. No injector — any
+        // armed fault specs address ranks in the OLD numbering and would
+        // fire at wrong points in the compacted one.
+        shrink_waiting_ = 0;
+        shrink_generation_++;
+        Options child_options = options_;
+        child_options.injector = nullptr;
+        shrink_children_.push_back(
+            std::make_unique<ThreadedWorld>(size_ - 1, child_options));
+        obs::MetricsRegistry::Get().GetCounter("neo.comm.shrinks").Add();
+        barrier_cv_.notify_all();
+        result.ok = true;
+        result.group =
+            &shrink_children_.back()->GetGroup(result.new_rank);
+        return result;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const bool arrived = barrier_cv_.wait_until(
+        lock, deadline, [&] { return shrink_generation_ != generation; });
+    if (!arrived) {
+        shrink_waiting_--;
+        return result;  // ok = false: a second rank is missing
+    }
+    // The child for this cohort is the one created when `generation`
+    // completed — index by generation rather than "latest" so a
+    // hypothetical later shrink can't hand this waiter the wrong world.
+    result.ok = true;
+    result.group = &shrink_children_[generation]->GetGroup(result.new_rank);
+    return result;
+}
+
 void
 ThreadedWorld::Run(int size, const std::function<void(int, ProcessGroup&)>& fn)
 {

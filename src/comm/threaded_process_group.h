@@ -106,6 +106,33 @@ class ThreadedWorld
      */
     bool TryRecover(std::chrono::milliseconds timeout);
 
+    /** Outcome of a ShrinkAfterFailure rendezvous. */
+    struct ShrinkResult {
+        /** True once all survivors rendezvoused in time. */
+        bool ok = false;
+        /** This rank's compacted rank in the survivor world. */
+        int new_rank = -1;
+        /** Survivor world size (= old size - 1). */
+        int new_size = 0;
+        /** This rank's handle in the survivor world; owned by the parent
+         *  world, valid for the parent's lifetime. */
+        ProcessGroup* group = nullptr;
+    };
+
+    /**
+     * Shrinking-world recovery: after a permanent failure poisons this
+     * world, the `size - 1` survivors rendezvous here and receive handles
+     * into a fresh child ThreadedWorld that excludes the dead rank.
+     * Survivor ranks are compacted (rank > dead maps to rank - 1) so the
+     * child is a dense 0..size-2 communicator that `neo::sharding` can
+     * re-plan over. The parent world stays poisoned — its groups must not
+     * be used again — and owns the child, so survivor groups stay valid
+     * until the parent is destroyed. Returns ok=false if the survivors do
+     * not all arrive within `timeout` (e.g. a second failure).
+     */
+    ShrinkResult ShrinkAfterFailure(int rank,
+                                    std::chrono::milliseconds timeout);
+
   private:
     friend class ThreadedProcessGroup;
 
@@ -146,6 +173,14 @@ class ThreadedWorld
      *  poisoned). */
     int recover_waiting_ = 0;
     uint64_t recover_generation_ = 0;
+
+    /** Shrink rendezvous state (survivors-only, works while poisoned). */
+    int shrink_waiting_ = 0;
+    uint64_t shrink_generation_ = 0;
+    /** Survivor sub-worlds, one per completed shrink rendezvous (indexed
+     *  by the pre-increment shrink generation); kept alive for the
+     *  parent's lifetime so survivor ProcessGroup handles stay valid. */
+    std::vector<std::unique_ptr<ThreadedWorld>> shrink_children_;
 
     /** Pointer board: one slot per rank, repurposed per collective. */
     std::vector<const void*> ptr_board_;

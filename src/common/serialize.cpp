@@ -51,6 +51,18 @@ BinaryReader::ReadString()
 }
 
 void
+BinaryReader::RequireRemaining(uint64_t count, size_t elem_size) const
+{
+    // Divide instead of multiplying so a hostile 2^60-ish length prefix
+    // cannot overflow the byte count and slip past the bounds check.
+    const uint64_t remaining = buffer_.size() - pos_;
+    NEO_REQUIRE(count <= remaining / elem_size,
+                "truncated or corrupt input: length prefix claims ", count,
+                " elements of ", elem_size, " bytes but only ", remaining,
+                " bytes remain at offset ", pos_);
+}
+
+void
 BinaryReader::ReadBytes(uint8_t* dst, size_t n)
 {
     NEO_REQUIRE(pos_ + n <= buffer_.size(),

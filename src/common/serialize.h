@@ -83,6 +83,10 @@ class BinaryReader
     {
         static_assert(std::is_trivially_copyable_v<T>);
         const uint64_t n = Read<uint64_t>();
+        // Validate the untrusted length prefix BEFORE allocating: a
+        // corrupt prefix must fail like any other truncation, not turn
+        // into a huge allocation or size_t overflow in n * sizeof(T).
+        RequireRemaining(n, sizeof(T));
         std::vector<T> v(n);
         ReadBytes(reinterpret_cast<uint8_t*>(v.data()), n * sizeof(T));
         return v;
@@ -93,6 +97,9 @@ class BinaryReader
 
   private:
     void ReadBytes(uint8_t* dst, size_t n);
+
+    /** Throw unless `count` elements of `elem_size` bytes remain. */
+    void RequireRemaining(uint64_t count, size_t elem_size) const;
 
     std::vector<uint8_t> buffer_;
     size_t pos_ = 0;

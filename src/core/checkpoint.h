@@ -10,12 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/serialize.h"
 #include "ops/embedding_table.h"
 
 namespace neo::core {
+
+class DistributedDlrm;
 
 /** Differential checkpointer for one embedding table. */
 class DeltaCheckpointer
@@ -43,6 +47,8 @@ class DeltaCheckpointer
 
     /**
      * Restore a table from a baseline plus an ordered list of deltas.
+     * Truncated, corrupt, mis-shaped, or out-of-order inputs are rejected
+     * with std::runtime_error — restore never trusts checkpoint bytes.
      *
      * @param baseline Bytes from WriteBaseline().
      * @param deltas Bytes from successive WriteDelta() calls, in order.
@@ -56,6 +62,110 @@ class DeltaCheckpointer
     /** Copy of the table as of the last checkpoint (the delta reference). */
     ops::EmbeddingTable reference_;
     uint64_t last_delta_rows_ = 0;
+    /** Sequence number stamped into the next delta (reset by baseline). */
+    uint64_t delta_seq_ = 0;
+};
+
+/**
+ * In-memory checkpoint destination shared by all ranks of a job: one
+ * baseline plus an ordered delta chain per rank. Stands in for the
+ * distributed blob store a production Check-N-Run deployment writes to;
+ * thread-safe because rank threads write their streams concurrently.
+ */
+class CheckpointStore
+{
+  public:
+    /** Replace `rank`'s baseline and discard its delta chain. */
+    void PutBaseline(int rank, std::vector<uint8_t> bytes);
+
+    /** Append one delta to `rank`'s chain. */
+    void AppendDelta(int rank, std::vector<uint8_t> bytes);
+
+    /** Latest baseline bytes for `rank` (throws if none). */
+    std::vector<uint8_t> Baseline(int rank) const;
+
+    /** Delta chain for `rank`, in append order. */
+    std::vector<std::vector<uint8_t>> Deltas(int rank) const;
+
+    /** Ranks with a stored baseline, ascending. */
+    std::vector<int> Ranks() const;
+
+    /** Total stored bytes across all ranks (for cost calibration). */
+    uint64_t TotalBytes() const;
+
+  private:
+    struct Entry {
+        std::vector<uint8_t> baseline;
+        std::vector<std::vector<uint8_t>> deltas;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<int, Entry> entries_;
+};
+
+/**
+ * Multi-table, per-rank differential checkpointer for a DistributedDlrm
+ * partition (the generalization of DeltaCheckpointer the elastic-recovery
+ * path needs). Each rank writes its own baseline/delta streams covering
+ * its embedding shards *and* their sparse-optimizer row state; rank 0
+ * additionally covers the replicated DP tables and the dense MLP + dense
+ * optimizer state (identical on all ranks). Every Write*() agrees a
+ * cross-rank consistency epoch via the collective layer, so a restore can
+ * verify all streams describe the same step.
+ */
+class DistributedCheckpointer
+{
+  public:
+    /**
+     * @param trainer The partition to checkpoint (not owned).
+     * @param store Destination for the serialized streams (not owned).
+     */
+    DistributedCheckpointer(DistributedDlrm& trainer, CheckpointStore& store);
+
+    /** Write a full baseline for this rank (collective; all ranks call). */
+    void WriteBaseline();
+
+    /** Write a delta since the last Write*() (collective; all ranks). */
+    void WriteDelta();
+
+    /** Consistency epoch of the last completed Write*(). */
+    uint64_t epoch() const { return epoch_; }
+
+    /** Changed rows across all shards in the last WriteDelta(). */
+    uint64_t last_delta_rows() const { return last_delta_rows_; }
+
+    /**
+     * Restore `target` from the streams in `store`, regardless of how the
+     * writing job was sharded: the per-rank streams are assembled into
+     * full logical tables (baseline + ordered deltas, with epoch
+     * continuity checks), then sliced onto `target`'s shards — which is
+     * what lets a 3-worker survivor job load a 4-worker job's checkpoint.
+     * Collective on `target`'s process group (all its ranks must call);
+     * finishes with an epoch-agreement AllReduce as a consistency check.
+     */
+    static void RestoreInto(const CheckpointStore& store,
+                            DistributedDlrm& target);
+
+  private:
+    /** Per-shard reference copy for delta detection. */
+    struct Reference {
+        ops::EmbeddingTable table;
+        /** Optimizer row state as of the last checkpoint (rows x
+         *  StateFloatsPerRow). */
+        std::vector<float> opt_state;
+    };
+
+    /** Agree the next epoch across ranks; throws on divergence. */
+    void AgreeEpoch();
+
+    DistributedDlrm& trainer_;
+    CheckpointStore& store_;
+    uint64_t epoch_ = 0;
+    uint64_t last_delta_rows_ = 0;
+    /** References for model-parallel shards, trainer shard order. */
+    std::vector<Reference> shard_refs_;
+    /** References for replicated DP tables (rank 0 only writes them). */
+    std::vector<Reference> dp_refs_;
 };
 
 }  // namespace neo::core

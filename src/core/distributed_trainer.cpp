@@ -6,11 +6,31 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "core/step_transaction.h"
 #include "data/jagged.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace neo::core {
+
+std::chrono::milliseconds
+RetryBackoffDelay(const DistributedOptions& options, int attempt)
+{
+    int64_t delay = options.retry_backoff.count();
+    if (delay <= 0) {
+        return std::chrono::milliseconds(0);
+    }
+    // Double per prior attempt, but saturate at the ceiling instead of
+    // shifting into overflow (the old `retry_backoff << (k - 1)` wrapped
+    // for large attempt counts). A ceiling below the base acts as the
+    // base.
+    const int64_t cap =
+        std::max<int64_t>(options.max_retry_backoff.count(), delay);
+    for (int k = 1; k < attempt && delay < cap; k++) {
+        delay = delay > cap / 2 ? cap : delay * 2;
+    }
+    return std::chrono::milliseconds(std::min(delay, cap));
+}
 
 namespace {
 
@@ -436,6 +456,9 @@ DistributedDlrm::TrainStepPrepared(PreparedInput& prepared)
     }
     {
         NEO_TRACE_SPAN("dense_optimizer", "opt");
+        if (txn_ != nullptr) {
+            txn_->CaptureDense();
+        }
         bottom_->ApplyOptimizer(dense_opt_, bottom_slots_);
         top_->ApplyOptimizer(dense_opt_, top_slots_);
     }
@@ -462,11 +485,25 @@ DistributedDlrm::TrainStepWithRecovery(const data::Batch& local_batch)
     StepResult result;
     while (true) {
         result.attempts++;
+        std::optional<StepTransaction> txn;
+        if (options_.transactional_retry) {
+            txn.emplace(*this);
+        }
         try {
             result.loss = TrainStep(local_batch);
+            if (txn) {
+                txn->Commit();
+            }
             result.ok = true;
             return result;
         } catch (const comm::RankFailure& failure) {
+            // Undo any partial mutation this attempt made — whether we
+            // retry (exactly-once semantics: the retry must start from
+            // the exact pre-step state) or give up (elastic recovery
+            // wants clean pre-step state to hand to the survivors).
+            if (txn) {
+                txn->Rollback();
+            }
             obs::MetricsRegistry::Get()
                 .GetCounter("neo.core.step_retries")
                 .Add();
@@ -482,8 +519,8 @@ DistributedDlrm::TrainStepWithRecovery(const data::Batch& local_batch)
             // path (they all received the same RankFailure), so the
             // rendezvous either completes everywhere or times out
             // everywhere — no rank is left retrying alone.
-            std::this_thread::sleep_for(options_.retry_backoff *
-                                        (1ll << (result.attempts - 1)));
+            std::this_thread::sleep_for(
+                RetryBackoffDelay(options_, result.attempts));
             if (!pg_.Recover(options_.recover_timeout)) {
                 result.failures.push_back(
                     {failure.failed_rank(),
@@ -567,6 +604,9 @@ DistributedDlrm::ExchangeGradsAndUpdate(const PreparedInput& prepared,
             }
             offset += lens[b];
         }
+        if (txn_ != nullptr) {
+            txn_->CaptureShardRows(i, refs);
+        }
         if (options_.exact_sparse_update) {
             shard.optimizer.ApplyExact(shard.table, refs);
         } else {
@@ -616,7 +656,8 @@ DistributedDlrm::UpdateDpTables(const PreparedInput& prepared,
     std::vector<size_t> idx_cursor(world_, 0);
     std::vector<size_t> grad_cursor(world_, 0);
     std::vector<ops::SparseGradRef> refs;
-    for (auto& dp : dp_tables_) {
+    for (size_t dpi = 0; dpi < dp_tables_.size(); dpi++) {
+        auto& dp = dp_tables_[dpi];
         refs.clear();
         for (int src = 0; src < world_; src++) {
             const uint32_t* lens = recv_len[src].data() + len_cursor[src];
@@ -632,6 +673,9 @@ DistributedDlrm::UpdateDpTables(const PreparedInput& prepared,
             len_cursor[src] += b_local;
             grad_cursor[src] += b_local * d;
             idx_cursor[src] = offset;
+        }
+        if (txn_ != nullptr) {
+            txn_->CaptureDpRows(dpi, refs);
         }
         if (options_.exact_sparse_update) {
             dp.optimizer.ApplyExact(dp.replica, refs);

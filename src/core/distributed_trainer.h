@@ -34,6 +34,9 @@
 
 namespace neo::core {
 
+class StepTransaction;
+class DistributedCheckpointer;
+
 /** Trainer knobs beyond the model config. */
 struct DistributedOptions {
     /** Wire precision of the forward pooled-embedding AllToAll. */
@@ -47,11 +50,30 @@ struct DistributedOptions {
 
     /** Step retries after a transient RankFailure (0 = fail fast). */
     int max_step_retries = 0;
-    /** Backoff before retry k is `retry_backoff << (k - 1)`. */
+    /** Base of the exponential retry backoff (doubles per attempt). */
     std::chrono::milliseconds retry_backoff{10};
+    /** Ceiling on the exponential backoff (keeps the doubling from
+     *  overflowing for large retry counts). */
+    std::chrono::milliseconds max_retry_backoff{2000};
     /** Deadline for the all-rank recovery rendezvous after a failure. */
     std::chrono::milliseconds recover_timeout{2000};
+    /**
+     * Snapshot-and-rollback retries (exactly-once): each attempt runs
+     * under a StepTransaction whose undo log restores partially-applied
+     * sparse/dense updates before the retry, so a retried step is
+     * bit-identical to a fault-free one. False = legacy at-least-once
+     * retries that may double-apply updates.
+     */
+    bool transactional_retry = true;
 };
+
+/**
+ * Backoff before retry `attempt` (1-based): retry_backoff doubled per
+ * prior attempt, clamped to max_retry_backoff. Never overflows, for any
+ * attempt count.
+ */
+std::chrono::milliseconds RetryBackoffDelay(const DistributedOptions& options,
+                                            int attempt);
 
 /** One failed training-step attempt, as observed by this rank. */
 struct StepFailure {
@@ -125,10 +147,13 @@ class DistributedDlrm
      * structured per-rank report instead of unwinding. When the failure
      * is transient and `max_step_retries` allows, every rank backs off
      * exponentially, rendezvouses via ProcessGroup::Recover, and retries
-     * the step from PrepareInput. Retried steps have at-least-once
-     * update semantics: an attempt that failed after its sparse/dense
-     * optimizer updates re-applies them on retry (exactly-once would
-     * need a checkpoint rollback, see core/checkpoint).
+     * the step from PrepareInput. With `transactional_retry` (default),
+     * each attempt runs under a StepTransaction that rolls partial
+     * sparse/dense mutations back before the retry — exactly-once
+     * semantics, losses bit-identical to a fault-free run. Without it,
+     * retries are at-least-once and may double-apply updates. On a
+     * non-retryable failure the rollback still runs, leaving clean
+     * pre-step state for elastic recovery (see core/elastic.h).
      */
     StepResult TrainStepWithRecovery(const data::Batch& local_batch);
 
@@ -180,6 +205,9 @@ class DistributedDlrm
     const DlrmConfig& config() const { return config_; }
 
   private:
+    friend class StepTransaction;
+    friend class DistributedCheckpointer;
+
     // -- construction helpers --
     void BuildShards();
     void BuildRoutes();
@@ -226,6 +254,11 @@ class DistributedDlrm
 
     /** Scratch: flat MLP gradient buffer for the AllReduce. */
     std::vector<float> grad_buffer_;
+
+    /** Active step transaction; update phases call its capture hooks
+     *  immediately before mutating state. Null outside transactional
+     *  retries. */
+    StepTransaction* txn_ = nullptr;
 };
 
 }  // namespace neo::core

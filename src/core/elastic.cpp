@@ -1,0 +1,53 @@
+#include "core/elastic.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace neo::core {
+
+ElasticRecovery
+RecoverShrunk(comm::ThreadedWorld& world, int rank, const DlrmConfig& config,
+              const sharding::PlannerOptions& planner_options,
+              const CheckpointStore& store,
+              const DistributedOptions& options,
+              std::chrono::milliseconds timeout)
+{
+    NEO_TRACE_SPAN("elastic_recovery", "recovery");
+    ElasticRecovery result;
+
+    const auto shrink = world.ShrinkAfterFailure(rank, timeout);
+    if (!shrink.ok) {
+        result.note = "survivor rendezvous timed out";
+        return result;
+    }
+    result.new_rank = shrink.new_rank;
+    result.new_size = shrink.new_size;
+    result.group = shrink.group;
+
+    // Deterministic planner + identical options => every survivor
+    // computes the same plan without communicating.
+    result.plan =
+        sharding::PlanForSurvivors(planner_options, config.tables,
+                                   shrink.new_size);
+    if (!result.plan.feasible) {
+        result.note =
+            "survivor plan infeasible: " + result.plan.note;
+        return result;
+    }
+
+    // Build the survivor partition (construction is collective-free) and
+    // fill it from the checkpoint — including the dead rank's shards,
+    // which the logical-table assembly recovers from its stream.
+    result.trainer = std::make_unique<DistributedDlrm>(
+        config, result.plan, *result.group, options);
+    DistributedCheckpointer::RestoreInto(store, *result.trainer);
+
+    obs::MetricsRegistry::Get()
+        .GetCounter("neo.core.elastic_recoveries")
+        .Add();
+    result.ok = true;
+    return result;
+}
+
+}  // namespace neo::core

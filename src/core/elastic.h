@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shrinking-world elastic recovery (the paper's production setting treats
+ * node loss as routine; Sec. 4.4 pairs this with differential
+ * checkpointing so recovery does not mean restarting the job).
+ *
+ * When a rank dies permanently — the poisoned world's TryRecover times
+ * out — the survivors call RecoverShrunk(): they rendezvous into a
+ * smaller sub-communicator (ThreadedWorld::ShrinkAfterFailure), the
+ * sharding planner recomputes placement over the survivor set, a fresh
+ * DistributedDlrm is built on the sub-group, and the latest
+ * baseline+delta checkpoint — including the dead rank's shards — is
+ * restored into it. Training then continues degraded at N-1 workers
+ * instead of aborting.
+ */
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "comm/threaded_process_group.h"
+#include "core/checkpoint.h"
+#include "core/distributed_trainer.h"
+#include "core/dlrm_config.h"
+#include "sharding/planner.h"
+
+namespace neo::core {
+
+/** Outcome of one rank's RecoverShrunk() call. */
+struct ElasticRecovery {
+    /** True when the survivor world formed and state was restored. */
+    bool ok = false;
+    /** Failure note when !ok (second rank missing, infeasible plan...). */
+    std::string note;
+    /** This rank's compacted rank / the survivor world size. */
+    int new_rank = -1;
+    int new_size = 0;
+    /** Placement recomputed over the survivor set. */
+    sharding::ShardingPlan plan;
+    /** Survivor-world handle (owned by the parent world). */
+    comm::ProcessGroup* group = nullptr;
+    /** The rebuilt trainer, restored from the checkpoint store. */
+    std::unique_ptr<DistributedDlrm> trainer;
+};
+
+/**
+ * Survivor-side elastic recovery. Collective across the survivors of
+ * `world` (every rank except the dead one must call); the failed rank's
+ * thread should simply return. `store` must hold checkpoints written by
+ * a DistributedCheckpointer before the failure — the restored trainer
+ * resumes from that epoch, so steps after the last checkpoint are lost
+ * (re-run them or accept the gap).
+ */
+ElasticRecovery RecoverShrunk(comm::ThreadedWorld& world, int rank,
+                              const DlrmConfig& config,
+                              const sharding::PlannerOptions& planner_options,
+                              const CheckpointStore& store,
+                              const DistributedOptions& options,
+                              std::chrono::milliseconds timeout);
+
+}  // namespace neo::core

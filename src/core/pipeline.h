@@ -36,6 +36,18 @@ class PipelinedTrainer
     /** Drain: train the last prepared batch. */
     std::optional<double> Flush();
 
+    /**
+     * Drop the prepared batch without training it. Used when abandoning
+     * a poisoned world before elastic recovery (core/elastic.h): the
+     * pending input was prepared against the old world's sharding and
+     * cannot be replayed on the survivor trainer. Note the pipeline
+     * driver calls TrainStepPrepared directly, so transactional retry
+     * (DistributedOptions::transactional_retry) protects per-step state
+     * only when the driver wraps its own StepTransaction; the simple
+     * recovery path is Reset + re-prime from the last checkpoint.
+     */
+    void Reset() { pending_.reset(); }
+
     /** Number of completed training steps. */
     uint64_t steps_completed() const { return steps_completed_; }
 

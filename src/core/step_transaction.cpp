@@ -1,0 +1,158 @@
+#include "core/step_transaction.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/distributed_trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace neo::core {
+
+StepTransaction::StepTransaction(DistributedDlrm& trainer)
+    : trainer_(trainer)
+{
+    NEO_REQUIRE(trainer_.txn_ == nullptr,
+                "trainer already has an active StepTransaction");
+    shard_snapshots_.resize(trainer_.shards_.size());
+    dp_snapshots_.resize(trainer_.dp_tables_.size());
+    trainer_.txn_ = this;
+}
+
+StepTransaction::~StepTransaction()
+{
+    trainer_.txn_ = nullptr;
+}
+
+void
+StepTransaction::CaptureRows(const ops::EmbeddingTable& table,
+                             const ops::SparseOptimizer& optimizer,
+                             std::span<const ops::SparseGradRef> grads,
+                             RowsSnapshot& snapshot)
+{
+    snapshot.rows.clear();
+    snapshot.rows.reserve(grads.size());
+    for (const auto& ref : grads) {
+        snapshot.rows.push_back(ref.row);
+    }
+    std::sort(snapshot.rows.begin(), snapshot.rows.end());
+    snapshot.rows.erase(
+        std::unique(snapshot.rows.begin(), snapshot.rows.end()),
+        snapshot.rows.end());
+
+    const size_t d = static_cast<size_t>(table.dim());
+    const size_t sfpr = optimizer.StateFloatsPerRow();
+    snapshot.values.resize(snapshot.rows.size() * d);
+    snapshot.opt_state.resize(snapshot.rows.size() * sfpr);
+    for (size_t i = 0; i < snapshot.rows.size(); i++) {
+        table.ReadRow(snapshot.rows[i], snapshot.values.data() + i * d);
+        if (sfpr > 0) {
+            optimizer.ExportRowState(snapshot.rows[i],
+                                     snapshot.opt_state.data() + i * sfpr);
+        }
+    }
+    snapshot.captured = true;
+}
+
+void
+StepTransaction::CaptureShardRows(size_t shard_index,
+                                  std::span<const ops::SparseGradRef> grads)
+{
+    NEO_REQUIRE(shard_index < shard_snapshots_.size(),
+                "shard index out of range");
+    RowsSnapshot& snapshot = shard_snapshots_[shard_index];
+    NEO_REQUIRE(!snapshot.captured,
+                "shard captured twice in one transaction");
+    const auto& shard = trainer_.shards_[shard_index];
+    CaptureRows(shard.table, shard.optimizer, grads, snapshot);
+}
+
+void
+StepTransaction::CaptureDpRows(size_t dp_index,
+                               std::span<const ops::SparseGradRef> grads)
+{
+    NEO_REQUIRE(dp_index < dp_snapshots_.size(), "DP index out of range");
+    RowsSnapshot& snapshot = dp_snapshots_[dp_index];
+    NEO_REQUIRE(!snapshot.captured, "DP table captured twice");
+    const auto& dp = trainer_.dp_tables_[dp_index];
+    CaptureRows(dp.replica, dp.optimizer, grads, snapshot);
+}
+
+void
+StepTransaction::CaptureDense()
+{
+    NEO_REQUIRE(!dense_.captured, "dense state captured twice");
+    BinaryWriter writer;
+    trainer_.bottom_->Save(writer);
+    trainer_.top_->Save(writer);
+    trainer_.dense_opt_.Save(writer);
+    dense_.blob = writer.buffer();
+    dense_.captured = true;
+}
+
+void
+StepTransaction::Rollback()
+{
+    NEO_TRACE_SPAN("step_rollback", "recovery");
+    auto restore_rows = [](ops::EmbeddingTable& table,
+                           ops::SparseOptimizer& optimizer,
+                           const RowsSnapshot& snapshot) {
+        if (!snapshot.captured) {
+            return;
+        }
+        const size_t d = static_cast<size_t>(table.dim());
+        const size_t sfpr = optimizer.StateFloatsPerRow();
+        for (size_t i = 0; i < snapshot.rows.size(); i++) {
+            table.WriteRow(snapshot.rows[i],
+                           snapshot.values.data() + i * d);
+            if (sfpr > 0) {
+                optimizer.ImportRowState(
+                    snapshot.rows[i], snapshot.opt_state.data() + i * sfpr);
+            }
+        }
+    };
+    for (size_t i = 0; i < shard_snapshots_.size(); i++) {
+        restore_rows(trainer_.shards_[i].table,
+                     trainer_.shards_[i].optimizer, shard_snapshots_[i]);
+    }
+    for (size_t i = 0; i < dp_snapshots_.size(); i++) {
+        restore_rows(trainer_.dp_tables_[i].replica,
+                     trainer_.dp_tables_[i].optimizer, dp_snapshots_[i]);
+    }
+    if (dense_.captured) {
+        BinaryReader reader(dense_.blob);
+        trainer_.bottom_->Load(reader);
+        trainer_.top_->Load(reader);
+        trainer_.dense_opt_.Load(reader);
+    }
+    obs::MetricsRegistry::Get().GetCounter("neo.core.rollbacks").Add();
+    Commit();  // the undo log is spent either way
+}
+
+void
+StepTransaction::Commit()
+{
+    for (auto& snapshot : shard_snapshots_) {
+        snapshot = RowsSnapshot{};
+    }
+    for (auto& snapshot : dp_snapshots_) {
+        snapshot = RowsSnapshot{};
+    }
+    dense_ = DenseSnapshot{};
+}
+
+uint64_t
+StepTransaction::captured_rows() const
+{
+    uint64_t total = 0;
+    for (const auto& snapshot : shard_snapshots_) {
+        total += snapshot.rows.size();
+    }
+    for (const auto& snapshot : dp_snapshots_) {
+        total += snapshot.rows.size();
+    }
+    return total;
+}
+
+}  // namespace neo::core

@@ -122,6 +122,35 @@ DenseOptimizer::Step(size_t slot_id, Matrix& param, const Matrix& grad)
     }
 }
 
+void
+DenseOptimizer::Save(BinaryWriter& writer) const
+{
+    writer.Write<uint64_t>(slots_.size());
+    for (const auto& slot : slots_) {
+        writer.WriteVector(slot.state1);
+        writer.WriteVector(slot.state2);
+        writer.Write<uint64_t>(slot.step);
+    }
+}
+
+void
+DenseOptimizer::Load(BinaryReader& reader)
+{
+    const uint64_t n = reader.Read<uint64_t>();
+    NEO_REQUIRE(n == slots_.size(), "optimizer slot count mismatch: saved ",
+                n, ", registered ", slots_.size());
+    for (auto& slot : slots_) {
+        auto state1 = reader.ReadVector<float>();
+        auto state2 = reader.ReadVector<float>();
+        NEO_REQUIRE(state1.size() == slot.state1.size() &&
+                        state2.size() == slot.state2.size(),
+                    "optimizer slot state size mismatch");
+        slot.state1 = std::move(state1);
+        slot.state2 = std::move(state2);
+        slot.step = reader.Read<uint64_t>();
+    }
+}
+
 size_t
 DenseOptimizer::StateBytes() const
 {

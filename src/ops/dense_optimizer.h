@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/serialize.h"
 #include "tensor/matrix.h"
 
 namespace neo::ops {
@@ -50,6 +51,16 @@ class DenseOptimizer
 
     /** Bytes of optimizer state across all slots. */
     size_t StateBytes() const;
+
+    /** Serialize all slot state (momenta, accumulators, step counts). */
+    void Save(BinaryWriter& writer) const;
+
+    /**
+     * Restore slot state saved by Save(). The receiving optimizer must
+     * have the same slots registered (count and shapes); anything else is
+     * rejected with a runtime_error.
+     */
+    void Load(BinaryReader& reader);
 
     const DenseOptimizerConfig& config() const { return config_; }
 

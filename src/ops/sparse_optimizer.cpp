@@ -64,6 +64,67 @@ SparseOptimizer::StateBytes() const
            adam_step_.size() * sizeof(uint32_t);
 }
 
+size_t
+SparseOptimizer::StateFloatsPerRow() const
+{
+    const size_t d = static_cast<size_t>(dim_);
+    switch (config_.kind) {
+      case SparseOptimizerKind::kSgd: return 0;
+      case SparseOptimizerKind::kAdaGrad: return d;
+      case SparseOptimizerKind::kRowWiseAdaGrad: return 1;
+      // m, v, and the per-row step count (stored as a float: exact for
+      // any realistic step count, and it keeps the layout homogeneous).
+      case SparseOptimizerKind::kAdam: return 2 * d + 1;
+    }
+    return 0;
+}
+
+void
+SparseOptimizer::ExportRowState(int64_t row, float* out) const
+{
+    NEO_REQUIRE(row >= 0 && row < rows_, "row out of range");
+    const size_t d = static_cast<size_t>(dim_);
+    const size_t r = static_cast<size_t>(row);
+    switch (config_.kind) {
+      case SparseOptimizerKind::kSgd:
+        break;
+      case SparseOptimizerKind::kAdaGrad:
+        std::copy_n(adagrad_state_.data() + r * d, d, out);
+        break;
+      case SparseOptimizerKind::kRowWiseAdaGrad:
+        out[0] = rowwise_state_[r];
+        break;
+      case SparseOptimizerKind::kAdam:
+        std::copy_n(adam_m_.data() + r * d, d, out);
+        std::copy_n(adam_v_.data() + r * d, d, out + d);
+        out[2 * d] = static_cast<float>(adam_step_[r]);
+        break;
+    }
+}
+
+void
+SparseOptimizer::ImportRowState(int64_t row, const float* in)
+{
+    NEO_REQUIRE(row >= 0 && row < rows_, "row out of range");
+    const size_t d = static_cast<size_t>(dim_);
+    const size_t r = static_cast<size_t>(row);
+    switch (config_.kind) {
+      case SparseOptimizerKind::kSgd:
+        break;
+      case SparseOptimizerKind::kAdaGrad:
+        std::copy_n(in, d, adagrad_state_.data() + r * d);
+        break;
+      case SparseOptimizerKind::kRowWiseAdaGrad:
+        rowwise_state_[r] = in[0];
+        break;
+      case SparseOptimizerKind::kAdam:
+        std::copy_n(in, d, adam_m_.data() + r * d);
+        std::copy_n(in + d, d, adam_v_.data() + r * d);
+        adam_step_[r] = static_cast<uint32_t>(in[2 * d]);
+        break;
+    }
+}
+
 float
 SparseOptimizer::RowMoment(int64_t row) const
 {

@@ -87,6 +87,21 @@ class SparseOptimizer
     /** Bytes of optimizer state (the F1 capacity study tracks this). */
     size_t StateBytes() const;
 
+    /**
+     * Floats of optimizer state per row in the Export/ImportRowState
+     * layout: 0 (SGD), dim (AdaGrad), 1 (row-wise AdaGrad), 2*dim + 1
+     * (Adam: m, v, step). Identical across ranks for a given config, so
+     * checkpoints and rollback snapshots can move row state between
+     * differently-sharded optimizers of the same kind.
+     */
+    size_t StateFloatsPerRow() const;
+
+    /** Copy row `row`'s state into out[0..StateFloatsPerRow()). */
+    void ExportRowState(int64_t row, float* out) const;
+
+    /** Restore row `row`'s state from ExportRowState's layout. */
+    void ImportRowState(int64_t row, const float* in);
+
     const SparseOptimizerConfig& config() const { return config_; }
 
     /** Row-wise moment accessor (row-wise AdaGrad), for tests. */

@@ -32,6 +32,18 @@ ShardingPlan::SchemeForTable(int table) const
     NEO_FATAL("table ", table, " has no shards in plan");
 }
 
+ShardingPlan
+PlanForSurvivors(const PlannerOptions& options,
+                 const std::vector<TableConfig>& tables, int survivors)
+{
+    NEO_REQUIRE(survivors >= 1, "need at least one survivor");
+    PlannerOptions shrunk = options;
+    shrunk.topo.num_workers = survivors;
+    shrunk.topo.workers_per_node =
+        std::min(shrunk.topo.workers_per_node, survivors);
+    return ShardingPlanner(shrunk).Plan(tables);
+}
+
 ShardingPlanner::ShardingPlanner(PlannerOptions options)
     : options_(std::move(options))
 {

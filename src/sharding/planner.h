@@ -78,6 +78,18 @@ struct ShardingPlan {
     Scheme SchemeForTable(int table) const;
 };
 
+/**
+ * Re-plan placement over a shrunken survivor set (elastic recovery,
+ * core/elastic.h): same options, but the topology is clamped to
+ * `survivors` workers (workers_per_node likewise, so a single-node
+ * remainder doesn't claim more intra-node peers than exist). The result
+ * is a fresh plan for a dense 0..survivors-1 world; restoring state into
+ * it is the checkpointer's job.
+ */
+ShardingPlan PlanForSurvivors(const PlannerOptions& options,
+                              const std::vector<TableConfig>& tables,
+                              int survivors);
+
 /** Scheme selection + splitting + placement. */
 class ShardingPlanner
 {

@@ -7,6 +7,50 @@
 
 namespace neo::sim {
 
+double
+FaultModel::CheckpointWriteSeconds(double bytes) const
+{
+    return checkpoint_write_Bps > 0.0 ? bytes / checkpoint_write_Bps : 0.0;
+}
+
+double
+FaultModel::CheckpointRestoreSeconds(double bytes) const
+{
+    return checkpoint_restore_Bps > 0.0 ? bytes / checkpoint_restore_Bps
+                                        : 0.0;
+}
+
+double
+FaultModel::ShrinkRecoverySeconds(double restore_bytes,
+                                  double reshard_bytes) const
+{
+    double seconds = detect_timeout_s + recovery_overhead_s +
+                     CheckpointRestoreSeconds(restore_bytes);
+    if (reshard_Bps > 0.0) {
+        seconds += reshard_bytes / reshard_Bps;
+    }
+    return seconds;
+}
+
+void
+FaultModel::CalibrateCheckpoint(double write_bytes, double write_seconds,
+                                double restore_bytes,
+                                double restore_seconds)
+{
+    if (write_bytes > 0.0 && write_seconds > 0.0) {
+        checkpoint_write_Bps = write_bytes / write_seconds;
+    }
+    if (restore_bytes > 0.0 && restore_seconds > 0.0) {
+        checkpoint_restore_Bps = restore_bytes / restore_seconds;
+        // Resharding moves restored bytes onto the survivors through the
+        // same assembly path, so the restore throughput is the natural
+        // first-order estimate until measured separately.
+        if (reshard_Bps <= 0.0) {
+            reshard_Bps = checkpoint_restore_Bps;
+        }
+    }
+}
+
 CommModel::CommModel(const ClusterSpec& cluster) : cluster_(cluster) {}
 
 double

@@ -38,6 +38,38 @@ struct FaultModel {
     double detect_timeout_s = 0.010;
     /** Abort propagation + recovery rendezvous overhead per failure (s). */
     double recovery_overhead_s = 0.050;
+
+    // ---- elastic recovery cost terms (calibrated by bench/micro_fault
+    // against the real DistributedCheckpointer; 0 = term unmodeled) ----
+
+    /** Checkpoint serialization throughput, bytes/s. */
+    double checkpoint_write_Bps = 0.0;
+    /** Baseline+delta restore/assembly throughput, bytes/s. */
+    double checkpoint_restore_Bps = 0.0;
+    /** Reshard data-movement throughput when survivors repartition, B/s. */
+    double reshard_Bps = 0.0;
+
+    /** Modeled wall time to write a `bytes` checkpoint (0 if unmodeled). */
+    double CheckpointWriteSeconds(double bytes) const;
+
+    /** Modeled wall time to restore `bytes` of baseline+deltas. */
+    double CheckpointRestoreSeconds(double bytes) const;
+
+    /**
+     * Modeled end-to-end shrink recovery: detect the dead rank, pay the
+     * recovery rendezvous, restore `restore_bytes` of checkpoint state,
+     * and move `reshard_bytes` while repartitioning onto the survivors.
+     */
+    double ShrinkRecoverySeconds(double restore_bytes,
+                                 double reshard_bytes) const;
+
+    /**
+     * Fit the bandwidth terms from paired measurements (bytes, seconds)
+     * of a real checkpoint write and restore, as produced by
+     * bench/micro_fault. Non-positive measurements leave a term at 0.
+     */
+    void CalibrateCheckpoint(double write_bytes, double write_seconds,
+                             double restore_bytes, double restore_seconds);
 };
 
 /** Collective latency/bandwidth estimator for a cluster. */

@@ -756,5 +756,113 @@ TEST(Collectives, ManySmallCollectivesInterleaveSafely)
     });
 }
 
+// ------------------------------- op-filtered faults & shrinking worlds
+
+TEST(FaultTolerance, OpFilteredFaultCountsOnlyMatchingOps)
+{
+    // match_op addresses "rank 0's 2nd AllReduce", skipping the barriers
+    // and broadcasts interleaved before it — the addressing mode the
+    // trainer tests use to hit a semantic point inside a training step.
+    FaultInjector injector;
+    FaultSpec kill;
+    kill.rank = 0;
+    kill.match_op = true;
+    kill.op = CollectiveOp::kAllReduce;
+    kill.call_index = 1;
+    kill.kind = FaultKind::kKill;
+    kill.transient = true;
+    injector.Arm(kill);
+    ThreadedWorld::Options options;
+    options.injector = &injector;
+
+    std::vector<int> completed(2, 0);
+    ThreadedWorld::Run(2, options, [&](int rank, ProcessGroup& pg) {
+        try {
+            float x = 1.0f;
+            pg.Barrier();               // flat index 0 on every rank
+            pg.AllReduceSum(&x, 1);     // AllReduce #0: survives
+            completed[rank]++;
+            pg.Broadcast(&x, 1, 0);     // other ops don't advance the count
+            pg.Barrier();
+            completed[rank]++;
+            pg.AllReduceSum(&x, 1);     // AllReduce #1: the armed kill
+            ADD_FAILURE() << "second AllReduce must abort";
+        } catch (const RankFailure& f) {
+            EXPECT_EQ(f.failed_rank(), 0);
+            EXPECT_TRUE(f.transient());
+        }
+    });
+    EXPECT_EQ(completed, (std::vector<int>{2, 2}));
+    ASSERT_EQ(injector.Fired().size(), 1u);
+    EXPECT_EQ(injector.Fired()[0].op, CollectiveOp::kAllReduce);
+}
+
+TEST(FaultTolerance, ShrinkAfterFailureFormsSurvivorWorld)
+{
+    // Rank 2 dies permanently; the three survivors rendezvous into a
+    // compacted 3-rank child world and run collectives on it.
+    constexpr int kWorld = 4;
+    constexpr int kDead = 2;
+    ThreadedWorld::Options options;
+    options.barrier_timeout = std::chrono::milliseconds(2000);
+    ThreadedWorld world(kWorld, options);
+
+    std::vector<int> new_ranks(kWorld, -1);
+    std::vector<float> sums(kWorld, 0.0f);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < kWorld; r++) {
+        threads.emplace_back([&, r] {
+            ProcessGroup& pg = world.GetGroup(r);
+            if (r == kDead) {
+                world.Abort(r, "injected permanent death", false);
+                return;
+            }
+            try {
+                pg.AllReduceSum(nullptr, 0);
+                // The abort may land after this collective completed;
+                // the next one observes it either way.
+                pg.Barrier();
+            } catch (const RankFailure& f) {
+                EXPECT_EQ(f.failed_rank(), kDead);
+            }
+            const auto shrink = world.ShrinkAfterFailure(
+                r, std::chrono::milliseconds(5000));
+            ASSERT_TRUE(shrink.ok);
+            EXPECT_EQ(shrink.new_size, kWorld - 1);
+            new_ranks[r] = shrink.new_rank;
+            // The child world is live: a collective over the survivors.
+            float x = static_cast<float>(shrink.new_rank + 1);
+            shrink.group->AllReduceSum(&x, 1);
+            sums[r] = x;
+            EXPECT_EQ(shrink.group->Rank(), shrink.new_rank);
+            EXPECT_EQ(shrink.group->Size(), kWorld - 1);
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    // Compaction: ranks below the dead one keep their id, above shift
+    // down by one; the parent stays poisoned.
+    EXPECT_EQ(new_ranks, (std::vector<int>{0, 1, -1, 2}));
+    for (int r = 0; r < kWorld; r++) {
+        if (r != kDead) {
+            EXPECT_EQ(sums[r], 6.0f) << "rank " << r;  // 1 + 2 + 3
+        }
+    }
+    EXPECT_TRUE(world.aborted());
+}
+
+TEST(FaultTolerance, ShrinkTimesOutWhenSurvivorsMissing)
+{
+    ThreadedWorld world(3);
+    world.Abort(1, "dead", false);
+    // Only one of the two survivors shows up: the rendezvous must time
+    // out and report failure instead of hanging.
+    const auto shrink =
+        world.ShrinkAfterFailure(0, std::chrono::milliseconds(100));
+    EXPECT_FALSE(shrink.ok);
+    EXPECT_EQ(shrink.group, nullptr);
+}
+
 }  // namespace
 }  // namespace neo::comm

@@ -6,9 +6,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "core/distributed_trainer.h"
 #include "core/dlrm_config.h"
 #include "core/dlrm_reference.h"
 #include "data/dataset.h"
+#include "ops/embedding_table.h"
 
 namespace neo::core {
 namespace {
@@ -187,6 +194,201 @@ TEST(DlrmReference, Fp16EmbeddingsStillLearn)
         }
     }
     EXPECT_LT(last, first);
+}
+
+// ------------------------------------------------------- retry backoff
+
+TEST(RetryBackoff, DoublesPerAttemptUpToCap)
+{
+    using std::chrono::milliseconds;
+    DistributedOptions options;
+    options.retry_backoff = milliseconds(10);
+    options.max_retry_backoff = milliseconds(65);
+    EXPECT_EQ(RetryBackoffDelay(options, 1), milliseconds(10));
+    EXPECT_EQ(RetryBackoffDelay(options, 2), milliseconds(20));
+    EXPECT_EQ(RetryBackoffDelay(options, 3), milliseconds(40));
+    // 80 would exceed the cap; clamp, and stay clamped after.
+    EXPECT_EQ(RetryBackoffDelay(options, 4), milliseconds(65));
+    EXPECT_EQ(RetryBackoffDelay(options, 5), milliseconds(65));
+}
+
+TEST(RetryBackoff, LargeAttemptCountsDoNotOverflow)
+{
+    // The pre-fix code computed `backoff << (attempt - 1)`, which is
+    // undefined behaviour past 63 attempts and wrapped to garbage (e.g. a
+    // zero or negative sleep) long before that. The clamped ladder must
+    // saturate instead, for any attempt count.
+    using std::chrono::milliseconds;
+    DistributedOptions options;
+    options.retry_backoff = milliseconds(10);
+    options.max_retry_backoff = milliseconds(2000);
+    EXPECT_EQ(RetryBackoffDelay(options, 64), milliseconds(2000));
+    EXPECT_EQ(RetryBackoffDelay(options, 400), milliseconds(2000));
+    EXPECT_EQ(RetryBackoffDelay(options, std::numeric_limits<int>::max()),
+              milliseconds(2000));
+}
+
+TEST(RetryBackoff, ZeroBaseMeansNoSleep)
+{
+    using std::chrono::milliseconds;
+    DistributedOptions options;
+    options.retry_backoff = milliseconds(0);
+    EXPECT_EQ(RetryBackoffDelay(options, 1), milliseconds(0));
+    EXPECT_EQ(RetryBackoffDelay(options, 100), milliseconds(0));
+}
+
+TEST(RetryBackoff, CapBelowBaseStillHonoursBase)
+{
+    // A misconfigured cap below the base must not produce a zero or
+    // negative sleep; the base wins.
+    using std::chrono::milliseconds;
+    DistributedOptions options;
+    options.retry_backoff = milliseconds(50);
+    options.max_retry_backoff = milliseconds(10);
+    EXPECT_EQ(RetryBackoffDelay(options, 1), milliseconds(50));
+    EXPECT_EQ(RetryBackoffDelay(options, 8), milliseconds(50));
+}
+
+// ------------------------------------- checkpoint robustness & storage
+
+namespace {
+
+/** A small trained-ish table plus its baseline and two deltas. */
+struct CheckpointFixture {
+    ops::EmbeddingTable table{64, 8};
+    std::vector<uint8_t> baseline;
+    std::vector<std::vector<uint8_t>> deltas;
+
+    CheckpointFixture()
+    {
+        Rng rng(17);
+        table.InitUniform(rng);
+        DeltaCheckpointer checkpointer(&table);
+        baseline = checkpointer.WriteBaseline();
+        std::vector<float> row(8);
+        for (int step = 0; step < 2; step++) {
+            for (int64_t r : {int64_t(3), int64_t(40 + step)}) {
+                table.ReadRow(r, row.data());
+                for (auto& x : row) {
+                    x += 0.5f;
+                }
+                table.WriteRow(r, row.data());
+            }
+            deltas.push_back(checkpointer.WriteDelta());
+        }
+    }
+};
+
+}  // namespace
+
+TEST(DeltaCheckpointRobustness, TruncatedBaselineRejected)
+{
+    CheckpointFixture fx;
+    for (const size_t keep : {size_t(0), size_t(3), size_t(11),
+                              fx.baseline.size() - 1}) {
+        auto truncated = fx.baseline;
+        truncated.resize(keep);
+        EXPECT_THROW(DeltaCheckpointer::Restore(truncated, fx.deltas),
+                     std::runtime_error)
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST(DeltaCheckpointRobustness, TruncatedDeltaRejected)
+{
+    CheckpointFixture fx;
+    auto deltas = fx.deltas;
+    deltas.back().resize(deltas.back().size() / 2);
+    EXPECT_THROW(DeltaCheckpointer::Restore(fx.baseline, deltas),
+                 std::runtime_error);
+}
+
+TEST(DeltaCheckpointRobustness, HugeLengthPrefixRejectedNotAllocated)
+{
+    // A corrupt length prefix claiming ~2^61 elements must be rejected by
+    // the bounds check (std::runtime_error), not passed to the allocator
+    // (std::bad_alloc / OOM kill).
+    CheckpointFixture fx;
+    auto delta = fx.deltas.front();
+    // Layout: magic u32, rows i64, dim i64, seq u64, then the changed-row
+    // vector's u64 length prefix at offset 28.
+    const uint64_t huge = uint64_t(1) << 61;
+    std::memcpy(delta.data() + 28, &huge, sizeof(huge));
+    EXPECT_THROW(DeltaCheckpointer::Restore(fx.baseline, {delta}),
+                 std::runtime_error);
+}
+
+TEST(DeltaCheckpointRobustness, MismatchedDimDeltaRejected)
+{
+    CheckpointFixture fx;
+    // A delta recorded against a differently-shaped table (same rows,
+    // twice the dim) cannot be applied to fx's baseline.
+    Rng rng(18);
+    ops::EmbeddingTable wide(64, 16);
+    wide.InitUniform(rng);
+    DeltaCheckpointer wide_checkpointer(&wide);
+    wide_checkpointer.WriteBaseline();
+    std::vector<float> row(16, 1.0f);
+    wide.WriteRow(5, row.data());
+    EXPECT_THROW(DeltaCheckpointer::Restore(
+                     fx.baseline, {wide_checkpointer.WriteDelta()}),
+                 std::runtime_error);
+}
+
+TEST(DeltaCheckpointRobustness, OutOfOrderDeltasRejected)
+{
+    CheckpointFixture fx;
+    ASSERT_EQ(fx.deltas.size(), 2u);
+    // Swapped chain: the sequence stamp catches the reordering instead of
+    // silently restoring stale row contents.
+    EXPECT_THROW(
+        DeltaCheckpointer::Restore(fx.baseline,
+                                   {fx.deltas[1], fx.deltas[0]}),
+        std::runtime_error);
+    // Replaying the same delta twice is equally out of order.
+    EXPECT_THROW(
+        DeltaCheckpointer::Restore(fx.baseline,
+                                   {fx.deltas[0], fx.deltas[0]}),
+        std::runtime_error);
+    // The untampered chain still restores.
+    const ops::EmbeddingTable restored =
+        DeltaCheckpointer::Restore(fx.baseline, fx.deltas);
+    EXPECT_TRUE(ops::EmbeddingTable::Identical(fx.table, restored));
+}
+
+TEST(DeltaCheckpointRobustness, RowIdOutOfRangeRejected)
+{
+    CheckpointFixture fx;
+    // Patch the first changed-row id (offset 36: after magic u32,
+    // rows/dim i64, seq u64 and the row vector's u64 length prefix) to
+    // point past the table, keeping the declared shape valid.
+    auto delta = fx.deltas.front();
+    const int64_t bogus = 1000;
+    std::memcpy(delta.data() + 36, &bogus, sizeof(bogus));
+    EXPECT_THROW(DeltaCheckpointer::Restore(fx.baseline, {delta}),
+                 std::runtime_error);
+}
+
+TEST(CheckpointStore, BaselineResetsDeltaChain)
+{
+    CheckpointStore store;
+    EXPECT_TRUE(store.Ranks().empty());
+    EXPECT_THROW(store.Baseline(0), std::runtime_error);
+    // Appending a delta before any baseline is a protocol error.
+    EXPECT_THROW(store.AppendDelta(0, {1, 2, 3}), std::runtime_error);
+
+    store.PutBaseline(0, {1, 2, 3, 4});
+    store.AppendDelta(0, {5, 6});
+    store.PutBaseline(1, {7});
+    EXPECT_EQ(store.Ranks(), (std::vector<int>{0, 1}));
+    EXPECT_EQ(store.Baseline(0), (std::vector<uint8_t>{1, 2, 3, 4}));
+    EXPECT_EQ(store.Deltas(0).size(), 1u);
+    EXPECT_EQ(store.TotalBytes(), 7u);
+
+    // A fresh baseline starts a new chain (the old deltas are obsolete).
+    store.PutBaseline(0, {9, 9});
+    EXPECT_TRUE(store.Deltas(0).empty());
+    EXPECT_EQ(store.TotalBytes(), 3u);
 }
 
 }  // namespace
