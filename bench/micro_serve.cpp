@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Serving latency/throughput microbenchmark: a 2-rank serving world
+ * scores a closed-loop request stream while sweeping the batcher's
+ * max_delay_us knob — the latency/throughput trade Table 4's
+ * QPS-at-latency-budget numbers are measured under. For each config it
+ * reports sustained QPS and p50/p95/p99 request latency; the traced
+ * config's per-batch span breakdown is diffed against the
+ * sim::ServingModel prediction (measured-vs-modeled, the serving
+ * counterpart of the Fig. 12 training diff).
+ *
+ * Usage: micro_serve [--quick] [--out=PATH] [--trace-out=PATH]
+ *   --quick      fewer requests / smaller model (smoke-test mode)
+ *   --out        JSON output path (default BENCH_serve.json in the cwd)
+ *   --trace-out  also write the traced config's Chrome trace JSON here
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/threaded_process_group.h"
+#include "common/stats.h"
+#include "core/distributed_trainer.h"
+#include "core/dlrm_config.h"
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "obs/step_breakdown.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "sharding/planner.h"
+#include "sim/serving_model.h"
+
+namespace {
+
+using namespace neo;
+
+constexpr int kWorkers = 2;
+
+data::DatasetConfig
+MakeDataConfig(const core::DlrmConfig& model)
+{
+    data::DatasetConfig config;
+    config.num_dense = model.num_dense;
+    config.seed = 99;
+    for (const auto& t : model.tables) {
+        config.features.push_back({t.rows, t.pooling, 1.05});
+    }
+    return config;
+}
+
+struct ConfigResult {
+    int64_t max_delay_us = 0;
+    size_t requests = 0;
+    double qps = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_batch = 0.0;  ///< mean dispatched batch size
+};
+
+/** Serve `num_requests` from a closed loop of `inflight` clients. */
+bool
+RunConfig(const core::DlrmConfig& model,
+          const std::shared_ptr<const serve::ModelSnapshot>& snapshot,
+          const data::Batch& pool, int64_t max_delay_us,
+          size_t num_requests, ConfigResult& result)
+{
+    serve::ServerOptions options;
+    options.batcher.max_batch = 16;
+    options.batcher.max_delay_us = max_delay_us;
+    options.max_queue = 1 << 14;
+    serve::Server server(model.num_dense, model.tables.size(), options);
+    server.Publish(snapshot);
+    std::thread world([&] {
+        comm::ThreadedWorld::Run(kWorkers,
+                                 [&](int rank, comm::ProcessGroup& pg) {
+                                     server.RankLoop(rank, pg);
+                                 });
+    });
+
+    // Closed loop with a fixed number of outstanding requests: submit,
+    // wait for the oldest once the window is full, repeat.
+    const size_t inflight = 32;
+    std::vector<serve::Ticket> window;
+    std::vector<double> latencies;
+    latencies.reserve(num_requests);
+    bool ok = true;
+    size_t next = 0;
+    const auto start = std::chrono::steady_clock::now();
+    size_t completed = 0;
+    while (completed < num_requests) {
+        if (next < num_requests && window.size() < inflight) {
+            serve::Request req;
+            req.id = next;
+            const size_t i = next % pool.dense.rows();
+            req.dense.assign(pool.dense.Row(i),
+                             pool.dense.Row(i) + pool.dense.cols());
+            req.sparse = pool.sparse.SliceBatch(i, i + 1);
+            serve::Ticket ticket = server.Submit(std::move(req));
+            if (ticket.admission != serve::Admission::kAccepted) {
+                std::fprintf(stderr, "FAIL: request %zu shed\n", next);
+                ok = false;
+                break;
+            }
+            window.push_back(std::move(ticket));
+            next++;
+            continue;
+        }
+        serve::Response response = window.front().response.get();
+        window.erase(window.begin());
+        completed++;
+        if (response.snapshot_version != snapshot->version) {
+            std::fprintf(stderr, "FAIL: wrong version on request\n");
+            ok = false;
+            break;
+        }
+        latencies.push_back(response.total_seconds);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    server.Stop();
+    world.join();
+    if (!ok) {
+        return false;
+    }
+
+    result.max_delay_us = max_delay_us;
+    result.requests = completed;
+    result.qps = static_cast<double>(completed) / wall;
+    std::vector<double> us;
+    us.reserve(latencies.size());
+    for (const double s : latencies) {
+        us.push_back(s * 1e6);
+    }
+    result.p50_us = Percentile(us, 50.0);
+    result.p95_us = Percentile(us, 95.0);
+    result.p99_us = Percentile(us, 99.0);
+    const auto batches = obs::MetricsRegistry::Get()
+                             .GetHistogram("neo.serve.batch_size")
+                             .GetSnapshot();
+    result.mean_batch = batches.mean;
+    return true;
+}
+
+/** Map a ServingModel prediction onto the StepBreakdown buckets so it
+ *  can be diffed against the measured serve_batch spans. */
+obs::StepBreakdown
+ModeledBreakdown(const sim::ServingBreakdown& modeled)
+{
+    obs::StepBreakdown breakdown;
+    breakdown.categories.emb_fwd = modeled.emb_lookup;
+    breakdown.categories.mlp_fwd =
+        modeled.bot_mlp + modeled.top_mlp + modeled.interaction;
+    breakdown.categories.alltoall = modeled.input_a2a + modeled.pooled_a2a;
+    breakdown.categories.comm_other = modeled.gather;
+    breakdown.categories.other = modeled.overhead;
+    breakdown.step_seconds = modeled.total;
+    breakdown.steps = 1;
+    return breakdown;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_serve.json";
+    std::string trace_out;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            trace_out = argv[i] + 12;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    const size_t num_requests = quick ? 200 : 2000;
+    const core::DlrmConfig model =
+        quick ? core::MakeSmallDlrmConfig(4, 200, 8)
+              : core::MakeSmallDlrmConfig(8, 4000, 32);
+    const std::vector<int64_t> delays =
+        quick ? std::vector<int64_t>{0, 1000}
+              : std::vector<int64_t>{0, 200, 1000, 4000};
+
+    sharding::PlannerOptions planner_options;
+    planner_options.topo.num_workers = kWorkers;
+    planner_options.topo.workers_per_node = kWorkers;
+    planner_options.global_batch = 32;
+    planner_options.hbm_bytes_per_worker = 1e12;
+    sharding::ShardingPlanner planner(planner_options);
+    const sharding::ShardingPlan plan = planner.Plan(model.tables);
+
+    // Train briefly and cut the serving snapshot.
+    std::shared_ptr<const serve::ModelSnapshot> snapshot;
+    comm::ThreadedWorld::Run(kWorkers, [&](int rank,
+                                           comm::ProcessGroup& pg) {
+        core::DistributedDlrm trainer(model, plan, pg);
+        data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+        const size_t local_batch = 16;
+        for (int s = 0; s < 4; s++) {
+            data::Batch global = dataset.NextBatch(local_batch * kWorkers);
+            data::Batch local;
+            const size_t begin = rank * local_batch;
+            local.dense = Matrix(local_batch, global.dense.cols());
+            for (size_t b = 0; b < local_batch; b++) {
+                for (size_t c = 0; c < global.dense.cols(); c++) {
+                    local.dense(b, c) = global.dense(begin + b, c);
+                }
+            }
+            local.sparse =
+                global.sparse.SliceBatch(begin, begin + local_batch);
+            local.labels.assign(
+                global.labels.begin() + begin,
+                global.labels.begin() + begin + local_batch);
+            trainer.TrainStep(local);
+        }
+        auto snap = serve::SnapshotFromTrainer(trainer, plan, 1);
+        if (rank == 0) {
+            snapshot = snap;
+        }
+    });
+    if (snapshot == nullptr) {
+        std::fprintf(stderr, "FAIL: snapshot cut failed\n");
+        return 1;
+    }
+
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+    const data::Batch pool = dataset.NextBatch(64);
+
+    std::printf("== micro_serve: QPS/latency vs max_delay_us "
+                "(%zu requests, %d ranks) ==\n\n",
+                num_requests, kWorkers);
+    std::printf("%12s %10s %10s %10s %10s %10s\n", "max_delay_us", "qps",
+                "p50_us", "p95_us", "p99_us", "avg_batch");
+
+    std::vector<ConfigResult> results;
+    for (size_t c = 0; c < delays.size(); c++) {
+        // Trace the last config; its spans feed the modeled diff below.
+        const bool traced = c + 1 == delays.size();
+        obs::MetricsRegistry::Get().Reset();
+        obs::Tracer::Get().SetEnabled(traced);
+        obs::Tracer::Get().Clear();
+        ConfigResult result;
+        if (!RunConfig(model, snapshot, pool, delays[c], num_requests,
+                       result)) {
+            return 1;
+        }
+        std::printf("%12lld %10.0f %10.0f %10.0f %10.0f %10.1f\n",
+                    static_cast<long long>(result.max_delay_us),
+                    result.qps, result.p50_us, result.p95_us,
+                    result.p99_us, result.mean_batch);
+        results.push_back(result);
+    }
+    obs::Tracer::Get().SetEnabled(false);
+
+    // Measured-vs-modeled per-batch breakdown for the traced config.
+    const std::vector<obs::Span> spans = obs::Tracer::Get().Collect();
+    const obs::StepBreakdown measured =
+        obs::StepBreakdown::FromSpans(spans, /*rank=*/0, "serve_batch");
+    const ConfigResult& traced_cfg = results.back();
+
+    sim::WorkloadModel workload;
+    workload.name = "micro_serve";
+    workload.num_tables = static_cast<int>(model.tables.size());
+    workload.dim_avg = static_cast<double>(model.EmbeddingDim());
+    workload.avg_pooling =
+        static_cast<double>(model.tables.empty()
+                                ? 0
+                                : model.tables.front().pooling);
+    double flops = 0.0;
+    const auto bottom = model.BottomLayerSizes();
+    for (size_t l = 0; l + 1 < bottom.size(); l++) {
+        flops += 2.0 * bottom[l] * bottom[l + 1];
+    }
+    const auto top = model.TopLayerSizes();
+    for (size_t l = 0; l + 1 < top.size(); l++) {
+        flops += 2.0 * top[l] * top[l + 1];
+    }
+    workload.mflops_per_sample = flops / 1e6;
+    workload.num_mlp_layers = static_cast<int>(
+        bottom.size() + top.size() - 2);
+    workload.avg_mlp_size = static_cast<double>(model.EmbeddingDim());
+
+    sim::ServingSetup setup;
+    setup.num_gpus = kWorkers;
+    setup.batch = static_cast<int64_t>(
+        std::max(1.0, std::round(traced_cfg.mean_batch)));
+    const sim::ServingModel serving_model(workload, setup);
+    const sim::ServingBreakdown modeled = serving_model.Estimate();
+
+    std::printf("\n-- measured vs modeled serve_batch breakdown "
+                "(modeled: %d-GPU prototype, batch %lld) --\n",
+                setup.num_gpus, static_cast<long long>(setup.batch));
+    std::printf("%s\n", obs::StepBreakdown::DiffTable(
+                            measured, ModeledBreakdown(modeled))
+                            .c_str());
+    std::printf("modeled sustained QPS at that batch: %.0f\n",
+                modeled.qps);
+
+    if (!trace_out.empty()) {
+        if (!obs::Tracer::Get().WriteChromeJson(trace_out)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_out.c_str());
+    }
+
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_serve\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"workers\": %d,\n", kWorkers);
+    std::fprintf(f, "  \"requests\": %zu,\n", num_requests);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (size_t c = 0; c < results.size(); c++) {
+        const ConfigResult& r = results[c];
+        std::fprintf(f,
+                     "    {\"max_delay_us\": %lld, \"qps\": %.1f, "
+                     "\"p50_us\": %.1f, \"p95_us\": %.1f, "
+                     "\"p99_us\": %.1f, \"avg_batch\": %.2f}%s\n",
+                     static_cast<long long>(r.max_delay_us), r.qps,
+                     r.p50_us, r.p95_us, r.p99_us, r.mean_batch,
+                     c + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"measured_batch_seconds\": %.6f,\n",
+                 measured.step_seconds);
+    std::fprintf(f, "  \"modeled_batch_seconds\": %.6f,\n", modeled.total);
+    std::fprintf(f, "  \"modeled_qps\": %.1f\n", modeled.qps);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,6 +1,9 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 
 #include "common/logging.h"
@@ -35,6 +38,48 @@ ExportAllRowState(const ops::SparseOptimizer& opt, int64_t rows)
         opt.ExportRowState(r, state.data() + static_cast<size_t>(r) * sfpr);
     }
     return state;
+}
+
+/** Write `bytes` to `path` atomically (temp file + rename). */
+void
+WriteFileAtomic(const std::filesystem::path& path,
+                const std::vector<uint8_t>& bytes)
+{
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+        std::FILE* f = std::fopen(tmp.c_str(), "wb");
+        NEO_REQUIRE(f != nullptr, "cannot open for write: ", tmp.string());
+        const size_t written =
+            std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+        NEO_REQUIRE(written == bytes.size(), "short write to ",
+                    tmp.string());
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+std::vector<uint8_t>
+ReadFileBytes(const std::filesystem::path& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    NEO_REQUIRE(f != nullptr, "cannot open for read: ", path.string());
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    NEO_REQUIRE(read == bytes.size(), "short read from ", path.string());
+    return bytes;
+}
+
+/** Zero-padded delta file name, sortable by sequence. */
+std::string
+DeltaFileName(size_t seq)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "delta_%05zu.bin", seq);
+    return name;
 }
 
 }  // namespace
@@ -130,10 +175,32 @@ DeltaCheckpointer::Restore(const std::vector<uint8_t>& baseline,
 // CheckpointStore
 // ---------------------------------------------------------------------------
 
+CheckpointStore::CheckpointStore(std::string directory)
+    : dir_(std::move(directory))
+{
+    NEO_REQUIRE(!dir_.empty(), "empty checkpoint directory");
+    std::filesystem::create_directories(dir_);
+}
+
+std::string
+CheckpointStore::RankDir(int rank) const
+{
+    return (std::filesystem::path(dir_) / ("rank_" + std::to_string(rank)))
+        .string();
+}
+
 void
 CheckpointStore::PutBaseline(int rank, std::vector<uint8_t> bytes)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!dir_.empty()) {
+        // A new baseline supersedes the rank's whole chain on disk too.
+        const std::filesystem::path rank_dir(RankDir(rank));
+        std::filesystem::remove_all(rank_dir);
+        std::filesystem::create_directories(rank_dir);
+        WriteFileAtomic(rank_dir / "baseline.bin", bytes);
+        return;
+    }
     Entry& entry = entries_[rank];
     entry.baseline = std::move(bytes);
     entry.deltas.clear();
@@ -143,6 +210,17 @@ void
 CheckpointStore::AppendDelta(int rank, std::vector<uint8_t> bytes)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!dir_.empty()) {
+        const std::filesystem::path rank_dir(RankDir(rank));
+        NEO_REQUIRE(std::filesystem::exists(rank_dir / "baseline.bin"),
+                    "delta appended before any baseline for rank ", rank);
+        size_t seq = 0;
+        while (std::filesystem::exists(rank_dir / DeltaFileName(seq))) {
+            seq++;
+        }
+        WriteFileAtomic(rank_dir / DeltaFileName(seq), bytes);
+        return;
+    }
     const auto it = entries_.find(rank);
     NEO_REQUIRE(it != entries_.end(),
                 "delta appended before any baseline for rank ", rank);
@@ -153,6 +231,13 @@ std::vector<uint8_t>
 CheckpointStore::Baseline(int rank) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!dir_.empty()) {
+        const std::filesystem::path file =
+            std::filesystem::path(RankDir(rank)) / "baseline.bin";
+        NEO_REQUIRE(std::filesystem::exists(file),
+                    "no baseline stored for rank ", rank);
+        return ReadFileBytes(file);
+    }
     const auto it = entries_.find(rank);
     NEO_REQUIRE(it != entries_.end(), "no baseline stored for rank ", rank);
     return it->second.baseline;
@@ -162,6 +247,17 @@ std::vector<std::vector<uint8_t>>
 CheckpointStore::Deltas(int rank) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!dir_.empty()) {
+        const std::filesystem::path rank_dir(RankDir(rank));
+        NEO_REQUIRE(std::filesystem::exists(rank_dir / "baseline.bin"),
+                    "no checkpoint stored for rank ", rank);
+        std::vector<std::vector<uint8_t>> deltas;
+        for (size_t seq = 0;
+             std::filesystem::exists(rank_dir / DeltaFileName(seq)); seq++) {
+            deltas.push_back(ReadFileBytes(rank_dir / DeltaFileName(seq)));
+        }
+        return deltas;
+    }
     const auto it = entries_.find(rank);
     NEO_REQUIRE(it != entries_.end(), "no checkpoint stored for rank ", rank);
     return it->second.deltas;
@@ -172,6 +268,18 @@ CheckpointStore::Ranks() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<int> ranks;
+    if (!dir_.empty()) {
+        for (const auto& entry :
+             std::filesystem::directory_iterator(dir_)) {
+            const std::string name = entry.path().filename().string();
+            if (entry.is_directory() && name.rfind("rank_", 0) == 0 &&
+                std::filesystem::exists(entry.path() / "baseline.bin")) {
+                ranks.push_back(std::stoi(name.substr(5)));
+            }
+        }
+        std::sort(ranks.begin(), ranks.end());
+        return ranks;
+    }
     ranks.reserve(entries_.size());
     for (const auto& [rank, entry] : entries_) {
         ranks.push_back(rank);
@@ -184,6 +292,15 @@ CheckpointStore::TotalBytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     uint64_t total = 0;
+    if (!dir_.empty()) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(dir_)) {
+            if (entry.is_regular_file()) {
+                total += entry.file_size();
+            }
+        }
+        return total;
+    }
     for (const auto& [rank, entry] : entries_) {
         total += entry.baseline.size();
         for (const auto& delta : entry.deltas) {
@@ -389,27 +506,13 @@ DistributedCheckpointer::WriteDelta()
         .Add();
 }
 
-void
-DistributedCheckpointer::RestoreInto(const CheckpointStore& store,
-                                     DistributedDlrm& target)
+AssembledCheckpoint
+AssembledCheckpoint::FromStore(const CheckpointStore& store,
+                               const DlrmConfig& config)
 {
-    NEO_TRACE_SPAN("checkpoint_restore", "recovery");
-    const DlrmConfig& config = target.config_;
-
-    /** One fully-assembled logical table (baseline + deltas applied). */
-    struct LogicalTable {
-        ops::EmbeddingTable table;
-        std::vector<float> opt_state;
-        size_t sfpr;
-        LogicalTable(ops::EmbeddingTable t, size_t s)
-            : table(std::move(t)), sfpr(s)
-        {
-            opt_state.assign(
-                static_cast<size_t>(table.rows()) * sfpr, 0.0f);
-        }
-    };
-    std::map<int, LogicalTable> logical;
-    std::vector<uint8_t> dense_blob;
+    AssembledCheckpoint assembled;
+    std::map<int, LogicalTable>& logical = assembled.tables;
+    std::vector<uint8_t>& dense_blob = assembled.dense_blob;
     std::optional<uint64_t> final_epoch;
 
     auto read_entry = [&](BinaryReader& reader, bool is_delta) {
@@ -533,6 +636,22 @@ DistributedCheckpointer::RestoreInto(const CheckpointStore& store,
         final_epoch = epoch;
     }
     NEO_REQUIRE(final_epoch.has_value(), "checkpoint store is empty");
+    NEO_REQUIRE(!dense_blob.empty(),
+                "checkpoint has no dense (MLP) state — rank 0's stream is "
+                "missing or incomplete");
+    assembled.epoch = *final_epoch;
+    return assembled;
+}
+
+void
+DistributedCheckpointer::RestoreInto(const CheckpointStore& store,
+                                     DistributedDlrm& target)
+{
+    NEO_TRACE_SPAN("checkpoint_restore", "recovery");
+    const AssembledCheckpoint assembled =
+        AssembledCheckpoint::FromStore(store, target.config_);
+    const std::map<int, AssembledCheckpoint::LogicalTable>& logical =
+        assembled.tables;
 
     // Slice the logical tables onto the target's (possibly different)
     // sharding.
@@ -541,7 +660,7 @@ DistributedCheckpointer::RestoreInto(const CheckpointStore& store,
         const auto it = logical.find(shard.meta.table);
         NEO_REQUIRE(it != logical.end(), "checkpoint is missing table ",
                     shard.meta.table);
-        const LogicalTable& full = it->second;
+        const auto& full = it->second;
         NEO_REQUIRE(shard.meta.col_begin == 0 &&
                         shard.meta.col_end == full.table.dim(),
                     "elastic restore cannot fill column-wise target shards");
@@ -561,7 +680,7 @@ DistributedCheckpointer::RestoreInto(const CheckpointStore& store,
         const auto it = logical.find(dp.table);
         NEO_REQUIRE(it != logical.end(), "checkpoint is missing DP table ",
                     dp.table);
-        const LogicalTable& full = it->second;
+        const auto& full = it->second;
         dp.replica = full.table;
         if (full.sfpr > 0) {
             for (int64_t r = 0; r < dp.replica.rows(); r++) {
@@ -572,19 +691,16 @@ DistributedCheckpointer::RestoreInto(const CheckpointStore& store,
         }
     }
 
-    NEO_REQUIRE(!dense_blob.empty(),
-                "checkpoint has no dense (MLP) state — rank 0's stream is "
-                "missing or incomplete");
-    BinaryReader dense(dense_blob);
+    BinaryReader dense(assembled.dense_blob);
     target.bottom_->Load(dense);
     target.top_->Load(dense);
     target.dense_opt_.Load(dense);
 
     // Consistency check on the (possibly shrunken) target group: every
     // rank must have restored the same epoch.
-    float sum = static_cast<float>(*final_epoch);
+    float sum = static_cast<float>(assembled.epoch);
     target.pg_.AllReduceSum(&sum, 1);
-    NEO_REQUIRE(sum == static_cast<float>(*final_epoch) *
+    NEO_REQUIRE(sum == static_cast<float>(assembled.epoch) *
                            static_cast<float>(target.world_),
                 "restored epoch differs across target ranks");
     obs::MetricsRegistry::Get().GetCounter("neo.core.restores").Add();

@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/serialize.h"
+#include "core/dlrm_config.h"
 #include "ops/embedding_table.h"
 
 namespace neo::core {
@@ -67,14 +69,32 @@ class DeltaCheckpointer
 };
 
 /**
- * In-memory checkpoint destination shared by all ranks of a job: one
- * baseline plus an ordered delta chain per rank. Stands in for the
- * distributed blob store a production Check-N-Run deployment writes to;
- * thread-safe because rank threads write their streams concurrently.
+ * Checkpoint destination shared by all ranks of a job: one baseline plus
+ * an ordered delta chain per rank. Stands in for the distributed blob
+ * store a production Check-N-Run deployment writes to; thread-safe
+ * because rank threads write their streams concurrently.
+ *
+ * Two backends: default-constructed stores hold everything in memory;
+ * a store constructed with a directory spills every stream to disk
+ * (`<dir>/rank_<r>/baseline.bin`, `delta_00000.bin`, ...) and reads it
+ * back on demand, so published epochs survive the process — a fresh
+ * store opened on the same directory sees the previous job's streams.
+ * Files are written to a temp name and renamed, so readers (e.g. a
+ * serving process loading a snapshot) never observe a half-written
+ * stream.
  */
 class CheckpointStore
 {
   public:
+    /** In-memory store. */
+    CheckpointStore() = default;
+
+    /** Disk-backed store rooted at `directory` (created if missing). */
+    explicit CheckpointStore(std::string directory);
+
+    /** Spill directory, empty for in-memory stores. */
+    const std::string& directory() const { return dir_; }
+
     /** Replace `rank`'s baseline and discard its delta chain. */
     void PutBaseline(int rank, std::vector<uint8_t> bytes);
 
@@ -99,8 +119,51 @@ class CheckpointStore
         std::vector<std::vector<uint8_t>> deltas;
     };
 
+    std::string RankDir(int rank) const;
+
     mutable std::mutex mutex_;
     std::map<int, Entry> entries_;
+    std::string dir_;
+};
+
+/**
+ * The logical-model view of a checkpoint store: per-rank baseline +
+ * delta streams assembled into full tables (validated magics, shapes,
+ * row ranges, epoch continuity — restore never trusts checkpoint
+ * bytes). Non-collective, so a single serving rank can assemble a
+ * published checkpoint without a process group; both elastic restore
+ * (DistributedCheckpointer::RestoreInto) and snapshot building
+ * (serve::SnapshotFromStore) slice from this.
+ */
+struct AssembledCheckpoint {
+    /** One fully-assembled logical table (baseline + deltas applied). */
+    struct LogicalTable {
+        ops::EmbeddingTable table;
+        /** Sparse-optimizer row state, rows x sfpr. */
+        std::vector<float> opt_state;
+        size_t sfpr;
+        LogicalTable(ops::EmbeddingTable t, size_t s)
+            : table(std::move(t)), sfpr(s)
+        {
+            opt_state.assign(static_cast<size_t>(table.rows()) * s, 0.0f);
+        }
+    };
+
+    /** Table index -> assembled table. */
+    std::map<int, LogicalTable> tables;
+    /** Replicated dense state: bottom MLP + top MLP + dense optimizer. */
+    std::vector<uint8_t> dense_blob;
+    /** Consistency epoch every stream ended at. */
+    uint64_t epoch = 0;
+
+    /**
+     * Assemble the streams in `store` for a model shaped like `config`.
+     * Throws on corrupt/truncated/out-of-order streams, or if streams
+     * end at different epochs. Column-wise writer shards are rejected
+     * (row assembly only, as in elastic restore).
+     */
+    static AssembledCheckpoint FromStore(const CheckpointStore& store,
+                                         const DlrmConfig& config);
 };
 
 /**

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <map>
 #include <thread>
 
 #include "common/logging.h"
@@ -32,23 +31,6 @@ RetryBackoffDelay(const DistributedOptions& options, int attempt)
     return std::chrono::milliseconds(std::min(delay, cap));
 }
 
-namespace {
-
-/** Canonical shard order shared by every worker. */
-bool
-ShardLess(const sharding::Shard& a, const sharding::Shard& b)
-{
-    if (a.table != b.table) {
-        return a.table < b.table;
-    }
-    if (a.row_begin != b.row_begin) {
-        return a.row_begin < b.row_begin;
-    }
-    return a.col_begin < b.col_begin;
-}
-
-}  // namespace
-
 DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
                                  const sharding::ShardingPlan& plan,
                                  comm::ProcessGroup& pg,
@@ -74,7 +56,9 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
     top_slots_ = top_->RegisterParams(dense_opt_);
 
     BuildShards();
-    BuildRoutes();
+    router_.emplace(config_.tables, config_.EmbeddingDim(), plan_, pg_);
+    NEO_CHECK(router_->NumLocalShards() == shards_.size(),
+              "local shard bookkeeping mismatch");
     grad_buffer_.resize(bottom_->GradCount() + top_->GradCount());
 }
 
@@ -119,26 +103,6 @@ DistributedDlrm::BuildShards()
                      });
 }
 
-void
-DistributedDlrm::BuildRoutes()
-{
-    for (const auto& shard : plan_.shards) {
-        if (shard.scheme != sharding::Scheme::kDataParallel) {
-            NEO_REQUIRE(shard.worker >= 0 && shard.worker < world_,
-                        "plan was built for a different world size");
-            global_shards_.push_back(shard);
-        }
-    }
-    std::stable_sort(global_shards_.begin(), global_shards_.end(),
-                     ShardLess);
-    route_.assign(world_, {});
-    for (size_t gi = 0; gi < global_shards_.size(); gi++) {
-        route_[global_shards_[gi].worker].push_back(gi);
-    }
-    NEO_CHECK(route_[rank_].size() == shards_.size(),
-              "local shard bookkeeping mismatch");
-}
-
 DistributedDlrm::PreparedInput
 DistributedDlrm::PrepareInput(const data::Batch& local_batch)
 {
@@ -159,114 +123,8 @@ DistributedDlrm::PrepareInput(const data::Batch& local_batch)
     prepared.labels = local_batch.labels;
     prepared.local_sparse = local_batch.sparse;
     prepared.local_batch = local_batch.size();
-    const size_t b_local = prepared.local_batch;
-
-    // Bucketize row-sharded tables once (shared by all their shards).
-    // Key: table index -> (row splits, per-bucket jagged pieces).
-    std::map<int, data::Bucketized> bucketized;
-    std::map<int, std::vector<int64_t>> splits_of_table;
-    for (size_t gi = 0; gi < global_shards_.size(); gi++) {
-        const auto& shard = global_shards_[gi];
-        if (shard.scheme != sharding::Scheme::kRowWise &&
-            shard.scheme != sharding::Scheme::kTableRowWise) {
-            continue;
-        }
-        splits_of_table[shard.table].push_back(shard.row_begin);
-    }
-    for (auto& [table, splits] : splits_of_table) {
-        std::sort(splits.begin(), splits.end());
-        splits.push_back(config_.tables[table].rows);
-        const data::KeyedJagged one_table =
-            local_batch.sparse.SliceTable(static_cast<size_t>(table));
-        bucketized[table] = data::BucketizeRows(one_table, splits);
-    }
-    auto bucket_of = [&](const sharding::Shard& shard)
-        -> const data::KeyedJagged& {
-        const auto& splits = splits_of_table.at(shard.table);
-        const auto it = std::lower_bound(splits.begin(), splits.end() - 1,
-                                         shard.row_begin);
-        NEO_CHECK(*it == shard.row_begin, "shard split lookup failed");
-        const size_t k = static_cast<size_t>(it - splits.begin());
-        return bucketized.at(shard.table).buckets[k];
-    };
-
-    // Build per-destination payloads: for every shard the destination
-    // owns, its share of this worker's local batch.
-    std::vector<std::vector<uint32_t>> send_len(world_);
-    std::vector<std::vector<int64_t>> send_idx(world_);
-    for (int dst = 0; dst < world_; dst++) {
-        for (size_t gi : route_[dst]) {
-            const auto& shard = global_shards_[gi];
-            switch (shard.scheme) {
-              case sharding::Scheme::kTableWise:
-              case sharding::Scheme::kColumnWise: {
-                // Column shards receive duplicated input (Sec. 4.2.3).
-                const auto lens = local_batch.sparse.LengthsForTable(
-                    static_cast<size_t>(shard.table));
-                const auto idx = local_batch.sparse.IndicesForTable(
-                    static_cast<size_t>(shard.table));
-                send_len[dst].insert(send_len[dst].end(), lens.begin(),
-                                     lens.end());
-                send_idx[dst].insert(send_idx[dst].end(), idx.begin(),
-                                     idx.end());
-                break;
-              }
-              case sharding::Scheme::kRowWise:
-              case sharding::Scheme::kTableRowWise: {
-                const data::KeyedJagged& bucket = bucket_of(shard);
-                send_len[dst].insert(send_len[dst].end(),
-                                     bucket.lengths.begin(),
-                                     bucket.lengths.end());
-                send_idx[dst].insert(send_idx[dst].end(),
-                                     bucket.indices.begin(),
-                                     bucket.indices.end());
-                break;
-              }
-              case sharding::Scheme::kDataParallel:
-                NEO_PANIC("DP shard in route");
-            }
-        }
-    }
-
-    // Lengths AllToAll followed by indices AllToAll (Sec. 4.4: the indices
-    // payload size depends on the received lengths).
-    std::vector<std::vector<uint32_t>> recv_len;
-    std::vector<std::vector<int64_t>> recv_idx;
-    pg_.AllToAllLengths(send_len, recv_len);
-    pg_.AllToAllIndices(send_idx, recv_idx);
-
-    // Reassemble: arriving data is (source, shard, sample); concatenate to
-    // (shard, source, sample) — the permute step of Sec. 4.4.
-    prepared.shard_inputs.clear();
-    prepared.shard_inputs.reserve(shards_.size());
-    std::vector<size_t> len_cursor(world_, 0);
-    std::vector<size_t> idx_cursor(world_, 0);
-    for (size_t i = 0; i < shards_.size(); i++) {
-        std::vector<data::KeyedJagged> pieces;
-        pieces.reserve(world_);
-        for (int src = 0; src < world_; src++) {
-            data::KeyedJagged piece = data::KeyedJagged::Empty(1, b_local);
-            NEO_CHECK(len_cursor[src] + b_local <= recv_len[src].size(),
-                      "input-dist lengths underflow");
-            size_t total = 0;
-            for (size_t b = 0; b < b_local; b++) {
-                const uint32_t len = recv_len[src][len_cursor[src] + b];
-                piece.lengths[b] = len;
-                total += len;
-            }
-            len_cursor[src] += b_local;
-            NEO_CHECK(idx_cursor[src] + total <= recv_idx[src].size(),
-                      "input-dist indices underflow");
-            piece.indices.assign(
-                recv_idx[src].begin() + idx_cursor[src],
-                recv_idx[src].begin() + idx_cursor[src] + total);
-            idx_cursor[src] += total;
-            piece.RebuildOffsets();
-            pieces.push_back(std::move(piece));
-        }
-        prepared.shard_inputs.push_back(
-            data::ConcatBatches(pieces));
-    }
+    prepared.shard_inputs =
+        router_->RouteInput(local_batch.sparse, prepared.local_batch);
     return prepared;
 }
 
@@ -305,66 +163,8 @@ DistributedDlrm::ExchangePooled(const std::vector<Matrix>& shard_pooled,
                                 size_t local_batch,
                                 std::vector<Matrix>& pooled_out)
 {
-    const size_t d_full = config_.EmbeddingDim();
-
-    // Send each destination its local-batch slice of every local shard.
-    std::vector<std::vector<float>> send(world_);
-    for (int dst = 0; dst < world_; dst++) {
-        for (size_t i = 0; i < shards_.size(); i++) {
-            const Matrix& pooled = shard_pooled[i];
-            const size_t d = pooled.cols();
-            const size_t row0 = static_cast<size_t>(dst) * local_batch;
-            send[dst].insert(send[dst].end(), pooled.Row(row0),
-                             pooled.Row(row0) + local_batch * d);
-        }
-    }
-    std::vector<std::vector<float>> recv;
-    comm::QuantizedAllToAll(pg_, send, recv, options_.forward_alltoall);
-
-    // Assemble per-table pooled outputs for the local batch. Column shards
-    // land in their column range; row shards accumulate partial sums in
-    // canonical (source-major, shard-minor) order for determinism.
-    pooled_out.assign(config_.tables.size(), Matrix());
-    for (size_t t = 0; t < config_.tables.size(); t++) {
-        pooled_out[t] = Matrix(local_batch, d_full);
-    }
-    std::vector<size_t> cursor(world_, 0);
-    for (int src = 0; src < world_; src++) {
-        for (size_t gi : route_[src]) {
-            const auto& shard = global_shards_[gi];
-            const size_t d = static_cast<size_t>(shard.NumCols());
-            const float* payload = recv[src].data() + cursor[src];
-            cursor[src] += local_batch * d;
-            Matrix& out = pooled_out[shard.table];
-            switch (shard.scheme) {
-              case sharding::Scheme::kTableWise:
-                for (size_t b = 0; b < local_batch; b++) {
-                    std::memcpy(out.Row(b), payload + b * d,
-                                d * sizeof(float));
-                }
-                break;
-              case sharding::Scheme::kColumnWise:
-                for (size_t b = 0; b < local_batch; b++) {
-                    std::memcpy(out.Row(b) + shard.col_begin,
-                                payload + b * d, d * sizeof(float));
-                }
-                break;
-              case sharding::Scheme::kRowWise:
-              case sharding::Scheme::kTableRowWise:
-                // Partial pools: functionally the ReduceScatter of Fig. 8.
-                for (size_t b = 0; b < local_batch; b++) {
-                    float* dst_row = out.Row(b);
-                    const float* src_row = payload + b * d;
-                    for (size_t c = 0; c < d; c++) {
-                        dst_row[c] += src_row[c];
-                    }
-                }
-                break;
-              case sharding::Scheme::kDataParallel:
-                NEO_PANIC("DP shard in route");
-            }
-        }
-    }
+    router_->ExchangePooled(shard_pooled, local_batch,
+                            options_.forward_alltoall, pooled_out);
 }
 
 double
@@ -546,8 +346,8 @@ DistributedDlrm::ExchangeGradsAndUpdate(const PreparedInput& prepared,
     // TW/RW (partials used every column), the column range for CW.
     std::vector<std::vector<float>> send(world_);
     for (int dst = 0; dst < world_; dst++) {
-        for (size_t gi : route_[dst]) {
-            const auto& shard = global_shards_[gi];
+        for (size_t gi : router_->route(dst)) {
+            const auto& shard = router_->global_shards()[gi];
             const Matrix& g = grad_pooled[shard.table];
             if (shard.scheme == sharding::Scheme::kColumnWise) {
                 const size_t d = static_cast<size_t>(shard.NumCols());

@@ -26,6 +26,7 @@
 #include "comm/process_group.h"
 #include "comm/quantized.h"
 #include "core/dlrm_config.h"
+#include "core/shard_router.h"
 #include "data/dataset.h"
 #include "ops/mlp.h"
 #include "sharding/planner.h"
@@ -210,7 +211,6 @@ class DistributedDlrm
 
     // -- construction helpers --
     void BuildShards();
-    void BuildRoutes();
 
     // -- step phases --
     void ForwardEmbeddings(const PreparedInput& prepared,
@@ -244,13 +244,9 @@ class DistributedDlrm
     /** Table index -> DP slot (or -1). */
     std::vector<int> dp_slot_of_table_;
 
-    /**
-     * Canonical global shard list (non-DP), identical on every worker:
-     * plan order filtered and sorted by (table, row_begin, col_begin).
-     */
-    std::vector<sharding::Shard> global_shards_;
-    /** global_shards_ indices owned by worker w. */
-    std::vector<std::vector<size_t>> route_;
+    /** Forward routing tables derived from the plan (see ShardRouter);
+     *  shared implementation with the serving engine. */
+    std::optional<ShardRouter> router_;
 
     /** Scratch: flat MLP gradient buffer for the AllReduce. */
     std::vector<float> grad_buffer_;

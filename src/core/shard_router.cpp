@@ -1,0 +1,245 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "comm/quantized.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace neo::core {
+
+bool
+ShardLess(const sharding::Shard& a, const sharding::Shard& b)
+{
+    if (a.table != b.table) {
+        return a.table < b.table;
+    }
+    if (a.row_begin != b.row_begin) {
+        return a.row_begin < b.row_begin;
+    }
+    return a.col_begin < b.col_begin;
+}
+
+ShardRouter::ShardRouter(std::vector<sharding::TableConfig> tables,
+                         size_t full_dim,
+                         const sharding::ShardingPlan& plan,
+                         comm::ProcessGroup& pg)
+    : tables_(std::move(tables)), full_dim_(full_dim), pg_(pg),
+      rank_(static_cast<size_t>(pg.Rank())), world_(pg.Size())
+{
+    for (const auto& shard : plan.shards) {
+        if (shard.scheme != sharding::Scheme::kDataParallel) {
+            NEO_REQUIRE(shard.worker >= 0 && shard.worker < world_,
+                        "plan was built for a different world size");
+            NEO_REQUIRE(shard.table >= 0 &&
+                            shard.table <
+                                static_cast<int>(tables_.size()),
+                        "plan references unknown table ", shard.table);
+            global_shards_.push_back(shard);
+        }
+    }
+    std::stable_sort(global_shards_.begin(), global_shards_.end(),
+                     ShardLess);
+    route_.assign(static_cast<size_t>(world_), {});
+    for (size_t gi = 0; gi < global_shards_.size(); gi++) {
+        route_[static_cast<size_t>(global_shards_[gi].worker)].push_back(
+            gi);
+    }
+}
+
+std::vector<data::KeyedJagged>
+ShardRouter::RouteInput(const data::KeyedJagged& local_sparse,
+                        size_t b_local) const
+{
+    // Bucketize/route time books as "data"; the nested lengths/indices
+    // AllToAlls carve their own time into the alltoall bucket.
+    NEO_TRACE_SPAN("route_input", "data");
+    NEO_REQUIRE(local_sparse.num_tables == tables_.size(),
+                "input has ", local_sparse.num_tables,
+                " sparse features but the model has ", tables_.size());
+    NEO_REQUIRE(local_sparse.batch == b_local,
+                "input batch disagrees with b_local");
+
+    // Bucketize row-sharded tables once (shared by all their shards).
+    // Key: table index -> (row splits, per-bucket jagged pieces).
+    std::map<int, data::Bucketized> bucketized;
+    std::map<int, std::vector<int64_t>> splits_of_table;
+    for (const auto& shard : global_shards_) {
+        if (shard.scheme != sharding::Scheme::kRowWise &&
+            shard.scheme != sharding::Scheme::kTableRowWise) {
+            continue;
+        }
+        splits_of_table[shard.table].push_back(shard.row_begin);
+    }
+    for (auto& [table, splits] : splits_of_table) {
+        std::sort(splits.begin(), splits.end());
+        splits.push_back(tables_[static_cast<size_t>(table)].rows);
+        const data::KeyedJagged one_table =
+            local_sparse.SliceTable(static_cast<size_t>(table));
+        bucketized[table] = data::BucketizeRows(one_table, splits);
+    }
+    auto bucket_of = [&](const sharding::Shard& shard)
+        -> const data::KeyedJagged& {
+        const auto& splits = splits_of_table.at(shard.table);
+        const auto it = std::lower_bound(splits.begin(), splits.end() - 1,
+                                         shard.row_begin);
+        NEO_CHECK(*it == shard.row_begin, "shard split lookup failed");
+        const size_t k = static_cast<size_t>(it - splits.begin());
+        return bucketized.at(shard.table).buckets[k];
+    };
+
+    // Build per-destination payloads: for every shard the destination
+    // owns, its share of this worker's local batch.
+    std::vector<std::vector<uint32_t>> send_len(
+        static_cast<size_t>(world_));
+    std::vector<std::vector<int64_t>> send_idx(
+        static_cast<size_t>(world_));
+    for (int dst = 0; dst < world_; dst++) {
+        auto& len = send_len[static_cast<size_t>(dst)];
+        auto& idx = send_idx[static_cast<size_t>(dst)];
+        for (size_t gi : route_[static_cast<size_t>(dst)]) {
+            const auto& shard = global_shards_[gi];
+            switch (shard.scheme) {
+              case sharding::Scheme::kTableWise:
+              case sharding::Scheme::kColumnWise: {
+                // Column shards receive duplicated input (Sec. 4.2.3).
+                const auto lens = local_sparse.LengthsForTable(
+                    static_cast<size_t>(shard.table));
+                const auto ids = local_sparse.IndicesForTable(
+                    static_cast<size_t>(shard.table));
+                len.insert(len.end(), lens.begin(), lens.end());
+                idx.insert(idx.end(), ids.begin(), ids.end());
+                break;
+              }
+              case sharding::Scheme::kRowWise:
+              case sharding::Scheme::kTableRowWise: {
+                const data::KeyedJagged& bucket = bucket_of(shard);
+                len.insert(len.end(), bucket.lengths.begin(),
+                           bucket.lengths.end());
+                idx.insert(idx.end(), bucket.indices.begin(),
+                           bucket.indices.end());
+                break;
+              }
+              case sharding::Scheme::kDataParallel:
+                NEO_PANIC("DP shard in route");
+            }
+        }
+    }
+
+    // Lengths AllToAll followed by indices AllToAll (Sec. 4.4: the indices
+    // payload size depends on the received lengths).
+    std::vector<std::vector<uint32_t>> recv_len;
+    std::vector<std::vector<int64_t>> recv_idx;
+    pg_.AllToAllLengths(send_len, recv_len);
+    pg_.AllToAllIndices(send_idx, recv_idx);
+
+    // Reassemble: arriving data is (source, shard, sample); concatenate to
+    // (shard, source, sample) — the permute step of Sec. 4.4.
+    const size_t num_local = route_[rank_].size();
+    std::vector<data::KeyedJagged> shard_inputs;
+    shard_inputs.reserve(num_local);
+    std::vector<size_t> len_cursor(static_cast<size_t>(world_), 0);
+    std::vector<size_t> idx_cursor(static_cast<size_t>(world_), 0);
+    for (size_t i = 0; i < num_local; i++) {
+        std::vector<data::KeyedJagged> pieces;
+        pieces.reserve(static_cast<size_t>(world_));
+        for (int src = 0; src < world_; src++) {
+            const size_t s = static_cast<size_t>(src);
+            data::KeyedJagged piece = data::KeyedJagged::Empty(1, b_local);
+            NEO_CHECK(len_cursor[s] + b_local <= recv_len[s].size(),
+                      "input-dist lengths underflow");
+            size_t total = 0;
+            for (size_t b = 0; b < b_local; b++) {
+                const uint32_t len = recv_len[s][len_cursor[s] + b];
+                piece.lengths[b] = len;
+                total += len;
+            }
+            len_cursor[s] += b_local;
+            NEO_CHECK(idx_cursor[s] + total <= recv_idx[s].size(),
+                      "input-dist indices underflow");
+            piece.indices.assign(
+                recv_idx[s].begin() +
+                    static_cast<std::ptrdiff_t>(idx_cursor[s]),
+                recv_idx[s].begin() +
+                    static_cast<std::ptrdiff_t>(idx_cursor[s] + total));
+            idx_cursor[s] += total;
+            piece.RebuildOffsets();
+            pieces.push_back(std::move(piece));
+        }
+        shard_inputs.push_back(data::ConcatBatches(pieces));
+    }
+    return shard_inputs;
+}
+
+void
+ShardRouter::ExchangePooled(const std::vector<Matrix>& shard_pooled,
+                            size_t b_local, Precision wire,
+                            std::vector<Matrix>& pooled_out) const
+{
+    NEO_REQUIRE(shard_pooled.size() == route_[rank_].size(),
+                "one pooled matrix per local shard expected");
+
+    // Send each destination its local-batch slice of every local shard.
+    std::vector<std::vector<float>> send(static_cast<size_t>(world_));
+    for (int dst = 0; dst < world_; dst++) {
+        auto& payload = send[static_cast<size_t>(dst)];
+        for (const Matrix& pooled : shard_pooled) {
+            const size_t d = pooled.cols();
+            const size_t row0 = static_cast<size_t>(dst) * b_local;
+            payload.insert(payload.end(), pooled.Row(row0),
+                           pooled.Row(row0) + b_local * d);
+        }
+    }
+    std::vector<std::vector<float>> recv;
+    comm::QuantizedAllToAll(pg_, send, recv, wire);
+
+    // Assemble per-table pooled outputs for the local batch. Column shards
+    // land in their column range; row shards accumulate partial sums in
+    // canonical (source-major, shard-minor) order for determinism.
+    pooled_out.assign(tables_.size(), Matrix());
+    for (size_t t = 0; t < tables_.size(); t++) {
+        pooled_out[t] = Matrix(b_local, full_dim_);
+    }
+    std::vector<size_t> cursor(static_cast<size_t>(world_), 0);
+    for (int src = 0; src < world_; src++) {
+        const size_t s = static_cast<size_t>(src);
+        for (size_t gi : route_[s]) {
+            const auto& shard = global_shards_[gi];
+            const size_t d = static_cast<size_t>(shard.NumCols());
+            const float* payload = recv[s].data() + cursor[s];
+            cursor[s] += b_local * d;
+            Matrix& out = pooled_out[static_cast<size_t>(shard.table)];
+            switch (shard.scheme) {
+              case sharding::Scheme::kTableWise:
+                for (size_t b = 0; b < b_local; b++) {
+                    std::memcpy(out.Row(b), payload + b * d,
+                                d * sizeof(float));
+                }
+                break;
+              case sharding::Scheme::kColumnWise:
+                for (size_t b = 0; b < b_local; b++) {
+                    std::memcpy(out.Row(b) + shard.col_begin,
+                                payload + b * d, d * sizeof(float));
+                }
+                break;
+              case sharding::Scheme::kRowWise:
+              case sharding::Scheme::kTableRowWise:
+                // Partial pools: functionally the ReduceScatter of Fig. 8.
+                for (size_t b = 0; b < b_local; b++) {
+                    float* dst_row = out.Row(b);
+                    const float* src_row = payload + b * d;
+                    for (size_t c = 0; c < d; c++) {
+                        dst_row[c] += src_row[c];
+                    }
+                }
+                break;
+              case sharding::Scheme::kDataParallel:
+                NEO_PANIC("DP shard in route");
+            }
+        }
+    }
+}
+
+}  // namespace neo::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Routing of sparse inputs and pooled embeddings between workers under a
+ * sharding plan — the forward half of the hybrid-parallel data flow
+ * (Sec. 4.2 / Fig. 8), factored out of the trainer so forward-only
+ * consumers (inference serving, evaluation) reuse the exact same
+ * collective schedule and assembly order. Keeping one implementation is
+ * what makes served scores bitwise identical to the trainer's Predict().
+ *
+ * The router is stateless per call: it owns only the canonical shard
+ * list and the per-worker routing table derived from a plan. Both are
+ * identical on every rank by construction (plan order filtered and
+ * sorted by (table, row_begin, col_begin)), which is the determinism
+ * contract all AllToAll reassembly depends on.
+ */
+#pragma once
+
+#include <vector>
+
+#include "comm/process_group.h"
+#include "common/float_types.h"
+#include "data/jagged.h"
+#include "sharding/planner.h"
+#include "tensor/matrix.h"
+
+namespace neo::core {
+
+/** Canonical shard order shared by every worker. */
+bool ShardLess(const sharding::Shard& a, const sharding::Shard& b);
+
+/** Per-plan routing of sparse inputs and pooled outputs (one per rank). */
+class ShardRouter
+{
+  public:
+    /**
+     * Build the routing tables for `pg.Rank()`'s view of `plan`. Must be
+     * constructed by every rank of `pg` with identical tables/plan.
+     *
+     * @param tables The model's logical table configs (row counts drive
+     *   row-wise bucketization).
+     * @param full_dim The interaction embedding dimension d (pooled
+     *   output width).
+     * @param plan Sharding plan; data-parallel shards are excluded from
+     *   routing (their lookups never leave the local rank).
+     * @param pg This rank's communicator (not owned; must outlive this).
+     */
+    ShardRouter(std::vector<sharding::TableConfig> tables, size_t full_dim,
+                const sharding::ShardingPlan& plan, comm::ProcessGroup& pg);
+
+    /** Canonical global shard list (non-DP), identical on every worker. */
+    const std::vector<sharding::Shard>& global_shards() const
+    {
+        return global_shards_;
+    }
+
+    /** global_shards() indices owned by worker `w`. */
+    const std::vector<size_t>& route(int w) const
+    {
+        return route_[static_cast<size_t>(w)];
+    }
+
+    /** Shards owned by this rank, in canonical order. */
+    size_t NumLocalShards() const { return route_[rank_].size(); }
+
+    /** Meta of this rank's i-th local shard (canonical order). */
+    const sharding::Shard& LocalShardMeta(size_t i) const
+    {
+        return global_shards_[route_[rank_][i]];
+    }
+
+    /**
+     * Input-distribution phase (collective; every rank must call):
+     * redistribute this rank's `local_sparse` slice of the global batch
+     * to shard owners. Row-wise shards receive bucketized, rebased
+     * indices; table/column-wise shards receive the full (duplicated)
+     * table input. Returns one global-batch KeyedJagged per local shard,
+     * in canonical order — sample b of source rank s lands at global row
+     * s * b_local + b.
+     */
+    std::vector<data::KeyedJagged> RouteInput(
+        const data::KeyedJagged& local_sparse, size_t b_local) const;
+
+    /**
+     * Pooled-embedding exchange (collective): send each source rank its
+     * local-batch slice of every locally-pooled shard, reassemble the
+     * received slices into per-table pooled matrices (b_local x
+     * full_dim). Column shards land in their column range; row shards
+     * accumulate partial pools in canonical (source-major, shard-minor)
+     * order for determinism.
+     *
+     * @param shard_pooled One (b_global x shard_cols) matrix per local
+     *   shard, canonical order.
+     * @param wire AllToAll wire precision (kFp16/kBf16 quantize).
+     * @param pooled_out Filled with one (b_local x full_dim) matrix per
+     *   logical table (DP tables left zero for the caller to pool).
+     */
+    void ExchangePooled(const std::vector<Matrix>& shard_pooled,
+                        size_t b_local, Precision wire,
+                        std::vector<Matrix>& pooled_out) const;
+
+  private:
+    std::vector<sharding::TableConfig> tables_;
+    size_t full_dim_;
+    comm::ProcessGroup& pg_;
+    size_t rank_;
+    int world_;
+    std::vector<sharding::Shard> global_shards_;
+    std::vector<std::vector<size_t>> route_;
+};
+
+}  // namespace neo::core

@@ -1,0 +1,123 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace neo::serve {
+
+bool
+Batcher::Push(Pending pending)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) {
+            return false;
+        }
+        queue_.push_back(std::move(pending));
+    }
+    cv_.notify_all();
+    return true;
+}
+
+size_t
+Batcher::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+Batcher::Stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopped_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+Batcher::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+bool
+Batcher::NextBatch(std::vector<Pending>& out,
+                   std::chrono::milliseconds max_wait)
+{
+    using Clock = std::chrono::steady_clock;
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    const Clock::time_point overall = Clock::now() + max_wait;
+    for (;;) {
+        if (stopped_) {
+            if (queue_.empty()) {
+                return false;
+            }
+            break;  // drain whatever is left, batch by batch
+        }
+        if (queue_.size() >= options_.max_batch) {
+            break;
+        }
+        Clock::time_point deadline = overall;
+        if (!queue_.empty()) {
+            const Clock::time_point flush_at =
+                queue_.front().enqueue +
+                std::chrono::microseconds(options_.max_delay_us);
+            if (Clock::now() >= flush_at) {
+                break;
+            }
+            deadline = std::min(deadline, flush_at);
+        }
+        if (Clock::now() >= overall) {
+            // Out of wait budget: hand control back even if requests are
+            // queued but not yet flushable — the caller heartbeats and
+            // calls again.
+            return false;
+        }
+        cv_.wait_until(lock, deadline);
+    }
+    const size_t n = std::min(queue_.size(), options_.max_batch);
+    out.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    return true;
+}
+
+void
+Batcher::Merge(const std::vector<Pending>& batch, size_t pad,
+               size_t num_dense, size_t num_tables, Matrix& dense,
+               data::KeyedJagged& sparse)
+{
+    const size_t n = batch.size() + pad;
+    NEO_REQUIRE(!batch.empty(), "cannot merge an empty batch");
+    dense = Matrix(n, num_dense);
+    std::vector<data::KeyedJagged> pieces;
+    pieces.reserve(n);
+    for (size_t i = 0; i < batch.size(); i++) {
+        const Request& req = batch[i].request;
+        NEO_REQUIRE(req.dense.size() == num_dense,
+                    "request ", req.id, " has ", req.dense.size(),
+                    " dense features, model expects ", num_dense);
+        NEO_REQUIRE(req.sparse.batch == 1 &&
+                        req.sparse.num_tables == num_tables,
+                    "request ", req.id,
+                    " sparse input must be a 1-sample batch with ",
+                    num_tables, " tables");
+        std::memcpy(dense.Row(i), req.dense.data(),
+                    num_dense * sizeof(float));
+        pieces.push_back(req.sparse);
+    }
+    for (size_t i = 0; i < pad; i++) {
+        pieces.push_back(data::KeyedJagged::Empty(num_tables, 1));
+    }
+    sparse = data::ConcatBatches(pieces);
+}
+
+}  // namespace neo::serve

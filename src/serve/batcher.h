@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dynamic micro-batching for inference requests. Single requests arrive
+ * as one-sample jagged inputs; embedding lookups and GEMMs only earn
+ * their throughput at batch granularity, so the batcher coalesces
+ * requests and flushes when either `max_batch` requests are waiting or
+ * the oldest has waited `max_delay_us` — the classic latency/throughput
+ * knob serving deployments sweep (Table 4 is measured in QPS at a
+ * latency budget). Per-sample scores are bitwise independent of batch
+ * composition (fixed plan), so batching never changes an answer, only
+ * when it arrives.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "data/jagged.h"
+#include "tensor/matrix.h"
+
+namespace neo::serve {
+
+/** One inference request: a single sample. */
+struct Request {
+    uint64_t id = 0;
+    /** Dense features, length num_dense. */
+    std::vector<float> dense;
+    /** Sparse features: a batch-1 KeyedJagged with num_tables tables. */
+    data::KeyedJagged sparse;
+};
+
+/** The answer to one request. */
+struct Response {
+    uint64_t id = 0;
+    /** Predicted CTR, sigmoid(logit). */
+    float score = 0.0f;
+    /** Snapshot version that scored this request. */
+    uint64_t snapshot_version = 0;
+    /** Time spent queued before batch dispatch. */
+    double queue_seconds = 0.0;
+    /** Submit-to-completion latency. */
+    double total_seconds = 0.0;
+};
+
+struct BatcherOptions {
+    /** Flush when this many requests are waiting. */
+    size_t max_batch = 32;
+    /** Flush when the oldest waiting request is this old. */
+    int64_t max_delay_us = 1000;
+};
+
+/** A queued request plus its completion promise (move-only). */
+struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueue;
+};
+
+/**
+ * Thread-safe request queue with size/age flush triggers. Producers
+ * Push; one consumer (the dispatch rank) pops batches via NextBatch.
+ * Stop() drains: already-queued requests still come out of NextBatch
+ * (zero-drop), only new Pushes are refused.
+ */
+class Batcher
+{
+  public:
+    explicit Batcher(const BatcherOptions& options) : options_(options) {}
+
+    /** Enqueue; false (request untouched) if the batcher is stopped. */
+    bool Push(Pending pending);
+
+    /** Requests currently waiting. */
+    size_t size() const;
+
+    /** Refuse new requests; queued ones still drain through NextBatch. */
+    void Stop();
+
+    bool stopped() const;
+
+    /**
+     * Pop the next micro-batch (up to max_batch requests, oldest first).
+     * Blocks until a flush trigger fires, but at most `max_wait` — on
+     * timeout returns false with `out` empty, letting the caller run its
+     * idle work (collective heartbeats) and call again. After Stop(),
+     * drains remaining requests batch by batch, then returns false.
+     */
+    bool NextBatch(std::vector<Pending>& out,
+                   std::chrono::milliseconds max_wait);
+
+    const BatcherOptions& options() const { return options_; }
+
+    /**
+     * Merge a popped batch (plus `pad` trailing zero samples, used to
+     * round the batch up to a multiple of the world size) into the
+     * combined-batch format the forward path consumes: an
+     * (n + pad) x num_dense dense matrix and one KeyedJagged over all
+     * samples. Padding is benign: per-sample forward independence means
+     * pad rows change no real sample's score.
+     */
+    static void Merge(const std::vector<Pending>& batch, size_t pad,
+                      size_t num_dense, size_t num_tables, Matrix& dense,
+                      data::KeyedJagged& sparse);
+
+  private:
+    BatcherOptions options_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Pending> queue_;
+    bool stopped_ = false;
+};
+
+}  // namespace neo::serve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Forward-only sharded inference over a frozen snapshot. One engine per
+ * rank; Forward is collective (mirrors the trainer's hybrid-parallel
+ * data flow through the shared ShardRouter — input AllToAll, local
+ * pooled lookup, pooled AllToAll, interaction, top MLP — then an
+ * AllGather so every rank holds the full batch's logits). No optimizer
+ * state exists and no parameter is ever written: snapshot tables are
+ * read via const row accessors, so all ranks share them race-free.
+ *
+ * Tables whose shard exceeds `ddr_threshold_bytes` are served through
+ * the tiered cache path (cache::TieredEmbeddingBag over a
+ * CachedEmbeddingStore copy) — the DDR-resident serving story of
+ * Sec. 4.1.3 — which is bitwise identical to direct lookup because the
+ * cache is lossless.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/tiered_embedding_bag.h"
+#include "comm/process_group.h"
+#include "core/shard_router.h"
+#include "ops/mlp.h"
+#include "serve/snapshot.h"
+#include "tensor/interaction.h"
+
+namespace neo::serve {
+
+struct EngineOptions {
+    /** Wire precision of the pooled-embedding AllToAll. */
+    Precision forward_alltoall = Precision::kFp32;
+    /**
+     * Shards at least this many parameter bytes serve through the
+     * HBM-cache-over-DDR tiered path instead of direct reads. 0 (the
+     * default) disables tiering.
+     */
+    size_t ddr_threshold_bytes = 0;
+    /** Cache geometry for tiered shards. */
+    cache::CacheConfig cache;
+    /** Modeled HBM capacity/bandwidth for tier accounting. */
+    double hbm_capacity_bytes = 32e6;
+    double hbm_bandwidth = 850e9;
+    /** Modeled DDR-over-PCIe capacity/bandwidth for tier accounting. */
+    double ddr_capacity_bytes = 1e9;
+    double ddr_bandwidth = 16e9;
+};
+
+/** Per-rank forward-only executor. */
+class InferenceEngine
+{
+  public:
+    /** @param pg This rank's communicator (not owned; must outlive). */
+    InferenceEngine(const EngineOptions& options, comm::ProcessGroup& pg);
+
+    /**
+     * Score a dispatched batch (collective; every rank passes the SAME
+     * snapshot and global batch). The global batch size must be a
+     * multiple of the world size; each rank computes its b_local slice
+     * and the final AllGather leaves all b_global logits in
+     * `logits_out` on every rank, rank-0 sample order preserved.
+     */
+    void Forward(const std::shared_ptr<const ModelSnapshot>& snapshot,
+                 const Matrix& global_dense,
+                 const data::KeyedJagged& global_sparse,
+                 std::vector<float>& logits_out);
+
+    /** Aggregate tiered-cache hit rate across local shards ([0,1];
+     *  0 when no shard is tiered). */
+    double CacheHitRate() const;
+
+  private:
+    /** Tiered serving state for one DDR-resident shard. Heap-pinned:
+     *  the store holds pointers to the tiers. */
+    struct Tiered {
+        cache::MemoryTier hbm;
+        cache::MemoryTier ddr;
+        cache::CachedRowStore rows;
+        cache::TieredEmbeddingBag bag;
+        Tiered(const EngineOptions& options,
+               const ops::EmbeddingTable& table);
+    };
+
+    /** Everything derived from one snapshot version. Rebuilt on version
+     *  change (one-slot cache: versions are monotonic and batches use
+     *  one snapshot each, so LRU depth 1 suffices). */
+    struct VersionState {
+        std::shared_ptr<const ModelSnapshot> snapshot;
+        std::unique_ptr<ops::Mlp> bottom;
+        std::unique_ptr<ops::Mlp> top;
+        std::unique_ptr<DotInteraction> interaction;
+        std::unique_ptr<core::ShardRouter> router;
+        /** This rank's shards (canonical order, == router local order). */
+        std::vector<const ModelSnapshot::ShardData*> local_shards;
+        /** Parallel to local_shards; null => direct const lookup. */
+        std::vector<std::unique_ptr<Tiered>> tiered;
+    };
+
+    void BuildState(const std::shared_ptr<const ModelSnapshot>& snapshot);
+
+    EngineOptions options_;
+    comm::ProcessGroup& pg_;
+    int rank_;
+    int world_;
+    std::unique_ptr<VersionState> state_;
+};
+
+}  // namespace neo::serve

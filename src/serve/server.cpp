@@ -1,0 +1,214 @@
+#include "serve/server.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace neo::serve {
+
+Server::Server(size_t num_dense, size_t num_tables,
+               const ServerOptions& options)
+    : num_dense_(num_dense),
+      num_tables_(num_tables),
+      options_(options),
+      batcher_(options.batcher)
+{
+    NEO_REQUIRE(options_.max_queue > 0, "max_queue must be positive");
+    if (options_.resume_queue == 0) {
+        options_.resume_queue = options_.max_queue / 2;
+    }
+    NEO_REQUIRE(options_.resume_queue < options_.max_queue,
+                "resume_queue must be below max_queue for hysteresis");
+}
+
+Ticket
+Server::Submit(Request request)
+{
+    auto& metrics = obs::MetricsRegistry::Get();
+    Ticket ticket;
+    if (batcher_.stopped()) {
+        ticket.admission = Admission::kShedStopped;
+        metrics.GetCounter("neo.serve.shed_stopped").Add();
+        return ticket;
+    }
+
+    const size_t depth = batcher_.size();
+    metrics.GetGauge("neo.serve.queue_depth")
+        .Set(static_cast<double>(depth));
+    if (shedding_.load()) {
+        if (depth <= options_.resume_queue) {
+            shedding_.store(false);
+        } else {
+            ticket.admission = shed_reason_.load();
+            metrics
+                .GetCounter(ticket.admission == Admission::kShedSlo
+                                ? "neo.serve.shed_slo"
+                                : "neo.serve.shed_queue")
+                .Add();
+            return ticket;
+        }
+    }
+    if (depth >= options_.max_queue) {
+        shedding_.store(true);
+        shed_reason_.store(Admission::kShedQueueFull);
+        ticket.admission = Admission::kShedQueueFull;
+        metrics.GetCounter("neo.serve.shed_queue").Add();
+        return ticket;
+    }
+    if (options_.slo_budget_us > 0) {
+        const double ewma = ewma_batch_seconds_.load();
+        const double batches_ahead = static_cast<double>(
+            depth / options_.batcher.max_batch + 1);
+        const double wait_estimate_us = batches_ahead * ewma * 1e6;
+        if (ewma > 0.0 &&
+            wait_estimate_us > static_cast<double>(options_.slo_budget_us)) {
+            shedding_.store(true);
+            shed_reason_.store(Admission::kShedSlo);
+            ticket.admission = Admission::kShedSlo;
+            metrics.GetCounter("neo.serve.shed_slo").Add();
+            return ticket;
+        }
+    }
+
+    Pending pending;
+    pending.request = std::move(request);
+    pending.enqueue = std::chrono::steady_clock::now();
+    ticket.response = pending.promise.get_future();
+    if (!batcher_.Push(std::move(pending))) {
+        // Stopped between the check above and the push; the pending (and
+        // its promise) died unfulfilled, so reset the future too.
+        ticket = Ticket{};
+        ticket.admission = Admission::kShedStopped;
+        metrics.GetCounter("neo.serve.shed_stopped").Add();
+        return ticket;
+    }
+    ticket.admission = Admission::kAccepted;
+    metrics.GetCounter("neo.serve.admitted").Add();
+    return ticket;
+}
+
+void
+Server::Publish(std::shared_ptr<const ModelSnapshot> snapshot)
+{
+    registry_.Publish(std::move(snapshot));
+}
+
+void
+Server::Stop()
+{
+    batcher_.Stop();
+}
+
+void
+Server::CompleteBatch(std::vector<Pending>& batch,
+                      const std::vector<float>& logits,
+                      std::chrono::steady_clock::time_point dispatched,
+                      double batch_seconds)
+{
+    auto& metrics = obs::MetricsRegistry::Get();
+    const auto now = std::chrono::steady_clock::now();
+    const uint64_t version = slot_.snapshot->version;
+    // EWMA of batch wall time feeds the SLO wait estimate. Seeded with
+    // the first sample so admission reacts from batch one; stored BEFORE
+    // the promises resolve so a client that has its response is
+    // guaranteed the estimate is armed.
+    const double prev = ewma_batch_seconds_.load();
+    ewma_batch_seconds_.store(prev == 0.0
+                                  ? batch_seconds
+                                  : 0.8 * prev + 0.2 * batch_seconds);
+    for (size_t i = 0; i < batch.size(); i++) {
+        Response response;
+        response.id = batch[i].request.id;
+        response.score =
+            1.0f / (1.0f + std::exp(-logits[i]));
+        response.snapshot_version = version;
+        response.queue_seconds =
+            std::chrono::duration<double>(dispatched - batch[i].enqueue)
+                .count();
+        response.total_seconds =
+            std::chrono::duration<double>(now - batch[i].enqueue).count();
+        metrics.GetHistogram("neo.serve.request_seconds")
+            .Observe(response.total_seconds);
+        batch[i].promise.set_value(std::move(response));
+    }
+    metrics.GetCounter("neo.serve.batches").Add();
+    metrics.GetHistogram("neo.serve.batch_seconds").Observe(batch_seconds);
+    metrics.GetHistogram("neo.serve.batch_size")
+        .Observe(static_cast<double>(batch.size()));
+}
+
+void
+Server::RankLoop(int rank, comm::ProcessGroup& pg)
+{
+    InferenceEngine engine(options_.engine, pg);
+    const size_t world = static_cast<size_t>(pg.Size());
+    std::vector<Pending> staged;
+    std::vector<float> logits;
+
+    for (;;) {
+        float cmd = kCmdNoop;
+        std::chrono::steady_clock::time_point dispatched;
+        if (rank == 0) {
+            if (staged.empty()) {
+                batcher_.NextBatch(staged, options_.heartbeat);
+            }
+            auto snapshot = registry_.Current();
+            if (!staged.empty() && snapshot) {
+                cmd = kCmdServe;
+                dispatched = std::chrono::steady_clock::now();
+                slot_.snapshot = std::move(snapshot);
+                slot_.pad = (world - staged.size() % world) % world;
+                Batcher::Merge(staged, slot_.pad, num_dense_, num_tables_,
+                               slot_.dense, slot_.sparse);
+            } else if (batcher_.stopped() && batcher_.size() == 0) {
+                if (!staged.empty()) {
+                    // Stopped before any snapshot was published: there is
+                    // no model to answer with — fail the stragglers
+                    // explicitly rather than hanging their futures.
+                    for (auto& pending : staged) {
+                        pending.promise.set_exception(
+                            std::make_exception_ptr(std::runtime_error(
+                                "server stopped before a model snapshot "
+                                "was published")));
+                    }
+                    staged.clear();
+                }
+                cmd = kCmdStop;
+            }
+        }
+        pg.Broadcast(&cmd, 1, /*root=*/0);
+        if (cmd == kCmdStop) {
+            break;
+        }
+        if (cmd == kCmdNoop) {
+            continue;
+        }
+
+        // SERVE: the broadcast published slot_ to every rank; pin the
+        // snapshot locally so a concurrent Publish cannot free it
+        // mid-batch.
+        const auto snapshot = slot_.snapshot;
+        const auto batch_start = std::chrono::steady_clock::now();
+        {
+            NEO_TRACE_SPAN("serve_batch", "step");
+            engine.Forward(snapshot, slot_.dense, slot_.sparse, logits);
+        }
+        // Engine's trailing AllGather: every rank is past its slot_
+        // reads, so rank 0 may rewrite the slot next iteration.
+        if (rank == 0) {
+            const double batch_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - batch_start)
+                    .count();
+            CompleteBatch(staged, logits, dispatched, batch_seconds);
+            staged.clear();
+        }
+    }
+}
+
+}  // namespace neo::serve

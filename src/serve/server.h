@@ -1,0 +1,141 @@
+/**
+ * @file
+ * SLO-aware serving frontend. Client threads Submit single requests; a
+ * bounded admission queue sheds load under overload instead of letting
+ * latency collapse (state machine: Open -> Shedding when the queue hits
+ * its cap or the modeled wait exceeds the SLO budget; Shedding -> Open
+ * once the queue drains below the resume threshold — hysteresis so the
+ * server doesn't flap at the boundary).
+ *
+ * Serving is collective: every rank runs RankLoop on the shared
+ * ThreadedWorld. Rank 0 pops micro-batches, pins the current snapshot,
+ * and broadcasts a command float (NOOP heartbeat / SERVE / STOP); the
+ * broadcast's internal synchronization is the happens-before edge that
+ * publishes the dispatch slot to the other ranks, and the engine's
+ * final AllGather is the edge that returns slot ownership to rank 0 —
+ * no torn reads, no locks on the serve path. Heartbeats keep the
+ * collective world inside its barrier timeout while the queue is idle.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "comm/process_group.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace neo::serve {
+
+struct ServerOptions {
+    BatcherOptions batcher;
+    /** Queue depth that trips shedding. */
+    size_t max_queue = 1024;
+    /** Depth at which shedding lifts (0 = max_queue / 2). */
+    size_t resume_queue = 0;
+    /** Modeled-wait SLO that trips shedding, 0 = disabled. The wait
+     *  estimate is (queued batches ahead + 1) x EWMA batch seconds. */
+    int64_t slo_budget_us = 0;
+    /** Idle collective heartbeat period (must stay well under the
+     *  world's barrier timeout). */
+    std::chrono::milliseconds heartbeat{50};
+    EngineOptions engine;
+};
+
+/** Admission verdict for one Submit. */
+enum class Admission {
+    kAccepted,
+    kShedQueueFull,
+    kShedSlo,
+    kShedStopped,
+};
+
+/** What a client gets back from Submit. */
+struct Ticket {
+    Admission admission = Admission::kShedStopped;
+    /** Valid only when admission == kAccepted. */
+    std::future<Response> response;
+};
+
+class Server
+{
+  public:
+    /**
+     * @param num_dense Dense feature count requests must carry.
+     * @param num_tables Sparse feature count requests must carry.
+     */
+    Server(size_t num_dense, size_t num_tables,
+           const ServerOptions& options);
+
+    /** Thread-safe request entry point (any client thread). */
+    Ticket Submit(Request request);
+
+    /** Install a new snapshot version (any thread; typically the
+     *  trainer's publisher). In-flight batches finish on their version. */
+    void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+    std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const
+    {
+        return registry_.Current();
+    }
+    uint64_t CurrentVersion() const { return registry_.CurrentVersion(); }
+    uint64_t SwapCount() const { return registry_.SwapCount(); }
+
+    /** Currently refusing new requests due to overload? */
+    bool shedding() const { return shedding_.load(); }
+
+    /**
+     * One rank's serving loop (collective; run on every rank of `pg`,
+     * e.g. as the body of ThreadedWorld::Run). Returns after Stop()
+     * once all queued requests have been answered — zero drops.
+     */
+    void RankLoop(int rank, comm::ProcessGroup& pg);
+
+    /**
+     * Begin shutdown: new Submits shed kShedStopped; queued requests
+     * drain through the rank loops, which then exit. If no snapshot was
+     * ever published, still-queued requests fail with broken promises
+     * (there is no model to answer them with).
+     */
+    void Stop();
+
+  private:
+    /** Broadcast command values (exact small floats). */
+    static constexpr float kCmdNoop = 0.0f;
+    static constexpr float kCmdServe = 1.0f;
+    static constexpr float kCmdStop = 2.0f;
+
+    /**
+     * Batch handoff from rank 0 to the world. Written by rank 0 before
+     * the command broadcast (which publishes it), read by all ranks
+     * during the batch, and owned by rank 0 again after its AllGather
+     * returns (by then every rank is done reading).
+     */
+    struct DispatchSlot {
+        std::shared_ptr<const ModelSnapshot> snapshot;
+        Matrix dense;
+        data::KeyedJagged sparse;
+        size_t pad = 0;
+    };
+
+    void CompleteBatch(std::vector<Pending>& batch,
+                       const std::vector<float>& logits,
+                       std::chrono::steady_clock::time_point dispatched,
+                       double batch_seconds);
+
+    size_t num_dense_;
+    size_t num_tables_;
+    ServerOptions options_;
+    SnapshotRegistry registry_;
+    Batcher batcher_;
+    std::atomic<bool> shedding_{false};
+    std::atomic<Admission> shed_reason_{Admission::kShedQueueFull};
+    /** EWMA of serve-batch wall seconds (rank 0 writes, Submit reads). */
+    std::atomic<double> ewma_batch_seconds_{0.0};
+    DispatchSlot slot_;
+};
+
+}  // namespace neo::serve

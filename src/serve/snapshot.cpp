@@ -1,0 +1,226 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/shard_router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace neo::serve {
+
+namespace {
+
+/**
+ * Slice fully-assembled logical tables onto a serving plan. Consumes
+ * `logical` (tables are read row-by-row; DP replicas move out wholesale
+ * when the plan keeps the table unsharded).
+ */
+void
+SliceOntoPlan(std::map<int, ops::EmbeddingTable>& logical,
+              const core::DlrmConfig& config,
+              const sharding::ShardingPlan& plan, ModelSnapshot& snapshot)
+{
+    std::vector<sharding::Shard> ordered = plan.shards;
+    std::stable_sort(ordered.begin(), ordered.end(), core::ShardLess);
+
+    std::vector<float> row_buf;
+    for (const auto& shard : ordered) {
+        NEO_REQUIRE(shard.table >= 0 &&
+                        shard.table <
+                            static_cast<int>(config.tables.size()),
+                    "serving plan references unknown table ", shard.table);
+        const auto it = logical.find(shard.table);
+        NEO_REQUIRE(it != logical.end(), "snapshot source is missing table ",
+                    shard.table);
+        const ops::EmbeddingTable& full = it->second;
+        const auto& cfg = config.tables[shard.table];
+        NEO_REQUIRE(full.rows() == cfg.rows && full.dim() == cfg.dim,
+                    "assembled table shape mismatch for table ",
+                    shard.table);
+
+        if (shard.scheme == sharding::Scheme::kDataParallel) {
+            snapshot.dp_tables.emplace_back(shard.table, full);
+            continue;
+        }
+        const int64_t rows = shard.NumRows();
+        const int64_t cols = shard.NumCols();
+        ops::EmbeddingTable piece(rows, cols, cfg.precision);
+        row_buf.resize(static_cast<size_t>(cfg.dim));
+        std::vector<float> piece_row(static_cast<size_t>(cols));
+        for (int64_t r = 0; r < rows; r++) {
+            full.ReadRow(shard.row_begin + r, row_buf.data());
+            std::memcpy(piece_row.data(),
+                        row_buf.data() + shard.col_begin,
+                        static_cast<size_t>(cols) * sizeof(float));
+            piece.WriteRow(r, piece_row.data());
+        }
+        snapshot.shards.emplace_back(shard, std::move(piece));
+    }
+}
+
+}  // namespace
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotFromStore(const core::CheckpointStore& store,
+                  const core::DlrmConfig& config,
+                  const sharding::ShardingPlan& serving_plan,
+                  uint64_t version)
+{
+    NEO_TRACE_SPAN("snapshot_from_store", "serve");
+    core::AssembledCheckpoint assembled =
+        core::AssembledCheckpoint::FromStore(store, config);
+
+    auto snapshot = std::make_shared<ModelSnapshot>();
+    snapshot->version = version;
+    snapshot->source_epoch = assembled.epoch;
+    snapshot->config = config;
+    snapshot->plan = serving_plan;
+    snapshot->dense_blob = std::move(assembled.dense_blob);
+
+    std::map<int, ops::EmbeddingTable> logical;
+    for (auto& [table, entry] : assembled.tables) {
+        logical.emplace(table, std::move(entry.table));
+    }
+    SliceOntoPlan(logical, config, serving_plan, *snapshot);
+    return snapshot;
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotFromTrainer(core::DistributedDlrm& trainer,
+                    const sharding::ShardingPlan& serving_plan,
+                    uint64_t version, uint64_t source_epoch)
+{
+    NEO_TRACE_SPAN("snapshot_from_trainer", "serve");
+    comm::ProcessGroup& pg = trainer.process_group();
+    const core::DlrmConfig& config = trainer.config();
+    const int world = pg.Size();
+
+    // Every rank ships its shard payload to rank 0 only; the AllToAll
+    // doubles as the barrier that freezes a consistent step.
+    BinaryWriter writer;
+    writer.Write<uint64_t>(trainer.NumLocalShards());
+    for (size_t i = 0; i < trainer.NumLocalShards(); i++) {
+        const auto& shard = trainer.local_shard(i);
+        writer.Write<int32_t>(shard.meta.table);
+        writer.Write<int64_t>(shard.meta.row_begin);
+        writer.Write<int64_t>(shard.meta.row_end);
+        writer.Write<int64_t>(shard.meta.col_begin);
+        writer.Write<int64_t>(shard.meta.col_end);
+        shard.table.Save(writer);
+    }
+    std::vector<std::vector<uint8_t>> send(static_cast<size_t>(world));
+    send[0] = writer.buffer();
+    std::vector<std::vector<uint8_t>> recv;
+    pg.AllToAllBytes(send, recv);
+    if (pg.Rank() != 0) {
+        return nullptr;
+    }
+
+    // Rank 0: assemble logical tables from every rank's shards (CW
+    // shards land via read-modify-write of the full-width row).
+    std::map<int, ops::EmbeddingTable> logical;
+    std::vector<float> row_buf;
+    std::vector<float> piece_row;
+    for (int src = 0; src < world; src++) {
+        BinaryReader reader(std::move(recv[static_cast<size_t>(src)]));
+        const uint64_t num_shards = reader.Read<uint64_t>();
+        for (uint64_t s = 0; s < num_shards; s++) {
+            const int32_t table = reader.Read<int32_t>();
+            NEO_REQUIRE(
+                table >= 0 &&
+                    table < static_cast<int32_t>(config.tables.size()),
+                "trainer shard references unknown table ", table);
+            const auto& cfg = config.tables[table];
+            const int64_t row_begin = reader.Read<int64_t>();
+            const int64_t row_end = reader.Read<int64_t>();
+            const int64_t col_begin = reader.Read<int64_t>();
+            const int64_t col_end = reader.Read<int64_t>();
+            NEO_REQUIRE(row_begin >= 0 && row_begin <= row_end &&
+                            row_end <= cfg.rows && col_begin >= 0 &&
+                            col_begin <= col_end && col_end <= cfg.dim,
+                        "trainer shard geometry out of bounds");
+            ops::EmbeddingTable piece = ops::EmbeddingTable::Load(reader);
+            NEO_REQUIRE(piece.rows() == row_end - row_begin &&
+                            piece.dim() == col_end - col_begin,
+                        "trainer shard shape mismatch");
+            auto it = logical.find(table);
+            if (it == logical.end()) {
+                it = logical
+                         .emplace(table,
+                                  ops::EmbeddingTable(cfg.rows, cfg.dim,
+                                                      cfg.precision))
+                         .first;
+            }
+            row_buf.resize(static_cast<size_t>(cfg.dim));
+            piece_row.resize(static_cast<size_t>(piece.dim()));
+            for (int64_t r = 0; r < piece.rows(); r++) {
+                piece.ReadRow(r, piece_row.data());
+                it->second.ReadRow(row_begin + r, row_buf.data());
+                std::memcpy(row_buf.data() + col_begin, piece_row.data(),
+                            piece_row.size() * sizeof(float));
+                it->second.WriteRow(row_begin + r, row_buf.data());
+            }
+        }
+    }
+    // DP tables are replicated, so rank 0's own copies are the model.
+    for (size_t i = 0; i < trainer.NumDpTables(); i++) {
+        const auto& dp = trainer.dp_table(i);
+        logical.emplace(dp.table, dp.replica);
+    }
+
+    auto snapshot = std::make_shared<ModelSnapshot>();
+    snapshot->version = version;
+    snapshot->source_epoch = source_epoch;
+    snapshot->config = config;
+    snapshot->plan = serving_plan;
+    BinaryWriter dense;
+    trainer.bottom_mlp().Save(dense);
+    trainer.top_mlp().Save(dense);
+    snapshot->dense_blob = dense.buffer();
+    SliceOntoPlan(logical, config, serving_plan, *snapshot);
+    return snapshot;
+}
+
+void
+SnapshotRegistry::Publish(std::shared_ptr<const ModelSnapshot> snapshot)
+{
+    NEO_REQUIRE(snapshot != nullptr, "cannot publish a null snapshot");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t current = current_ ? current_->version : 0;
+    NEO_REQUIRE(snapshot->version > current,
+                "snapshot versions must strictly increase: publishing ",
+                snapshot->version, " over ", current);
+    current_ = std::move(snapshot);
+    swaps_++;
+    auto& metrics = obs::MetricsRegistry::Get();
+    metrics.GetCounter("neo.serve.snapshot_swaps").Add();
+    metrics.GetGauge("neo.serve.snapshot_version")
+        .Set(static_cast<double>(current_->version));
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::Current() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+uint64_t
+SnapshotRegistry::CurrentVersion() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ ? current_->version : 0;
+}
+
+uint64_t
+SnapshotRegistry::SwapCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return swaps_;
+}
+
+}  // namespace neo::serve

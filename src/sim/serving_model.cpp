@@ -1,0 +1,103 @@
+#include "sim/serving_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo::sim {
+
+ServingModel::ServingModel(const WorkloadModel& workload,
+                           const ServingSetup& setup)
+    : workload_(workload), setup_(setup),
+      gemm_(setup.cluster.node.gpu), mlp_(setup.cluster.node.gpu),
+      emb_(setup.cluster.node.gpu), comm_(setup.cluster)
+{
+    NEO_REQUIRE(setup_.num_gpus >= 1, "need at least one GPU");
+    NEO_REQUIRE(setup_.batch >= setup_.num_gpus,
+                "dispatch batch must cover every GPU");
+}
+
+ServingBreakdown
+ServingModel::Estimate() const
+{
+    const double w = setup_.num_gpus;
+    const double b_global = static_cast<double>(setup_.batch);
+    const double b_local = b_global / w;
+    const double tables = workload_.num_tables;
+    const double pooling = workload_.avg_pooling;
+    const double dim = workload_.dim_avg;
+    const double imbalance = setup_.imbalance;
+
+    ServingBreakdown bd;
+
+    // Embedding pooling: each GPU reads the GLOBAL batch's rows for its
+    // local tables; the dispatch waits for the straggler.
+    const double rows_per_gpu =
+        b_global * tables * pooling / w * imbalance;
+    bd.emb_lookup =
+        emb_.LookupSeconds(rows_per_gpu, dim, setup_.emb_precision).seconds;
+    if (setup_.hbm_hit_rate < 1.0) {
+        const double miss_bytes =
+            rows_per_gpu * dim *
+            static_cast<double>(BytesPerElement(setup_.emb_precision)) *
+            (1.0 - setup_.hbm_hit_rate);
+        bd.emb_lookup += miss_bytes / setup_.cluster.node.pcie_bw;
+    }
+
+    // MLPs: forward half of the training roofline, same FLOP rescaling
+    // to the workload's published MFLOPs/sample and bottom/top split.
+    std::vector<int64_t> widths(
+        static_cast<size_t>(workload_.num_mlp_layers) + 1,
+        static_cast<int64_t>(workload_.avg_mlp_size));
+    const MlpEstimate layers = mlp_.EstimateLayers(
+        static_cast<int64_t>(b_local), widths, setup_.mlp_precision);
+    double layer_flops = 0.0;
+    for (size_t l = 0; l + 1 < widths.size(); l++) {
+        layer_flops += 2.0 * b_local * widths[l] * widths[l + 1];
+    }
+    const double target_flops = workload_.mflops_per_sample * 1e6 * b_local;
+    const double scale = target_flops / layer_flops;
+    const double bot_share = 0.3;
+    bd.bot_mlp = layers.forward_seconds * scale * bot_share;
+    bd.top_mlp = layers.forward_seconds * scale * (1.0 - bot_share);
+    bd.interaction = 0.05 * (bd.bot_mlp + bd.top_mlp);
+
+    if (setup_.num_gpus > 1) {
+        // Input redistribution: lengths (4B) + indices (8B) per table.
+        const double input_bytes =
+            b_local * tables * (pooling * 8.0 + 4.0);
+        bd.input_a2a =
+            comm_.AllToAll(input_bytes, setup_.num_gpus).seconds *
+            imbalance;
+
+        // Pooled embeddings back to the sample owners.
+        const double fwd_elem =
+            static_cast<double>(BytesPerElement(setup_.fwd_comm));
+        const double fwd_bytes = b_local * tables * dim * fwd_elem;
+        bd.pooled_a2a =
+            comm_.AllToAll(fwd_bytes, setup_.num_gpus).seconds * imbalance;
+
+        // Row-wise shards exchange GLOBAL-batch partial pools.
+        if (setup_.rw_dim_sum > 0.0) {
+            const double nic = setup_.cluster.node.scaleout_achievable;
+            bd.pooled_a2a +=
+                b_global * setup_.rw_dim_sum * fwd_elem / nic;
+        }
+
+        // FP32 logit AllGather (one float per sample on every rank).
+        bd.gather =
+            comm_.AllGather(b_global * 4.0, setup_.num_gpus).seconds;
+    }
+
+    bd.overhead = setup_.fixed_overhead;
+
+    // Forward slice of Eq. 1, plus the serving-only tail.
+    const double emb_path = bd.input_a2a + bd.emb_lookup + bd.pooled_a2a;
+    bd.total = std::max(bd.bot_mlp, emb_path) + bd.interaction +
+               bd.top_mlp + bd.gather + bd.overhead;
+    bd.qps = b_global / bd.total;
+    return bd;
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Forward-only analytical latency/QPS model for distributed inference
+ * serving. Reuses the Eq. 1 forward dependency chain of IterationModel
+ * (input AllToAll + embedding lookup + pooled AllToAll overlapped with
+ * the bottom MLP, then interaction and top MLP) and appends the serving
+ * path's extras: the logit AllGather that returns the full batch to the
+ * dispatch rank, and a fixed dispatch overhead (batch merge, broadcast,
+ * response completion). No backward, no optimizer, no gradient comm —
+ * serving steps are the forward slice of a training iteration.
+ *
+ * bench/micro_serve diffs this model's per-batch breakdown against the
+ * measured serve_batch spans (measured-vs-modeled, as EXPERIMENTS.md
+ * does for training steps).
+ */
+#pragma once
+
+#include "sim/comm_model.h"
+#include "sim/embedding_model.h"
+#include "sim/gemm_model.h"
+#include "sim/workloads.h"
+
+namespace neo::sim {
+
+/** Knobs for one serving configuration. */
+struct ServingSetup {
+    ClusterSpec cluster = ClusterSpec::Prototype();
+    int num_gpus = 8;
+    /** Global batch per dispatch (the batcher's merged micro-batch,
+     *  padded to a multiple of num_gpus). */
+    int64_t batch = 64;
+    /** Pooled-embedding forward AllToAll wire precision. */
+    Precision fwd_comm = Precision::kFp32;
+    /** Embedding table storage precision. */
+    Precision emb_precision = Precision::kFp32;
+    /** MLP compute precision. */
+    Precision mlp_precision = Precision::kTf32;
+    /** Embedding load imbalance (max/mean across GPUs), from the plan. */
+    double imbalance = 1.0;
+    /** Worst per-worker sum of row-wise-sharded dims (Sec. 4.2.2). */
+    double rw_dim_sum = 0.0;
+    /** Fraction of row reads served from HBM when tables spill to DDR
+     *  behind the serving cache (Sec. 4.1.3); misses cross PCIe. */
+    double hbm_hit_rate = 1.0;
+    /** Fixed per-dispatch overhead: batch merge, command broadcast,
+     *  promise completion. */
+    double fixed_overhead = 1e-3;
+};
+
+/** Per-op serialized seconds for one served batch, plus totals. */
+struct ServingBreakdown {
+    double input_a2a = 0.0;
+    double emb_lookup = 0.0;
+    double pooled_a2a = 0.0;
+    double bot_mlp = 0.0;
+    double interaction = 0.0;
+    double top_mlp = 0.0;
+    /** Logit AllGather returning all scores to every rank. */
+    double gather = 0.0;
+    double overhead = 0.0;
+
+    /** Eq. 1 forward composition + gather + overhead. */
+    double total = 0.0;
+    /** Sustained throughput at this batch size, requests/second. */
+    double qps = 0.0;
+};
+
+/** Evaluates the forward-only model for a workload on a serving setup. */
+class ServingModel
+{
+  public:
+    ServingModel(const WorkloadModel& workload, const ServingSetup& setup);
+
+    ServingBreakdown Estimate() const;
+
+    const WorkloadModel& workload() const { return workload_; }
+    const ServingSetup& setup() const { return setup_; }
+
+  private:
+    WorkloadModel workload_;
+    ServingSetup setup_;
+    GemmModel gemm_;
+    MlpModel mlp_;
+    EmbeddingModel emb_;
+    CommModel comm_;
+};
+
+}  // namespace neo::sim
