@@ -198,44 +198,72 @@ ThreadedWorld::ShrinkAfterFailure(int rank, std::chrono::milliseconds timeout)
                 "ShrinkAfterFailure requires a poisoned world (a declared "
                 "dead rank)");
     NEO_REQUIRE(size_ >= 2, "cannot shrink a single-rank world");
-    const int dead = abort_rank_;
-    NEO_REQUIRE(rank >= 0 && rank < size_ && rank != dead,
+    NEO_REQUIRE(rank >= 0 && rank < size_ && rank != abort_rank_,
                 "only survivors may join a shrink rendezvous");
 
     ShrinkResult result;
-    result.new_rank = rank < dead ? rank : rank - 1;
-    result.new_size = size_ - 1;
-
     const uint64_t generation = shrink_generation_;
-    if (++shrink_waiting_ == size_ - 1) {
-        // Last survivor arrived: build the child world. No injector — any
-        // armed fault specs address ranks in the OLD numbering and would
-        // fire at wrong points in the compacted one.
-        shrink_waiting_ = 0;
-        shrink_generation_++;
+    shrink_arrived_.push_back(rank);
+
+    // Seal the forming cohort from whoever arrived: sort the members so
+    // child ranks compact in old-rank order, and build the child world
+    // with no injector — any armed fault specs address ranks in the OLD
+    // numbering and would fire at wrong points in the compacted one.
+    const auto seal = [&] {
+        ShrinkCohort cohort;
+        cohort.members = std::move(shrink_arrived_);
+        shrink_arrived_.clear();
+        std::sort(cohort.members.begin(), cohort.members.end());
         Options child_options = options_;
         child_options.injector = nullptr;
-        shrink_children_.push_back(
-            std::make_unique<ThreadedWorld>(size_ - 1, child_options));
+        cohort.world = std::make_unique<ThreadedWorld>(
+            static_cast<int>(cohort.members.size()), child_options);
+        shrink_cohorts_.push_back(std::move(cohort));
+        shrink_generation_++;
         obs::MetricsRegistry::Get().GetCounter("neo.comm.shrinks").Add();
         barrier_cv_.notify_all();
-        result.ok = true;
-        result.group =
-            &shrink_children_.back()->GetGroup(result.new_rank);
-        return result;
+    };
+
+    if (shrink_arrived_.size() == static_cast<size_t>(size_) - 1) {
+        // Every possible survivor is here (exactly one rank died): seal
+        // immediately, no deadline paid.
+        seal();
+    } else {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        const bool sealed = barrier_cv_.wait_until(
+            lock, deadline,
+            [&] { return shrink_generation_ != generation; });
+        if (!sealed) {
+            // Deadline expired with the cohort still open — the k >= 2
+            // dead-ranks case, where the all-survivors count can never be
+            // reached. The first waiter to wake seals the cohort from the
+            // ranks that did arrive (later timed-out waiters see the
+            // generation advanced and land in the same cohort)... unless
+            // this rank is alone, which is indistinguishable from a total
+            // loss: back out and report failure.
+            if (shrink_arrived_.size() < 2) {
+                shrink_arrived_.erase(
+                    std::find(shrink_arrived_.begin(),
+                              shrink_arrived_.end(), rank));
+                return result;  // ok = false
+            }
+            seal();
+        }
     }
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
-    const bool arrived = barrier_cv_.wait_until(
-        lock, deadline, [&] { return shrink_generation_ != generation; });
-    if (!arrived) {
-        shrink_waiting_--;
-        return result;  // ok = false: a second rank is missing
-    }
-    // The child for this cohort is the one created when `generation`
-    // completed — index by generation rather than "latest" so a
-    // hypothetical later shrink can't hand this waiter the wrong world.
+
+    // Look up this rank's cohort — index by the arrival generation rather
+    // than "latest" so a later shrink round can't hand a slow waiter the
+    // wrong world.
+    const ShrinkCohort& cohort = shrink_cohorts_[generation];
+    const auto member = std::find(cohort.members.begin(),
+                                  cohort.members.end(), rank);
+    NEO_REQUIRE(member != cohort.members.end(),
+                "shrink cohort sealed without rank ", rank,
+                " despite its arrival");
     result.ok = true;
-    result.group = &shrink_children_[generation]->GetGroup(result.new_rank);
+    result.new_rank = static_cast<int>(member - cohort.members.begin());
+    result.new_size = static_cast<int>(cohort.members.size());
+    result.group = &cohort.world->GetGroup(result.new_rank);
     return result;
 }
 

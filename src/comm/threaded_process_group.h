@@ -108,11 +108,12 @@ class ThreadedWorld
 
     /** Outcome of a ShrinkAfterFailure rendezvous. */
     struct ShrinkResult {
-        /** True once all survivors rendezvoused in time. */
+        /** True once a survivor cohort formed in time. */
         bool ok = false;
         /** This rank's compacted rank in the survivor world. */
         int new_rank = -1;
-        /** Survivor world size (= old size - 1). */
+        /** Survivor world size (= number of ranks that rendezvoused;
+         *  old size - 1 when exactly one rank died). */
         int new_size = 0;
         /** This rank's handle in the survivor world; owned by the parent
          *  world, valid for the parent's lifetime. */
@@ -121,14 +122,25 @@ class ThreadedWorld
 
     /**
      * Shrinking-world recovery: after a permanent failure poisons this
-     * world, the `size - 1` survivors rendezvous here and receive handles
-     * into a fresh child ThreadedWorld that excludes the dead rank.
-     * Survivor ranks are compacted (rank > dead maps to rank - 1) so the
-     * child is a dense 0..size-2 communicator that `neo::sharding` can
-     * re-plan over. The parent world stays poisoned — its groups must not
-     * be used again — and owns the child, so survivor groups stay valid
-     * until the parent is destroyed. Returns ok=false if the survivors do
-     * not all arrive within `timeout` (e.g. a second failure).
+     * world, the survivors rendezvous here and receive handles into a
+     * fresh child ThreadedWorld that excludes every dead rank. Survivor
+     * ranks are compacted in ascending order of their old rank, so the
+     * child is a dense 0..new_size-1 communicator that `neo::sharding`
+     * can re-plan over (with a single dead rank this is the familiar
+     * "rank > dead maps to rank - 1" mapping). The parent world stays
+     * poisoned — its groups must not be used again — and owns the child,
+     * so survivor groups stay valid until the parent is destroyed.
+     *
+     * The cohort seals as soon as all `size - 1` possible survivors
+     * arrived (the single-death fast path, no deadline paid). When k >= 2
+     * ranks died that count is unreachable, so ONE round still converges:
+     * at the deadline the first waking survivor seals the cohort from
+     * whoever did arrive — provided at least two ranks showed up.
+     * Returns ok=false if fewer than two ranks arrived within `timeout`
+     * (a lone survivor cannot tell a shrunken world from a total loss).
+     * A survivor that misses the window joins the NEXT cohort: it may
+     * still come back ok (with whoever arrives late with it) but it will
+     * never share a world with the ranks that already sealed.
      */
     ShrinkResult ShrinkAfterFailure(int rank,
                                     std::chrono::milliseconds timeout);
@@ -174,13 +186,23 @@ class ThreadedWorld
     int recover_waiting_ = 0;
     uint64_t recover_generation_ = 0;
 
-    /** Shrink rendezvous state (survivors-only, works while poisoned). */
-    int shrink_waiting_ = 0;
+    /** One sealed survivor cohort: which parent ranks rendezvoused, and
+     *  the child world they received. */
+    struct ShrinkCohort {
+        /** Parent-world ranks in the cohort, ascending (a survivor's
+         *  child rank is its index in this list). */
+        std::vector<int> members;
+        std::unique_ptr<ThreadedWorld> world;
+    };
+
+    /** Shrink rendezvous state (survivors-only, works while poisoned):
+     *  ranks arrived for the cohort currently forming. */
+    std::vector<int> shrink_arrived_;
     uint64_t shrink_generation_ = 0;
-    /** Survivor sub-worlds, one per completed shrink rendezvous (indexed
-     *  by the pre-increment shrink generation); kept alive for the
-     *  parent's lifetime so survivor ProcessGroup handles stay valid. */
-    std::vector<std::unique_ptr<ThreadedWorld>> shrink_children_;
+    /** Sealed cohorts, one per completed shrink rendezvous (indexed by
+     *  the pre-increment shrink generation); kept alive for the parent's
+     *  lifetime so survivor ProcessGroup handles stay valid. */
+    std::vector<ShrinkCohort> shrink_cohorts_;
 
     /** Pointer board: one slot per rank, repurposed per collective. */
     std::vector<const void*> ptr_board_;

@@ -409,38 +409,38 @@ void
 DistributedCheckpointer::WriteDelta()
 {
     NEO_TRACE_SPAN("checkpoint_delta", "recovery");
+    const DeltaCapture capture = CaptureDelta();
+    store_.AppendDelta(capture.rank, SerializeDelta(capture));
+}
+
+DistributedCheckpointer::DeltaCapture
+DistributedCheckpointer::CaptureDelta()
+{
+    NEO_TRACE_SPAN("checkpoint_capture", "recovery");
     NEO_REQUIRE(shard_refs_.size() == trainer_.shards_.size(),
                 "WriteDelta before WriteBaseline");
     AgreeEpoch();
 
-    BinaryWriter writer;
-    writer.Write<uint32_t>(kDeltaStreamMagic);
-    writer.Write<int32_t>(trainer_.rank_);
-    writer.Write<uint64_t>(epoch_);
-    const uint64_t num_entries =
-        trainer_.shards_.size() +
-        (trainer_.rank_ == 0 ? trainer_.dp_tables_.size() : 0);
-    writer.Write<uint64_t>(num_entries);
+    DeltaCapture capture;
+    capture.rank = trainer_.rank_;
+    capture.epoch = epoch_;
 
     last_delta_rows_ = 0;
-    auto write_entry = [&](int table, bool is_dp, int64_t row_begin,
-                           const ops::EmbeddingTable& current,
-                           const ops::SparseOptimizer& opt,
-                           Reference& ref) {
+    auto capture_entry = [&](int table, bool is_dp, int64_t row_begin,
+                             const ops::EmbeddingTable& current,
+                             const ops::SparseOptimizer& opt,
+                             Reference& ref) {
         const int64_t rows = current.rows();
         const int64_t dim = current.dim();
         const size_t sfpr = opt.StateFloatsPerRow();
-        writer.Write<int32_t>(table);
-        writer.Write<uint8_t>(is_dp ? 1 : 0);
-        writer.Write<int64_t>(row_begin);
-        writer.Write<int64_t>(row_begin + rows);
-        writer.Write<int64_t>(0);
-        writer.Write<int64_t>(dim);
-        writer.Write<uint32_t>(static_cast<uint32_t>(sfpr));
+        DeltaCapture::Entry entry;
+        entry.table = table;
+        entry.is_dp = is_dp;
+        entry.row_begin = row_begin;
+        entry.row_end = row_begin + rows;
+        entry.dim = dim;
+        entry.sfpr = static_cast<uint32_t>(sfpr);
 
-        std::vector<int64_t> changed;
-        std::vector<float> payload;
-        std::vector<float> opt_payload;
         std::vector<float> cur_row(static_cast<size_t>(dim));
         std::vector<float> ref_row(static_cast<size_t>(dim));
         std::vector<float> cur_opt(sfpr);
@@ -459,51 +459,79 @@ DistributedCheckpointer::WriteDelta()
             if (row_changed || opt_changed) {
                 // Delta rows carry GLOBAL row ids so restore can assemble
                 // logical tables without knowing the writer's sharding.
-                changed.push_back(row_begin + r);
-                payload.insert(payload.end(), cur_row.begin(),
-                               cur_row.end());
-                opt_payload.insert(opt_payload.end(), cur_opt.begin(),
-                                   cur_opt.end());
+                entry.changed.push_back(row_begin + r);
+                entry.payload.insert(entry.payload.end(), cur_row.begin(),
+                                     cur_row.end());
+                entry.opt_payload.insert(entry.opt_payload.end(),
+                                         cur_opt.begin(), cur_opt.end());
                 ref.table.WriteRow(r, cur_row.data());
                 std::memcpy(ref.opt_state.data() +
                                 static_cast<size_t>(r) * sfpr,
                             cur_opt.data(), sfpr * sizeof(float));
             }
         }
-        last_delta_rows_ += changed.size();
-        writer.WriteVector(changed);
-        writer.WriteVector(payload);
-        writer.WriteVector(opt_payload);
+        last_delta_rows_ += entry.changed.size();
+        capture.entries.push_back(std::move(entry));
     };
 
     for (size_t i = 0; i < trainer_.shards_.size(); i++) {
         auto& shard = trainer_.shards_[i];
-        write_entry(shard.meta.table, false, shard.meta.row_begin,
-                    shard.table, shard.optimizer, shard_refs_[i]);
+        capture_entry(shard.meta.table, false, shard.meta.row_begin,
+                      shard.table, shard.optimizer, shard_refs_[i]);
     }
     if (trainer_.rank_ == 0) {
         NEO_REQUIRE(dp_refs_.size() == trainer_.dp_tables_.size(),
                     "DP reference bookkeeping mismatch");
         for (size_t i = 0; i < trainer_.dp_tables_.size(); i++) {
             auto& dp = trainer_.dp_tables_[i];
-            write_entry(dp.table, true, 0, dp.replica, dp.optimizer,
-                        dp_refs_[i]);
+            capture_entry(dp.table, true, 0, dp.replica, dp.optimizer,
+                          dp_refs_[i]);
         }
     }
 
-    writer.Write<uint8_t>(trainer_.rank_ == 0 ? 1 : 0);
-    if (trainer_.rank_ == 0) {
+    // The dense state mutates next step, so the capture must copy it now
+    // even though serialization may run later on another thread.
+    capture.has_dense = trainer_.rank_ == 0;
+    if (capture.has_dense) {
         BinaryWriter dense;
         trainer_.bottom_->Save(dense);
         trainer_.top_->Save(dense);
         trainer_.dense_opt_.Save(dense);
-        writer.WriteVector(dense.buffer());
+        capture.dense_blob = dense.buffer();
     }
 
-    store_.AppendDelta(trainer_.rank_, writer.buffer());
     obs::MetricsRegistry::Get()
         .GetCounter("neo.core.checkpoint_deltas")
         .Add();
+    return capture;
+}
+
+std::vector<uint8_t>
+DistributedCheckpointer::SerializeDelta(const DeltaCapture& capture)
+{
+    NEO_TRACE_SPAN("checkpoint_serialize", "recovery");
+    BinaryWriter writer;
+    writer.Write<uint32_t>(kDeltaStreamMagic);
+    writer.Write<int32_t>(capture.rank);
+    writer.Write<uint64_t>(capture.epoch);
+    writer.Write<uint64_t>(capture.entries.size());
+    for (const DeltaCapture::Entry& entry : capture.entries) {
+        writer.Write<int32_t>(entry.table);
+        writer.Write<uint8_t>(entry.is_dp ? 1 : 0);
+        writer.Write<int64_t>(entry.row_begin);
+        writer.Write<int64_t>(entry.row_end);
+        writer.Write<int64_t>(0);
+        writer.Write<int64_t>(entry.dim);
+        writer.Write<uint32_t>(entry.sfpr);
+        writer.WriteVector(entry.changed);
+        writer.WriteVector(entry.payload);
+        writer.WriteVector(entry.opt_payload);
+    }
+    writer.Write<uint8_t>(capture.has_dense ? 1 : 0);
+    if (capture.has_dense) {
+        writer.WriteVector(capture.dense_blob);
+    }
+    return writer.buffer();
 }
 
 AssembledCheckpoint

@@ -106,6 +106,32 @@ DistributedDlrm::BuildShards()
 DistributedDlrm::PreparedInput
 DistributedDlrm::PrepareInput(const data::Batch& local_batch)
 {
+    return PrepareInputVia(*router_, local_batch);
+}
+
+void
+DistributedDlrm::AttachPrepareChannel(comm::ProcessGroup& pg)
+{
+    NEO_REQUIRE(pg.Rank() == rank_ && pg.Size() == world_,
+                "prepare channel must mirror the training communicator "
+                "(rank ", rank_, "/", world_, ", got ", pg.Rank(), "/",
+                pg.Size(), ")");
+    prepare_router_.emplace(config_.tables, config_.EmbeddingDim(), plan_,
+                            pg);
+}
+
+DistributedDlrm::PreparedInput
+DistributedDlrm::PrepareInputOverlapped(const data::Batch& local_batch)
+{
+    NEO_REQUIRE(prepare_router_.has_value(),
+                "PrepareInputOverlapped requires AttachPrepareChannel");
+    return PrepareInputVia(*prepare_router_, local_batch);
+}
+
+DistributedDlrm::PreparedInput
+DistributedDlrm::PrepareInputVia(const ShardRouter& router,
+                                 const data::Batch& local_batch)
+{
     // Bucketize/route time books as "data"; the nested lengths/indices
     // AllToAlls carve their own time into the alltoall bucket.
     NEO_TRACE_SPAN("prepare_input", "data");
@@ -124,7 +150,7 @@ DistributedDlrm::PrepareInput(const data::Batch& local_batch)
     prepared.local_sparse = local_batch.sparse;
     prepared.local_batch = local_batch.size();
     prepared.shard_inputs =
-        router_->RouteInput(local_batch.sparse, prepared.local_batch);
+        router.RouteInput(local_batch.sparse, prepared.local_batch);
     return prepared;
 }
 
@@ -282,6 +308,23 @@ DistributedDlrm::TrainStep(const data::Batch& local_batch)
 StepResult
 DistributedDlrm::TrainStepWithRecovery(const data::Batch& local_batch)
 {
+    return RunStepWithRecovery(
+        [&] { return TrainStep(local_batch); });
+}
+
+StepResult
+DistributedDlrm::TrainStepPreparedWithRecovery(PreparedInput& prepared)
+{
+    // TrainStepPrepared never mutates `prepared`, so a retry replays the
+    // identical routed input — the collective schedule of the retry is
+    // the same on every rank, just without the input AllToAll.
+    return RunStepWithRecovery(
+        [&] { return TrainStepPrepared(prepared); });
+}
+
+StepResult
+DistributedDlrm::RunStepWithRecovery(const std::function<double()>& attempt)
+{
     StepResult result;
     while (true) {
         result.attempts++;
@@ -290,7 +333,7 @@ DistributedDlrm::TrainStepWithRecovery(const data::Batch& local_batch)
             txn.emplace(*this);
         }
         try {
-            result.loss = TrainStep(local_batch);
+            result.loss = attempt();
             if (txn) {
                 txn->Commit();
             }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -137,6 +138,34 @@ class DistributedDlrm
      */
     PreparedInput PrepareInput(const data::Batch& local_batch);
 
+    /**
+     * Bind a second, same-shaped communicator as the *prepare channel*.
+     * PrepareInputOverlapped routes over it instead of the training
+     * communicator, so a background task can run batch i+1's input
+     * AllToAll concurrently with batch i's collectives without the two
+     * schedules ever sharing a barrier. The barriers of ThreadedWorld
+     * count arrivals from any thread — a background prepare entering the
+     * training world's barrier while the main thread is inside a training
+     * collective would cross-release mismatched collectives — which is
+     * why genuine overlap needs a disjoint communicator rather than a
+     * lock. Routing is a pure function of the batch, so which channel
+     * carries it cannot change any value. `pg` must have this trainer's
+     * rank and size and must outlive the trainer.
+     */
+    void AttachPrepareChannel(comm::ProcessGroup& pg);
+
+    /** True once AttachPrepareChannel has been called. */
+    bool has_prepare_channel() const { return prepare_router_.has_value(); }
+
+    /**
+     * PrepareInput over the prepare channel (AttachPrepareChannel first).
+     * Collective on the prepare channel only; safe to call from a
+     * background thread while the owning thread is inside a training
+     * step, because the two never touch the same communicator and the
+     * prepare phase reads no mutable model state.
+     */
+    PreparedInput PrepareInputOverlapped(const data::Batch& local_batch);
+
     /** Full training step on a prepared input. Returns global mean loss. */
     double TrainStepPrepared(PreparedInput& prepared);
 
@@ -157,6 +186,16 @@ class DistributedDlrm
      * pre-step state for elastic recovery (see core/elastic.h).
      */
     StepResult TrainStepWithRecovery(const data::Batch& local_batch);
+
+    /**
+     * TrainStepWithRecovery for an already-prepared input: retries rerun
+     * TrainStepPrepared on the same PreparedInput (which step execution
+     * never mutates), skipping the input AllToAll — the retry shape the
+     * pipelined driver needs, where the failed step's input was routed
+     * one Push earlier. Same transaction/rollback/rendezvous semantics as
+     * TrainStepWithRecovery.
+     */
+    StepResult TrainStepPreparedWithRecovery(PreparedInput& prepared);
 
     /** Forward-only logits for this worker's local batch (collective). */
     void Predict(const data::Batch& local_batch, Matrix& logits);
@@ -204,6 +243,7 @@ class DistributedDlrm
     ops::Mlp& top_mlp() { return *top_; }
     comm::ProcessGroup& process_group() { return pg_; }
     const DlrmConfig& config() const { return config_; }
+    const DistributedOptions& options() const { return options_; }
 
   private:
     friend class StepTransaction;
@@ -211,6 +251,15 @@ class DistributedDlrm
 
     // -- construction helpers --
     void BuildShards();
+
+    /** PrepareInput body, routing over `router`. */
+    PreparedInput PrepareInputVia(const ShardRouter& router,
+                                  const data::Batch& local_batch);
+
+    /** Shared retry loop of the *WithRecovery entry points: runs
+     *  `attempt` under an optional StepTransaction with rollback,
+     *  backoff, and the all-rank recovery rendezvous. */
+    StepResult RunStepWithRecovery(const std::function<double()>& attempt);
 
     // -- step phases --
     void ForwardEmbeddings(const PreparedInput& prepared,
@@ -247,6 +296,10 @@ class DistributedDlrm
     /** Forward routing tables derived from the plan (see ShardRouter);
      *  shared implementation with the serving engine. */
     std::optional<ShardRouter> router_;
+
+    /** Same routing tables bound to the prepare channel (see
+     *  AttachPrepareChannel); engaged only for overlapped pipelining. */
+    std::optional<ShardRouter> prepare_router_;
 
     /** Scratch: flat MLP gradient buffer for the AllReduce. */
     std::vector<float> grad_buffer_;

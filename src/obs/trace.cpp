@@ -95,8 +95,11 @@ Tracer::Tracer()
 Tracer&
 Tracer::Get()
 {
-    static Tracer tracer;
-    return tracer;
+    // Intentionally leaked: lane/pool threads may still close spans during
+    // static destruction, and a live registry keeps the thread buffers
+    // reachable (so LeakSanitizer does not flag them).
+    static Tracer* tracer = new Tracer();
+    return *tracer;
 }
 
 void

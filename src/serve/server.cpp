@@ -116,11 +116,17 @@ Server::CompleteBatch(std::vector<Pending>& batch,
     // EWMA of batch wall time feeds the SLO wait estimate. Seeded with
     // the first sample so admission reacts from batch one; stored BEFORE
     // the promises resolve so a client that has its response is
-    // guaranteed the estimate is armed.
-    const double prev = ewma_batch_seconds_.load();
-    ewma_batch_seconds_.store(prev == 0.0
-                                  ? batch_seconds
-                                  : 0.8 * prev + 0.2 * batch_seconds);
+    // guaranteed the estimate is armed. CAS loop rather than load+store:
+    // with several worker replicas completing batches concurrently, a
+    // plain read-modify-write lets one completion overwrite (lose)
+    // another's sample instead of folding both into the average.
+    double prev = ewma_batch_seconds_.load(std::memory_order_relaxed);
+    double next;
+    do {
+        next = prev == 0.0 ? batch_seconds
+                           : 0.8 * prev + 0.2 * batch_seconds;
+    } while (!ewma_batch_seconds_.compare_exchange_weak(
+        prev, next, std::memory_order_relaxed));
     for (size_t i = 0; i < batch.size(); i++) {
         Response response;
         response.id = batch[i].request.id;

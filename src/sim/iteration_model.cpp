@@ -12,7 +12,8 @@ IterationBreakdown::SerializedSum() const
 {
     return htod + input_a2a + bot_mlp_fwd + emb_lookup + pooled_a2a_fwd +
            interaction_fwd + top_mlp_fwd + top_mlp_bwd + interaction_bwd +
-           grad_a2a_bwd + emb_update + bot_mlp_bwd + allreduce + overhead;
+           grad_a2a_bwd + emb_update + bot_mlp_bwd + allreduce + overhead +
+           checkpoint;
 }
 
 IterationModel::IterationModel(const WorkloadModel& workload,
@@ -145,16 +146,44 @@ IterationModel::Compose(bool comm_free) const
     // ---- fixed overhead ----
     bd.overhead = setup_.fixed_overhead;
 
+    // ---- checkpointing (Sec. 4.4 / Check-N-Run) ----
+    if (setup_.checkpoint_bytes > 0.0) {
+        const double sync_write = comm_.fault_model().CheckpointWriteSeconds(
+            setup_.checkpoint_bytes);
+        if (setup_.async_checkpoint) {
+            // Only the foreground capture copy blocks the step; the
+            // serialize + store write happens behind the next steps.
+            bd.checkpoint =
+                setup_.checkpoint_copy_Bps > 0.0
+                    ? setup_.checkpoint_bytes / setup_.checkpoint_copy_Bps
+                    : 0.0;
+            bd.overlap_saved += std::max(0.0, sync_write - bd.checkpoint);
+        } else {
+            bd.checkpoint = sync_write;
+        }
+    }
+
     // ---- Eq. 1 composition ----
+    // Inter-batch pipelining (Sec. 4.3): batch i+1's input AllToAll runs
+    // behind batch i's dense compute, so only the part that outlasts the
+    // MLP + interaction window stays on the critical path.
+    double input_exposed = bd.input_a2a;
+    if (setup_.overlap_input_comm && bd.input_a2a > 0.0) {
+        const double dense_window = bd.bot_mlp_fwd + bd.interaction_fwd +
+                                    bd.top_mlp_fwd + bd.top_mlp_bwd +
+                                    bd.interaction_bwd + bd.bot_mlp_bwd;
+        input_exposed = std::max(0.0, bd.input_a2a - dense_window);
+        bd.overlap_saved += bd.input_a2a - input_exposed;
+    }
     const double fwd_emb_path =
-        bd.input_a2a + bd.emb_lookup + bd.pooled_a2a_fwd;
+        input_exposed + bd.emb_lookup + bd.pooled_a2a_fwd;
     bd.t_fwd = std::max(bd.bot_mlp_fwd, fwd_emb_path) +
                bd.interaction_fwd + bd.top_mlp_fwd;
     const double bwd_emb_path =
         std::max(bd.grad_a2a_bwd + bd.emb_update, bd.bot_mlp_bwd);
     bd.t_bwd = std::max(bd.top_mlp_bwd + bd.interaction_bwd + bwd_emb_path,
                         bd.allreduce);
-    bd.total = bd.t_fwd + bd.t_bwd + bd.overhead;
+    bd.total = bd.t_fwd + bd.t_bwd + bd.overhead + bd.checkpoint;
     bd.qps = b_global / bd.total;
     return bd;
 }

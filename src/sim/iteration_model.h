@@ -68,6 +68,30 @@ struct TrainingSetup {
      */
     double fixed_overhead = 8e-3;
 
+    /**
+     * Overlap batch i+1's input AllToAll with batch i's dense compute
+     * (the inter-batch pipelining of Sec. 4.3): the input_a2a term only
+     * contributes what the MLP + interaction window cannot hide; the
+     * hidden part is reported as overlap_saved.
+     */
+    bool overlap_input_comm = false;
+    /**
+     * Per-iteration differential-checkpoint bytes written by this GPU
+     * (0 = checkpointing not modeled). Calibrate the write bandwidth via
+     * FaultModel::CalibrateCheckpoint.
+     */
+    double checkpoint_bytes = 0.0;
+    /**
+     * Async checkpointing: only the capture copy (checkpoint_bytes over
+     * checkpoint_copy_Bps) stays on the step path; serialization + store
+     * writes run in the background, and the hidden write cost counts
+     * toward overlap_saved. False = the full write blocks the step.
+     */
+    bool async_checkpoint = false;
+    /** Foreground capture-copy bandwidth for async checkpoints (B/s);
+     *  0 treats the capture as free. */
+    double checkpoint_copy_Bps = 0.0;
+
     int64_t GlobalBatch() const { return per_gpu_batch * num_gpus; }
 };
 
@@ -88,6 +112,9 @@ struct IterationBreakdown {
     double bot_mlp_bwd = 0.0;
     double allreduce = 0.0;
     double overhead = 0.0;
+    /** Checkpoint cost left ON the step path (sync: the full write;
+     *  async: just the foreground capture copy). */
+    double checkpoint = 0.0;
 
     // Derived.
     double t_fwd = 0.0;
@@ -95,6 +122,9 @@ struct IterationBreakdown {
     double total = 0.0;
     /** Communication time left on the critical path after overlap. */
     double exposed_comm = 0.0;
+    /** Time taken off the critical path by overlap: the hidden part of
+     *  the input AllToAll plus the hidden async-checkpoint write. */
+    double overlap_saved = 0.0;
     double qps = 0.0;
 
     /** Sum of all serialized op latencies (the "serialized" bars). */
@@ -110,6 +140,16 @@ class IterationModel
 
     /** Full breakdown for the configured setup. */
     IterationBreakdown Estimate() const;
+
+    /**
+     * Install a reliability/cost model on the underlying comm model —
+     * in particular checkpoint_write_Bps, which prices the sync
+     * checkpoint term (and therefore what async checkpointing saves).
+     */
+    void SetFaultModel(const FaultModel& faults)
+    {
+        comm_.SetFaultModel(faults);
+    }
 
     const WorkloadModel& workload() const { return workload_; }
     const TrainingSetup& setup() const { return setup_; }

@@ -18,6 +18,7 @@
 #include "core/dlrm_config.h"
 #include "core/dlrm_reference.h"
 #include "core/elastic.h"
+#include "core/pipeline.h"
 #include "data/dataset.h"
 #include "sharding/planner.h"
 
@@ -1238,6 +1239,240 @@ TEST(Distributed, PermanentDeathShrinksReshardsAndConverges)
     // Reference: the same five global batches on one process. The
     // shrunk run restored baseline+deltas bit-exactly and replayed the
     // lost step, so only collective summation order separates the two.
+    DlrmReference reference(model);
+    data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+    for (int s = 0; s < total_steps; s++) {
+        reference.TrainStep(dataset.NextBatch(global_batch));
+    }
+    Matrix ref_logits;
+    reference.Predict(dataset.NextBatch(global_batch), ref_logits);
+    EXPECT_LT(Matrix::MaxAbsDiff(final_logits, ref_logits), 5e-2);
+}
+
+/**
+ * Regression for the pipelining/recovery gap: pipelined steps used to
+ * call raw TrainStepPrepared, bypassing the transactional retry loop, so
+ * a mid-step kill under pipelining either crashed the job or (worse)
+ * retried on top of half-applied state. Now a transient kill injected
+ * into the MLP-gradient AllReduce of an OVERLAPPED pipelined step — after
+ * the sparse apply, before the dense apply — rolls back and retries, and
+ * every loss stays bitwise identical to a fault-free unpipelined run.
+ */
+TEST(Distributed, PipelinedMidStepKillRollbackIsBitIdentical)
+{
+    using std::chrono::milliseconds;
+    DlrmConfig model = core::MakeSmallDlrmConfig(4, 128, 16);
+    const int workers = 4;
+    const size_t global_batch = 32;
+    const size_t local_batch = global_batch / workers;
+    const int steps = 4;
+    const int kill_step = 1;
+    // Table-wise only: 2 AllReduces per training step (loss, MLP grads)
+    // on the training world. Under overlap the input AllToAlls move to
+    // the prepare world, so the per-op AllReduce indexing is unchanged:
+    // step s's MLP-grads AllReduce is still per-op index 2s + 1.
+    const sharding::ShardingPlan plan =
+        ForcedPlan(model, workers, sharding::Scheme::kTableWise);
+
+    DistributedOptions options;
+    options.transactional_retry = true;
+    options.max_step_retries = 2;
+    options.retry_backoff = milliseconds(1);
+    options.recover_timeout = milliseconds(5000);
+
+    // Fault-free unpipelined baseline.
+    std::vector<std::vector<double>> clean(workers,
+                                           std::vector<double>(steps));
+    comm::ThreadedWorld::Run(
+        workers, [&](int rank, comm::ProcessGroup& pg) {
+            DistributedDlrm trainer(model, plan, pg, options);
+            data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+            for (int s = 0; s < steps; s++) {
+                const data::Batch local = SliceGlobal(
+                    dataset.NextBatch(global_batch), rank, local_batch);
+                clean[rank][s] = trainer.TrainStep(local);
+            }
+        });
+
+    // Overlapped pipelined run with the kill armed. The prepare world
+    // carries no injector: the fault must land inside the training step
+    // so the retry machinery — not the prepare path — handles it.
+    comm::FaultInjector injector;
+    comm::FaultSpec kill;
+    kill.rank = 2;
+    kill.match_op = true;
+    kill.op = comm::CollectiveOp::kAllReduce;
+    kill.call_index = 2 * kill_step + 1;
+    kill.kind = comm::FaultKind::kKill;
+    kill.transient = true;
+    injector.Arm(kill);
+    comm::ThreadedWorld::Options world_options;
+    world_options.injector = &injector;
+    world_options.barrier_timeout = milliseconds(20000);
+
+    comm::ThreadedWorld prepare_world(workers);
+    std::vector<std::vector<double>> piped(workers);
+    comm::ThreadedWorld::Run(
+        workers, world_options, [&](int rank, comm::ProcessGroup& pg) {
+            DistributedDlrm trainer(model, plan, pg, options);
+            core::PipelinedTrainer pipeline(trainer,
+                                            prepare_world.GetGroup(rank));
+            ASSERT_TRUE(pipeline.overlapped());
+            data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+            for (int s = 0; s < steps; s++) {
+                const data::Batch local = SliceGlobal(
+                    dataset.NextBatch(global_batch), rank, local_batch);
+                if (auto loss = pipeline.Push(local)) {
+                    piped[rank].push_back(*loss);
+                }
+            }
+            if (auto loss = pipeline.Flush()) {
+                piped[rank].push_back(*loss);
+            }
+            EXPECT_EQ(pipeline.steps_completed(),
+                      static_cast<uint64_t>(steps));
+        });
+    EXPECT_EQ(injector.Fired().size(), 1u);
+
+    for (int r = 0; r < workers; r++) {
+        SCOPED_TRACE("rank " + std::to_string(r));
+        ASSERT_EQ(piped[r].size(), static_cast<size_t>(steps));
+        for (int s = 0; s < steps; s++) {
+            SCOPED_TRACE("step " + std::to_string(s));
+            EXPECT_EQ(piped[r][s], clean[r][s]);
+        }
+    }
+}
+
+/**
+ * Two ranks die permanently in the SAME round: the survivor cohort can
+ * no longer reach the old "size - 1 arrivals" seal, so the rendezvous
+ * seals at the deadline with whoever arrived. The two survivors of a
+ * 4-rank world form a 2-rank world in one ShrinkAfterFailure round,
+ * restore from the differential checkpoint, replay the lost step, and
+ * converge on the single-process reference.
+ */
+TEST(Distributed, TwoPermanentDeathsOneRoundShrinksAndConverges)
+{
+    using std::chrono::milliseconds;
+    DlrmConfig model = core::MakeSmallDlrmConfig(4, 200, 16);
+    const int workers = 4;
+    const size_t global_batch = 24;  // divides 4 workers and 2 survivors
+    const int pre_steps = 2;
+    const int total_steps = 5;
+
+    sharding::PlannerOptions planner_options;
+    planner_options.topo.num_workers = workers;
+    planner_options.topo.workers_per_node = workers;
+    planner_options.global_batch = global_batch;
+    planner_options.hbm_bytes_per_worker = 1e12;
+    planner_options.allow_column_wise = false;
+    planner_options.allow_data_parallel = false;
+    const sharding::ShardingPlan plan =
+        sharding::ShardingPlanner(planner_options).Plan(model.tables);
+    ASSERT_TRUE(plan.feasible) << plan.note;
+
+    DistributedOptions options;
+    options.max_step_retries = 1;
+    options.retry_backoff = milliseconds(1);
+    options.recover_timeout = milliseconds(5000);
+
+    comm::ThreadedWorld::Options world_options;
+    world_options.barrier_timeout = milliseconds(20000);
+    comm::ThreadedWorld world(workers, world_options);
+
+    CheckpointStore store;
+    std::vector<int> new_ranks(workers, -1);
+    std::vector<int> new_sizes(workers, 0);
+    Matrix final_logits(global_batch, 1);
+    std::vector<std::string> errors(workers);
+
+    std::vector<std::thread> threads;
+    for (int r = 0; r < workers; r++) {
+        threads.emplace_back([&, r] {
+            try {
+                comm::ProcessGroup& pg = world.GetGroup(r);
+                DistributedDlrm trainer(model, plan, pg, options);
+                DistributedCheckpointer checkpointer(trainer, store);
+                data::SyntheticCtrDataset dataset(MakeDataConfig(model));
+
+                checkpointer.WriteBaseline();
+                for (int s = 0; s < pre_steps; s++) {
+                    const data::Batch local =
+                        SliceGlobal(dataset.NextBatch(global_batch), r,
+                                    global_batch / workers);
+                    const StepResult result =
+                        trainer.TrainStepWithRecovery(local);
+                    EXPECT_TRUE(result.ok) << "rank " << r << " step " << s;
+                    checkpointer.WriteDelta();
+                }
+
+                // Ranks 1 and 2 die together before the next step. The
+                // last WriteDelta's epoch AllReduce already synchronized
+                // every rank, so the survivors cannot still be inside a
+                // collective when the poison lands.
+                const data::Batch failed_global =
+                    dataset.NextBatch(global_batch);
+                if (r == 1 || r == 2) {
+                    world.Abort(r, "node lost", /*transient=*/false);
+                    return;
+                }
+                const StepResult failed = trainer.TrainStepWithRecovery(
+                    SliceGlobal(failed_global, r, global_batch / workers));
+                EXPECT_FALSE(failed.ok);
+                ASSERT_GE(failed.failures.size(), 1u);
+                EXPECT_FALSE(failed.failures[0].transient);
+                const int dead = failed.failures[0].failed_rank;
+                EXPECT_TRUE(dead == 1 || dead == 2) << dead;
+
+                // Only 2 of the 3 possible survivors ever arrive: the
+                // rendezvous must seal at the deadline, not the count.
+                core::ElasticRecovery recovery = core::RecoverShrunk(
+                    world, r, model, planner_options, store, options,
+                    milliseconds(2500));
+                ASSERT_TRUE(recovery.ok) << recovery.note;
+                new_ranks[r] = recovery.new_rank;
+                new_sizes[r] = recovery.new_size;
+                const size_t survivor_batch =
+                    global_batch / static_cast<size_t>(recovery.new_size);
+
+                recovery.trainer->TrainStep(SliceGlobal(
+                    failed_global, recovery.new_rank, survivor_batch));
+                for (int s = pre_steps + 1; s < total_steps; s++) {
+                    recovery.trainer->TrainStep(
+                        SliceGlobal(dataset.NextBatch(global_batch),
+                                    recovery.new_rank, survivor_batch));
+                }
+
+                const data::Batch eval = SliceGlobal(
+                    dataset.NextBatch(global_batch), recovery.new_rank,
+                    survivor_batch);
+                Matrix logits;
+                recovery.trainer->Predict(eval, logits);
+                for (size_t b = 0; b < survivor_batch; b++) {
+                    final_logits(recovery.new_rank * survivor_batch + b,
+                                 0) = logits(b, 0);
+                }
+            } catch (const std::exception& e) {
+                errors[r] = e.what();
+                world.Abort(r, e.what());
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (int r = 0; r < workers; r++) {
+        EXPECT_TRUE(errors[r].empty())
+            << "rank " << r << ": " << errors[r];
+    }
+    // Survivors 0 and 3 compact to ranks 0 and 1 of a 2-rank world.
+    EXPECT_EQ(new_ranks, (std::vector<int>{0, -1, -1, 1}));
+    EXPECT_EQ(new_sizes[0], 2);
+    EXPECT_EQ(new_sizes[3], 2);
+    EXPECT_TRUE(world.aborted());
+    EXPECT_EQ(store.Ranks(), (std::vector<int>{0, 1, 2, 3}));
+
     DlrmReference reference(model);
     data::SyntheticCtrDataset dataset(MakeDataConfig(model));
     for (int s = 0; s < total_steps; s++) {

@@ -180,6 +180,72 @@ TEST(Batcher, StopDrainsQueuedRequests)
     EXPECT_EQ(batcher.size(), 0u);
 }
 
+TEST(Batcher, StopWakesConcurrentConsumerAndDrainsEverything)
+{
+    // The serving loop's shape: a dedicated consumer blocked inside
+    // NextBatch with a long wait while producers push and then Stop().
+    // The consumer must wake promptly, drain every request exactly once
+    // in sub-max_batch chunks, and finally observe false.
+    serve::BatcherOptions options;
+    options.max_batch = 3;
+    options.max_delay_us = 60'000'000;  // age trigger effectively off
+    serve::Batcher batcher(options);
+
+    constexpr uint64_t kRequests = 10;
+    std::vector<uint64_t> drained_ids;
+    std::thread consumer([&] {
+        std::vector<serve::Pending> out;
+        while (batcher.NextBatch(out, std::chrono::milliseconds(10000))) {
+            EXPECT_LE(out.size(), options.max_batch);
+            for (const serve::Pending& p : out) {
+                drained_ids.push_back(p.request.id);
+            }
+        }
+    });
+
+    for (uint64_t i = 0; i < kRequests; i++) {
+        serve::Request req;
+        req.id = i;
+        ASSERT_TRUE(batcher.Push(MakePending(std::move(req))));
+    }
+    batcher.Stop();
+    consumer.join();
+
+    // Every id exactly once, in FIFO order; nothing left behind.
+    ASSERT_EQ(drained_ids.size(), kRequests);
+    for (uint64_t i = 0; i < kRequests; i++) {
+        EXPECT_EQ(drained_ids[i], i);
+    }
+    EXPECT_EQ(batcher.size(), 0u);
+}
+
+TEST(Batcher, NextBatchReturnsWhenWaitBudgetExpiresWithUnflushableQueue)
+{
+    // Requests are queued but neither flush trigger can fire (far below
+    // max_batch, age trigger an eternity away): NextBatch must still
+    // honor its wait budget and hand control back — the caller runs its
+    // idle work — rather than blocking until the age trigger.
+    serve::BatcherOptions options;
+    options.max_batch = 8;
+    options.max_delay_us = 10'000'000;
+    serve::Batcher batcher(options);
+    for (uint64_t i = 0; i < 2; i++) {
+        serve::Request req;
+        req.id = i;
+        ASSERT_TRUE(batcher.Push(MakePending(std::move(req))));
+    }
+
+    std::vector<serve::Pending> out;
+    const auto begin = std::chrono::steady_clock::now();
+    EXPECT_FALSE(batcher.NextBatch(out, std::chrono::milliseconds(50)));
+    const auto waited = std::chrono::steady_clock::now() - begin;
+    EXPECT_TRUE(out.empty());
+    // Promptly: well before the 10 s age trigger (generous CI margin).
+    EXPECT_LT(waited, std::chrono::seconds(5));
+    // The queued requests were not dropped by the timeout.
+    EXPECT_EQ(batcher.size(), 2u);
+}
+
 TEST(Batcher, MergePadsToWorldMultiple)
 {
     DlrmConfig model = core::MakeSmallDlrmConfig(3, 50, 16);
