@@ -32,6 +32,7 @@
 #include "core/checkpoint.h"
 #include "core/distributed_trainer.h"
 #include "data/dataset.h"
+#include "kernels/kernels.h"
 #include "ops/embedding_table.h"
 #include "sharding/planner.h"
 #include "sim/comm_model.h"
@@ -461,6 +462,8 @@ main(int argc, char** argv)
         return 1;
     }
     std::fprintf(f, "{\n  \"bench\": \"micro_fault\",\n");
+    std::fprintf(f, "  \"kernel_tier\": \"%s\",\n",
+                 neo::kernels::TierName(neo::kernels::ActiveTier()));
     std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(f, "  \"workers\": %d,\n", kWorkers);
     std::fprintf(f, "  \"all_ranks_recovered\": true,\n");

@@ -21,6 +21,7 @@
 #include "common/parallel_for.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "kernels/kernels.h"
 #include "ops/embedding_bag.h"
 #include "tensor/gemm.h"
 
@@ -244,6 +245,8 @@ PrintAndWrite(const std::vector<WorkloadResult>& workloads, bool quick,
         return;
     }
     std::fprintf(f, "{\n  \"bench\": \"micro_parallel\",\n");
+    std::fprintf(f, "  \"kernel_tier\": \"%s\",\n",
+                 neo::kernels::TierName(neo::kernels::ActiveTier()));
     std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                  std::thread::hardware_concurrency());

@@ -39,6 +39,7 @@
 #include "core/dlrm_config.h"
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "kernels/kernels.h"
 #include "obs/step_breakdown.h"
 #include "obs/trace.h"
 #include "sharding/planner.h"
@@ -382,6 +383,8 @@ main(int argc, char** argv)
         return 1;
     }
     std::fprintf(f, "{\n  \"bench\": \"micro_pipeline\",\n");
+    std::fprintf(f, "  \"kernel_tier\": \"%s\",\n",
+                 neo::kernels::TierName(neo::kernels::ActiveTier()));
     std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(f, "  \"steps\": %d,\n", steps);
     std::fprintf(f, "  \"workers\": %d,\n", kWorkers);

@@ -29,6 +29,7 @@
 #include "core/distributed_trainer.h"
 #include "core/dlrm_config.h"
 #include "data/dataset.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/step_breakdown.h"
 #include "obs/trace.h"
@@ -326,6 +327,8 @@ main(int argc, char** argv)
         return 1;
     }
     std::fprintf(f, "{\n  \"bench\": \"micro_serve\",\n");
+    std::fprintf(f, "  \"kernel_tier\": \"%s\",\n",
+                 neo::kernels::TierName(neo::kernels::ActiveTier()));
     std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(f, "  \"workers\": %d,\n", kWorkers);
     std::fprintf(f, "  \"requests\": %zu,\n", num_requests);

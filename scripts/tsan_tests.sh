@@ -2,8 +2,8 @@
 # ThreadSanitizer pass over the concurrency-sensitive suites: configures a
 # dedicated build tree with -DNEO_SANITIZE=thread and runs the tsan_* ctest
 # entries (whole-binary runs of test_common, test_comm, test_obs,
-# test_parallel with NEO_NUM_THREADS=4 so the intra-op pool is actually
-# concurrent).
+# test_parallel, test_kernels with NEO_NUM_THREADS=4 so the intra-op pool
+# is actually concurrent).
 #
 # Usage: scripts/tsan_tests.sh   (from the repo root)
 #   BUILD_DIR=... to override the build tree (default build-tsan)
@@ -14,5 +14,5 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DNEO_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j \
     --target test_common --target test_comm --target test_obs \
-    --target test_parallel
+    --target test_parallel --target test_kernels
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^tsan_'

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace neo::cache {
 
@@ -63,10 +64,10 @@ void
 CachedEmbeddingStore::AccumulateRow(int64_t row, float weight, float* out)
 {
     const uint64_t slot = EnsureResident(row);
-    const float* src = SlotData(slot);
-    for (int64_t d = 0; d < backing_.dim(); d++) {
-        out[d] += weight * src[d];
-    }
+    // Same separately-rounded axpy chain as EmbeddingTable::AccumulateRow,
+    // so cached and uncached reads agree bitwise on every dispatch tier.
+    kernels::Active().axpy_f32(weight, SlotData(slot), out,
+                               static_cast<size_t>(backing_.dim()));
     hbm_->RecordRead(RowBytes());
 }
 

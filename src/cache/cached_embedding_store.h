@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "common/aligned.h"
 #include "cache/memory_tier.h"
 #include "cache/set_associative_cache.h"
 #include "ops/embedding_table.h"
@@ -62,8 +63,11 @@ class CachedEmbeddingStore
 
     ops::EmbeddingTable backing_;
     SetAssociativeCache cache_;
-    /** Cached row data, slot-major (NumSlots x dim), conceptually in HBM. */
-    std::vector<float> slot_data_;
+    /**
+     * Cached row data, slot-major (NumSlots x dim), conceptually in HBM.
+     * 64-byte aligned like every kernel-visible row buffer.
+     */
+    AlignedVector<float> slot_data_;
     MemoryTier* hbm_;
     MemoryTier* ddr_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace neo::cache {
 
@@ -92,31 +93,25 @@ TieredEmbeddingBag::BackwardAndUpdate(const ops::TableInput& input,
                               refs[b].grad, refs[b].grad + dim);
                       });
         }
+        // Merge and update through the same kernel table as
+        // SparseOptimizer::ApplyExact so tiered and in-memory training
+        // stay bitwise interchangeable across every dispatch tier.
+        const kernels::KernelTable& kt = kernels::Active();
         std::fill(merged_.begin(), merged_.end(), 0.0f);
         for (size_t k = i; k < j; k++) {
-            const float* g = refs[order[k]].grad;
-            for (size_t c = 0; c < dim; c++) {
-                merged_[c] += g[c];
-            }
+            kt.add_f32(refs[order[k]].grad, merged_.data(), dim);
         }
 
         store_->ReadRow(row, row_buf_.data());
         const float lr = config_.learning_rate;
         if (config_.kind == ops::SparseOptimizerKind::kSgd) {
-            for (size_t c = 0; c < dim; c++) {
-                row_buf_[c] -= lr * merged_[c];
-            }
+            kt.axpy_f32(-lr, merged_.data(), row_buf_.data(), dim);
         } else {
-            float sq_sum = 0.0f;
-            for (size_t c = 0; c < dim; c++) {
-                sq_sum += merged_[c] * merged_[c];
-            }
+            const float sq_sum = kt.sum_squares_f32(merged_.data(), dim);
             float& m = rowwise_state_[static_cast<size_t>(row)];
             m += sq_sum / static_cast<float>(dim);
             const float scale = lr / (std::sqrt(m) + config_.eps);
-            for (size_t c = 0; c < dim; c++) {
-                row_buf_[c] -= scale * merged_[c];
-            }
+            kt.axpy_f32(-scale, merged_.data(), row_buf_.data(), dim);
         }
         store_->WriteRow(row, row_buf_.data());
         i = j;

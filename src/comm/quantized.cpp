@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "kernels/kernels.h"
 #include "obs/trace.h"
 
 namespace neo::comm {
@@ -27,19 +28,19 @@ QuantizeVector(const std::vector<float>& in, Precision precision)
     // it, while the span itself stays visible on the timeline.
     NEO_TRACE_SPAN("quantize", "q");
     std::vector<uint16_t> out(in.size());
+    // Elementwise converts dispatch to the active SIMD tier inside each
+    // fixed chunk (hardware and software rounding are bit-identical, so
+    // the tier cannot change payload bits).
+    const kernels::KernelTable& kt = kernels::Active();
     switch (precision) {
       case Precision::kFp16:
         ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
-            for (size_t i = b; i < e; i++) {
-                out[i] = detail::FloatToHalfBits(in[i]);
-            }
+            kt.quant_f16(in.data() + b, out.data() + b, e - b);
         });
         break;
       case Precision::kBf16:
         ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
-            for (size_t i = b; i < e; i++) {
-                out[i] = detail::FloatToBFloat16Bits(in[i]);
-            }
+            kt.quant_bf16(in.data() + b, out.data() + b, e - b);
         });
         break;
       default:
@@ -53,19 +54,16 @@ DequantizeVector(const std::vector<uint16_t>& in, Precision precision)
 {
     NEO_TRACE_SPAN("dequantize", "q");
     std::vector<float> out(in.size());
+    const kernels::KernelTable& kt = kernels::Active();
     switch (precision) {
       case Precision::kFp16:
         ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
-            for (size_t i = b; i < e; i++) {
-                out[i] = detail::HalfBitsToFloat(in[i]);
-            }
+            kt.dequant_f16(in.data() + b, out.data() + b, e - b);
         });
         break;
       case Precision::kBf16:
         ParallelFor(0, in.size(), kConvertGrain, [&](size_t b, size_t e) {
-            for (size_t i = b; i < e; i++) {
-                out[i] = detail::BFloat16BitsToFloat(in[i]);
-            }
+            kt.dequant_bf16(in.data() + b, out.data() + b, e - b);
         });
         break;
       default:

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 64-byte-aligned allocation for kernel operand storage. The SIMD
+ * microkernels in `src/kernels` issue unaligned-capable loads (which run
+ * at full speed only when the address actually is aligned), so the hot
+ * buffers — Matrix data, embedding table rows, packing panels — allocate
+ * on cache-line boundaries and assert it instead of silently degrading.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace neo {
+
+/** Alignment of every kernel-visible buffer (one cache line). */
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/** True if `p` sits on an `align`-byte boundary. */
+inline bool
+IsAligned(const void* p, std::size_t align = kKernelAlignment)
+{
+    return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/**
+ * Minimal std::allocator drop-in returning `Align`-byte-aligned memory.
+ * All instances are interchangeable (stateless), so vectors using it can
+ * be swapped/moved freely.
+ */
+template <typename T, std::size_t Align = kKernelAlignment>
+class AlignedAllocator
+{
+  public:
+    using value_type = T;
+
+    static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+    static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+    AlignedAllocator() = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T*
+    allocate(std::size_t n)
+    {
+        return static_cast<T*>(
+            ::operator new(n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void
+    deallocate(T* p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    friend bool
+    operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept
+    {
+        return true;
+    }
+
+    friend bool
+    operator!=(const AlignedAllocator&, const AlignedAllocator&) noexcept
+    {
+        return false;
+    }
+};
+
+/** Cache-line-aligned vector used for kernel operand storage. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kKernelAlignment>>;
+
+}  // namespace neo

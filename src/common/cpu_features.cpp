@@ -1,0 +1,86 @@
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace neo {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/** XGETBV: which vector register state the OS saves/restores. */
+uint64_t
+ReadXcr0()
+{
+    uint32_t eax, edx;
+    __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+    return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+#endif
+
+}  // namespace
+
+CpuFeatures
+CpuFeatures::Detect()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+        return f;
+    }
+    f.sse42 = (ecx & bit_SSE4_2) != 0;
+
+    // AVX+ requires both the CPUID bit and OS-managed XMM/YMM state
+    // (OSXSAVE + XCR0 bits 1..2); AVX-512 additionally needs the opmask
+    // and ZMM state bits (XCR0 bits 5..7).
+    const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+    const uint64_t xcr0 = osxsave ? ReadXcr0() : 0;
+    const bool ymm_enabled = (xcr0 & 0x6) == 0x6;
+    const bool zmm_enabled = (xcr0 & 0xE6) == 0xE6;
+
+    f.avx = ymm_enabled && (ecx & bit_AVX) != 0;
+    f.fma = f.avx && (ecx & bit_FMA) != 0;
+    f.f16c = f.avx && (ecx & bit_F16C) != 0;
+
+    unsigned int eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+    if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) {
+        f.avx2 = f.avx && (ebx7 & bit_AVX2) != 0;
+        f.avx512f = zmm_enabled && (ebx7 & bit_AVX512F) != 0;
+    }
+#endif
+    return f;
+}
+
+const CpuFeatures&
+CpuFeatures::Host()
+{
+    static const CpuFeatures features = Detect();
+    return features;
+}
+
+std::string
+CpuFeatures::ToString() const
+{
+    std::string s;
+    const auto append = [&s](bool have, const char* name) {
+        if (have) {
+            if (!s.empty()) {
+                s += ",";
+            }
+            s += name;
+        }
+    };
+    append(sse42, "sse4.2");
+    append(avx, "avx");
+    append(fma, "fma");
+    append(f16c, "f16c");
+    append(avx2, "avx2");
+    append(avx512f, "avx512f");
+    return s.empty() ? "none" : s;
+}
+
+}  // namespace neo

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Runtime CPU SIMD feature detection for the kernel dispatcher
+ * (`neo::kernels`). Probed once per process via CPUID (plus XGETBV for
+ * the OS-enabled vector state), cached, and consulted when the dispatch
+ * table picks the widest microkernel tier the host can actually run.
+ * Non-x86 builds report no SIMD features and fall back to the scalar
+ * reference tier.
+ */
+#pragma once
+
+#include <string>
+
+namespace neo {
+
+/** SIMD capabilities of the executing host. */
+struct CpuFeatures {
+    bool sse42 = false;
+    /** AVX with OS-enabled YMM state (XGETBV). */
+    bool avx = false;
+    /** FMA3 (VEX-encoded; requires avx). */
+    bool fma = false;
+    /** F16C half-precision converts (VEX-encoded; requires avx). */
+    bool f16c = false;
+    bool avx2 = false;
+    /** AVX-512 Foundation with OS-enabled ZMM state. */
+    bool avx512f = false;
+
+    /** Cached per-process probe of the executing host. */
+    static const CpuFeatures& Host();
+
+    /** Uncached probe (testing; Host() is the normal entry point). */
+    static CpuFeatures Detect();
+
+    /** Comma-separated list of detected features (for logs/bench JSON). */
+    std::string ToString() const;
+};
+
+}  // namespace neo

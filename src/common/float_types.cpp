@@ -13,8 +13,13 @@ FloatToHalfBits(float f)
     uint32_t mant = x & 0x7FFFFFu;
 
     if (((x >> 23) & 0xFF) == 0xFF) {
-        // Inf / NaN: preserve NaN-ness with a non-zero mantissa.
-        return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0));
+        if (mant == 0) {
+            return static_cast<uint16_t>(sign | 0x7C00u);  // infinity
+        }
+        // NaN: quiet it and truncate the payload — exactly what
+        // vcvtps2ph does, so hardware and software conversions agree
+        // bitwise over the whole float domain (verified exhaustively).
+        return static_cast<uint16_t>(sign | 0x7C00u | 0x200u | (mant >> 13));
     }
     if (exp >= 0x1F) {
         // Overflow to infinity.
@@ -69,8 +74,13 @@ HalfBitsToFloat(uint16_t h)
         return BitsToFloat(sign | (fexp << 23) | fmant);
     }
     if (exp == 0x1F) {
-        // Inf / NaN.
-        return BitsToFloat(sign | 0x7F800000u | (mant << 13));
+        if (mant == 0) {
+            return BitsToFloat(sign | 0x7F800000u);  // infinity
+        }
+        // NaN: quiet it while widening the payload — exactly what
+        // vcvtph2ps does, so hardware and software conversions agree
+        // bitwise over all 2^16 half patterns (verified exhaustively).
+        return BitsToFloat(sign | 0x7F800000u | 0x400000u | (mant << 13));
     }
     return BitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
 }

@@ -32,10 +32,10 @@ class BinaryWriter
     /** Write a length-prefixed string. */
     void WriteString(const std::string& s);
 
-    /** Write a length-prefixed vector of POD elements. */
-    template <typename T>
+    /** Write a length-prefixed vector of POD elements (any allocator). */
+    template <typename T, typename Alloc = std::allocator<T>>
     void
-    WriteVector(const std::vector<T>& v)
+    WriteVector(const std::vector<T, Alloc>& v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
         Write<uint64_t>(v.size());
@@ -76,9 +76,13 @@ class BinaryReader
     /** Read a length-prefixed string. */
     std::string ReadString();
 
-    /** Read a length-prefixed vector of POD elements. */
-    template <typename T>
-    std::vector<T>
+    /**
+     * Read a length-prefixed vector of POD elements. The allocator
+     * parameter lets aligned-storage owners (Matrix, EmbeddingTable)
+     * deserialize straight into cache-line-aligned buffers.
+     */
+    template <typename T, typename Alloc = std::allocator<T>>
+    std::vector<T, Alloc>
     ReadVector()
     {
         static_assert(std::is_trivially_copyable_v<T>);
@@ -87,7 +91,7 @@ class BinaryReader
         // corrupt prefix must fail like any other truncation, not turn
         // into a huge allocation or size_t overflow in n * sizeof(T).
         RequireRemaining(n, sizeof(T));
-        std::vector<T> v(n);
+        std::vector<T, Alloc> v(n);
         ReadBytes(reinterpret_cast<uint8_t*>(v.data()), n * sizeof(T));
         return v;
     }

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * AVX2+FMA tier: 256-bit kernels, one lane per output element, chains in
+ * canonical order (see kernels.h). Compiled with -mavx2 -mfma -mf16c
+ * -ffp-contract=off in its own TU so the rest of the binary stays
+ * runnable on narrower hosts; the dispatcher only hands these pointers
+ * out when CPUID says the host can execute them.
+ */
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "common/float_types.h"
+#include "kernels/kernels.h"
+
+namespace neo::kernels {
+
+namespace {
+
+/** maskload/maskstore mask covering the first `rem` (< 8) lanes. */
+inline __m256i
+TailMask(size_t rem)
+{
+    alignas(32) static const int32_t kMaskTable[16] = {
+        -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kMaskTable + 8 - rem));
+}
+
+// ------------------------------------------------------------------ GEMM
+
+void
+GemmTileAvx2(size_t k, const float* a_panel, const float* b_panel, float* c,
+             size_t ldc, size_t mr, size_t nr)
+{
+    // 6x16 register tile: two ymm accumulators per row. Lane j of row r
+    // owns the (r, j) chain; fma in ascending k exactly as the scalar
+    // reference spells it.
+    __m256 acc[kMr][2];
+    for (size_t r = 0; r < kMr; r++) {
+        acc[r][0] = _mm256_setzero_ps();
+        acc[r][1] = _mm256_setzero_ps();
+    }
+    for (size_t kk = 0; kk < k; kk++) {
+        const __m256 b0 = _mm256_loadu_ps(b_panel + kk * kNr);
+        const __m256 b1 = _mm256_loadu_ps(b_panel + kk * kNr + 8);
+        const float* a = a_panel + kk * kMr;
+        for (size_t r = 0; r < kMr; r++) {
+            const __m256 av = _mm256_broadcast_ss(a + r);
+            acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+    }
+    if (nr == kNr) {
+        for (size_t r = 0; r < mr; r++) {
+            float* crow = c + r * ldc;
+            _mm256_storeu_ps(crow,
+                             _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+            _mm256_storeu_ps(
+                crow + 8,
+                _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+        }
+        return;
+    }
+    alignas(32) float tile[2 * 8];
+    for (size_t r = 0; r < mr; r++) {
+        _mm256_store_ps(tile, acc[r][0]);
+        _mm256_store_ps(tile + 8, acc[r][1]);
+        float* crow = c + r * ldc;
+        for (size_t j = 0; j < nr; j++) {
+            crow[j] += tile[j];
+        }
+    }
+}
+
+// --------------------------------------------------------------- pooling
+
+void
+PoolRowsF32Avx2(const float* rows, size_t dim, const int64_t* indices,
+                size_t count, float* out)
+{
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+        __m256 acc0 = _mm256_loadu_ps(out + d);
+        __m256 acc1 = _mm256_loadu_ps(out + d + 8);
+        for (size_t i = 0; i < count; i++) {
+            const float* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(row));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(row + 8));
+        }
+        _mm256_storeu_ps(out + d, acc0);
+        _mm256_storeu_ps(out + d + 8, acc1);
+    }
+    if (d + 8 <= dim) {
+        __m256 acc = _mm256_loadu_ps(out + d);
+        for (size_t i = 0; i < count; i++) {
+            acc = _mm256_add_ps(
+                acc, _mm256_loadu_ps(
+                         rows + static_cast<size_t>(indices[i]) * dim + d));
+        }
+        _mm256_storeu_ps(out + d, acc);
+        d += 8;
+    }
+    for (; d < dim; d++) {
+        float acc = out[d];
+        for (size_t i = 0; i < count; i++) {
+            acc += rows[static_cast<size_t>(indices[i]) * dim + d];
+        }
+        out[d] = acc;
+    }
+}
+
+void
+PoolRowsF16Avx2(const uint16_t* rows, size_t dim, const int64_t* indices,
+                size_t count, float* out)
+{
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+        __m256 acc0 = _mm256_loadu_ps(out + d);
+        __m256 acc1 = _mm256_loadu_ps(out + d + 8);
+        for (size_t i = 0; i < count; i++) {
+            const uint16_t* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            const __m128i h0 =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(row));
+            const __m128i h1 =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 8));
+            acc0 = _mm256_add_ps(acc0, _mm256_cvtph_ps(h0));
+            acc1 = _mm256_add_ps(acc1, _mm256_cvtph_ps(h1));
+        }
+        _mm256_storeu_ps(out + d, acc0);
+        _mm256_storeu_ps(out + d + 8, acc1);
+    }
+    if (d + 8 <= dim) {
+        __m256 acc = _mm256_loadu_ps(out + d);
+        for (size_t i = 0; i < count; i++) {
+            const uint16_t* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            acc = _mm256_add_ps(
+                acc, _mm256_cvtph_ps(_mm_loadu_si128(
+                         reinterpret_cast<const __m128i*>(row))));
+        }
+        _mm256_storeu_ps(out + d, acc);
+        d += 8;
+    }
+    for (; d < dim; d++) {
+        float acc = out[d];
+        for (size_t i = 0; i < count; i++) {
+            acc += detail::HalfBitsToFloat(
+                rows[static_cast<size_t>(indices[i]) * dim + d]);
+        }
+        out[d] = acc;
+    }
+}
+
+// ----------------------------------------------------- elementwise math
+
+void
+AddF32Avx2(const float* src, float* dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                                _mm256_loadu_ps(src + i)));
+    }
+    for (; i < n; i++) {
+        dst[i] += src[i];
+    }
+}
+
+void
+AxpyF32Avx2(float w, const float* src, float* dst, size_t n)
+{
+    const __m256 wv = _mm256_set1_ps(w);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // mul and add rounded separately (canonical; no fma here).
+        const __m256 prod = _mm256_mul_ps(wv, _mm256_loadu_ps(src + i));
+        _mm256_storeu_ps(dst + i,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+    }
+    for (; i < n; i++) {
+        dst[i] += w * src[i];
+    }
+}
+
+void
+AdagradUpdateF32Avx2(float lr, float eps, const float* g, float* state,
+                     float* w, size_t n)
+{
+    const __m256 lrv = _mm256_set1_ps(lr);
+    const __m256 epsv = _mm256_set1_ps(eps);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 gv = _mm256_loadu_ps(g + i);
+        const __m256 sv = _mm256_add_ps(_mm256_loadu_ps(state + i),
+                                        _mm256_mul_ps(gv, gv));
+        _mm256_storeu_ps(state + i, sv);
+        const __m256 num = _mm256_mul_ps(lrv, gv);
+        const __m256 den = _mm256_add_ps(_mm256_sqrt_ps(sv), epsv);
+        _mm256_storeu_ps(w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i),
+                                              _mm256_div_ps(num, den)));
+    }
+    for (; i < n; i++) {
+        state[i] += g[i] * g[i];
+        w[i] -= (lr * g[i]) / (std::sqrt(state[i]) + eps);
+    }
+}
+
+float
+SumSquaresF32Avx2(const float* x, size_t n)
+{
+    // Lanes 0..7 in acc0, lanes 8..15 in acc1 of the canonical width-16
+    // strided schedule. Masked tail lanes contribute +0.0f squares, which
+    // is exact for the nonnegative accumulators (DESIGN.md §4h).
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256 x0 = _mm256_loadu_ps(x + i);
+        const __m256 x1 = _mm256_loadu_ps(x + i + 8);
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(x0, x0));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(x1, x1));
+    }
+    const size_t rem = n - i;
+    if (rem) {
+        const __m256 x0 =
+            rem >= 8 ? _mm256_loadu_ps(x + i)
+                     : _mm256_maskload_ps(x + i, TailMask(rem));
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(x0, x0));
+        if (rem > 8) {
+            const __m256 x1 =
+                _mm256_maskload_ps(x + i + 8, TailMask(rem - 8));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(x1, x1));
+        }
+    }
+    // Fixed fold tree: acc[l]+=acc[l+8]; +4; +2; acc[0]+acc[1].
+    const __m256 s8 = _mm256_add_ps(acc0, acc1);
+    const __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(s8),
+                                 _mm256_extractf128_ps(s8, 1));
+    const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, s2);
+    return lanes[0] + lanes[1];
+}
+
+// ------------------------------------------------------------- converts
+
+void
+DequantF16Avx2(const uint16_t* in, float* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(
+            out + i, _mm256_cvtph_ps(_mm_loadu_si128(
+                         reinterpret_cast<const __m128i*>(in + i))));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::HalfBitsToFloat(in[i]);
+    }
+}
+
+void
+QuantF16Avx2(const float* in, uint16_t* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i h = _mm256_cvtps_ph(
+            _mm256_loadu_ps(in + i),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+    }
+    for (; i < n; i++) {
+        out[i] = detail::FloatToHalfBits(in[i]);
+    }
+}
+
+void
+DequantBf16Avx2(const uint16_t* in, float* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i h =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+        const __m256i wide = _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+        _mm256_storeu_ps(out + i, _mm256_castsi256_ps(wide));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::BFloat16BitsToFloat(in[i]);
+    }
+}
+
+void
+QuantBf16Avx2(const float* in, uint16_t* out, size_t n)
+{
+    // Integer emulation of the exact FloatToBFloat16Bits formula
+    // (round-to-nearest-even with the NaN-quieting branch), so results
+    // are bit-identical to the scalar tier by construction.
+    const __m256i exp_mask = _mm256_set1_epi32(0x7F800000);
+    const __m256i mant_mask = _mm256_set1_epi32(0x007FFFFF);
+    const __m256i rnd_base = _mm256_set1_epi32(0x7FFF);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i nan_or = _mm256_set1_epi32(0x40);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(in + i));
+        const __m256i shifted = _mm256_srli_epi32(u, 16);
+        const __m256i is_exp_max = _mm256_cmpeq_epi32(
+            _mm256_and_si256(u, exp_mask), exp_mask);
+        const __m256i mant_zero = _mm256_cmpeq_epi32(
+            _mm256_and_si256(u, mant_mask), _mm256_setzero_si256());
+        const __m256i is_nan = _mm256_andnot_si256(mant_zero, is_exp_max);
+        const __m256i nan_val = _mm256_or_si256(shifted, nan_or);
+        const __m256i round = _mm256_add_epi32(
+            rnd_base, _mm256_and_si256(shifted, one));
+        const __m256i rounded =
+            _mm256_srli_epi32(_mm256_add_epi32(u, round), 16);
+        const __m256i sel =
+            _mm256_blendv_epi8(rounded, nan_val, is_nan);
+        // Narrow 8x32 -> 8x16: values fit in 16 bits, so unsigned
+        // saturation is a no-op; packus works per 128-bit half, so
+        // permute the halves back into order.
+        const __m256i packed = _mm256_packus_epi32(sel, sel);
+        const __m256i ordered =
+            _mm256_permute4x64_epi64(packed, 0xD8);  // 0,2,1,3
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                         _mm256_castsi256_si128(ordered));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::FloatToBFloat16Bits(in[i]);
+    }
+}
+
+}  // namespace
+
+namespace detail_tiers {
+
+const KernelTable&
+Avx2Table()
+{
+    static const KernelTable table = {
+        Tier::kAvx2,         GemmTileAvx2,    PoolRowsF32Avx2,
+        PoolRowsF16Avx2,     AddF32Avx2,      AxpyF32Avx2,
+        AdagradUpdateF32Avx2, SumSquaresF32Avx2, DequantF16Avx2,
+        QuantF16Avx2,        DequantBf16Avx2, QuantBf16Avx2,
+    };
+    return table;
+}
+
+}  // namespace detail_tiers
+
+}  // namespace neo::kernels

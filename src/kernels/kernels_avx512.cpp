@@ -1,0 +1,320 @@
+/**
+ * @file
+ * AVX-512F tier: 512-bit kernels, one lane per output element, canonical
+ * chains (see kernels.h). Restricted to the F subset — no BW/DQ/VL
+ * instructions — so it runs on every AVX-512 host; 16-bit tails fall back
+ * to the identical scalar chain instead of masked word loads. Compiled
+ * with -mavx512f -mfma -mf16c -ffp-contract=off.
+ */
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "common/float_types.h"
+#include "kernels/kernels.h"
+
+namespace neo::kernels {
+
+namespace {
+
+inline __mmask16
+LaneMask(size_t rem)
+{
+    return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+/** Upper 256 bits of a zmm without AVX512DQ's extractf32x8. */
+inline __m256
+UpperHalf(__m512 v)
+{
+    return _mm256_castpd_ps(
+        _mm512_extractf64x4_pd(_mm512_castps_pd(v), 1));
+}
+
+// ------------------------------------------------------------------ GEMM
+
+void
+GemmTileAvx512(size_t k, const float* a_panel, const float* b_panel,
+               float* c, size_t ldc, size_t mr, size_t nr)
+{
+    // 6x16 register tile: one zmm accumulator per row; lane j of row r
+    // owns the (r, j) chain.
+    __m512 acc[kMr];
+    for (size_t r = 0; r < kMr; r++) {
+        acc[r] = _mm512_setzero_ps();
+    }
+    for (size_t kk = 0; kk < k; kk++) {
+        const __m512 b = _mm512_loadu_ps(b_panel + kk * kNr);
+        const float* a = a_panel + kk * kMr;
+        for (size_t r = 0; r < kMr; r++) {
+            acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(a[r]), b, acc[r]);
+        }
+    }
+    if (nr == kNr) {
+        for (size_t r = 0; r < mr; r++) {
+            float* crow = c + r * ldc;
+            _mm512_storeu_ps(crow,
+                             _mm512_add_ps(_mm512_loadu_ps(crow), acc[r]));
+        }
+        return;
+    }
+    const __mmask16 mask = LaneMask(nr);
+    for (size_t r = 0; r < mr; r++) {
+        float* crow = c + r * ldc;
+        const __m512 cv = _mm512_maskz_loadu_ps(mask, crow);
+        _mm512_mask_storeu_ps(crow, mask, _mm512_add_ps(cv, acc[r]));
+    }
+}
+
+// --------------------------------------------------------------- pooling
+
+void
+PoolRowsF32Avx512(const float* rows, size_t dim, const int64_t* indices,
+                  size_t count, float* out)
+{
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+        __m512 acc = _mm512_loadu_ps(out + d);
+        for (size_t i = 0; i < count; i++) {
+            acc = _mm512_add_ps(
+                acc, _mm512_loadu_ps(
+                         rows + static_cast<size_t>(indices[i]) * dim + d));
+        }
+        _mm512_storeu_ps(out + d, acc);
+    }
+    const size_t rem = dim - d;
+    if (rem) {
+        const __mmask16 mask = LaneMask(rem);
+        __m512 acc = _mm512_maskz_loadu_ps(mask, out + d);
+        for (size_t i = 0; i < count; i++) {
+            acc = _mm512_add_ps(
+                acc,
+                _mm512_maskz_loadu_ps(
+                    mask,
+                    rows + static_cast<size_t>(indices[i]) * dim + d));
+        }
+        _mm512_mask_storeu_ps(out + d, mask, acc);
+    }
+}
+
+void
+PoolRowsF16Avx512(const uint16_t* rows, size_t dim, const int64_t* indices,
+                  size_t count, float* out)
+{
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+        __m512 acc = _mm512_loadu_ps(out + d);
+        for (size_t i = 0; i < count; i++) {
+            const uint16_t* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            const __m256i h = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(row));
+            acc = _mm512_add_ps(acc, _mm512_cvtph_ps(h));
+        }
+        _mm512_storeu_ps(out + d, acc);
+    }
+    // Word-granular masked loads need AVX512BW; run the identical scalar
+    // chain for the sub-16 tail instead.
+    for (; d < dim; d++) {
+        float acc = out[d];
+        for (size_t i = 0; i < count; i++) {
+            acc += detail::HalfBitsToFloat(
+                rows[static_cast<size_t>(indices[i]) * dim + d]);
+        }
+        out[d] = acc;
+    }
+}
+
+// ----------------------------------------------------- elementwise math
+
+void
+AddF32Avx512(const float* src, float* dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        _mm512_storeu_ps(dst + i, _mm512_add_ps(_mm512_loadu_ps(dst + i),
+                                                _mm512_loadu_ps(src + i)));
+    }
+    const size_t rem = n - i;
+    if (rem) {
+        const __mmask16 mask = LaneMask(rem);
+        const __m512 sum =
+            _mm512_add_ps(_mm512_maskz_loadu_ps(mask, dst + i),
+                          _mm512_maskz_loadu_ps(mask, src + i));
+        _mm512_mask_storeu_ps(dst + i, mask, sum);
+    }
+}
+
+void
+AxpyF32Avx512(float w, const float* src, float* dst, size_t n)
+{
+    const __m512 wv = _mm512_set1_ps(w);
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        // mul and add rounded separately (canonical; no fma here).
+        const __m512 prod = _mm512_mul_ps(wv, _mm512_loadu_ps(src + i));
+        _mm512_storeu_ps(dst + i,
+                         _mm512_add_ps(_mm512_loadu_ps(dst + i), prod));
+    }
+    const size_t rem = n - i;
+    if (rem) {
+        const __mmask16 mask = LaneMask(rem);
+        const __m512 prod =
+            _mm512_mul_ps(wv, _mm512_maskz_loadu_ps(mask, src + i));
+        const __m512 sum =
+            _mm512_add_ps(_mm512_maskz_loadu_ps(mask, dst + i), prod);
+        _mm512_mask_storeu_ps(dst + i, mask, sum);
+    }
+}
+
+void
+AdagradUpdateF32Avx512(float lr, float eps, const float* g, float* state,
+                       float* w, size_t n)
+{
+    const __m512 lrv = _mm512_set1_ps(lr);
+    const __m512 epsv = _mm512_set1_ps(eps);
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512 gv = _mm512_loadu_ps(g + i);
+        const __m512 sv = _mm512_add_ps(_mm512_loadu_ps(state + i),
+                                        _mm512_mul_ps(gv, gv));
+        _mm512_storeu_ps(state + i, sv);
+        const __m512 num = _mm512_mul_ps(lrv, gv);
+        const __m512 den = _mm512_add_ps(_mm512_sqrt_ps(sv), epsv);
+        _mm512_storeu_ps(w + i, _mm512_sub_ps(_mm512_loadu_ps(w + i),
+                                              _mm512_div_ps(num, den)));
+    }
+    for (; i < n; i++) {
+        state[i] += g[i] * g[i];
+        w[i] -= (lr * g[i]) / (std::sqrt(state[i]) + eps);
+    }
+}
+
+float
+SumSquaresF32Avx512(const float* x, size_t n)
+{
+    // One zmm IS the width-16 strided accumulator array. Masked tail
+    // lanes contribute +0.0f squares — exact for the nonnegative
+    // accumulators (DESIGN.md §4h).
+    __m512 acc = _mm512_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512 xv = _mm512_loadu_ps(x + i);
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(xv, xv));
+    }
+    const size_t rem = n - i;
+    if (rem) {
+        const __m512 xv = _mm512_maskz_loadu_ps(LaneMask(rem), x + i);
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(xv, xv));
+    }
+    // Fixed fold tree: acc[l]+=acc[l+8]; +4; +2; acc[0]+acc[1].
+    const __m256 s8 = _mm256_add_ps(_mm512_castps512_ps256(acc),
+                                    UpperHalf(acc));
+    const __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(s8),
+                                 _mm256_extractf128_ps(s8, 1));
+    const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, s2);
+    return lanes[0] + lanes[1];
+}
+
+// ------------------------------------------------------------- converts
+
+void
+DequantF16Avx512(const uint16_t* in, float* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i h =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+        _mm512_storeu_ps(out + i, _mm512_cvtph_ps(h));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::HalfBitsToFloat(in[i]);
+    }
+}
+
+void
+QuantF16Avx512(const float* in, uint16_t* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i h = _mm512_cvtps_ph(
+            _mm512_loadu_ps(in + i),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+    }
+    for (; i < n; i++) {
+        out[i] = detail::FloatToHalfBits(in[i]);
+    }
+}
+
+void
+DequantBf16Avx512(const uint16_t* in, float* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i h =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+        const __m512i wide =
+            _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16);
+        _mm512_storeu_ps(out + i, _mm512_castsi512_ps(wide));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::BFloat16BitsToFloat(in[i]);
+    }
+}
+
+void
+QuantBf16Avx512(const float* in, uint16_t* out, size_t n)
+{
+    // Integer emulation of the exact FloatToBFloat16Bits formula; see the
+    // AVX2 tier for the derivation.
+    const __m512i exp_mask = _mm512_set1_epi32(0x7F800000);
+    const __m512i mant_mask = _mm512_set1_epi32(0x007FFFFF);
+    const __m512i rnd_base = _mm512_set1_epi32(0x7FFF);
+    const __m512i one = _mm512_set1_epi32(1);
+    const __m512i nan_or = _mm512_set1_epi32(0x40);
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512i u = _mm512_castps_si512(_mm512_loadu_ps(in + i));
+        const __m512i shifted = _mm512_srli_epi32(u, 16);
+        const __mmask16 is_exp_max = _mm512_cmpeq_epi32_mask(
+            _mm512_and_si512(u, exp_mask), exp_mask);
+        const __mmask16 mant_nonzero = _mm512_cmpneq_epi32_mask(
+            _mm512_and_si512(u, mant_mask), _mm512_setzero_si512());
+        const __mmask16 is_nan = is_exp_max & mant_nonzero;
+        const __m512i nan_val = _mm512_or_si512(shifted, nan_or);
+        const __m512i round =
+            _mm512_add_epi32(rnd_base, _mm512_and_si512(shifted, one));
+        const __m512i rounded =
+            _mm512_srli_epi32(_mm512_add_epi32(u, round), 16);
+        const __m512i sel =
+            _mm512_mask_blend_epi32(is_nan, rounded, nan_val);
+        const __m256i narrow = _mm512_cvtepi32_epi16(sel);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), narrow);
+    }
+    for (; i < n; i++) {
+        out[i] = detail::FloatToBFloat16Bits(in[i]);
+    }
+}
+
+}  // namespace
+
+namespace detail_tiers {
+
+const KernelTable&
+Avx512Table()
+{
+    static const KernelTable table = {
+        Tier::kAvx512,          GemmTileAvx512,      PoolRowsF32Avx512,
+        PoolRowsF16Avx512,      AddF32Avx512,        AxpyF32Avx512,
+        AdagradUpdateF32Avx512, SumSquaresF32Avx512, DequantF16Avx512,
+        QuantF16Avx512,         DequantBf16Avx512,   QuantBf16Avx512,
+    };
+    return table;
+}
+
+}  // namespace detail_tiers
+
+}  // namespace neo::kernels

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Scalar reference tier: the canonical accumulation schedule spelled out
+ * in portable C++. Every vector tier must reproduce these results
+ * bit-for-bit (tests/test_kernels.cpp). This TU compiles with
+ * -ffp-contract=off so the separately-rounded mul+add schedules cannot be
+ * silently contracted into fused ops; where the canonical schedule *is*
+ * fused (the GEMM tile), std::fma spells it explicitly.
+ */
+#include <cmath>
+
+#include "common/float_types.h"
+#include "kernels/kernels.h"
+
+namespace neo::kernels {
+
+namespace {
+
+void
+GemmTileScalar(size_t k, const float* a_panel, const float* b_panel,
+               float* c, size_t ldc, size_t mr, size_t nr)
+{
+    // One accumulator per output element, fused multiply-adds in
+    // ascending-k order, one final add into C — exactly the chains the
+    // vector tiers run, one lane per (r, j).
+    for (size_t r = 0; r < mr; r++) {
+        for (size_t j = 0; j < nr; j++) {
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; kk++) {
+                acc = std::fma(a_panel[kk * kMr + r], b_panel[kk * kNr + j],
+                               acc);
+            }
+            c[r * ldc + j] += acc;
+        }
+    }
+}
+
+void
+PoolRowsF32Scalar(const float* rows, size_t dim, const int64_t* indices,
+                  size_t count, float* out)
+{
+    for (size_t i = 0; i < count; i++) {
+        const float* row = rows + static_cast<size_t>(indices[i]) * dim;
+        for (size_t d = 0; d < dim; d++) {
+            out[d] += row[d];
+        }
+    }
+}
+
+void
+PoolRowsF16Scalar(const uint16_t* rows, size_t dim, const int64_t* indices,
+                  size_t count, float* out)
+{
+    for (size_t i = 0; i < count; i++) {
+        const uint16_t* row = rows + static_cast<size_t>(indices[i]) * dim;
+        for (size_t d = 0; d < dim; d++) {
+            out[d] += detail::HalfBitsToFloat(row[d]);
+        }
+    }
+}
+
+void
+AddF32Scalar(const float* src, float* dst, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        dst[i] += src[i];
+    }
+}
+
+void
+AxpyF32Scalar(float w, const float* src, float* dst, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        dst[i] += w * src[i];
+    }
+}
+
+void
+AdagradUpdateF32Scalar(float lr, float eps, const float* g, float* state,
+                       float* w, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        state[i] += g[i] * g[i];
+        w[i] -= (lr * g[i]) / (std::sqrt(state[i]) + eps);
+    }
+}
+
+float
+SumSquaresF32Scalar(const float* x, size_t n)
+{
+    // Width-16 strided accumulators: element i lands in lane i%16, then
+    // the lanes fold by the fixed tree. This is the schedule a 16-lane
+    // vector runs natively; 4- and 8-lane tiers split the lane array
+    // across registers without changing any chain.
+    float acc[kReduceLanes] = {};
+    for (size_t i = 0; i < n; i++) {
+        const size_t lane = i % kReduceLanes;
+        acc[lane] += x[i] * x[i];
+    }
+    for (size_t l = 0; l < 8; l++) {
+        acc[l] += acc[l + 8];
+    }
+    for (size_t l = 0; l < 4; l++) {
+        acc[l] += acc[l + 4];
+    }
+    acc[0] += acc[2];
+    acc[1] += acc[3];
+    return acc[0] + acc[1];
+}
+
+void
+DequantF16Scalar(const uint16_t* in, float* out, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        out[i] = detail::HalfBitsToFloat(in[i]);
+    }
+}
+
+void
+QuantF16Scalar(const float* in, uint16_t* out, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        out[i] = detail::FloatToHalfBits(in[i]);
+    }
+}
+
+void
+DequantBf16Scalar(const uint16_t* in, float* out, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        out[i] = detail::BFloat16BitsToFloat(in[i]);
+    }
+}
+
+void
+QuantBf16Scalar(const float* in, uint16_t* out, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        out[i] = detail::FloatToBFloat16Bits(in[i]);
+    }
+}
+
+}  // namespace
+
+namespace detail_tiers {
+
+const KernelTable&
+ScalarTable()
+{
+    static const KernelTable table = {
+        Tier::kScalar,        GemmTileScalar,    PoolRowsF32Scalar,
+        PoolRowsF16Scalar,    AddF32Scalar,      AxpyF32Scalar,
+        AdagradUpdateF32Scalar, SumSquaresF32Scalar, DequantF16Scalar,
+        QuantF16Scalar,       DequantBf16Scalar, QuantBf16Scalar,
+    };
+    return table;
+}
+
+}  // namespace detail_tiers
+
+}  // namespace neo::kernels

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * 128-bit tier: the canonical chains (see kernels.h) executed four lanes
+ * at a time. Built with -mavx -mfma -mf16c, so the encodings are VEX and
+ * the tier is runtime-gated on AVX+FMA — on a genuine SSE4.2-only host
+ * the dispatcher falls back to scalar, whose std::fma carries
+ * correctness. The tier earns its keep as the narrow-width cross-check
+ * in the bitwise-identity suite and as the widest option on AVX-only
+ * parts. Compiled with -ffp-contract=off like every kernel TU.
+ */
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "common/float_types.h"
+#include "kernels/kernels.h"
+
+namespace neo::kernels {
+
+namespace {
+
+/** maskload mask covering the first `rem` (< 4) lanes. */
+inline __m128i
+TailMask4(size_t rem)
+{
+    alignas(16) static const int32_t kMaskTable[8] = {-1, -1, -1, -1,
+                                                      0,  0,  0,  0};
+    return _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kMaskTable + 4 - rem));
+}
+
+// ------------------------------------------------------------------ GEMM
+
+void
+GemmTileSse(size_t k, const float* a_panel, const float* b_panel, float* c,
+            size_t ldc, size_t mr, size_t nr)
+{
+    // The 6x16 tile exceeds the xmm register file, so run the k loop once
+    // per 8-lane column block: 6 rows x 2 xmm accumulators per pass. Lane
+    // chains are unchanged — each output element still owns one
+    // accumulator fed in ascending k.
+    alignas(64) float tile[kMr * kNr];
+    for (size_t lane0 = 0; lane0 < nr; lane0 += 8) {
+        __m128 acc[kMr][2];
+        for (size_t r = 0; r < kMr; r++) {
+            acc[r][0] = _mm_setzero_ps();
+            acc[r][1] = _mm_setzero_ps();
+        }
+        for (size_t kk = 0; kk < k; kk++) {
+            const float* b = b_panel + kk * kNr + lane0;
+            const __m128 b0 = _mm_loadu_ps(b);
+            const __m128 b1 = _mm_loadu_ps(b + 4);
+            const float* a = a_panel + kk * kMr;
+            for (size_t r = 0; r < kMr; r++) {
+                const __m128 av = _mm_broadcast_ss(a + r);
+                acc[r][0] = _mm_fmadd_ps(av, b0, acc[r][0]);
+                acc[r][1] = _mm_fmadd_ps(av, b1, acc[r][1]);
+            }
+        }
+        for (size_t r = 0; r < kMr; r++) {
+            _mm_store_ps(tile + r * kNr + lane0, acc[r][0]);
+            _mm_store_ps(tile + r * kNr + lane0 + 4, acc[r][1]);
+        }
+    }
+    for (size_t r = 0; r < mr; r++) {
+        float* crow = c + r * ldc;
+        const float* trow = tile + r * kNr;
+        size_t j = 0;
+        for (; j + 4 <= nr; j += 4) {
+            _mm_storeu_ps(crow + j, _mm_add_ps(_mm_loadu_ps(crow + j),
+                                               _mm_loadu_ps(trow + j)));
+        }
+        for (; j < nr; j++) {
+            crow[j] += trow[j];
+        }
+    }
+}
+
+// --------------------------------------------------------------- pooling
+
+void
+PoolRowsF32Sse(const float* rows, size_t dim, const int64_t* indices,
+               size_t count, float* out)
+{
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        __m128 acc0 = _mm_loadu_ps(out + d);
+        __m128 acc1 = _mm_loadu_ps(out + d + 4);
+        for (size_t i = 0; i < count; i++) {
+            const float* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            acc0 = _mm_add_ps(acc0, _mm_loadu_ps(row));
+            acc1 = _mm_add_ps(acc1, _mm_loadu_ps(row + 4));
+        }
+        _mm_storeu_ps(out + d, acc0);
+        _mm_storeu_ps(out + d + 4, acc1);
+    }
+    if (d + 4 <= dim) {
+        __m128 acc = _mm_loadu_ps(out + d);
+        for (size_t i = 0; i < count; i++) {
+            acc = _mm_add_ps(
+                acc, _mm_loadu_ps(
+                         rows + static_cast<size_t>(indices[i]) * dim + d));
+        }
+        _mm_storeu_ps(out + d, acc);
+        d += 4;
+    }
+    for (; d < dim; d++) {
+        float acc = out[d];
+        for (size_t i = 0; i < count; i++) {
+            acc += rows[static_cast<size_t>(indices[i]) * dim + d];
+        }
+        out[d] = acc;
+    }
+}
+
+void
+PoolRowsF16Sse(const uint16_t* rows, size_t dim, const int64_t* indices,
+               size_t count, float* out)
+{
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        __m128 acc0 = _mm_loadu_ps(out + d);
+        __m128 acc1 = _mm_loadu_ps(out + d + 4);
+        for (size_t i = 0; i < count; i++) {
+            const uint16_t* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            const __m128i h =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(row));
+            acc0 = _mm_add_ps(acc0, _mm_cvtph_ps(h));
+            acc1 = _mm_add_ps(acc1, _mm_cvtph_ps(_mm_srli_si128(h, 8)));
+        }
+        _mm_storeu_ps(out + d, acc0);
+        _mm_storeu_ps(out + d + 4, acc1);
+    }
+    if (d + 4 <= dim) {
+        __m128 acc = _mm_loadu_ps(out + d);
+        for (size_t i = 0; i < count; i++) {
+            const uint16_t* row =
+                rows + static_cast<size_t>(indices[i]) * dim + d;
+            acc = _mm_add_ps(
+                acc, _mm_cvtph_ps(_mm_loadl_epi64(
+                         reinterpret_cast<const __m128i*>(row))));
+        }
+        _mm_storeu_ps(out + d, acc);
+        d += 4;
+    }
+    for (; d < dim; d++) {
+        float acc = out[d];
+        for (size_t i = 0; i < count; i++) {
+            acc += detail::HalfBitsToFloat(
+                rows[static_cast<size_t>(indices[i]) * dim + d]);
+        }
+        out[d] = acc;
+    }
+}
+
+// ----------------------------------------------------- elementwise math
+
+void
+AddF32Sse(const float* src, float* dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(dst + i),
+                                          _mm_loadu_ps(src + i)));
+    }
+    for (; i < n; i++) {
+        dst[i] += src[i];
+    }
+}
+
+void
+AxpyF32Sse(float w, const float* src, float* dst, size_t n)
+{
+    const __m128 wv = _mm_set1_ps(w);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // mul and add rounded separately (canonical; no fma here).
+        const __m128 prod = _mm_mul_ps(wv, _mm_loadu_ps(src + i));
+        _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(dst + i), prod));
+    }
+    for (; i < n; i++) {
+        dst[i] += w * src[i];
+    }
+}
+
+void
+AdagradUpdateF32Sse(float lr, float eps, const float* g, float* state,
+                    float* w, size_t n)
+{
+    const __m128 lrv = _mm_set1_ps(lr);
+    const __m128 epsv = _mm_set1_ps(eps);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 gv = _mm_loadu_ps(g + i);
+        const __m128 sv =
+            _mm_add_ps(_mm_loadu_ps(state + i), _mm_mul_ps(gv, gv));
+        _mm_storeu_ps(state + i, sv);
+        const __m128 num = _mm_mul_ps(lrv, gv);
+        const __m128 den = _mm_add_ps(_mm_sqrt_ps(sv), epsv);
+        _mm_storeu_ps(
+            w + i, _mm_sub_ps(_mm_loadu_ps(w + i), _mm_div_ps(num, den)));
+    }
+    for (; i < n; i++) {
+        state[i] += g[i] * g[i];
+        w[i] -= (lr * g[i]) / (std::sqrt(state[i]) + eps);
+    }
+}
+
+float
+SumSquaresF32Sse(const float* x, size_t n)
+{
+    // Four xmm registers hold the width-16 strided accumulator array:
+    // acc[g] covers lanes [4g, 4g+4). Masked tail lanes contribute +0.0f
+    // squares — exact for the nonnegative accumulators (DESIGN.md §4h).
+    __m128 acc[4] = {_mm_setzero_ps(), _mm_setzero_ps(), _mm_setzero_ps(),
+                     _mm_setzero_ps()};
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        for (size_t g = 0; g < 4; g++) {
+            const __m128 xv = _mm_loadu_ps(x + i + 4 * g);
+            acc[g] = _mm_add_ps(acc[g], _mm_mul_ps(xv, xv));
+        }
+    }
+    size_t rem = n - i;
+    for (size_t g = 0; rem > 0; g++, rem -= (rem < 4 ? rem : 4)) {
+        const __m128 xv = rem >= 4
+                              ? _mm_loadu_ps(x + i + 4 * g)
+                              : _mm_maskload_ps(x + i + 4 * g,
+                                                TailMask4(rem));
+        acc[g] = _mm_add_ps(acc[g], _mm_mul_ps(xv, xv));
+    }
+    // Fixed fold tree: acc[l]+=acc[l+8]; +4; +2; acc[0]+acc[1].
+    const __m128 s4 =
+        _mm_add_ps(_mm_add_ps(acc[0], acc[2]), _mm_add_ps(acc[1], acc[3]));
+    const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, s2);
+    return lanes[0] + lanes[1];
+}
+
+// ------------------------------------------------------------- converts
+
+void
+DequantF16Sse(const uint16_t* in, float* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i h =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+        _mm_storeu_ps(out + i, _mm_cvtph_ps(h));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::HalfBitsToFloat(in[i]);
+    }
+}
+
+void
+QuantF16Sse(const float* in, uint16_t* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i h = _mm_cvtps_ph(
+            _mm_loadu_ps(in + i),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), h);
+    }
+    for (; i < n; i++) {
+        out[i] = detail::FloatToHalfBits(in[i]);
+    }
+}
+
+void
+DequantBf16Sse(const uint16_t* in, float* out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i h =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+        const __m128i wide = _mm_slli_epi32(_mm_cvtepu16_epi32(h), 16);
+        _mm_storeu_ps(out + i, _mm_castsi128_ps(wide));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::BFloat16BitsToFloat(in[i]);
+    }
+}
+
+void
+QuantBf16Sse(const float* in, uint16_t* out, size_t n)
+{
+    // Integer emulation of the exact FloatToBFloat16Bits formula; see the
+    // AVX2 tier for the derivation.
+    const __m128i exp_mask = _mm_set1_epi32(0x7F800000);
+    const __m128i mant_mask = _mm_set1_epi32(0x007FFFFF);
+    const __m128i rnd_base = _mm_set1_epi32(0x7FFF);
+    const __m128i one = _mm_set1_epi32(1);
+    const __m128i nan_or = _mm_set1_epi32(0x40);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i u = _mm_castps_si128(_mm_loadu_ps(in + i));
+        const __m128i shifted = _mm_srli_epi32(u, 16);
+        const __m128i is_exp_max =
+            _mm_cmpeq_epi32(_mm_and_si128(u, exp_mask), exp_mask);
+        const __m128i mant_zero = _mm_cmpeq_epi32(
+            _mm_and_si128(u, mant_mask), _mm_setzero_si128());
+        const __m128i is_nan = _mm_andnot_si128(mant_zero, is_exp_max);
+        const __m128i nan_val = _mm_or_si128(shifted, nan_or);
+        const __m128i round =
+            _mm_add_epi32(rnd_base, _mm_and_si128(shifted, one));
+        const __m128i rounded =
+            _mm_srli_epi32(_mm_add_epi32(u, round), 16);
+        const __m128i sel = _mm_blendv_epi8(rounded, nan_val, is_nan);
+        // Values fit in 16 bits, so unsigned-saturating pack is exact.
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i),
+                         _mm_packus_epi32(sel, sel));
+    }
+    for (; i < n; i++) {
+        out[i] = detail::FloatToBFloat16Bits(in[i]);
+    }
+}
+
+}  // namespace
+
+namespace detail_tiers {
+
+const KernelTable&
+SseTable()
+{
+    static const KernelTable table = {
+        Tier::kSse,          GemmTileSse,       PoolRowsF32Sse,
+        PoolRowsF16Sse,      AddF32Sse,         AxpyF32Sse,
+        AdagradUpdateF32Sse, SumSquaresF32Sse,  DequantF16Sse,
+        QuantF16Sse,         DequantBf16Sse,    QuantBf16Sse,
+    };
+    return table;
+}
+
+}  // namespace detail_tiers
+
+}  // namespace neo::kernels

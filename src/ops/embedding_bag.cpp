@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace neo::ops {
@@ -90,8 +91,12 @@ EmbeddingBagCollection::Forward(std::span<const TableInput> inputs,
     // Fused parallel loop over all local tables (the CPU analogue of the
     // single batched CUDA kernel in Fig. 7). Shards write disjoint output
     // rows and only read table parameters, so any thread count produces
-    // the serial result bit-for-bit.
+    // the serial result bit-for-bit. Each bag pools through the active
+    // SIMD kernel tier's fused gather+accumulate.
+    static obs::Counter& pool_calls =
+        obs::MetricsRegistry::Get().GetCounter("neo.kernels.pool_calls");
     ParallelFor(0, shards.size(), 1, [&](size_t s0, size_t s1) {
+        uint64_t bags = 0;
         for (size_t s = s0; s < s1; s++) {
             const ForwardShard& shard = shards[s];
             const EmbeddingTable& table = tables_[shard.table];
@@ -99,14 +104,13 @@ EmbeddingBagCollection::Forward(std::span<const TableInput> inputs,
             Matrix& out = outputs[shard.table];
             size_t offset = shard.index_offset;
             for (size_t b = shard.batch_begin; b < shard.batch_end; b++) {
-                float* row = out.Row(b);
                 const uint32_t len = in.lengths[b];
-                for (uint32_t i = 0; i < len; i++) {
-                    table.AccumulateRow(in.indices[offset + i], 1.0f, row);
-                }
+                table.PoolRows(in.indices.data() + offset, len, out.Row(b));
                 offset += len;
             }
+            bags += shard.batch_end - shard.batch_begin;
         }
+        pool_calls.Add(bags);
     });
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace neo::ops {
 
@@ -75,9 +76,8 @@ EmbeddingTable::ReadRow(int64_t row, float* out) const
             out[d] = data_f32_[base + d];
         }
     } else {
-        for (int64_t d = 0; d < dim_; d++) {
-            out[d] = detail::HalfBitsToFloat(data_f16_[base + d]);
-        }
+        kernels::Active().dequant_f16(data_f16_.data() + base, out,
+                                      static_cast<size_t>(dim_));
     }
 }
 
@@ -91,9 +91,8 @@ EmbeddingTable::WriteRow(int64_t row, const float* in)
             data_f32_[base + d] = in[d];
         }
     } else {
-        for (int64_t d = 0; d < dim_; d++) {
-            data_f16_[base + d] = detail::FloatToHalfBits(in[d]);
-        }
+        kernels::Active().quant_f16(in, data_f16_.data() + base,
+                                    static_cast<size_t>(dim_));
     }
 }
 
@@ -102,14 +101,36 @@ EmbeddingTable::AccumulateRow(int64_t row, float weight, float* out) const
 {
     NEO_CHECK(row >= 0 && row < rows_, "row index out of range: ", row);
     const size_t base = static_cast<size_t>(row) * dim_;
+    const kernels::KernelTable& kt = kernels::Active();
     if (precision_ == Precision::kFp32) {
-        for (int64_t d = 0; d < dim_; d++) {
-            out[d] += weight * data_f32_[base + d];
-        }
+        kt.axpy_f32(weight, data_f32_.data() + base, out,
+                    static_cast<size_t>(dim_));
     } else {
-        for (int64_t d = 0; d < dim_; d++) {
-            out[d] += weight * detail::HalfBitsToFloat(data_f16_[base + d]);
-        }
+        // Exact dequant into scratch, then the same separately-rounded
+        // axpy chain the fp32 path runs.
+        static thread_local AlignedVector<float> scratch;
+        scratch.resize(static_cast<size_t>(dim_));
+        kt.dequant_f16(data_f16_.data() + base, scratch.data(),
+                       static_cast<size_t>(dim_));
+        kt.axpy_f32(weight, scratch.data(), out, static_cast<size_t>(dim_));
+    }
+}
+
+void
+EmbeddingTable::PoolRows(const int64_t* indices, size_t count,
+                         float* out) const
+{
+    for (size_t i = 0; i < count; i++) {
+        NEO_CHECK(indices[i] >= 0 && indices[i] < rows_,
+                  "row index out of range: ", indices[i]);
+    }
+    const kernels::KernelTable& kt = kernels::Active();
+    if (precision_ == Precision::kFp32) {
+        kt.pool_rows_f32(data_f32_.data(), static_cast<size_t>(dim_),
+                         indices, count, out);
+    } else {
+        kt.pool_rows_f16(data_f16_.data(), static_cast<size_t>(dim_),
+                         indices, count, out);
     }
 }
 
@@ -163,12 +184,14 @@ EmbeddingTable::Load(BinaryReader& reader)
     EmbeddingTable table(rows, dim,
                          prec ? Precision::kFp16 : Precision::kFp32);
     if (prec) {
-        table.data_f16_ = reader.ReadVector<uint16_t>();
+        table.data_f16_ =
+            reader.ReadVector<uint16_t, AlignedAllocator<uint16_t>>();
         NEO_REQUIRE(table.data_f16_.size() ==
                         static_cast<size_t>(rows) * dim,
                     "checkpoint size mismatch");
     } else {
-        table.data_f32_ = reader.ReadVector<float>();
+        table.data_f32_ =
+            reader.ReadVector<float, AlignedAllocator<float>>();
         NEO_REQUIRE(table.data_f32_.size() ==
                         static_cast<size_t>(rows) * dim,
                     "checkpoint size mismatch");

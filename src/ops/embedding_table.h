@@ -9,9 +9,11 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/float_types.h"
 #include "common/rng.h"
 #include "common/serialize.h"
@@ -64,6 +66,13 @@ class EmbeddingTable
     /** Accumulate `out[d] += weight * row[d]` without materializing. */
     void AccumulateRow(int64_t row, float weight, float* out) const;
 
+    /**
+     * Fused sum pooling of one bag: out[d] += sum_i row(indices[i])[d],
+     * indices in occurrence order. Dispatches to the active SIMD kernel
+     * tier; bitwise identical to `count` AccumulateRow(weight=1) calls.
+     */
+    void PoolRows(const int64_t* indices, size_t count, float* out) const;
+
     /** Exact bitwise equality of stored parameters (determinism tests). */
     static bool Identical(const EmbeddingTable& a, const EmbeddingTable& b);
 
@@ -80,10 +89,14 @@ class EmbeddingTable
     int64_t rows_;
     int64_t dim_;
     Precision precision_;
+    /**
+     * Row storage is 64-byte aligned (AlignedVector) so the SIMD kernels
+     * see cache-line-aligned gather sources.
+     */
     /** FP32 storage (used when precision_ == kFp32). */
-    std::vector<float> data_f32_;
+    AlignedVector<float> data_f32_;
     /** FP16 storage as raw half bits (used when precision_ == kFp16). */
-    std::vector<uint16_t> data_f16_;
+    AlignedVector<uint16_t> data_f16_;
 };
 
 }  // namespace neo::ops

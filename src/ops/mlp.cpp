@@ -217,8 +217,10 @@ Mlp::Load(BinaryReader& reader)
         const uint64_t cols = reader.Read<uint64_t>();
         NEO_REQUIRE(rows == weights_[l].rows() && cols == weights_[l].cols(),
                     "checkpoint layer shape mismatch");
-        weights_[l].vec() = reader.ReadVector<float>();
-        biases_[l].vec() = reader.ReadVector<float>();
+        weights_[l].vec() =
+            reader.ReadVector<float, AlignedAllocator<float>>();
+        biases_[l].vec() =
+            reader.ReadVector<float, AlignedAllocator<float>>();
         NEO_REQUIRE(weights_[l].vec().size() == rows * cols,
                     "checkpoint weight size mismatch");
         NEO_REQUIRE(biases_[l].vec().size() == rows,

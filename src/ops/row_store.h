@@ -5,6 +5,11 @@
  * 32-way software cache fronting DDR, or UVM-style paging — the
  * hierarchical-memory training mode of Sec. 4.1.3 (used e.g. for online
  * training on fewer nodes).
+ *
+ * Alignment contract: implementations back rows with 64-byte-aligned
+ * storage (AlignedVector; see common/aligned.h) so the SIMD microkernels
+ * in src/kernels always see cache-line-aligned gather sources. The
+ * `out`/`in` pointers passed by callers need not be aligned.
  */
 #pragma once
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace neo::ops {
@@ -144,33 +146,27 @@ SparseOptimizer::UpdateRow(EmbeddingTable& table, int64_t row,
     table.ReadRow(row, row_buf);
     float* w = row_buf;
 
+    const kernels::KernelTable& kt = kernels::Active();
     switch (config_.kind) {
       case SparseOptimizerKind::kSgd: {
-        for (size_t i = 0; i < d; i++) {
-            w[i] -= lr * g[i];
-        }
+        // w += (-lr) * g: IEEE sign flip and subtract-vs-add-negated are
+        // exact, so this is bitwise the classic w[i] -= lr * g[i].
+        kt.axpy_f32(-lr, g, w, d);
         break;
       }
       case SparseOptimizerKind::kAdaGrad: {
         float* state = adagrad_state_.data() + static_cast<size_t>(row) * d;
-        for (size_t i = 0; i < d; i++) {
-            state[i] += g[i] * g[i];
-            w[i] -= lr * g[i] / (std::sqrt(state[i]) + eps);
-        }
+        kt.adagrad_update_f32(lr, eps, g, state, w, d);
         break;
       }
       case SparseOptimizerKind::kRowWiseAdaGrad: {
         // m' = m + (1/D) * sum_j g_j^2, one scalar per row (Sec. 4.1.4).
-        float sq_sum = 0.0f;
-        for (size_t i = 0; i < d; i++) {
-            sq_sum += g[i] * g[i];
-        }
+        // The sum runs the canonical width-16 strided reduction schedule.
+        const float sq_sum = kt.sum_squares_f32(g, d);
         float& m = rowwise_state_[static_cast<size_t>(row)];
         m += sq_sum / static_cast<float>(d);
         const float scale = lr / (std::sqrt(m) + eps);
-        for (size_t i = 0; i < d; i++) {
-            w[i] -= scale * g[i];
-        }
+        kt.axpy_f32(-scale, g, w, d);
         break;
       }
       case SparseOptimizerKind::kAdam: {
@@ -243,6 +239,11 @@ SparseOptimizer::ApplyExact(EmbeddingTable& table,
     // is fixed by the global sort — bit-identical at any thread count.
     const size_t d = static_cast<size_t>(dim_);
     const size_t num_groups = group_starts_.size() - 1;
+    static obs::Counter& update_calls =
+        obs::MetricsRegistry::Get().GetCounter(
+            "neo.kernels.sparse_update_calls");
+    update_calls.Add(num_groups);
+    const kernels::KernelTable& kt = kernels::Active();
     ParallelFor(0, num_groups, kExactGroupGrain, [&](size_t g0, size_t g1) {
         std::vector<float> merged(d);
         std::vector<float> row_buf(d);
@@ -265,10 +266,7 @@ SparseOptimizer::ApplyExact(EmbeddingTable& table,
             }
             std::fill(merged.begin(), merged.end(), 0.0f);
             for (size_t k = s; k < e; k++) {
-                const float* g_ptr = grads[order_[k]].grad;
-                for (size_t c = 0; c < d; c++) {
-                    merged[c] += g_ptr[c];
-                }
+                kt.add_f32(grads[order_[k]].grad, merged.data(), d);
             }
             UpdateRow(table, row, merged.data(), row_buf.data());
         }

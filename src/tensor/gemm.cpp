@@ -1,83 +1,93 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <vector>
 
+#include "common/aligned.h"
 #include "common/parallel_for.h"
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace neo {
 
 namespace {
 
-// Block sizes chosen for typical L1/L2 on x86; correctness does not depend
-// on them.
+using kernels::kMr;
+using kernels::kNr;
+
+/** M rows per ParallelFor chunk (the pre-kernel partitioning, kept). */
 constexpr size_t kBlockM = 64;
-constexpr size_t kBlockN = 64;
-constexpr size_t kBlockK = 64;
+/** B panels per packing chunk (fixed grain; packing is a pure copy). */
+constexpr size_t kPackGrain = 4;
 
 /**
- * Compute C rows [i_begin, i_end) of C += alpha * op(A) * op(B), where
- * i_begin is kBlockM-aligned so block boundaries match the serial schedule.
- *
- * Transposed operands are packed one block panel at a time into the
- * caller-provided scratch (`a_panel` is kBlockM x kBlockK, `b_panel` is
- * kBlockK x kBlockN) so the inner loop stays unit-stride without ever
- * materializing the full transposed matrix. The i-k-j accumulation order
- * is identical to the serial kernel, so results stay bitwise deterministic.
+ * Pack op(B) columns [p*kNr, p*kNr + nr) into panel `bp`:
+ * bp[kk*kNr + lane] = op(B)[kk][p*kNr + lane], zero-padding lanes >= nr
+ * so the microkernel always runs full-width (padded lanes are computed
+ * but never stored).
  */
 void
-GemmRowRange(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
-             const Matrix& b, Matrix& c, size_t i_begin, size_t i_end,
-             size_t k, size_t n, float* a_panel, float* b_panel)
+PackBPanel(Trans trans_b, const Matrix& b, size_t k, size_t j0, size_t nr,
+           float* bp)
 {
-    for (size_t i0 = i_begin; i0 < i_end; i0 += kBlockM) {
-        const size_t i1 = std::min(i0 + kBlockM, i_end);
-        for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
-            const size_t k1 = std::min(k0 + kBlockK, k);
-            if (trans_a == Trans::kYes) {
-                // op(A)[i, kk] = a(kk, i): gather the column slice once per
-                // (i-block, k-block) panel.
-                for (size_t kk = k0; kk < k1; kk++) {
-                    const float* src = a.Row(kk);
-                    float* dst = a_panel + (kk - k0);
-                    for (size_t i = i0; i < i1; i++) {
-                        dst[(i - i0) * kBlockK] = src[i];
-                    }
-                }
+    if (trans_b == Trans::kNo) {
+        for (size_t kk = 0; kk < k; kk++) {
+            const float* src = b.Row(kk) + j0;
+            float* dst = bp + kk * kNr;
+            size_t lane = 0;
+            for (; lane < nr; lane++) {
+                dst[lane] = src[lane];
             }
-            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
-                const size_t j1 = std::min(j0 + kBlockN, n);
-                if (trans_b == Trans::kYes) {
-                    // op(B)[kk, j] = b(j, kk): row j of B supplies column j
-                    // of the panel.
-                    for (size_t j = j0; j < j1; j++) {
-                        const float* src = b.Row(j);
-                        float* dst = b_panel + (j - j0);
-                        for (size_t kk = k0; kk < k1; kk++) {
-                            dst[(kk - k0) * kBlockN] = src[kk];
-                        }
-                    }
-                }
-                const size_t jn = j1 - j0;
-                for (size_t i = i0; i < i1; i++) {
-                    const float* a_base =
-                        trans_a == Trans::kYes
-                            ? a_panel + (i - i0) * kBlockK
-                            : a.Row(i) + k0;
-                    float* c_base = c.Row(i) + j0;
-                    for (size_t kk = k0; kk < k1; kk++) {
-                        const float aik = alpha * a_base[kk - k0];
-                        const float* b_base =
-                            trans_b == Trans::kYes
-                                ? b_panel + (kk - k0) * kBlockN
-                                : b.Row(kk) + j0;
-                        for (size_t j = 0; j < jn; j++) {
-                            c_base[j] += aik * b_base[j];
-                        }
-                    }
-                }
+            for (; lane < kNr; lane++) {
+                dst[lane] = 0.0f;
             }
+        }
+        return;
+    }
+    // op(B)[kk][j] = b(j, kk): row j0+lane of B supplies lane `lane`.
+    for (size_t lane = 0; lane < nr; lane++) {
+        const float* src = b.Row(j0 + lane);
+        for (size_t kk = 0; kk < k; kk++) {
+            bp[kk * kNr + lane] = src[kk];
+        }
+    }
+    for (size_t lane = nr; lane < kNr; lane++) {
+        for (size_t kk = 0; kk < k; kk++) {
+            bp[kk * kNr + lane] = 0.0f;
+        }
+    }
+}
+
+/**
+ * Pack rows [i0, i0 + mr) of alpha * op(A) into strip `ap`:
+ * ap[kk*kMr + r] = alpha * op(A)[i0 + r][kk], zero-padding rows >= mr.
+ * Folding alpha here rounds it once per A element at pack time, so every
+ * tier consumes identical panel bits.
+ */
+void
+PackAStrip(Trans trans_a, float alpha, const Matrix& a, size_t k, size_t i0,
+           size_t mr, float* ap)
+{
+    if (trans_a == Trans::kNo) {
+        for (size_t r = 0; r < mr; r++) {
+            const float* src = a.Row(i0 + r);
+            for (size_t kk = 0; kk < k; kk++) {
+                ap[kk * kMr + r] = alpha * src[kk];
+            }
+        }
+    } else {
+        // op(A)[i][kk] = a(kk, i).
+        for (size_t kk = 0; kk < k; kk++) {
+            const float* src = a.Row(kk) + i0;
+            float* dst = ap + kk * kMr;
+            for (size_t r = 0; r < mr; r++) {
+                dst[r] = alpha * src[r];
+            }
+        }
+    }
+    for (size_t r = mr; r < kMr; r++) {
+        for (size_t kk = 0; kk < k; kk++) {
+            ap[kk * kMr + r] = 0.0f;
         }
     }
 }
@@ -120,19 +130,50 @@ Gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
         return;
     }
 
-    // Blocked i-k-j loop: the innermost j loop is unit stride on both B and
-    // C, which vectorizes well; the fixed order keeps accumulation
-    // deterministic. Row blocks write disjoint C rows, so the M dimension
-    // parallelizes with no cross-chunk interaction (grain = 1 block).
+    const kernels::KernelTable& kt = kernels::Active();
+    static obs::Counter& gemm_calls =
+        obs::MetricsRegistry::Get().GetCounter("neo.kernels.gemm_calls");
+    gemm_calls.Add();
+
+    // Panel-pack op(B) once, up front: ceil(n/kNr) column panels of
+    // k x kNr each, zero-padded to full width. Packing is a pure copy
+    // with disjoint per-panel outputs, so the fixed-grain ParallelFor
+    // cannot perturb results.
+    const size_t n_panels = (n + kNr - 1) / kNr;
+    static thread_local AlignedVector<float> b_packed;
+    b_packed.resize(n_panels * k * kNr);
+    float* b_packed_ptr = b_packed.data();
+    ParallelFor(0, n_panels, kPackGrain, [&](size_t p0, size_t p1) {
+        for (size_t p = p0; p < p1; p++) {
+            const size_t j0 = p * kNr;
+            PackBPanel(trans_b, b, k, j0, std::min(kNr, n - j0),
+                       b_packed_ptr + p * k * kNr);
+        }
+    });
+
+    // M-block outer loop: fixed kBlockM partitioning (grain = 1 block),
+    // identical to the pre-kernel schedule, each chunk writing disjoint
+    // C rows. Inside a block, kMr-row strips of alpha * op(A) are packed
+    // into per-thread scratch and swept across every B panel while hot.
     const size_t m_blocks = (m + kBlockM - 1) / kBlockM;
     ParallelFor(0, m_blocks, 1, [&](size_t blk0, size_t blk1) {
-        std::vector<float> a_panel(
-            trans_a == Trans::kYes ? kBlockM * kBlockK : 0);
-        std::vector<float> b_panel(
-            trans_b == Trans::kYes ? kBlockK * kBlockN : 0);
-        GemmRowRange(trans_a, trans_b, alpha, a, b, c, blk0 * kBlockM,
-                     std::min(blk1 * kBlockM, m), k, n, a_panel.data(),
-                     b_panel.data());
+        static thread_local AlignedVector<float> a_strip;
+        a_strip.resize(k * kMr);
+        for (size_t blk = blk0; blk < blk1; blk++) {
+            const size_t i_begin = blk * kBlockM;
+            const size_t i_end = std::min(i_begin + kBlockM, m);
+            for (size_t i0 = i_begin; i0 < i_end; i0 += kMr) {
+                const size_t mr = std::min(kMr, i_end - i0);
+                PackAStrip(trans_a, alpha, a, k, i0, mr, a_strip.data());
+                for (size_t p = 0; p < n_panels; p++) {
+                    const size_t j0 = p * kNr;
+                    kt.gemm_tile(k, a_strip.data(),
+                                 b_packed_ptr + p * k * kNr,
+                                 c.Row(i0) + j0, c.cols(), mr,
+                                 std::min(kNr, n - j0));
+                }
+            }
+        }
     });
 }
 

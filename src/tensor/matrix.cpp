@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace neo {
 
 void
@@ -34,9 +36,8 @@ Matrix::Add(const Matrix& other)
 {
     NEO_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
               "Add shape mismatch");
-    for (size_t i = 0; i < data_.size(); i++) {
-        data_[i] += other.data_[i];
-    }
+    kernels::Active().add_f32(other.data_.data(), data_.data(),
+                              data_.size());
 }
 
 void
@@ -44,9 +45,8 @@ Matrix::Axpy(float alpha, const Matrix& other)
 {
     NEO_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
               "Axpy shape mismatch");
-    for (size_t i = 0; i < data_.size(); i++) {
-        data_[i] += alpha * other.data_[i];
-    }
+    kernels::Active().axpy_f32(alpha, other.data_.data(), data_.data(),
+                               data_.size());
 }
 
 void

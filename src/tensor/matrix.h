@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -25,8 +26,8 @@ class Matrix
         : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
 
     /** Allocate and fill from an explicit buffer (row-major). */
-    Matrix(size_t rows, size_t cols, std::vector<float> data)
-        : rows_(rows), cols_(cols), data_(std::move(data))
+    Matrix(size_t rows, size_t cols, const std::vector<float>& data)
+        : rows_(rows), cols_(cols), data_(data.begin(), data.end())
     {
         NEO_REQUIRE(data_.size() == rows_ * cols_,
                     "matrix data size mismatch");
@@ -89,13 +90,18 @@ class Matrix
     /** Frobenius norm. */
     float Norm() const;
 
-    const std::vector<float>& vec() const { return data_; }
-    std::vector<float>& vec() { return data_; }
+    /**
+     * Raw storage access (checkpoint serialization). The storage is an
+     * AlignedVector: Matrix data always starts on a 64-byte boundary so
+     * the SIMD microkernels see cache-line-aligned operands.
+     */
+    const AlignedVector<float>& vec() const { return data_; }
+    AlignedVector<float>& vec() { return data_; }
 
   private:
     size_t rows_ = 0;
     size_t cols_ = 0;
-    std::vector<float> data_;
+    AlignedVector<float> data_;
 };
 
 }  // namespace neo

@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Cross-tier bitwise-identity suite for the runtime-dispatched SIMD
+ * microkernels (src/kernels). The determinism contract (kernels.h,
+ * DESIGN.md §4h) promises that the dispatch tier can never change a
+ * result: every test here computes once per supported tier — across
+ * thread counts, ragged shapes, and precision modes — and requires the
+ * outputs to be bit-for-bit identical to the scalar reference tier.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cpu_features.h"
+#include "common/float_types.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
+#include "ops/embedding_bag.h"
+#include "ops/embedding_table.h"
+#include "ops/sparse_optimizer.h"
+#include "tensor/gemm.h"
+#include "tensor/matrix.h"
+
+namespace neo {
+namespace {
+
+using kernels::Tier;
+
+/** Restore the entry tier and a 1-thread pool when a test exits. */
+class TierGuard
+{
+  public:
+    TierGuard() : entry_(kernels::ActiveTier()) {}
+    ~TierGuard()
+    {
+        kernels::SetTier(entry_);
+        SetDefaultPoolThreads(1);
+    }
+
+  private:
+    Tier entry_;
+};
+
+const std::vector<size_t> kThreadCounts = {1, 2, 7};
+
+Matrix
+RandomMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Matrix m(rows, cols);
+    Rng rng(seed);
+    m.InitUniform(rng, -2.0f, 2.0f);
+    return m;
+}
+
+TEST(CpuFeatures, HostProbeIsStable)
+{
+    const CpuFeatures& host = CpuFeatures::Host();
+    const CpuFeatures again = CpuFeatures::Detect();
+    EXPECT_EQ(host.sse42, again.sse42);
+    EXPECT_EQ(host.avx2, again.avx2);
+    EXPECT_EQ(host.avx512f, again.avx512f);
+    // Dependent-feature sanity: wider implies narrower.
+    if (host.avx512f) {
+        EXPECT_TRUE(host.avx2);
+    }
+    if (host.avx2) {
+        EXPECT_TRUE(host.avx);
+    }
+    EXPECT_FALSE(CpuFeatures::Host().ToString().empty());
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupported)
+{
+    const auto tiers = kernels::SupportedTiers();
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_EQ(tiers.front(), Tier::kScalar);
+    // The active tier must be one of the supported ones.
+    bool found = false;
+    for (Tier t : tiers) {
+        found = found || t == kernels::ActiveTier();
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(KernelDispatch, SetTierSwitchesTableAndGauge)
+{
+    TierGuard guard;
+    for (Tier t : kernels::SupportedTiers()) {
+        kernels::SetTier(t);
+        EXPECT_EQ(kernels::ActiveTier(), t);
+        EXPECT_EQ(kernels::Active().tier, t);
+        EXPECT_EQ(obs::MetricsRegistry::Get()
+                      .GetGauge("neo.kernels.tier")
+                      .value(),
+                  static_cast<double>(t));
+        EXPECT_STREQ(kernels::TierName(kernels::TableFor(t).tier),
+                     kernels::TierName(t));
+    }
+}
+
+TEST(KernelDispatch, GemmCallCounterAdvances)
+{
+    auto& counter =
+        obs::MetricsRegistry::Get().GetCounter("neo.kernels.gemm_calls");
+    const uint64_t before = counter.value();
+    Matrix a = RandomMatrix(4, 5, 1);
+    Matrix b = RandomMatrix(5, 3, 2);
+    Matrix c(4, 3);
+    MatMul(a, b, c);
+    EXPECT_GT(counter.value(), before);
+}
+
+// ---------------------------------------------------------------- GEMM
+
+struct GemmCase {
+    size_t m, n, k;
+    Trans ta, tb;
+    float alpha, beta;
+};
+
+std::vector<GemmCase>
+GemmCases()
+{
+    // Ragged shapes straddle every tile boundary: below one tile,
+    // exactly one tile, off-by-one around kMr=6 / kNr=16, and block
+    // edges around kBlockM=64.
+    std::vector<GemmCase> cases;
+    const std::vector<std::array<size_t, 3>> shapes = {
+        {1, 1, 1},   {6, 16, 8},   {5, 15, 7},    {7, 17, 9},
+        {65, 63, 129}, {64, 64, 64}, {12, 32, 100}, {130, 47, 33},
+    };
+    for (const auto& s : shapes) {
+        cases.push_back({s[0], s[1], s[2], Trans::kNo, Trans::kNo,
+                         1.0f, 0.0f});
+    }
+    // Transpose and alpha/beta conformance on a boundary-straddling shape.
+    cases.push_back({65, 63, 29, Trans::kYes, Trans::kNo, 1.0f, 0.0f});
+    cases.push_back({65, 63, 29, Trans::kNo, Trans::kYes, 1.0f, 1.0f});
+    cases.push_back({65, 63, 29, Trans::kYes, Trans::kYes, -0.5f, 0.25f});
+    cases.push_back({33, 18, 40, Trans::kNo, Trans::kNo, 2.5f, -1.0f});
+    return cases;
+}
+
+Matrix
+RunGemmCase(const GemmCase& tc, uint64_t seed)
+{
+    const size_t a_rows = tc.ta == Trans::kNo ? tc.m : tc.k;
+    const size_t a_cols = tc.ta == Trans::kNo ? tc.k : tc.m;
+    const size_t b_rows = tc.tb == Trans::kNo ? tc.k : tc.n;
+    const size_t b_cols = tc.tb == Trans::kNo ? tc.n : tc.k;
+    Matrix a = RandomMatrix(a_rows, a_cols, seed);
+    Matrix b = RandomMatrix(b_rows, b_cols, seed + 1);
+    Matrix c = RandomMatrix(tc.m, tc.n, seed + 2);
+    Gemm(tc.ta, tc.tb, tc.alpha, a, b, tc.beta, c);
+    return c;
+}
+
+TEST(GemmKernels, BitwiseIdenticalAcrossTiersAndThreads)
+{
+    TierGuard guard;
+    uint64_t seed = 42;
+    for (const GemmCase& tc : GemmCases()) {
+        kernels::SetTier(Tier::kScalar);
+        SetDefaultPoolThreads(1);
+        const Matrix ref = RunGemmCase(tc, seed);
+        for (Tier tier : kernels::SupportedTiers()) {
+            for (size_t threads : kThreadCounts) {
+                kernels::SetTier(tier);
+                SetDefaultPoolThreads(threads);
+                const Matrix got = RunGemmCase(tc, seed);
+                EXPECT_TRUE(Matrix::Identical(ref, got))
+                    << "tier=" << kernels::TierName(tier)
+                    << " threads=" << threads << " m=" << tc.m
+                    << " n=" << tc.n << " k=" << tc.k;
+            }
+        }
+        seed += 10;
+    }
+}
+
+TEST(GemmKernels, MatchesNaiveReference)
+{
+    TierGuard guard;
+    for (const GemmCase& tc : GemmCases()) {
+        const size_t a_rows = tc.ta == Trans::kNo ? tc.m : tc.k;
+        const size_t a_cols = tc.ta == Trans::kNo ? tc.k : tc.m;
+        const size_t b_rows = tc.tb == Trans::kNo ? tc.k : tc.n;
+        const size_t b_cols = tc.tb == Trans::kNo ? tc.n : tc.k;
+        Matrix a = RandomMatrix(a_rows, a_cols, 7);
+        Matrix b = RandomMatrix(b_rows, b_cols, 8);
+        Matrix c0 = RandomMatrix(tc.m, tc.n, 9);
+
+        // Naive i-j-k triple loop with double accumulation.
+        Matrix want(tc.m, tc.n);
+        for (size_t i = 0; i < tc.m; i++) {
+            for (size_t j = 0; j < tc.n; j++) {
+                double acc = 0.0;
+                for (size_t kk = 0; kk < tc.k; kk++) {
+                    const float av =
+                        tc.ta == Trans::kNo ? a(i, kk) : a(kk, i);
+                    const float bv =
+                        tc.tb == Trans::kNo ? b(kk, j) : b(j, kk);
+                    acc += static_cast<double>(av) * bv;
+                }
+                want(i, j) = static_cast<float>(
+                    tc.beta * c0(i, j) + tc.alpha * acc);
+            }
+        }
+
+        Matrix got = c0;
+        Gemm(tc.ta, tc.tb, tc.alpha, a, b, tc.beta, got);
+        const float scale = std::max(1.0f, want.Norm());
+        EXPECT_LT(Matrix::MaxAbsDiff(want, got) / scale, 1e-5f)
+            << "m=" << tc.m << " n=" << tc.n << " k=" << tc.k;
+    }
+}
+
+// ------------------------------------------------------------- pooling
+
+TEST(PoolingKernels, PoolRowsBitwiseIdenticalAcrossTiers)
+{
+    TierGuard guard;
+    // Ragged dims around each vector width; fp32 and fp16 storage.
+    const std::vector<int64_t> dims = {1, 3, 8, 15, 16, 24, 33, 64};
+    for (Precision prec : {Precision::kFp32, Precision::kFp16}) {
+        for (int64_t dim : dims) {
+            ops::EmbeddingTable table(100, dim, prec);
+            Rng rng(static_cast<uint64_t>(dim) * 7 + 1);
+            table.InitUniform(rng);
+            // Bags covering empty, single-row, duplicates, and long.
+            const std::vector<std::vector<int64_t>> bags = {
+                {}, {42}, {3, 3, 3, 3}, {0, 99},
+                {5, 17, 5, 80, 2, 2, 41, 63, 5, 17, 30, 12, 8, 77, 1, 0, 5},
+            };
+            for (const auto& bag : bags) {
+                std::vector<float> want(dim, 0.5f);
+                kernels::SetTier(Tier::kScalar);
+                table.PoolRows(bag.data(), bag.size(), want.data());
+                for (Tier tier : kernels::SupportedTiers()) {
+                    kernels::SetTier(tier);
+                    std::vector<float> got(dim, 0.5f);
+                    table.PoolRows(bag.data(), bag.size(), got.data());
+                    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                                          got.size() * sizeof(float)),
+                              0)
+                        << "tier=" << kernels::TierName(tier)
+                        << " dim=" << dim << " bag_size=" << bag.size()
+                        << " prec=" << PrecisionName(prec);
+                }
+            }
+        }
+    }
+}
+
+TEST(PoolingKernels, ForwardBitwiseIdenticalAcrossTiersAndThreads)
+{
+    TierGuard guard;
+    // A collection with mixed dims/precisions exercises the fused
+    // Forward path end to end (PoolRows per bag, parallel over bags).
+    const std::vector<ops::TableSpec> specs = {
+        {50, 33, Precision::kFp32},
+        {80, 16, Precision::kFp16},
+        {20, 7, Precision::kFp32},
+    };
+    ops::SparseOptimizerConfig opt_config;
+    const size_t batch = 9;
+
+    // Per-table lengths/indices: sample 0 empty, sample 1 single-row,
+    // the rest random with duplicates.
+    std::vector<std::vector<uint32_t>> lengths(specs.size());
+    std::vector<std::vector<int64_t>> indices(specs.size());
+    Rng rng(311);
+    for (size_t t = 0; t < specs.size(); t++) {
+        for (size_t b = 0; b < batch; b++) {
+            const uint32_t len =
+                b == 0 ? 0
+                       : (b == 1 ? 1
+                                 : static_cast<uint32_t>(rng.NextRange(2, 20)));
+            lengths[t].push_back(len);
+            for (uint32_t i = 0; i < len; i++) {
+                indices[t].push_back(rng.NextRange(0, specs[t].rows - 1));
+            }
+        }
+    }
+    std::vector<ops::TableInput> inputs;
+    for (size_t t = 0; t < specs.size(); t++) {
+        inputs.push_back({std::span<const uint32_t>(lengths[t]),
+                          std::span<const int64_t>(indices[t])});
+    }
+
+    ops::EmbeddingBagCollection ebc(specs, opt_config, 77);
+    kernels::SetTier(Tier::kScalar);
+    SetDefaultPoolThreads(1);
+    std::vector<Matrix> want;
+    ebc.Forward(inputs, batch, want);
+
+    for (Tier tier : kernels::SupportedTiers()) {
+        for (size_t threads : kThreadCounts) {
+            kernels::SetTier(tier);
+            SetDefaultPoolThreads(threads);
+            std::vector<Matrix> got;
+            ebc.Forward(inputs, batch, got);
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t t = 0; t < want.size(); t++) {
+                EXPECT_TRUE(Matrix::Identical(want[t], got[t]))
+                    << "tier=" << kernels::TierName(tier)
+                    << " threads=" << threads << " table=" << t;
+            }
+        }
+    }
+}
+
+TEST(PoolingKernels, BackwardAndUpdateBitwiseIdenticalAcrossTiers)
+{
+    TierGuard guard;
+    const std::vector<ops::TableSpec> specs = {{40, 24, Precision::kFp32}};
+    ops::SparseOptimizerConfig opt_config;
+    const size_t batch = 5;
+    const std::vector<uint32_t> lengths = {0, 3, 1, 7, 3};
+    std::vector<int64_t> indices;
+    Rng rng(13);
+    for (uint32_t len : lengths) {
+        for (uint32_t i = 0; i < len; i++) {
+            indices.push_back(rng.NextRange(0, 39));
+        }
+    }
+    const std::vector<ops::TableInput> inputs = {
+        {std::span<const uint32_t>(lengths),
+         std::span<const int64_t>(indices)}};
+    Matrix grad = RandomMatrix(batch, 24, 21);
+
+    auto run = [&]() {
+        ops::EmbeddingBagCollection ebc(specs, opt_config, 5);
+        const std::vector<Matrix> grads = {grad};
+        for (int step = 0; step < 3; step++) {
+            ebc.BackwardAndUpdate(inputs, batch, grads);
+        }
+        std::vector<Matrix> out;
+        ebc.Forward(inputs, batch, out);
+        return out[0];
+    };
+
+    kernels::SetTier(Tier::kScalar);
+    SetDefaultPoolThreads(1);
+    const Matrix want = run();
+    for (Tier tier : kernels::SupportedTiers()) {
+        for (size_t threads : kThreadCounts) {
+            kernels::SetTier(tier);
+            SetDefaultPoolThreads(threads);
+            EXPECT_TRUE(Matrix::Identical(want, run()))
+                << "tier=" << kernels::TierName(tier)
+                << " threads=" << threads;
+        }
+    }
+}
+
+// ----------------------------------------------------------- optimizer
+
+TEST(OptimizerKernels, ApplyExactBitwiseIdenticalAcrossTiers)
+{
+    TierGuard guard;
+    using ops::SparseOptimizerKind;
+    const std::vector<int64_t> dims = {8, 33};
+    for (SparseOptimizerKind kind :
+         {SparseOptimizerKind::kSgd, SparseOptimizerKind::kAdaGrad,
+          SparseOptimizerKind::kRowWiseAdaGrad}) {
+        for (int64_t dim : dims) {
+            ops::SparseOptimizerConfig config;
+            config.kind = kind;
+            config.learning_rate = 0.05f;
+
+            // Gradients with duplicate rows (merge path) and uniques.
+            const std::vector<int64_t> rows = {3, 1, 3, 7, 1, 3, 9};
+            Matrix grads = RandomMatrix(rows.size(), dim, 17);
+            std::vector<ops::SparseGradRef> refs;
+            for (size_t i = 0; i < rows.size(); i++) {
+                refs.push_back({rows[i], grads.Row(i)});
+            }
+
+            auto run = [&]() {
+                ops::EmbeddingTable table(10, dim);
+                table.InitDeterministic(123, 0, 0, dim);
+                ops::SparseOptimizer opt(config, 10, dim);
+                for (int step = 0; step < 3; step++) {
+                    opt.ApplyExact(table, refs);
+                }
+                return table;
+            };
+
+            kernels::SetTier(Tier::kScalar);
+            SetDefaultPoolThreads(1);
+            const ops::EmbeddingTable want = run();
+            for (Tier tier : kernels::SupportedTiers()) {
+                for (size_t threads : kThreadCounts) {
+                    kernels::SetTier(tier);
+                    SetDefaultPoolThreads(threads);
+                    const ops::EmbeddingTable got = run();
+                    EXPECT_TRUE(ops::EmbeddingTable::Identical(want, got))
+                        << "kind="
+                        << ops::SparseOptimizerKindName(kind)
+                        << " tier=" << kernels::TierName(tier)
+                        << " threads=" << threads << " dim=" << dim;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- reductions/converts
+
+TEST(ReductionKernels, SumSquaresBitwiseIdenticalAcrossTiers)
+{
+    TierGuard guard;
+    for (size_t n : {0ul, 1ul, 7ul, 15ul, 16ul, 17ul, 31ul, 33ul, 1000ul}) {
+        AlignedVector<float> x(n);
+        Rng rng(n + 5);
+        for (auto& v : x) {
+            v = rng.NextUniform(-3.0f, 3.0f);
+        }
+        const float want =
+            kernels::TableFor(Tier::kScalar).sum_squares_f32(x.data(), n);
+        for (Tier tier : kernels::SupportedTiers()) {
+            const float got =
+                kernels::TableFor(tier).sum_squares_f32(x.data(), n);
+            EXPECT_EQ(detail::FloatToBits(want), detail::FloatToBits(got))
+                << "tier=" << kernels::TierName(tier) << " n=" << n;
+        }
+    }
+}
+
+TEST(ConvertKernels, QuantDequantBitwiseIdenticalAcrossTiers)
+{
+    TierGuard guard;
+    // Random values plus every fp16/bf16 edge: zeros, subnormal range,
+    // rounding ties, overflow, infinities, NaN payloads (quiet and
+    // signaling).
+    std::vector<float> values = {
+        0.0f, -0.0f, 1.0f, -1.0f, 65504.0f, -65504.0f, 65520.0f,
+        65535.9f, 1e-8f, -1e-8f, 5.96e-8f, 6.1e-5f, 0.1f, 1.5f,
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        std::numeric_limits<float>::quiet_NaN(),
+        detail::BitsToFloat(0x7FC12345u),  // quiet NaN with payload
+        detail::BitsToFloat(0x7F800001u),  // signaling NaN
+        detail::BitsToFloat(0xFF923456u),  // negative NaN
+        std::numeric_limits<float>::denorm_min(),
+        std::numeric_limits<float>::min(),
+        std::numeric_limits<float>::max(),
+    };
+    Rng rng(2024);
+    for (int i = 0; i < 1000; i++) {
+        values.push_back(rng.NextUniform(-100.0f, 100.0f));
+    }
+    const size_t n = values.size();
+
+    std::vector<uint16_t> h_want(n), b_want(n);
+    const kernels::KernelTable& scalar = kernels::TableFor(Tier::kScalar);
+    scalar.quant_f16(values.data(), h_want.data(), n);
+    scalar.quant_bf16(values.data(), b_want.data(), n);
+    std::vector<float> hd_want(n), bd_want(n);
+    scalar.dequant_f16(h_want.data(), hd_want.data(), n);
+    scalar.dequant_bf16(b_want.data(), bd_want.data(), n);
+
+    for (Tier tier : kernels::SupportedTiers()) {
+        const kernels::KernelTable& kt = kernels::TableFor(tier);
+        std::vector<uint16_t> h(n), b(n);
+        kt.quant_f16(values.data(), h.data(), n);
+        kt.quant_bf16(values.data(), b.data(), n);
+        EXPECT_EQ(h, h_want) << "quant_f16 tier=" << kernels::TierName(tier);
+        EXPECT_EQ(b, b_want)
+            << "quant_bf16 tier=" << kernels::TierName(tier);
+        std::vector<float> hd(n), bd(n);
+        kt.dequant_f16(h_want.data(), hd.data(), n);
+        kt.dequant_bf16(b_want.data(), bd.data(), n);
+        EXPECT_EQ(std::memcmp(hd.data(), hd_want.data(), n * sizeof(float)),
+                  0)
+            << "dequant_f16 tier=" << kernels::TierName(tier);
+        EXPECT_EQ(std::memcmp(bd.data(), bd_want.data(), n * sizeof(float)),
+                  0)
+            << "dequant_bf16 tier=" << kernels::TierName(tier);
+    }
+}
+
+TEST(ConvertKernels, DequantF16AllPatternsBitwiseIdentical)
+{
+    TierGuard guard;
+    // All 2^16 half patterns at once — pins hardware vcvtph2ps against
+    // the software converter, NaN quieting included.
+    std::vector<uint16_t> in(65536);
+    for (size_t i = 0; i < in.size(); i++) {
+        in[i] = static_cast<uint16_t>(i);
+    }
+    std::vector<float> want(in.size());
+    kernels::TableFor(Tier::kScalar)
+        .dequant_f16(in.data(), want.data(), in.size());
+    for (Tier tier : kernels::SupportedTiers()) {
+        std::vector<float> got(in.size());
+        kernels::TableFor(tier).dequant_f16(in.data(), got.data(),
+                                            in.size());
+        EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                              got.size() * sizeof(float)),
+                  0)
+            << "tier=" << kernels::TierName(tier);
+    }
+}
+
+TEST(ConvertKernels, QuantRoundTripThroughTable)
+{
+    TierGuard guard;
+    // WriteRow/ReadRow on an fp16 table must round-trip identically on
+    // every tier (the tiered/cached read path uses the same kernels).
+    const int64_t dim = 33;
+    std::vector<float> row(dim);
+    Rng rng(55);
+    for (auto& v : row) {
+        v = rng.NextUniform(-1.0f, 1.0f);
+    }
+    std::vector<float> want(dim);
+    {
+        kernels::SetTier(Tier::kScalar);
+        ops::EmbeddingTable table(2, dim, Precision::kFp16);
+        table.WriteRow(1, row.data());
+        table.ReadRow(1, want.data());
+    }
+    for (Tier tier : kernels::SupportedTiers()) {
+        kernels::SetTier(tier);
+        ops::EmbeddingTable table(2, dim, Precision::kFp16);
+        table.WriteRow(1, row.data());
+        std::vector<float> got(dim);
+        table.ReadRow(1, got.data());
+        EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                              got.size() * sizeof(float)),
+                  0)
+            << "tier=" << kernels::TierName(tier);
+    }
+}
+
+// ------------------------------------------------------------ storage
+
+TEST(AlignedStorage, MatrixAndTableRowsAreCacheLineAligned)
+{
+    Matrix m(3, 5);
+    EXPECT_TRUE(IsAligned(m.data()));
+    ops::EmbeddingTable table(4, 16);
+    EXPECT_EQ(table.ParameterBytes(), 4u * 16u * sizeof(float));
+    AlignedVector<float> probe(16);
+    EXPECT_TRUE(IsAligned(probe.data()));
+    // Odd sizes must still come back aligned (allocator property).
+    AlignedVector<uint16_t> halfs(7);
+    EXPECT_TRUE(IsAligned(halfs.data()));
+}
+
+}  // namespace
+}  // namespace neo
