@@ -8,7 +8,9 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/straggler.h"
 #include "obs/trace.h"
 
 namespace neo::comm {
@@ -60,6 +62,13 @@ ThreadedWorld::AbortLocked(int rank, const std::string& cause, bool transient)
     abort_cause_ = cause;
     abort_transient_ = transient;
     obs::MetricsRegistry::Get().GetCounter("neo.comm.aborts").Add();
+    // First abort wins, so this runs exactly once per failure: leave a
+    // post-mortem for the blamed rank while its rings still hold the
+    // final collective it entered. Lock order is barrier_mutex_ ->
+    // recorder -> registry; neither ever calls back into the world.
+    auto& recorder = obs::FlightRecorder::Get();
+    recorder.RecordEvent(rank, "abort", cause);
+    recorder.DumpBundle(rank, cause);
     barrier_cv_.notify_all();
 }
 
@@ -106,6 +115,20 @@ ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
     }
     barrier_entries_[rank]++;
     const uint64_t generation = barrier_generation_;
+    // Straggler signal: how far behind the generation's first arrival
+    // each rank shows up. Step wall-clock cannot localize a slow rank
+    // under BSP (everyone's step stretches equally while the fast ranks
+    // wait right here), but the last one through the door is exactly the
+    // rank holding everyone up.
+    if (barrier_waiting_ == 0) {
+        barrier_first_arrival_ns_ = obs::NowNs();
+        obs::StragglerDetector::Get().RecordArrival(rank, 0.0);
+    } else {
+        const double lateness =
+            static_cast<double>(obs::NowNs() - barrier_first_arrival_ns_) /
+            1e9;
+        obs::StragglerDetector::Get().RecordArrival(rank, lateness);
+    }
     if (++barrier_waiting_ == size_) {
         barrier_waiting_ = 0;
         barrier_generation_++;
@@ -136,6 +159,11 @@ ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
                   << " ms (stuck at " << fewest << " barrier entries vs "
                   << barrier_entries_[rank] << " on detecting rank " << rank
                   << ")";
+            const std::string suspect =
+                obs::StragglerDetector::Get().DescribeStraggler();
+            if (!suspect.empty()) {
+                cause << "; " << suspect;
+            }
             AbortLocked(straggler, cause.str(), /*transient=*/true);
         }
     } else {
@@ -165,6 +193,8 @@ ThreadedWorld::TryRecover(std::chrono::milliseconds timeout)
     if (++recover_waiting_ == size_) {
         recover_waiting_ = 0;
         recover_generation_++;
+        obs::FlightRecorder::Get().RecordEvent(
+            abort_rank_, "recover", "world recovered after: " + abort_cause_);
         // Full world rendezvoused: clear the poison and restart barrier
         // state so the next collective begins from a clean slate. Entry
         // counters reset too — ranks aborted a multi-barrier collective
@@ -221,6 +251,11 @@ ThreadedWorld::ShrinkAfterFailure(int rank, std::chrono::milliseconds timeout)
         shrink_cohorts_.push_back(std::move(cohort));
         shrink_generation_++;
         obs::MetricsRegistry::Get().GetCounter("neo.comm.shrinks").Add();
+        obs::FlightRecorder::Get().RecordEvent(
+            abort_rank_, "shrink",
+            "survivor cohort of " +
+                std::to_string(shrink_cohorts_.back().members.size()) +
+                " sealed after: " + abort_cause_);
         barrier_cv_.notify_all();
     };
 
@@ -245,6 +280,13 @@ ThreadedWorld::ShrinkAfterFailure(int rank, std::chrono::milliseconds timeout)
                 shrink_arrived_.erase(
                     std::find(shrink_arrived_.begin(),
                               shrink_arrived_.end(), rank));
+                auto& recorder = obs::FlightRecorder::Get();
+                const std::string detail =
+                    "shrink rendezvous found no peers within " +
+                    std::to_string(timeout.count()) + " ms (after: " +
+                    abort_cause_ + ")";
+                recorder.RecordEvent(rank, "shrink_failed", detail);
+                recorder.DumpBundle(rank, detail);
                 return result;  // ok = false
             }
             seal();
@@ -315,11 +357,21 @@ ThreadedWorld::Run(int size, const Options& options,
     }
 }
 
+obs::StragglerVerdict
+ThreadedWorld::AnalyzeStragglers() const
+{
+    return obs::StragglerDetector::Get().Analyze();
+}
+
 void
 ThreadedProcessGroup::MaybeInject(CollectiveOp op, float* payload,
                                   size_t count)
 {
     const uint64_t seq = collective_seq_++;
+    // Flight-record the op BEFORE the injector gets a chance to kill this
+    // rank: a killed rank's last ring entry then names the kill site.
+    obs::FlightRecorder::Get().RecordOp(rank_, CollectiveOpName(op),
+                                        obs::NowNs());
     FaultInjector* injector = world_->options_.injector;
     if (injector != nullptr) {
         injector->OnCollective(*world_, rank_, seq, op, payload, count);

@@ -32,6 +32,7 @@
 
 #include "comm/fault.h"
 #include "comm/process_group.h"
+#include "obs/straggler.h"
 
 namespace neo::comm {
 
@@ -145,6 +146,15 @@ class ThreadedWorld
     ShrinkResult ShrinkAfterFailure(int rank,
                                     std::chrono::milliseconds timeout);
 
+    /**
+     * Judge the barrier-arrival lateness this world has been feeding the
+     * process-wide obs::StragglerDetector and publish the straggler
+     * gauges. Under a lockstep BSP schedule arrival lateness — not step
+     * time — is what localizes a slow rank: every barrier records each
+     * rank's arrival delay behind the generation's first arrival.
+     */
+    obs::StragglerVerdict AnalyzeStragglers() const;
+
   private:
     friend class ThreadedProcessGroup;
 
@@ -174,6 +184,9 @@ class ThreadedWorld
     uint64_t barrier_generation_ = 0;
     /** Lifetime barrier-entry count per rank; lowest = straggler. */
     std::vector<uint64_t> barrier_entries_;
+    /** NowNs() of the current generation's first arrival; each later
+     *  arrival's lateness against it feeds the straggler detector. */
+    int64_t barrier_first_arrival_ns_ = 0;
 
     /** Poisoned-world state (first abort wins). */
     bool aborted_ = false;

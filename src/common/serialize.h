@@ -43,6 +43,9 @@ class BinaryWriter
         buffer_.insert(buffer_.end(), p, p + v.size() * sizeof(T));
     }
 
+    /** Pre-size the buffer (bulk writers like the telemetry harvest). */
+    void Reserve(size_t bytes) { buffer_.reserve(bytes); }
+
     const std::vector<uint8_t>& buffer() const { return buffer_; }
 
     /** Flush the buffer to a file; fatal on I/O failure. */

@@ -24,14 +24,26 @@ Percentile(std::vector<double> values, double p)
         throw std::invalid_argument("percentile must be in [0,100]");
     }
     std::sort(values.begin(), values.end());
-    if (values.size() == 1) {
-        return values[0];
+    return PercentileSorted(values, p);
+}
+
+double
+PercentileSorted(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty()) {
+        throw std::invalid_argument("Percentile of empty sample");
     }
-    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    if (!(p >= 0.0 && p <= 100.0)) {
+        throw std::invalid_argument("percentile must be in [0,100]");
+    }
+    if (sorted.size() == 1) {
+        return sorted[0];
+    }
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 LoadBalance

@@ -63,6 +63,17 @@ class RunningStat
 double Percentile(std::vector<double> values, double p);
 
 /**
+ * Percentile over an already-sorted sample vector. Callers that need
+ * several percentiles of the same sample (histogram snapshots read four)
+ * sort once and probe with this instead of paying a copy+sort per call.
+ *
+ * @param sorted Observations in ascending order.
+ * @param p Percentile in [0, 100].
+ * @throws std::invalid_argument on an empty sample or p outside [0, 100].
+ */
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/**
  * Load-imbalance metrics over per-worker costs; the sharding evaluation
  * (Sec. 5.3.2) reasons about max/mean load across GPUs.
  */

@@ -7,7 +7,9 @@
 #include "common/logging.h"
 #include "core/step_transaction.h"
 #include "data/jagged.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/straggler.h"
 #include "obs/trace.h"
 
 namespace neo::core {
@@ -60,6 +62,16 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
     NEO_CHECK(router_->NumLocalShards() == shards_.size(),
               "local shard bookkeeping mismatch");
     grad_buffer_.resize(bottom_->GradCount() + top_->GradCount());
+
+    // Live exposition: rank 0 periodically renders the (process-wide)
+    // registry for external scrapers. Start() is inert unless a
+    // telemetry directory is configured, so this costs nothing in tests.
+    if (rank_ == 0 && options_.telemetry_period.count() > 0) {
+        obs::SnapshotWriter::Options writer;
+        writer.period = options_.telemetry_period;
+        writer.basename = "train_metrics";
+        exposition_.Start(writer);
+    }
 }
 
 void
@@ -300,8 +312,13 @@ DistributedDlrm::TrainStep(const data::Batch& local_batch)
     const double loss = TrainStepPrepared(prepared);
     auto& metrics = obs::MetricsRegistry::Get();
     metrics.GetCounter("neo.core.steps").Add();
-    metrics.GetHistogram("neo.core.step_seconds")
-        .Observe(static_cast<double>(obs::NowNs() - t0) * 1e-9);
+    const double step_seconds =
+        static_cast<double>(obs::NowNs() - t0) * 1e-9;
+    metrics.GetHistogram("neo.core.step_seconds").Observe(step_seconds);
+    obs::StragglerDetector::Get().RecordStep(rank_, step_seconds);
+    auto& recorder = obs::FlightRecorder::Get();
+    recorder.RecordStep(rank_, steps_done_++, step_seconds, loss);
+    recorder.RecordMetricsDelta(rank_);
     return loss;
 }
 
@@ -365,10 +382,15 @@ DistributedDlrm::RunStepWithRecovery(const std::function<double()>& attempt)
             std::this_thread::sleep_for(
                 RetryBackoffDelay(options_, result.attempts));
             if (!pg_.Recover(options_.recover_timeout)) {
-                result.failures.push_back(
-                    {failure.failed_rank(),
-                     "recovery rendezvous timed out; rank did not return",
-                     result.attempts, false});
+                std::string cause =
+                    "recovery rendezvous timed out; rank did not return";
+                const std::string suspect =
+                    obs::StragglerDetector::Get().DescribeStraggler();
+                if (!suspect.empty()) {
+                    cause += "; " + suspect;
+                }
+                result.failures.push_back({failure.failed_rank(), cause,
+                                           result.attempts, false});
                 return result;
             }
             Warn("rank ", rank_, ": step attempt ", result.attempts,

@@ -29,6 +29,7 @@
 #include "core/dlrm_config.h"
 #include "core/shard_router.h"
 #include "data/dataset.h"
+#include "obs/exposition.h"
 #include "ops/mlp.h"
 #include "sharding/planner.h"
 #include "tensor/interaction.h"
@@ -67,6 +68,16 @@ struct DistributedOptions {
      * retries that may double-apply updates.
      */
     bool transactional_retry = true;
+
+    // ---- telemetry ----
+
+    /**
+     * Period of the rank-0 live metrics exposition (Prometheus + JSON
+     * snapshots under NEO_TELEMETRY_DIR). The writer only starts when a
+     * telemetry directory is actually configured, so the default is
+     * inert everywhere the env is unset; 0 disables outright.
+     */
+    std::chrono::milliseconds telemetry_period{1000};
 };
 
 /**
@@ -278,6 +289,8 @@ class DistributedDlrm
     DistributedOptions options_;
     int rank_;
     int world_;
+    /** Completed TrainStep count on this rank (flight-recorder step id). */
+    uint64_t steps_done_ = 0;
 
     std::unique_ptr<ops::Mlp> bottom_;
     std::unique_ptr<ops::Mlp> top_;
@@ -308,6 +321,10 @@ class DistributedDlrm
      *  immediately before mutating state. Null outside transactional
      *  retries. */
     StepTransaction* txn_ = nullptr;
+
+    /** Rank-0 periodic metrics exposition (inert without a telemetry
+     *  directory); stops itself on destruction. */
+    obs::SnapshotWriter exposition_;
 };
 
 }  // namespace neo::core

@@ -1,0 +1,117 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace neo::obs {
+
+namespace {
+
+std::string
+ResolveDirectory(const std::string& configured)
+{
+    if (!configured.empty()) {
+        return configured;
+    }
+    const char* env = std::getenv("NEO_TELEMETRY_DIR");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+/** Write `body` to `path` via `path`.tmp + rename (atomic replace). */
+bool
+WriteAtomic(const std::string& path, const std::string& body)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    const size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    if (wrote != body.size()) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+SnapshotWriter::~SnapshotWriter()
+{
+    Stop();
+}
+
+std::string
+SnapshotWriter::WriteOnce(const std::string& dir, const std::string& basename)
+{
+    const std::string resolved = ResolveDirectory(dir);
+    if (resolved.empty()) {
+        return "";
+    }
+    const RegistrySnapshot snap = MetricsRegistry::Get().Export();
+    const std::string prom_path = resolved + "/" + basename + ".prom";
+    const std::string json_path = resolved + "/" + basename + ".json";
+    if (!WriteAtomic(prom_path, MetricsRegistry::RenderPrometheus(snap))) {
+        return "";
+    }
+    if (!WriteAtomic(json_path, MetricsRegistry::RenderJson(snap))) {
+        return "";
+    }
+    return prom_path;
+}
+
+bool
+SnapshotWriter::Start(const Options& options)
+{
+    if (running()) {
+        return false;
+    }
+    Options resolved = options;
+    resolved.directory = ResolveDirectory(options.directory);
+    if (resolved.directory.empty()) {
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_requested_ = false;
+    }
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread(&SnapshotWriter::Loop, this, std::move(resolved));
+    return true;
+}
+
+void
+SnapshotWriter::Stop()
+{
+    if (!running()) {
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+    running_.store(false, std::memory_order_release);
+}
+
+void
+SnapshotWriter::Loop(Options options)
+{
+    WriteOnce(options.directory, options.basename);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_requested_) {
+        cv_.wait_for(lock, options.period,
+                     [this] { return stop_requested_; });
+        lock.unlock();
+        WriteOnce(options.directory, options.basename);
+        lock.lock();
+    }
+}
+
+}  // namespace neo::obs

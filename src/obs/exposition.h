@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Live metrics exposition: a background thread that periodically renders
+ * the MetricsRegistry to Prometheus text format (plus a JSON twin) and
+ * atomically replaces `<dir>/<basename>.prom` / `.json`, so an external
+ * scraper — or the replica router the ROADMAP points at — can watch a
+ * training or serving process without linking against it. Files are
+ * written tmp-then-rename, so a reader never sees a torn snapshot.
+ *
+ * The writer is inert unless a directory is configured (options or
+ * NEO_TELEMETRY_DIR): Start() without one is a no-op and returns false,
+ * which is how unit tests and benches stay file-free by default.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace neo::obs {
+
+/** Periodic Prometheus/JSON metrics snapshot writer. */
+class SnapshotWriter
+{
+  public:
+    struct Options {
+        /** Output directory; "" falls back to NEO_TELEMETRY_DIR. */
+        std::string directory;
+        /** Rewrite period. */
+        std::chrono::milliseconds period{1000};
+        /** Output stem: writes <basename>.prom and <basename>.json. */
+        std::string basename = "metrics";
+    };
+
+    SnapshotWriter() = default;
+    ~SnapshotWriter();
+
+    SnapshotWriter(const SnapshotWriter&) = delete;
+    SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+    /**
+     * Start the writer thread. Returns false (and stays stopped) when no
+     * directory is configured or the writer is already running. Writes
+     * one snapshot immediately, then every `period`.
+     */
+    bool Start(const Options& options);
+
+    /** Stop and join; writes one final snapshot. Safe when not running. */
+    void Stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /**
+     * Render the registry once into `<dir>/<basename>.prom` and
+     * `<basename>.json` (tmp-then-rename). Returns the .prom path, or ""
+     * on failure. Both files render from ONE registry snapshot, so they
+     * are mutually consistent.
+     */
+    static std::string WriteOnce(const std::string& dir,
+                                 const std::string& basename = "metrics");
+
+  private:
+    void Loop(Options options);
+
+    std::atomic<bool> running_{false};
+    bool stop_requested_ = false;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+};
+
+}  // namespace neo::obs

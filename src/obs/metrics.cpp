@@ -34,9 +34,21 @@ Histogram::GetSnapshot() const
     snap.min = stat_.min();
     snap.max = stat_.max();
     snap.stddev = stat_.stddev();
-    snap.p50 = Percentile(samples_, 50.0);
-    snap.p95 = Percentile(samples_, 95.0);
-    snap.p99 = Percentile(samples_, 99.0);
+    // One copy + one sort for all four percentiles; Percentile() would
+    // copy and sort the window per call, which dominates export cost
+    // once the sample ring is full.
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    snap.p50 = PercentileSorted(sorted, 50.0);
+    snap.p95 = PercentileSorted(sorted, 95.0);
+    snap.p99 = PercentileSorted(sorted, 99.0);
+    snap.p999 = PercentileSorted(sorted, 99.9);
+    // Once the ring wraps, the percentiles above describe only the most
+    // recent window_ observations; surface how much history they miss so
+    // exports can mark them approximate instead of silently pretending
+    // full coverage.
+    snap.samples_dropped = snap.count - samples_.size();
+    snap.approximate = snap.samples_dropped > 0;
     return snap;
 }
 
@@ -123,30 +135,85 @@ JsonNumber(double v)
     return buf;
 }
 
+/** Mangle an instrument name into a Prometheus-legal metric name. */
+std::string
+PrometheusName(const std::string& name)
+{
+    std::string out = name;
+    for (char& c : out) {
+        const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!legal) {
+            c = '_';
+        }
+    }
+    return out;
+}
+
 }  // namespace
 
-std::string
-MetricsRegistry::ToJson() const
+uint64_t
+RegistrySnapshot::CounterValue(const std::string& name) const
+{
+    for (const auto& [n, v] : counters) {
+        if (n == name) {
+            return v;
+        }
+    }
+    return 0;
+}
+
+double
+RegistrySnapshot::GaugeValue(const std::string& name) const
+{
+    for (const auto& [n, v] : gauges) {
+        if (n == name) {
+            return v;
+        }
+    }
+    return 0.0;
+}
+
+RegistrySnapshot
+MetricsRegistry::Export() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    RegistrySnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+        snap.counters.emplace_back(name, counter->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+        snap.gauges.emplace_back(name, gauge->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+        snap.histograms.emplace_back(name, histogram->GetSnapshot());
+    }
+    return snap;
+}
+
+std::string
+MetricsRegistry::RenderJson(const RegistrySnapshot& snap)
+{
     std::string out = "{\"counters\":{";
     bool first = true;
-    for (const auto& [name, counter] : counters_) {
+    for (const auto& [name, value] : snap.counters) {
         out += first ? "" : ",";
         first = false;
-        out += "\"" + name + "\":" + std::to_string(counter->value());
+        out += "\"" + name + "\":" + std::to_string(value);
     }
     out += "},\"gauges\":{";
     first = true;
-    for (const auto& [name, gauge] : gauges_) {
+    for (const auto& [name, value] : snap.gauges) {
         out += first ? "" : ",";
         first = false;
-        out += "\"" + name + "\":" + JsonNumber(gauge->value());
+        out += "\"" + name + "\":" + JsonNumber(value);
     }
     out += "},\"histograms\":{";
     first = true;
-    for (const auto& [name, histogram] : histograms_) {
-        const Histogram::Snapshot s = histogram->GetSnapshot();
+    for (const auto& [name, s] : snap.histograms) {
         out += first ? "" : ",";
         first = false;
         out += "\"" + name + "\":{\"count\":" + std::to_string(s.count) +
@@ -157,32 +224,84 @@ MetricsRegistry::ToJson() const
                ",\"stddev\":" + JsonNumber(s.stddev) +
                ",\"p50\":" + JsonNumber(s.p50) +
                ",\"p95\":" + JsonNumber(s.p95) +
-               ",\"p99\":" + JsonNumber(s.p99) + "}";
+               ",\"p99\":" + JsonNumber(s.p99) +
+               ",\"p999\":" + JsonNumber(s.p999) +
+               ",\"samples_dropped\":" + std::to_string(s.samples_dropped) +
+               ",\"approximate\":" + (s.approximate ? "true" : "false") +
+               "}";
     }
     out += "}}";
     return out;
 }
 
 std::string
-MetricsRegistry::ToCsv() const
+MetricsRegistry::RenderCsv(const RegistrySnapshot& snap)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::string out = "name,kind,count,value,min,max,p50,p95,p99\n";
-    for (const auto& [name, counter] : counters_) {
-        out += name + ",counter,," + std::to_string(counter->value()) +
-               ",,,,,\n";
+    std::string out = "name,kind,count,value,min,max,p50,p95,p99,p999\n";
+    for (const auto& [name, value] : snap.counters) {
+        out += name + ",counter,," + std::to_string(value) + ",,,,,,\n";
     }
-    for (const auto& [name, gauge] : gauges_) {
-        out += name + ",gauge,," + JsonNumber(gauge->value()) + ",,,,,\n";
+    for (const auto& [name, value] : snap.gauges) {
+        out += name + ",gauge,," + JsonNumber(value) + ",,,,,,\n";
     }
-    for (const auto& [name, histogram] : histograms_) {
-        const Histogram::Snapshot s = histogram->GetSnapshot();
+    for (const auto& [name, s] : snap.histograms) {
         out += name + ",histogram," + std::to_string(s.count) + "," +
                JsonNumber(s.mean) + "," + JsonNumber(s.min) + "," +
                JsonNumber(s.max) + "," + JsonNumber(s.p50) + "," +
-               JsonNumber(s.p95) + "," + JsonNumber(s.p99) + "\n";
+               JsonNumber(s.p95) + "," + JsonNumber(s.p99) + "," +
+               JsonNumber(s.p999) + "\n";
     }
     return out;
+}
+
+std::string
+MetricsRegistry::RenderPrometheus(const RegistrySnapshot& snap)
+{
+    std::string out;
+    for (const auto& [name, value] : snap.counters) {
+        const std::string prom = PrometheusName(name);
+        out += "# TYPE " + prom + " counter\n";
+        out += prom + " " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, value] : snap.gauges) {
+        const std::string prom = PrometheusName(name);
+        out += "# TYPE " + prom + " gauge\n";
+        out += prom + " " + JsonNumber(value) + "\n";
+    }
+    for (const auto& [name, s] : snap.histograms) {
+        const std::string prom = PrometheusName(name);
+        out += "# TYPE " + prom + " summary\n";
+        out += prom + "{quantile=\"0.5\"} " + JsonNumber(s.p50) + "\n";
+        out += prom + "{quantile=\"0.95\"} " + JsonNumber(s.p95) + "\n";
+        out += prom + "{quantile=\"0.99\"} " + JsonNumber(s.p99) + "\n";
+        out += prom + "{quantile=\"0.999\"} " + JsonNumber(s.p999) + "\n";
+        out += prom + "_sum " + JsonNumber(s.sum) + "\n";
+        out += prom + "_count " + std::to_string(s.count) + "\n";
+        if (s.approximate) {
+            out += "# TYPE " + prom + "_samples_dropped gauge\n";
+            out += prom + "_samples_dropped " +
+                   std::to_string(s.samples_dropped) + "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::ToJson() const
+{
+    return RenderJson(Export());
+}
+
+std::string
+MetricsRegistry::ToCsv() const
+{
+    return RenderCsv(Export());
+}
+
+std::string
+MetricsRegistry::ToPrometheus() const
+{
+    return RenderPrometheus(Export());
 }
 
 }  // namespace neo::obs

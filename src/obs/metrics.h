@@ -20,6 +20,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -75,6 +77,18 @@ class Histogram
         double p50 = 0.0;
         double p95 = 0.0;
         double p99 = 0.0;
+        /** Tail percentile for serve-side latency SLOs. */
+        double p999 = 0.0;
+        /**
+         * Observations no longer in the percentile window: once the
+         * sample ring wraps, p50/p95/p99/p999 describe only the most
+         * recent `window` observations. Non-zero means the percentiles
+         * are approximate (see `approximate`); count/sum/mean/min/max
+         * stay exact (they fold into the running stat).
+         */
+        uint64_t samples_dropped = 0;
+        /** True when the ring wrapped and percentiles are windowed. */
+        bool approximate = false;
     };
 
     explicit Histogram(size_t window = 1 << 14) : window_(window) {}
@@ -92,6 +106,24 @@ class Histogram
     std::vector<double> samples_;
     size_t next_ = 0;
     size_t window_;
+};
+
+/**
+ * Point-in-time copy of every instrument in a registry, taken in one
+ * pass under the registry lock so exporters and the telemetry harvest
+ * see a mutually consistent set of values (a concurrent Reset() lands
+ * entirely before or entirely after the snapshot, never interleaved).
+ * Instruments are sorted by name.
+ */
+struct RegistrySnapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    /** Value of a counter by exact name (0 when absent). */
+    uint64_t CounterValue(const std::string& name) const;
+    /** Value of a gauge by exact name (0.0 when absent). */
+    double GaugeValue(const std::string& name) const;
 };
 
 /**
@@ -121,14 +153,40 @@ class MetricsRegistry
     void Reset();
 
     /**
+     * Copy every instrument's current value in one registry-level pass.
+     * All exporters (JSON, CSV, Prometheus, telemetry harvest) render
+     * from this snapshot, so a concurrent Reset() can never interleave
+     * with an export: string formatting happens outside the lock on an
+     * immutable copy.
+     */
+    RegistrySnapshot Export() const;
+
+    /**
      * One JSON object:
      * {"counters":{name:value},"gauges":{...},
-     *  "histograms":{name:{count,mean,min,max,stddev,p50,p95,p99,sum}}}
+     *  "histograms":{name:{count,mean,min,max,stddev,p50,p95,p99,p999,
+     *                      samples_dropped,approximate,sum}}}
      */
     std::string ToJson() const;
 
-    /** Flat CSV: name,kind,count,value,min,max,p50,p95,p99 per line. */
+    /** Flat CSV: name,kind,count,value,min,max,p50,p95,p99,p999 lines. */
     std::string ToCsv() const;
+
+    /**
+     * Prometheus text exposition format 0.0.4: counters and gauges as-is,
+     * histograms rendered as summaries (quantile 0.5/0.95/0.99/0.999 +
+     * _sum/_count), instrument dots mangled to underscores. Percentiles
+     * over a wrapped ring additionally export a
+     * <name>_samples_dropped gauge so scrapers can see approximation.
+     */
+    std::string ToPrometheus() const;
+
+    /** Render an already-taken snapshot (see Export) as ToJson would. */
+    static std::string RenderJson(const RegistrySnapshot& snap);
+    /** Render an already-taken snapshot as ToCsv would. */
+    static std::string RenderCsv(const RegistrySnapshot& snap);
+    /** Render an already-taken snapshot as ToPrometheus would. */
+    static std::string RenderPrometheus(const RegistrySnapshot& snap);
 
   private:
     mutable std::mutex mutex_;

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stats.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,6 +26,13 @@ Server::Server(size_t num_dense, size_t num_tables,
     }
     NEO_REQUIRE(options_.resume_queue < options_.max_queue,
                 "resume_queue must be below max_queue for hysteresis");
+    if (options_.telemetry_period.count() > 0) {
+        obs::SnapshotWriter::Options writer;
+        writer.directory = options_.telemetry_dir;
+        writer.period = options_.telemetry_period;
+        writer.basename = "serve_metrics";
+        exposition_.Start(writer);  // inert without a telemetry dir
+    }
 }
 
 Ticket
@@ -34,6 +43,7 @@ Server::Submit(Request request)
     if (batcher_.stopped()) {
         ticket.admission = Admission::kShedStopped;
         metrics.GetCounter("neo.serve.shed_stopped").Add();
+        NoteShed();
         return ticket;
     }
 
@@ -50,6 +60,7 @@ Server::Submit(Request request)
                                 ? "neo.serve.shed_slo"
                                 : "neo.serve.shed_queue")
                 .Add();
+            NoteShed();
             return ticket;
         }
     }
@@ -58,6 +69,7 @@ Server::Submit(Request request)
         shed_reason_.store(Admission::kShedQueueFull);
         ticket.admission = Admission::kShedQueueFull;
         metrics.GetCounter("neo.serve.shed_queue").Add();
+        NoteShed();
         return ticket;
     }
     if (options_.slo_budget_us > 0) {
@@ -71,6 +83,7 @@ Server::Submit(Request request)
             shed_reason_.store(Admission::kShedSlo);
             ticket.admission = Admission::kShedSlo;
             metrics.GetCounter("neo.serve.shed_slo").Add();
+            NoteShed();
             return ticket;
         }
     }
@@ -85,11 +98,54 @@ Server::Submit(Request request)
         ticket = Ticket{};
         ticket.admission = Admission::kShedStopped;
         metrics.GetCounter("neo.serve.shed_stopped").Add();
+        NoteShed();
         return ticket;
     }
     ticket.admission = Admission::kAccepted;
     metrics.GetCounter("neo.serve.admitted").Add();
+    // An admit ends any shed storm: reset the streak and re-arm the
+    // one-bundle-per-storm latch.
+    shed_streak_.store(0, std::memory_order_relaxed);
+    storm_dumped_.store(false, std::memory_order_relaxed);
+    const uint64_t admitted =
+        admitted_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const uint64_t shed = shed_total_.load(std::memory_order_relaxed);
+    metrics.GetGauge("neo.serve.shed_rate")
+        .Set(static_cast<double>(shed) /
+             static_cast<double>(admitted + shed));
     return ticket;
+}
+
+void
+Server::NoteShed()
+{
+    const uint64_t shed =
+        shed_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const uint64_t admitted = admitted_total_.load(std::memory_order_relaxed);
+    obs::MetricsRegistry::Get()
+        .GetGauge("neo.serve.shed_rate")
+        .Set(static_cast<double>(shed) /
+             static_cast<double>(admitted + shed));
+    const uint64_t streak =
+        shed_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.shed_storm_dump == 0 ||
+        streak < options_.shed_storm_dump) {
+        return;
+    }
+    // One bundle per storm: the first thread to cross the threshold wins
+    // the latch; everyone else returns.
+    bool expected = false;
+    if (!storm_dumped_.compare_exchange_strong(expected, true,
+                                               std::memory_order_relaxed)) {
+        return;
+    }
+    auto& recorder = obs::FlightRecorder::Get();
+    const std::string detail =
+        "shed storm: " + std::to_string(streak) +
+        " consecutive sheds (queue depth " +
+        std::to_string(batcher_.size()) + ")";
+    recorder.RecordEvent(0, "shed_storm", detail);
+    recorder.DumpBundle(0, detail);
 }
 
 void
@@ -146,6 +202,51 @@ Server::CompleteBatch(std::vector<Pending>& batch,
     metrics.GetHistogram("neo.serve.batch_seconds").Observe(batch_seconds);
     metrics.GetHistogram("neo.serve.batch_size")
         .Observe(static_cast<double>(batch.size()));
+
+    // Per-version gauges for the scrape plane: a router watching the
+    // exposition can see each model version's throughput and tails and
+    // decide when a freshly-published version has warmed up. Only the
+    // rank-0 loop thread runs here, so version_stats_ needs no lock.
+    VersionStats* stats = nullptr;
+    for (auto& vs : version_stats_) {
+        if (vs.version == version) {
+            stats = &vs;
+            break;
+        }
+    }
+    if (stats == nullptr) {
+        version_stats_.push_back(VersionStats{});
+        stats = &version_stats_.back();
+        stats->version = version;
+        stats->first_completion = now;
+        if (version_stats_.size() > kVersionStatsKept) {
+            version_stats_.pop_front();
+            stats = &version_stats_.back();
+        }
+    }
+    for (size_t i = 0; i < batch.size(); i++) {
+        const double latency =
+            std::chrono::duration<double>(now - batch[i].enqueue).count();
+        if (stats->latencies.size() < kVersionLatencyWindow) {
+            stats->latencies.push_back(latency);
+        } else {
+            stats->latencies[stats->next] = latency;
+        }
+        stats->next = (stats->next + 1) % kVersionLatencyWindow;
+    }
+    stats->requests += batch.size();
+    const std::string prefix =
+        "neo.serve.v" + std::to_string(version) + ".";
+    const double elapsed =
+        std::chrono::duration<double>(now - stats->first_completion)
+            .count();
+    metrics.GetGauge(prefix + "qps")
+        .Set(elapsed > 0.0 ? static_cast<double>(stats->requests) / elapsed
+                           : static_cast<double>(stats->requests));
+    metrics.GetGauge(prefix + "p50_seconds")
+        .Set(Percentile(stats->latencies, 50.0));
+    metrics.GetGauge(prefix + "p99_seconds")
+        .Set(Percentile(stats->latencies, 99.0));
 }
 
 void

@@ -20,10 +20,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <memory>
 
 #include "comm/process_group.h"
+#include "obs/exposition.h"
 #include "serve/batcher.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
@@ -43,6 +45,20 @@ struct ServerOptions {
      *  world's barrier timeout). */
     std::chrono::milliseconds heartbeat{50};
     EngineOptions engine;
+
+    // ---- telemetry ----
+
+    /** Live exposition directory ("" = NEO_TELEMETRY_DIR; the writer is
+     *  inert when neither is set). */
+    std::string telemetry_dir;
+    /** Live exposition rewrite period; 0 disables the writer. */
+    std::chrono::milliseconds telemetry_period{1000};
+    /**
+     * Consecutive shed responses that count as a "shed storm" and dump
+     * one flight-recorder bundle (post-mortem for why admission
+     * collapsed). 0 disables. Re-arms once a request is admitted again.
+     */
+    size_t shed_storm_dump = 0;
 };
 
 /** Admission verdict for one Submit. */
@@ -126,6 +142,25 @@ class Server
                        std::chrono::steady_clock::time_point dispatched,
                        double batch_seconds);
 
+    /** Bump the shed streak and dump a storm bundle at the threshold. */
+    void NoteShed();
+
+    /**
+     * Per-version serving stats behind the neo.serve.v<version>.* gauges.
+     * Touched only by the rank-0 loop thread inside CompleteBatch, so no
+     * lock; bounded to the most recent kVersionStatsKept versions.
+     */
+    struct VersionStats {
+        uint64_t version = 0;
+        uint64_t requests = 0;
+        std::chrono::steady_clock::time_point first_completion;
+        /** Bounded ring of recent request latencies for p50/p99. */
+        std::vector<double> latencies;
+        size_t next = 0;
+    };
+    static constexpr size_t kVersionStatsKept = 4;
+    static constexpr size_t kVersionLatencyWindow = 1024;
+
     size_t num_dense_;
     size_t num_tables_;
     ServerOptions options_;
@@ -135,6 +170,16 @@ class Server
     std::atomic<Admission> shed_reason_{Admission::kShedQueueFull};
     /** EWMA of serve-batch wall seconds (rank 0 writes, Submit reads). */
     std::atomic<double> ewma_batch_seconds_{0.0};
+    /** Admission totals feeding the neo.serve.shed_rate gauge. */
+    std::atomic<uint64_t> admitted_total_{0};
+    std::atomic<uint64_t> shed_total_{0};
+    /** Consecutive sheds since the last admit (storm detection). */
+    std::atomic<uint64_t> shed_streak_{0};
+    /** One storm bundle per storm; re-armed by the next admit. */
+    std::atomic<bool> storm_dumped_{false};
+    std::deque<VersionStats> version_stats_;
+    /** Periodic metrics exposition (inert without a telemetry dir). */
+    obs::SnapshotWriter exposition_;
     DispatchSlot slot_;
 };
 
