@@ -94,4 +94,13 @@ FaultInjector::NumArmed() const
     return armed_.size();
 }
 
+void
+FaultInjector::Reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.clear();
+    fired_.clear();
+    op_counts_.clear();
+}
+
 }  // namespace neo::comm

@@ -104,6 +104,13 @@ class FaultInjector
     /** Number of specs armed but not yet fired. */
     size_t NumArmed() const;
 
+    /**
+     * Disarm everything and zero the per-rank call counters, so a
+     * control re-run over the same injector (e.g. the unkilled half of
+     * a kill-vs-control determinism test) sees virgin addressing.
+     */
+    void Reset();
+
   private:
     mutable std::mutex mutex_;
     std::vector<FaultSpec> armed_;

@@ -99,6 +99,13 @@ ThreadedWorld::ThrowAbortedLocked() const
     throw RankFailure(abort_rank_, abort_cause_, abort_transient_);
 }
 
+obs::StragglerDetector&
+ThreadedWorld::Detector() const
+{
+    return options_.detector ? *options_.detector
+                             : obs::StragglerDetector::Get();
+}
+
 void
 ThreadedWorld::Barrier(int rank)
 {
@@ -122,12 +129,12 @@ ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
     // rank holding everyone up.
     if (barrier_waiting_ == 0) {
         barrier_first_arrival_ns_ = obs::NowNs();
-        obs::StragglerDetector::Get().RecordArrival(rank, 0.0);
+        Detector().RecordArrival(rank, 0.0);
     } else {
         const double lateness =
             static_cast<double>(obs::NowNs() - barrier_first_arrival_ns_) /
             1e9;
-        obs::StragglerDetector::Get().RecordArrival(rank, lateness);
+        Detector().RecordArrival(rank, lateness);
     }
     if (++barrier_waiting_ == size_) {
         barrier_waiting_ = 0;
@@ -159,8 +166,7 @@ ThreadedWorld::Barrier(int rank, std::chrono::milliseconds timeout)
                   << " ms (stuck at " << fewest << " barrier entries vs "
                   << barrier_entries_[rank] << " on detecting rank " << rank
                   << ")";
-            const std::string suspect =
-                obs::StragglerDetector::Get().DescribeStraggler();
+            const std::string suspect = Detector().DescribeStraggler();
             if (!suspect.empty()) {
                 cause << "; " << suspect;
             }
@@ -360,7 +366,7 @@ ThreadedWorld::Run(int size, const Options& options,
 obs::StragglerVerdict
 ThreadedWorld::AnalyzeStragglers() const
 {
-    return obs::StragglerDetector::Get().Analyze();
+    return Detector().Analyze();
 }
 
 void

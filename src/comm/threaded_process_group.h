@@ -55,6 +55,14 @@ class ThreadedWorld
         std::chrono::milliseconds barrier_timeout{60000};
         /** Optional deterministic fault injector; not owned. */
         FaultInjector* injector = nullptr;
+        /**
+         * Straggler detector fed by this world's barrier arrivals; not
+         * owned. Defaults to the process-wide singleton — a fleet of
+         * independent serving worlds gives each replica its own
+         * instance, otherwise same-numbered ranks of different worlds
+         * collide on one envelope and mask each other's lateness.
+         */
+        obs::StragglerDetector* detector = nullptr;
     };
 
     /** Create a world with `size` ranks and default options. */
@@ -168,6 +176,9 @@ class ThreadedWorld
 
     /** Barrier with the world's default timeout. */
     void Barrier(int rank);
+
+    /** This world's straggler detector (option or the singleton). */
+    obs::StragglerDetector& Detector() const;
 
     /** Record the abort; requires barrier_mutex_ held. */
     void AbortLocked(int rank, const std::string& cause, bool transient);

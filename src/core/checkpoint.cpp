@@ -193,6 +193,7 @@ void
 CheckpointStore::PutBaseline(int rank, std::vector<uint8_t> bytes)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    generation_++;
     if (!dir_.empty()) {
         // A new baseline supersedes the rank's whole chain on disk too.
         const std::filesystem::path rank_dir(RankDir(rank));
@@ -210,6 +211,7 @@ void
 CheckpointStore::AppendDelta(int rank, std::vector<uint8_t> bytes)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    generation_++;
     if (!dir_.empty()) {
         const std::filesystem::path rank_dir(RankDir(rank));
         NEO_REQUIRE(std::filesystem::exists(rank_dir / "baseline.bin"),
@@ -308,6 +310,13 @@ CheckpointStore::TotalBytes() const
         }
     }
     return total;
+}
+
+uint64_t
+CheckpointStore::Generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generation_;
 }
 
 // ---------------------------------------------------------------------------

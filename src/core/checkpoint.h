@@ -113,6 +113,16 @@ class CheckpointStore
     /** Total stored bytes across all ranks (for cost calibration). */
     uint64_t TotalBytes() const;
 
+    /**
+     * Monotonic write counter: bumped by every PutBaseline/AppendDelta.
+     * A serving-side publisher lane polls this to notice "the trainer
+     * published something new" without assembling the store — when the
+     * generation moved and the streams are at a consistent epoch, it
+     * cuts and warm-publishes a fresh snapshot (see
+     * FleetRouter::PublishFromStore).
+     */
+    uint64_t Generation() const;
+
   private:
     struct Entry {
         std::vector<uint8_t> baseline;
@@ -124,6 +134,7 @@ class CheckpointStore
     mutable std::mutex mutex_;
     std::map<int, Entry> entries_;
     std::string dir_;
+    uint64_t generation_ = 0;
 };
 
 /**

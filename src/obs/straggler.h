@@ -70,11 +70,18 @@ struct StragglerVerdict {
     std::string Describe() const;
 };
 
-/** Process-wide detector singleton. */
+/**
+ * Straggler detector. Get() returns the process-wide singleton that a
+ * single training/serving world feeds by default; a fleet of replicas
+ * constructs one instance per world (ThreadedWorld::Options::detector)
+ * so one replica's slow rank cannot mask another's.
+ */
 class StragglerDetector
 {
   public:
     static StragglerDetector& Get();
+
+    StragglerDetector() = default;
 
     /** Replace thresholds and clear all accumulated EWMAs. */
     void Configure(const StragglerOptions& options);
@@ -118,8 +125,6 @@ class StragglerDetector
     void Clear();
 
   private:
-    StragglerDetector() = default;
-
     static StragglerVerdict Judge(const std::vector<std::pair<int, double>>&
                                       signal_by_rank,
                                   const StragglerOptions& options);

@@ -7,6 +7,24 @@
 
 namespace neo::serve {
 
+const char*
+ResponseStatusName(ResponseStatus status)
+{
+    switch (status) {
+        case ResponseStatus::kOk:
+            return "ok";
+        case ResponseStatus::kStopped:
+            return "stopped";
+        case ResponseStatus::kReplicaFailed:
+            return "replica_failed";
+        case ResponseStatus::kVersionUnavailable:
+            return "version_unavailable";
+        case ResponseStatus::kFailed:
+            return "failed";
+    }
+    return "unknown";
+}
+
 bool
 Batcher::Push(Pending pending)
 {

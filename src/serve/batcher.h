@@ -32,11 +32,45 @@ struct Request {
     std::vector<float> dense;
     /** Sparse features: a batch-1 KeyedJagged with num_tables tables. */
     data::KeyedJagged sparse;
+    /**
+     * Snapshot version this request must be scored on (A/B pinning).
+     * 0 = unpinned, serve on the current version. A pinned version that
+     * the registry no longer retains completes with
+     * ResponseStatus::kVersionUnavailable.
+     */
+    uint64_t pinned_version = 0;
 };
+
+/**
+ * Terminal classification of an admitted request. Every admitted request
+ * gets exactly one Response — the promise is never dropped and never
+ * carries an exception — so `status` is the only thing a client (or the
+ * FleetRouter) needs to inspect to decide retry vs give-up.
+ */
+enum class ResponseStatus : uint8_t {
+    /** Scored; `score`/`snapshot_version` are valid. */
+    kOk = 0,
+    /** Server stopped before this request could be served (e.g. no
+     *  snapshot was ever published). Administrative, not retryable on
+     *  the same server. */
+    kStopped,
+    /** The serving world died mid-flight; the request was NOT scored and
+     *  is safe to resubmit verbatim to another replica. */
+    kReplicaFailed,
+    /** Pinned snapshot version is no longer retained by the registry. */
+    kVersionUnavailable,
+    /** Router-level terminal failure: retry attempts exhausted. */
+    kFailed,
+};
+
+/** Human-readable name for a response status. */
+const char* ResponseStatusName(ResponseStatus status);
 
 /** The answer to one request. */
 struct Response {
     uint64_t id = 0;
+    /** Terminal classification; fields below are valid only for kOk. */
+    ResponseStatus status = ResponseStatus::kOk;
     /** Predicted CTR, sigmoid(logit). */
     float score = 0.0f;
     /** Snapshot version that scored this request. */

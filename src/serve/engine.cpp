@@ -27,8 +27,8 @@ InferenceEngine::InferenceEngine(const EngineOptions& options,
 {
 }
 
-void
-InferenceEngine::BuildState(
+std::unique_ptr<InferenceEngine::VersionState>
+InferenceEngine::BuildVersionState(
     const std::shared_ptr<const ModelSnapshot>& snapshot)
 {
     NEO_TRACE_SPAN("serve_build_version", "serve");
@@ -68,9 +68,25 @@ InferenceEngine::BuildState(
                   state->router->NumLocalShards(),
               "snapshot/router local shard mismatch");
 
-    state_ = std::move(state);
     obs::MetricsRegistry::Get()
         .GetCounter("neo.serve.version_builds")
+        .Add();
+    return state;
+}
+
+void
+InferenceEngine::Prefetch(
+    const std::shared_ptr<const ModelSnapshot>& snapshot)
+{
+    NEO_REQUIRE(snapshot != nullptr, "cannot prefetch a null snapshot");
+    if ((state_ && state_->snapshot->version == snapshot->version) ||
+        (next_state_ &&
+         next_state_->snapshot->version == snapshot->version)) {
+        return;
+    }
+    next_state_ = BuildVersionState(snapshot);
+    obs::MetricsRegistry::Get()
+        .GetCounter("neo.serve.warm_builds")
         .Add();
 }
 
@@ -83,7 +99,18 @@ InferenceEngine::Forward(
     NEO_REQUIRE(snapshot != nullptr, "cannot serve a null snapshot");
     if (state_ == nullptr ||
         state_->snapshot->version != snapshot->version) {
-        BuildState(snapshot);
+        if (next_state_ &&
+            next_state_->snapshot->version == snapshot->version) {
+            state_ = std::move(next_state_);
+            obs::MetricsRegistry::Get()
+                .GetCounter("neo.serve.warm_promotions")
+                .Add();
+        } else {
+            state_ = BuildVersionState(snapshot);
+            obs::MetricsRegistry::Get()
+                .GetCounter("neo.serve.cold_builds")
+                .Add();
+        }
     }
     VersionState& st = *state_;
     const core::DlrmConfig& config = st.snapshot->config;

@@ -1,0 +1,137 @@
+#include "serve/health.h"
+
+#include <algorithm>
+
+namespace neo::serve {
+
+const char*
+ReplicaStateName(ReplicaState state)
+{
+    switch (state) {
+        case ReplicaState::kHealthy:
+            return "healthy";
+        case ReplicaState::kSuspect:
+            return "suspect";
+        case ReplicaState::kQuarantined:
+            return "quarantined";
+        case ReplicaState::kDrained:
+            return "drained";
+    }
+    return "unknown";
+}
+
+ReplicaHealth::ReplicaHealth(const HealthOptions& options)
+    : options_(options)
+{
+}
+
+void
+ReplicaHealth::RecordLatency(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    latency_ewma_ = latency_ewma_ == 0.0
+                        ? seconds
+                        : (1.0 - options_.latency_alpha) * latency_ewma_ +
+                              options_.latency_alpha * seconds;
+}
+
+void
+ReplicaHealth::RecordAdmit()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_++;
+}
+
+void
+ReplicaHealth::RecordShed()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    shed_++;
+}
+
+void
+ReplicaHealth::MarkFailed()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != ReplicaState::kDrained) {
+        state_ = ReplicaState::kQuarantined;
+    }
+}
+
+void
+ReplicaHealth::MarkDrained()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == ReplicaState::kQuarantined) {
+        state_ = ReplicaState::kDrained;
+    }
+}
+
+void
+ReplicaHealth::NoteStragglerVerdict(bool flagged)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == ReplicaState::kQuarantined ||
+        state_ == ReplicaState::kDrained) {
+        return;
+    }
+    if (!flagged) {
+        flagged_streak_ = 0;
+        straggler_factor_ = 1.0;
+        state_ = ReplicaState::kHealthy;
+        return;
+    }
+    flagged_streak_++;
+    if (flagged_streak_ >= options_.suspect_after) {
+        state_ = ReplicaState::kSuspect;
+        straggler_factor_ *= options_.straggler_decay;
+    }
+}
+
+double
+ReplicaHealth::Weight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == ReplicaState::kQuarantined ||
+        state_ == ReplicaState::kDrained) {
+        return 0.0;
+    }
+    double weight = latency_ewma_ == 0.0
+                        ? 1.0
+                        : options_.baseline_latency_seconds / latency_ewma_;
+    weight = std::min(weight, 1.0);
+    const uint64_t total = admitted_ + shed_;
+    if (total > 0) {
+        const double shed_rate =
+            static_cast<double>(shed_) / static_cast<double>(total);
+        weight /= 1.0 + options_.shed_penalty * shed_rate;
+    }
+    weight *= straggler_factor_;
+    return std::max(weight, options_.min_weight);
+}
+
+ReplicaState
+ReplicaHealth::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+double
+ReplicaHealth::LatencyEwma() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latency_ewma_;
+}
+
+double
+ReplicaHealth::ShedRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t total = admitted_ + shed_;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(shed_) / static_cast<double>(total);
+}
+
+}  // namespace neo::serve

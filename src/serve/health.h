@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-replica health scoring for the serving fleet. Each replica of a
+ * FleetRouter carries a ReplicaHealth that folds three signals into one
+ * dispatch weight:
+ *
+ *  - latency EWMA of completed requests (slower replica -> less traffic),
+ *  - shed rate (a replica refusing admission is overloaded),
+ *  - straggler verdicts from the replica world's own StragglerDetector
+ *    (a persistently-suspect rank decays the whole replica's weight —
+ *    the rank drags every collective batch, so the replica is slow even
+ *    when its queue looks healthy).
+ *
+ * State machine (DESIGN.md §4j):
+ *
+ *   kHealthy -> kSuspect      straggler verdict persists
+ *   kSuspect -> kHealthy      verdicts clear
+ *   any      -> kQuarantined  world failed (RankFailure) / recover expiry
+ *   kQuarantined -> kDrained  router finished replaying its in-flights
+ *
+ * Quarantine is terminal for dispatch: Weight() is 0 from then on.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace neo::serve {
+
+/** Lifecycle of one fleet replica (see file comment). */
+enum class ReplicaState {
+    kHealthy,
+    kSuspect,
+    kQuarantined,
+    kDrained,
+};
+
+/** Human-readable name for a replica state. */
+const char* ReplicaStateName(ReplicaState state);
+
+struct HealthOptions {
+    /** EWMA smoothing for completed-request latency. */
+    double latency_alpha = 0.2;
+    /** Weight divisor slope per unit shed rate: weight /=
+     *  (1 + shed_penalty * shed_rate). */
+    double shed_penalty = 4.0;
+    /** Multiplicative weight decay per consecutive flagged straggler
+     *  verdict once suspect (recovers when verdicts clear). */
+    double straggler_decay = 0.5;
+    /** Consecutive flagged verdicts before kHealthy -> kSuspect. */
+    int suspect_after = 2;
+    /** Weight floor for non-quarantined replicas (keeps a slow replica
+     *  probeable so its EWMA can recover). */
+    double min_weight = 1e-3;
+    /** Latency normalizer: a replica at this EWMA has weight ~1. */
+    double baseline_latency_seconds = 1e-3;
+};
+
+/**
+ * Thread-safe health score for one replica. The router's pump thread
+ * drives state transitions; client threads read Weight() on the
+ * dispatch path.
+ */
+class ReplicaHealth
+{
+  public:
+    explicit ReplicaHealth(const HealthOptions& options = HealthOptions());
+
+    /** One completed (kOk) request's total latency. */
+    void RecordLatency(double seconds);
+
+    /** One admitted request. */
+    void RecordAdmit();
+
+    /** One shed (refused admission). */
+    void RecordShed();
+
+    /** World failure: -> kQuarantined (idempotent). */
+    void MarkFailed();
+
+    /** Router replayed the last in-flight: kQuarantined -> kDrained. */
+    void MarkDrained();
+
+    /**
+     * One straggler-detector verdict for the replica's world. Flagged
+     * verdicts must persist `suspect_after` consecutive ticks to move
+     * kHealthy -> kSuspect (one late barrier is noise); each further
+     * flagged tick decays the weight by `straggler_decay`. A clear
+     * verdict resets the streak and returns the replica to kHealthy.
+     */
+    void NoteStragglerVerdict(bool flagged);
+
+    /**
+     * Relative dispatch weight in [0, 1]: 0 when quarantined/drained,
+     * otherwise baseline/EWMA damped by shed rate and straggler decay,
+     * floored at min_weight.
+     */
+    double Weight() const;
+
+    ReplicaState state() const;
+    double LatencyEwma() const;
+    double ShedRate() const;
+
+  private:
+    HealthOptions options_;
+    mutable std::mutex mutex_;
+    ReplicaState state_ = ReplicaState::kHealthy;
+    double latency_ewma_ = 0.0;
+    uint64_t admitted_ = 0;
+    uint64_t shed_ = 0;
+    int flagged_streak_ = 0;
+    /** Cumulative straggler decay factor (1 = none). */
+    double straggler_factor_ = 1.0;
+};
+
+}  // namespace neo::serve

@@ -26,6 +26,7 @@ Server::Server(size_t num_dense, size_t num_tables,
     }
     NEO_REQUIRE(options_.resume_queue < options_.max_queue,
                 "resume_queue must be below max_queue for hysteresis");
+    registry_.SetHistoryDepth(options_.version_history);
     if (options_.telemetry_period.count() > 0) {
         obs::SnapshotWriter::Options writer;
         writer.directory = options_.telemetry_dir;
@@ -140,10 +141,19 @@ Server::NoteShed()
         return;
     }
     auto& recorder = obs::FlightRecorder::Get();
-    const std::string detail =
+    std::string detail =
         "shed storm: " + std::to_string(streak) +
         " consecutive sheds (queue depth " +
         std::to_string(batcher_.size()) + ")";
+    // If a fleet router has a straggler suspect, name it: a shed storm
+    // on one replica is often the downstream symptom of a slow rank
+    // elsewhere soaking up the fleet's dispatch weight.
+    auto& metrics = obs::MetricsRegistry::Get();
+    if (metrics.GetGauge("neo.fleet.has_suspect").value() >= 1.0) {
+        const int suspect = static_cast<int>(
+            metrics.GetGauge("neo.fleet.suspect_replica").value());
+        detail += "; fleet suspect replica " + std::to_string(suspect);
+    }
     recorder.RecordEvent(0, "shed_storm", detail);
     recorder.DumpBundle(0, detail);
 }
@@ -152,6 +162,22 @@ void
 Server::Publish(std::shared_ptr<const ModelSnapshot> snapshot)
 {
     registry_.Publish(std::move(snapshot));
+}
+
+bool
+Server::Prewarm(std::shared_ptr<const ModelSnapshot> snapshot)
+{
+    NEO_REQUIRE(snapshot != nullptr, "cannot prewarm a null snapshot");
+    std::future<bool> done;
+    {
+        std::lock_guard<std::mutex> lock(warm_mutex_);
+        if (!accepting_warm_ || failed_.load() || batcher_.stopped()) {
+            return false;
+        }
+        warm_queue_.push_back(WarmRequest{std::move(snapshot), {}});
+        done = warm_queue_.back().promise.get_future();
+    }
+    return done.get();
 }
 
 void
@@ -250,70 +276,251 @@ Server::CompleteBatch(std::vector<Pending>& batch,
 }
 
 void
+Server::CompleteOne(Pending& pending, ResponseStatus status)
+{
+    Response response;
+    response.id = pending.request.id;
+    response.status = status;
+    response.total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      pending.enqueue)
+            .count();
+    obs::MetricsRegistry::Get()
+        .GetCounter(std::string("neo.serve.completed_") +
+                    ResponseStatusName(status))
+        .Add();
+    pending.promise.set_value(std::move(response));
+}
+
+void
+Server::CompleteUnserved(std::vector<Pending>& batch,
+                         ResponseStatus status)
+{
+    for (auto& pending : batch) {
+        CompleteOne(pending, status);
+    }
+    batch.clear();
+}
+
+bool
+Server::StageServing(std::vector<Pending>& staged,
+                     std::vector<Pending>& serving)
+{
+    const uint64_t want = staged.front().request.pinned_version;
+    auto snapshot = want == 0 ? registry_.Current() : registry_.Get(want);
+    if (want != 0 && snapshot == nullptr) {
+        // Pinned to a version the registry no longer retains: answer
+        // every request carrying that pin, keep the rest staged.
+        std::vector<Pending> keep;
+        keep.reserve(staged.size());
+        for (auto& pending : staged) {
+            if (pending.request.pinned_version == want) {
+                CompleteOne(pending, ResponseStatus::kVersionUnavailable);
+            } else {
+                keep.push_back(std::move(pending));
+            }
+        }
+        staged.swap(keep);
+        return false;
+    }
+    if (snapshot == nullptr) {
+        return false;  // nothing published yet; keep staged and heartbeat
+    }
+    std::vector<Pending> keep;
+    keep.reserve(staged.size());
+    for (auto& pending : staged) {
+        if (pending.request.pinned_version == want) {
+            serving.push_back(std::move(pending));
+        } else {
+            keep.push_back(std::move(pending));
+        }
+    }
+    staged.swap(keep);
+    serving_snapshot_ = std::move(snapshot);
+    return true;
+}
+
+bool
+Server::TakeWarm()
+{
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    if (warm_queue_.empty()) {
+        return false;
+    }
+    active_warm_ =
+        std::make_unique<WarmRequest>(std::move(warm_queue_.front()));
+    warm_queue_.pop_front();
+    return true;
+}
+
+void
+Server::DrainWarm()
+{
+    std::deque<WarmRequest> pending;
+    {
+        std::lock_guard<std::mutex> lock(warm_mutex_);
+        accepting_warm_ = false;
+        pending.swap(warm_queue_);
+    }
+    if (active_warm_) {
+        active_warm_->promise.set_value(false);
+        active_warm_.reset();
+    }
+    for (auto& warm : pending) {
+        warm.promise.set_value(false);
+    }
+}
+
+bool
+Server::HandleWorldFailure(int rank, comm::ProcessGroup& pg,
+                           const comm::RankFailure& failure,
+                           std::vector<Pending>& staged,
+                           std::vector<Pending>& serving)
+{
+    auto& metrics = obs::MetricsRegistry::Get();
+    metrics.GetCounter("neo.serve.rank_failures").Add();
+    if (failure.transient() && options_.recover_timeout.count() > 0 &&
+        pg.Recover(options_.recover_timeout)) {
+        // All ranks rendezvoused: the world is re-armed and the retained
+        // staged/serving groups redispatch on the next iteration.
+        // Recomputing an aborted batch is safe — scores are per-sample
+        // deterministic — and each promise is still unset.
+        metrics.GetCounter("neo.serve.recoveries").Add();
+        if (rank == 0) {
+            obs::FlightRecorder::Get().RecordEvent(
+                rank, "serve_recovered",
+                "replica " + std::to_string(options_.replica_id) +
+                    " recovered in place after: " + failure.what());
+        }
+        return true;
+    }
+
+    // Permanent (or unrecoverable) failure: quarantine. Fail fast so a
+    // fleet router can replay elsewhere instead of waiting on timeouts.
+    failed_.store(true);
+    batcher_.Stop();
+    if (rank != 0) {
+        return false;
+    }
+    // Rank 0 owns every promise: drain the in-flight dispatch group,
+    // the staging buffer, and everything still queued as typed
+    // kReplicaFailed responses — retryable by the router, never a
+    // broken promise.
+    size_t drained = serving.size() + staged.size();
+    CompleteUnserved(serving, ResponseStatus::kReplicaFailed);
+    CompleteUnserved(staged, ResponseStatus::kReplicaFailed);
+    serving_snapshot_.reset();
+    std::vector<Pending> rest;
+    while (batcher_.NextBatch(rest, std::chrono::milliseconds(0))) {
+        drained += rest.size();
+        CompleteUnserved(rest, ResponseStatus::kReplicaFailed);
+    }
+    DrainWarm();
+    retryable_drained_.fetch_add(drained);
+    metrics.GetGauge("neo.serve.replica_failed").Set(1.0);
+    auto& recorder = obs::FlightRecorder::Get();
+    const std::string detail =
+        "replica " + std::to_string(options_.replica_id) +
+        " quarantined: " + failure.what() + " (drained " +
+        std::to_string(drained) + " requests as retryable)";
+    recorder.RecordEvent(rank, "replica_failed", detail);
+    recorder.DumpBundle(rank, detail);
+    return false;
+}
+
+void
 Server::RankLoop(int rank, comm::ProcessGroup& pg)
 {
     InferenceEngine engine(options_.engine, pg);
     const size_t world = static_cast<size_t>(pg.Size());
     std::vector<Pending> staged;
+    std::vector<Pending> serving;
     std::vector<float> logits;
 
     for (;;) {
-        float cmd = kCmdNoop;
-        std::chrono::steady_clock::time_point dispatched;
-        if (rank == 0) {
-            if (staged.empty()) {
-                batcher_.NextBatch(staged, options_.heartbeat);
-            }
-            auto snapshot = registry_.Current();
-            if (!staged.empty() && snapshot) {
-                cmd = kCmdServe;
-                dispatched = std::chrono::steady_clock::now();
-                slot_.snapshot = std::move(snapshot);
-                slot_.pad = (world - staged.size() % world) % world;
-                Batcher::Merge(staged, slot_.pad, num_dense_, num_tables_,
-                               slot_.dense, slot_.sparse);
-            } else if (batcher_.stopped() && batcher_.size() == 0) {
-                if (!staged.empty()) {
-                    // Stopped before any snapshot was published: there is
-                    // no model to answer with — fail the stragglers
-                    // explicitly rather than hanging their futures.
-                    for (auto& pending : staged) {
-                        pending.promise.set_exception(
-                            std::make_exception_ptr(std::runtime_error(
-                                "server stopped before a model snapshot "
-                                "was published")));
-                    }
-                    staged.clear();
+        try {
+            float cmd = kCmdNoop;
+            std::chrono::steady_clock::time_point dispatched;
+            if (rank == 0) {
+                if (serving.empty() && staged.empty()) {
+                    batcher_.NextBatch(staged, options_.heartbeat);
                 }
-                cmd = kCmdStop;
+                if (serving.empty() && !staged.empty()) {
+                    StageServing(staged, serving);
+                }
+                if (!serving.empty() && serving_snapshot_) {
+                    cmd = kCmdServe;
+                    dispatched = std::chrono::steady_clock::now();
+                    slot_.snapshot = serving_snapshot_;
+                    slot_.pad = (world - serving.size() % world) % world;
+                    Batcher::Merge(serving, slot_.pad, num_dense_,
+                                   num_tables_, slot_.dense, slot_.sparse);
+                } else if (TakeWarm()) {
+                    // Idle collective slot: pre-build the next version's
+                    // engine state on every rank (traffic keeps flowing
+                    // between warm commands, so no latency cliff).
+                    cmd = kCmdWarm;
+                    slot_.snapshot = active_warm_->snapshot;
+                } else if (batcher_.stopped() && batcher_.size() == 0) {
+                    // Stopped with no model to answer with (no snapshot
+                    // was ever published, or a pinned group lost its
+                    // version): complete stragglers with a typed
+                    // kStopped response rather than breaking promises.
+                    CompleteUnserved(serving, ResponseStatus::kStopped);
+                    CompleteUnserved(staged, ResponseStatus::kStopped);
+                    DrainWarm();
+                    cmd = kCmdStop;
+                }
             }
-        }
-        pg.Broadcast(&cmd, 1, /*root=*/0);
-        if (cmd == kCmdStop) {
-            break;
-        }
-        if (cmd == kCmdNoop) {
-            continue;
-        }
+            pg.Broadcast(&cmd, 1, /*root=*/0);
+            if (cmd == kCmdStop) {
+                break;
+            }
+            if (cmd == kCmdNoop) {
+                continue;
+            }
+            if (cmd == kCmdWarm) {
+                // The broadcast published slot_.snapshot; the barrier
+                // returns slot ownership to rank 0 and is the "all ranks
+                // warm" edge the Prewarm caller waits on.
+                engine.Prefetch(slot_.snapshot);
+                pg.Barrier();
+                if (rank == 0) {
+                    active_warm_->promise.set_value(true);
+                    active_warm_.reset();
+                    obs::MetricsRegistry::Get()
+                        .GetCounter("neo.serve.prewarms")
+                        .Add();
+                }
+                continue;
+            }
 
-        // SERVE: the broadcast published slot_ to every rank; pin the
-        // snapshot locally so a concurrent Publish cannot free it
-        // mid-batch.
-        const auto snapshot = slot_.snapshot;
-        const auto batch_start = std::chrono::steady_clock::now();
-        {
-            NEO_TRACE_SPAN("serve_batch", "step");
-            engine.Forward(snapshot, slot_.dense, slot_.sparse, logits);
-        }
-        // Engine's trailing AllGather: every rank is past its slot_
-        // reads, so rank 0 may rewrite the slot next iteration.
-        if (rank == 0) {
-            const double batch_seconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - batch_start)
-                    .count();
-            CompleteBatch(staged, logits, dispatched, batch_seconds);
-            staged.clear();
+            // SERVE: the broadcast published slot_ to every rank; pin
+            // the snapshot locally so a concurrent Publish cannot free
+            // it mid-batch.
+            const auto snapshot = slot_.snapshot;
+            const auto batch_start = std::chrono::steady_clock::now();
+            {
+                NEO_TRACE_SPAN("serve_batch", "step");
+                engine.Forward(snapshot, slot_.dense, slot_.sparse,
+                               logits);
+            }
+            // Engine's trailing AllGather: every rank is past its slot_
+            // reads, so rank 0 may rewrite the slot next iteration.
+            if (rank == 0) {
+                const double batch_seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - batch_start)
+                        .count();
+                CompleteBatch(serving, logits, dispatched, batch_seconds);
+                serving.clear();
+                serving_snapshot_.reset();
+            }
+        } catch (const comm::RankFailure& failure) {
+            if (HandleWorldFailure(rank, pg, failure, staged, serving)) {
+                continue;
+            }
+            return;
         }
     }
 }

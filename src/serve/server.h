@@ -23,6 +23,9 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "comm/process_group.h"
 #include "obs/exposition.h"
@@ -45,6 +48,25 @@ struct ServerOptions {
      *  world's barrier timeout). */
     std::chrono::milliseconds heartbeat{50};
     EngineOptions engine;
+
+    // ---- fleet / failure handling ----
+
+    /** Replica id this server reports in flight bundles and metrics
+     *  when it is one executor of a FleetRouter fleet. */
+    int replica_id = 0;
+    /**
+     * On a transient RankFailure inside the serve collective, how long
+     * the ranks wait for an in-place recovery rendezvous before giving
+     * up and quarantining the replica. 0 (default) disables in-place
+     * recovery: any rank failure quarantines immediately (fail fast —
+     * the fleet router replays elsewhere). Must comfortably exceed
+     * `heartbeat`, since rank 0 may be in a queue wait when the world
+     * poisons.
+     */
+    std::chrono::milliseconds recover_timeout{0};
+    /** Snapshot versions the registry retains for per-request version
+     *  pinning (current included). */
+    size_t version_history = 4;
 
     // ---- telemetry ----
 
@@ -93,6 +115,18 @@ class Server
      *  trainer's publisher). In-flight batches finish on their version. */
     void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
 
+    /**
+     * Pre-build `snapshot`'s engine state on every rank WITHOUT routing
+     * traffic to it (the warm half of warm-up-then-flip; call Publish
+     * afterwards to atomically move traffic). Runs as a low-priority
+     * command on the serving collective between batches, so in-flight
+     * traffic keeps being served on the current version. Blocks until
+     * all ranks are warm; returns false if the server stopped or its
+     * world failed before the warm-up could run. Requires a running
+     * RankLoop world.
+     */
+    bool Prewarm(std::shared_ptr<const ModelSnapshot> snapshot);
+
     std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const
     {
         return registry_.Current();
@@ -104,17 +138,40 @@ class Server
     bool shedding() const { return shedding_.load(); }
 
     /**
+     * True once the serving world suffered a permanent rank failure and
+     * this replica quarantined itself. All queued/in-flight requests
+     * have been (or are being) completed with
+     * ResponseStatus::kReplicaFailed; new Submits shed.
+     */
+    bool failed() const { return failed_.load(); }
+
+    /** Requests drained as kReplicaFailed when the world died. */
+    uint64_t RetryableDrained() const
+    {
+        return retryable_drained_.load();
+    }
+
+    /**
      * One rank's serving loop (collective; run on every rank of `pg`,
      * e.g. as the body of ThreadedWorld::Run). Returns after Stop()
-     * once all queued requests have been answered — zero drops.
+     * once all queued requests have been answered — zero drops. A
+     * RankFailure inside the serve collective is caught here: the
+     * replica attempts in-place recovery when the failure is transient
+     * and `recover_timeout` allows it, and otherwise fails fast —
+     * rank 0 drains every held request as a typed kReplicaFailed
+     * response (retryable by a fleet router), dumps a flight bundle
+     * naming the replica, and the loop returns with failed() set.
+     * Promises are never broken, even on a dying world.
      */
     void RankLoop(int rank, comm::ProcessGroup& pg);
 
     /**
      * Begin shutdown: new Submits shed kShedStopped; queued requests
      * drain through the rank loops, which then exit. If no snapshot was
-     * ever published, still-queued requests fail with broken promises
-     * (there is no model to answer them with).
+     * ever published, still-queued requests complete with typed
+     * ResponseStatus::kStopped responses (there is no model to answer
+     * them with, but the future always yields a classified Response —
+     * never a broken promise).
      */
     void Stop();
 
@@ -123,6 +180,8 @@ class Server
     static constexpr float kCmdNoop = 0.0f;
     static constexpr float kCmdServe = 1.0f;
     static constexpr float kCmdStop = 2.0f;
+    /** Pre-build the slot snapshot's engine state on every rank. */
+    static constexpr float kCmdWarm = 3.0f;
 
     /**
      * Batch handoff from rank 0 to the world. Written by rank 0 before
@@ -137,10 +196,54 @@ class Server
         size_t pad = 0;
     };
 
+    /** A queued snapshot warm-up and its caller's completion signal. */
+    struct WarmRequest {
+        std::shared_ptr<const ModelSnapshot> snapshot;
+        std::promise<bool> promise;
+    };
+
     void CompleteBatch(std::vector<Pending>& batch,
                        const std::vector<float>& logits,
                        std::chrono::steady_clock::time_point dispatched,
                        double batch_seconds);
+
+    /** Complete one unserved request with a typed terminal status. */
+    static void CompleteOne(Pending& pending, ResponseStatus status);
+
+    /** Complete-and-clear a whole group of unserved requests. */
+    static void CompleteUnserved(std::vector<Pending>& batch,
+                                 ResponseStatus status);
+
+    /**
+     * Form the next dispatch group (rank 0): resolve the front staged
+     * request's pinned version, answer kVersionUnavailable for pins the
+     * registry no longer retains, and move every staged request with
+     * the same pin into `serving` (order preserved; unpinned requests
+     * group together on the current version). Sets serving_snapshot_
+     * and returns true when a dispatchable group formed.
+     */
+    bool StageServing(std::vector<Pending>& staged,
+                      std::vector<Pending>& serving);
+
+    /**
+     * React to a RankFailure caught in RankLoop. Returns true when the
+     * world recovered in place (caller continues the loop with its
+     * staged/serving groups intact — recompute is safe because scores
+     * are deterministic). Otherwise quarantines the replica: sets
+     * failed(), stops the batcher, and (rank 0) drains every held
+     * request as kReplicaFailed plus a flight bundle; returns false and
+     * the caller exits.
+     */
+    bool HandleWorldFailure(int rank, comm::ProcessGroup& pg,
+                            const comm::RankFailure& failure,
+                            std::vector<Pending>& staged,
+                            std::vector<Pending>& serving);
+
+    /** Pop the next queued warm-up into active_warm_ (rank 0 loop). */
+    bool TakeWarm();
+
+    /** Refuse future Prewarms and fail active + queued warm-ups. */
+    void DrainWarm();
 
     /** Bump the shed streak and dump a storm bundle at the threshold. */
     void NoteShed();
@@ -181,6 +284,21 @@ class Server
     /** Periodic metrics exposition (inert without a telemetry dir). */
     obs::SnapshotWriter exposition_;
     DispatchSlot slot_;
+
+    /** Set when the world permanently failed (replica quarantined). */
+    std::atomic<bool> failed_{false};
+    /** Requests completed as kReplicaFailed by the failure drain. */
+    std::atomic<uint64_t> retryable_drained_{0};
+    /** Snapshot the current `serving` group was formed against (rank-0
+     *  loop thread only; survives in-place recovery so a redispatch is
+     *  bitwise identical). */
+    std::shared_ptr<const ModelSnapshot> serving_snapshot_;
+    /** Warm-up handoff from Prewarm callers to the rank-0 loop. */
+    std::mutex warm_mutex_;
+    std::deque<WarmRequest> warm_queue_;
+    bool accepting_warm_ = true;
+    /** Warm-up currently on the collective (rank-0 loop thread only). */
+    std::unique_ptr<WarmRequest> active_warm_;
 };
 
 }  // namespace neo::serve

@@ -190,30 +190,53 @@ SnapshotRegistry::Publish(std::shared_ptr<const ModelSnapshot> snapshot)
 {
     NEO_REQUIRE(snapshot != nullptr, "cannot publish a null snapshot");
     std::lock_guard<std::mutex> lock(mutex_);
-    const uint64_t current = current_ ? current_->version : 0;
+    const uint64_t current =
+        history_.empty() ? 0 : history_.back()->version;
     NEO_REQUIRE(snapshot->version > current,
                 "snapshot versions must strictly increase: publishing ",
                 snapshot->version, " over ", current);
-    current_ = std::move(snapshot);
+    history_.push_back(std::move(snapshot));
+    while (history_.size() > history_depth_) {
+        history_.pop_front();
+    }
     swaps_++;
     auto& metrics = obs::MetricsRegistry::Get();
     metrics.GetCounter("neo.serve.snapshot_swaps").Add();
     metrics.GetGauge("neo.serve.snapshot_version")
-        .Set(static_cast<double>(current_->version));
+        .Set(static_cast<double>(history_.back()->version));
 }
 
 std::shared_ptr<const ModelSnapshot>
 SnapshotRegistry::Current() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return current_;
+    return history_.empty() ? nullptr : history_.back();
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::Get(uint64_t version) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& snapshot : history_) {
+        if (snapshot->version == version) {
+            return snapshot;
+        }
+    }
+    return nullptr;
+}
+
+void
+SnapshotRegistry::SetHistoryDepth(size_t depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    history_depth_ = depth == 0 ? 1 : depth;
 }
 
 uint64_t
 SnapshotRegistry::CurrentVersion() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return current_ ? current_->version : 0;
+    return history_.empty() ? 0 : history_.back()->version;
 }
 
 uint64_t

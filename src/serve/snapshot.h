@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -92,7 +93,10 @@ std::shared_ptr<const ModelSnapshot> SnapshotFromTrainer(
  * Versioned publication point between trainer and server. Publish
  * installs a new current snapshot (versions must strictly increase);
  * Current hands out a shared_ptr, so a reader's view survives any
- * number of subsequent swaps. Thread-safe.
+ * number of subsequent swaps. The registry additionally retains a
+ * bounded history of displaced versions so per-request version pinning
+ * (A/B splits) can keep serving an older model while the fleet rolls
+ * forward. Thread-safe.
  */
 class SnapshotRegistry
 {
@@ -104,15 +108,25 @@ class SnapshotRegistry
     /** Current snapshot (nullptr before the first publish). */
     std::shared_ptr<const ModelSnapshot> Current() const;
 
+    /** Retained snapshot with exactly `version` (current or history);
+     *  nullptr when that version was never published or aged out. */
+    std::shared_ptr<const ModelSnapshot> Get(uint64_t version) const;
+
     /** Version of the current snapshot (0 before the first publish). */
     uint64_t CurrentVersion() const;
 
     /** Number of successful publishes. */
     uint64_t SwapCount() const;
 
+    /** Versions retained for Get() (current included); trimming applies
+     *  on the next Publish. Minimum 1 (the current version). */
+    void SetHistoryDepth(size_t depth);
+
   private:
     mutable std::mutex mutex_;
-    std::shared_ptr<const ModelSnapshot> current_;
+    /** Retained versions, oldest first; back() is current. */
+    std::deque<std::shared_ptr<const ModelSnapshot>> history_;
+    size_t history_depth_ = 4;
     uint64_t swaps_ = 0;
 };
 

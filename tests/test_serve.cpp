@@ -884,8 +884,8 @@ TEST(Admission, ShedsOnSloBudget)
     world.join();
 }
 
-/** Stop before any snapshot is published: queued requests must fail
- *  loudly (broken promise -> exception) instead of hanging. */
+/** Stop before any snapshot is published: queued requests must drain
+ *  as typed kStopped responses — never a broken promise. */
 TEST(Admission, StopWithoutSnapshotFailsQueuedRequests)
 {
     DlrmConfig model = core::MakeSmallDlrmConfig(2, 40, 16);
@@ -903,7 +903,9 @@ TEST(Admission, StopWithoutSnapshotFailsQueuedRequests)
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     server.Stop();
     world.join();
-    EXPECT_THROW(ticket.response.get(), std::exception);
+    const serve::Response response = ticket.response.get();
+    EXPECT_EQ(response.status, serve::ResponseStatus::kStopped);
+    EXPECT_EQ(response.snapshot_version, 0u);
 }
 
 }  // namespace
